@@ -1,0 +1,151 @@
+//! Figure-scale criterion benches: timed, shrunk versions of each paper
+//! artifact. The full-size regenerations live in the `dna-bench` binaries
+//! (`cargo run -p dna-bench --release --bin fig9` etc.); these benches track
+//! the cost of the underlying machinery so regressions show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_bench::experiments::{ablations, costs, fig3, scaling};
+use dna_block_store::{workload, Block, Partition, PartitionConfig, VersionSlot};
+use dna_primers::PrimerPair;
+use dna_seq::rng::DetRng;
+use dna_sim::{IdsChannel, PcrPrimer, PcrProtocol, PcrReaction, Pool, Sequencer};
+use std::hint::black_box;
+
+fn primer_pair() -> PrimerPair {
+    PrimerPair::new(
+        "AACCGGTTAACCGGTTAACC".parse().unwrap(),
+        "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
+    )
+}
+
+/// A 32-block mini version of the Alice partition, reused across the
+/// figure benches.
+fn mini_partition() -> (Partition, Pool) {
+    let mut partition = Partition::new(PartitionConfig::paper_default(0xBE7C), primer_pair());
+    let mut designs = Vec::new();
+    let text = workload::deterministic_text(32 * dna_block_store::BLOCK_SIZE, 3);
+    for (i, chunk) in text.chunks(dna_block_store::BLOCK_SIZE).enumerate() {
+        let b = Block::from_bytes(chunk).unwrap();
+        designs.extend(partition.encode_block(i as u64, &b).unwrap());
+    }
+    let mut rng = DetRng::seed_from_u64(5);
+    let pool = dna_sim::SynthesisVendor::twist().synthesize(&designs, &mut rng);
+    (partition, pool)
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_capacity_sweep", |b| {
+        b.iter(|| black_box(fig3::run()));
+    });
+}
+
+fn bench_fig9_precise_access(c: &mut Criterion) {
+    let (partition, pool) = mini_partition();
+    let primer = partition.elongated_primer(21);
+    let rev = partition.primers().reverse().clone();
+    let budget = pool.total_copies() * 30.0;
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("precise_access_pcr_32_blocks", |b| {
+        b.iter(|| {
+            let rxn = PcrReaction {
+                forward_primers: vec![PcrPrimer::with_budget(primer.clone(), budget)],
+                reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
+                protocol: PcrProtocol::paper_block_access(),
+            };
+            black_box(rxn.run(&pool))
+        });
+    });
+    group.bench_function("sequencing_5k_reads", |b| {
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::with_budget(primer.clone(), budget)],
+            reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let amplified = rxn.run(&pool).pool;
+        let mut rng = DetRng::seed_from_u64(7);
+        b.iter(|| {
+            black_box(Sequencer::new(IdsChannel::illumina()).sequence(&amplified, 5_000, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig10_mixing(c: &mut Criterion) {
+    let (mut partition, pool) = mini_partition();
+    let patch = dna_block_store::UpdatePatch::new(0, 3, 0, b"UPD".to_vec()).unwrap();
+    let (_, mols) = partition.encode_update(5, &patch).unwrap();
+    let mut rng = DetRng::seed_from_u64(11);
+    let update_pool = dna_sim::SynthesisVendor::idt().synthesize(&mols, &mut rng);
+    let fwd = partition.primers().forward().clone();
+    let rev = partition.primers().reverse().clone();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("amplify_then_measure_mix", |b| {
+        let mut rng = DetRng::seed_from_u64(13);
+        b.iter(|| {
+            black_box(dna_sim::mixing::amplify_then_measure(
+                &pool,
+                &update_pool,
+                32 * 15,
+                15,
+                &fwd,
+                &rev,
+                &dna_sim::Nanodrop::benchtop(),
+                &mut rng,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("tab_cost_and_latency", |b| {
+        b.iter(|| {
+            let t = costs::sequencing_costs(0.0034, 0.48);
+            let u = costs::update_costs(0.48);
+            let l = costs::latency_table(t.reduction);
+            black_box((t, u, l))
+        });
+    });
+    c.bench_function("tab_scaling_block_counts", |b| {
+        b.iter(|| black_box(scaling::block_counts()));
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("sparse_vs_dense", |b| {
+        b.iter(|| black_box(ablations::sparse_vs_dense(0xAB)));
+    });
+    group.bench_function("elongation_sweep", |b| {
+        b.iter(|| black_box(ablations::elongation_sweep(0xE1)));
+    });
+    group.finish();
+}
+
+fn bench_block_roundtrip(c: &mut Criterion) {
+    // The write-path hot loop: one unit → 15 strands.
+    let (partition, _) = mini_partition();
+    let block = Block::from_bytes(b"benchmark paragraph content").unwrap();
+    let mut group = c.benchmark_group("roundtrip");
+    group.bench_function("encode_unit_15_strands", |b| {
+        b.iter(|| black_box(partition.encode_unit(40, VersionSlot(0), &block)));
+    });
+    group.bench_function("elongated_primer_derivation", |b| {
+        b.iter(|| black_box(partition.elongated_primer(black_box(21))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_fig9_precise_access,
+    bench_fig10_mixing,
+    bench_tables,
+    bench_ablations,
+    bench_block_roundtrip
+);
+criterion_main!(figures);

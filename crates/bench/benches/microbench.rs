@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the core substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_block_store::{Block, UpdatePatch};
+use dna_ecc::{EncodingUnit, GfTables, ReedSolomon, UnitConfig};
+use dna_index::{IndexTree, LeafId};
+use dna_pipeline::{bma, cluster_reads, double_sided_bma, ClusterConfig};
+use dna_seq::distance::{levenshtein, levenshtein_bounded};
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+use dna_sim::IdsChannel;
+use std::hint::black_box;
+
+fn random_seq(len: usize, rng: &mut DetRng) -> DnaSeq {
+    DnaSeq::from_bases((0..len).map(|_| Base::from_code(rng.gen_range(4) as u8)))
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(1);
+    let a = random_seq(150, &mut rng);
+    let b = IdsChannel::illumina().corrupt(&a, &mut rng);
+    c.bench_function("levenshtein_150", |bch| {
+        bch.iter(|| black_box(levenshtein(a.as_slice(), b.as_slice())));
+    });
+    c.bench_function("levenshtein_bounded_150_k4", |bch| {
+        bch.iter(|| black_box(levenshtein_bounded(a.as_slice(), b.as_slice(), 4)));
+    });
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let rs = ReedSolomon::new(GfTables::gf16(), 4);
+    let data: Vec<u8> = (0..11).collect();
+    let clean = rs.encode(&data);
+    c.bench_function("rs15_11_encode", |b| {
+        b.iter(|| black_box(rs.encode(black_box(&data))));
+    });
+    c.bench_function("rs15_11_decode_2_errors", |b| {
+        b.iter(|| {
+            let mut cw = clean.clone();
+            cw[3] ^= 0x9;
+            cw[12] ^= 0x4;
+            black_box(rs.decode(&mut cw, &[]).unwrap())
+        });
+    });
+}
+
+fn bench_unit(c: &mut Criterion) {
+    let unit = EncodingUnit::new(UnitConfig::paper_default());
+    let data: Vec<u8> = (0..264u32).map(|i| (i % 251) as u8).collect();
+    let cols = unit.encode(&data).unwrap();
+    c.bench_function("unit_encode_264B", |b| {
+        b.iter(|| black_box(unit.encode(black_box(&data)).unwrap()));
+    });
+    c.bench_function("unit_decode_4_erasures", |b| {
+        b.iter(|| {
+            let mut received: Vec<Option<Vec<u8>>> = cols.iter().cloned().map(Some).collect();
+            received[0] = None;
+            received[5] = None;
+            received[9] = None;
+            received[14] = None;
+            black_box(unit.decode(&received).unwrap())
+        });
+    });
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let tree = IndexTree::new(0x7EE, 5);
+    let idx = tree.leaf_index(LeafId(531));
+    c.bench_function("tree_leaf_index", |b| {
+        b.iter(|| black_box(tree.leaf_index(black_box(LeafId(531)))));
+    });
+    c.bench_function("tree_parse_index", |b| {
+        b.iter(|| black_box(tree.parse_index(black_box(&idx))));
+    });
+    c.bench_function("tree_cover_range_unaligned", |b| {
+        b.iter(|| black_box(tree.cover_range(LeafId(3), LeafId(997))));
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(3);
+    let ch = IdsChannel::illumina();
+    let origs: Vec<DnaSeq> = (0..20).map(|_| random_seq(99, &mut rng)).collect();
+    let reads: Vec<DnaSeq> = origs
+        .iter()
+        .flat_map(|o| (0..10).map(|_| ch.corrupt(o, &mut rng)).collect::<Vec<_>>())
+        .collect();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("cluster_200_reads", |b| {
+        b.iter(|| black_box(cluster_reads(&reads, &ClusterConfig::default())));
+    });
+    let traces: Vec<DnaSeq> = (0..10).map(|_| ch.corrupt(&origs[0], &mut rng)).collect();
+    group.bench_function("bma_10_traces", |b| {
+        b.iter(|| black_box(bma(&traces, 99)));
+    });
+    group.bench_function("double_sided_bma_10_traces", |b| {
+        b.iter(|| black_box(double_sided_bma(&traces, 99)));
+    });
+    group.finish();
+}
+
+fn bench_patches(c: &mut Criterion) {
+    let old = Block::from_bytes(&dna_block_store::workload::deterministic_text(256, 1)).unwrap();
+    let mut edited = old.clone();
+    edited.data[40..47].copy_from_slice(b"UPDATED");
+    c.bench_function("patch_diff", |b| {
+        b.iter(|| black_box(UpdatePatch::diff(&old, &edited).unwrap()));
+    });
+    let patch = UpdatePatch::diff(&old, &edited).unwrap();
+    c.bench_function("patch_apply", |b| {
+        b.iter(|| black_box(patch.apply(&old).unwrap()));
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_distances,
+    bench_rs,
+    bench_unit,
+    bench_tree,
+    bench_pipeline,
+    bench_patches
+);
+criterion_main!(micro);

@@ -1,0 +1,195 @@
+//! The §6 wetlab setup, rebuilt in the simulator.
+//!
+//! 13 files in one pool. File 13 is the 150 kB "book" (587 × 256 B blocks,
+//! 8805 strands) with a PCR-navigable 1024-leaf index. Three update patches
+//! (blocks 144, 307, 531) are co-synthesized with the originals by the
+//! Twist vendor model; three more (blocks 243, 374, 556) come from the IDT
+//! vendor model at 50000× concentration and are mixed in via the §6.4.2
+//! protocols.
+
+use dna_block_store::{workload, Block, Partition, PartitionConfig, UpdatePatch, VersionSlot};
+use dna_primers::PrimerPair;
+use dna_seq::rng::DetRng;
+use dna_seq::DnaSeq;
+use dna_sim::{mixing, Molecule, Nanodrop, Pool, SynthesisVendor};
+
+/// Blocks updated by patches co-synthesized with the original pool.
+pub const TWIST_UPDATED_BLOCKS: [u64; 3] = [144, 307, 531];
+
+/// Blocks updated by the separately synthesized (IDT) patch pool (Fig. 10).
+pub const IDT_UPDATED_BLOCKS: [u64; 3] = [243, 374, 556];
+
+/// The assembled experiment state.
+pub struct AliceSetup {
+    /// File 13's partition (the book).
+    pub partition: Partition,
+    /// The 12 unrelated partitions' main primer pairs (only their strands
+    /// matter; kept for completeness).
+    pub other_primers: Vec<PrimerPair>,
+    /// The combined pool: Twist synthesis of all 13 files + co-synthesized
+    /// updates, with the IDT updates mixed in at matched concentration.
+    pub pool: Pool,
+    /// The pre-mix pool (no IDT updates) — the "original pool" of Fig. 9a.
+    pub twist_pool: Pool,
+    /// The raw IDT update pool (50000× concentrated), pre-mixing.
+    pub idt_pool: Pool,
+    /// Deterministic RNG stream for downstream steps.
+    pub rng: DetRng,
+}
+
+/// Per-setup knobs (kept small; defaults match the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct AliceConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Blocks per unrelated file (presence is what matters; the paper does
+    /// not report their sizes).
+    pub other_file_blocks: usize,
+    /// Use the Amplify-then-Measure protocol for the IDT mix (else
+    /// Measure-then-Amplify).
+    pub amplify_then_measure: bool,
+}
+
+impl Default for AliceConfig {
+    fn default() -> Self {
+        AliceConfig {
+            seed: 0xA11CE,
+            other_file_blocks: 20,
+            amplify_then_measure: true,
+        }
+    }
+}
+
+/// Builds the full §6 pool.
+pub fn build(config: AliceConfig) -> AliceSetup {
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let twist = SynthesisVendor::twist();
+    let idt = SynthesisVendor::idt();
+
+    // Primer pairs: file 13 + 12 unrelated files.
+    let constraints = dna_primers::PrimerConstraints::paper_default(20);
+    let library = dna_primers::PrimerLibrary::generate_with_distance(
+        &constraints,
+        8,
+        26,
+        400_000,
+        config.seed ^ 0x9121,
+    );
+    assert!(library.len() >= 26, "need 13 primer pairs");
+    let alice_primers = PrimerPair::new(library.primer(0).clone(), library.primer(1).clone());
+    let other_primers: Vec<PrimerPair> = (1..13)
+        .map(|i| PrimerPair::new(library.primer(2 * i).clone(), library.primer(2 * i + 1).clone()))
+        .collect();
+
+    // File 13: the book.
+    let mut pcfg = PartitionConfig::paper_default(config.seed ^ 0x0DD5);
+    pcfg.partition_tag = 13;
+    let mut partition = Partition::new(pcfg, alice_primers);
+    let book = workload::alice_book();
+    let mut designs: Vec<Molecule> = Vec::with_capacity(8850);
+    for (i, chunk) in book.chunks(dna_block_store::BLOCK_SIZE).enumerate() {
+        let block = Block::from_bytes(chunk).expect("block-sized chunk");
+        designs.extend(partition.encode_block(i as u64, &block).expect("in range"));
+    }
+    assert_eq!(designs.len(), 8805);
+
+    // Twist-co-synthesized updates for 144/307/531.
+    for &b in &TWIST_UPDATED_BLOCKS {
+        let patch = paragraph_patch(b);
+        let (_, mols) = partition.encode_update(b, &patch).expect("direct slot");
+        designs.extend(mols);
+    }
+    assert_eq!(designs.len(), 8850);
+
+    // 12 unrelated files (their content is irrelevant; unique strands).
+    for (fi, file) in workload::unrelated_files(12, config.other_file_blocks)
+        .into_iter()
+        .enumerate()
+    {
+        let mut ocfg = PartitionConfig::paper_default(config.seed ^ (0xF11E + fi as u64));
+        ocfg.partition_tag = fi as u32 + 1;
+        let mut op = Partition::new(ocfg, other_primers[fi].clone());
+        for (i, chunk) in file.chunks(dna_block_store::BLOCK_SIZE).enumerate() {
+            let block = Block::from_bytes(chunk).expect("block-sized chunk");
+            designs.extend(op.encode_block(i as u64, &block).expect("in range"));
+        }
+    }
+
+    let twist_pool = twist.synthesize(&designs, &mut rng);
+
+    // IDT updates for 243/374/556 (45 molecules, 50000× concentrated).
+    let mut idt_designs = Vec::new();
+    for &b in &IDT_UPDATED_BLOCKS {
+        let patch = paragraph_patch(b);
+        let (_, mols) = partition.encode_update(b, &patch).expect("direct slot");
+        idt_designs.extend(mols);
+    }
+    assert_eq!(idt_designs.len(), 45);
+    let idt_pool = idt.synthesize(&idt_designs, &mut rng);
+
+    // Mix at matched per-oligo concentration (§6.4.2).
+    let fwd = partition.primers().forward().clone();
+    let rev = partition.primers().reverse().clone();
+    let nanodrop = Nanodrop::benchtop();
+    let twist_designs_in_alice = 8850;
+    let mix = if config.amplify_then_measure {
+        mixing::amplify_then_measure(
+            &twist_pool,
+            &idt_pool,
+            twist_designs_in_alice,
+            45,
+            &fwd,
+            &rev,
+            &nanodrop,
+            &mut rng,
+        )
+    } else {
+        mixing::measure_then_amplify(
+            &twist_pool,
+            &idt_pool,
+            twist_designs_in_alice,
+            45,
+            &fwd,
+            &rev,
+            &nanodrop,
+            &mut rng,
+        )
+    };
+
+    AliceSetup {
+        partition,
+        other_primers,
+        pool: mix.pool,
+        twist_pool,
+        idt_pool,
+        rng,
+    }
+}
+
+/// The update applied to a paragraph in the experiments: replace a short
+/// span of the paragraph's text (a realistic §6.4 patch).
+pub fn paragraph_patch(block: u64) -> UpdatePatch {
+    let offset = (block % 200) as u8;
+    UpdatePatch::new(offset, 7, offset, b"UPDATED".to_vec()).expect("valid patch")
+}
+
+/// Ground truth content of a paragraph after its patch (if any) applies.
+pub fn expected_paragraph(block: u64) -> Block {
+    let base = Block::from_bytes(&workload::alice_paragraph(block as usize)).expect("block");
+    let updated = TWIST_UPDATED_BLOCKS.contains(&block) || IDT_UPDATED_BLOCKS.contains(&block);
+    if updated {
+        paragraph_patch(block).apply(&base).expect("patch applies")
+    } else {
+        base
+    }
+}
+
+/// The elongated primer (31 bases) used for precise access to `block`.
+pub fn elongated_primer(setup: &AliceSetup, block: u64) -> DnaSeq {
+    setup.partition.elongated_primer(block)
+}
+
+/// The version-scoped primer used to inspect a specific slot.
+pub fn version_primer(setup: &AliceSetup, block: u64, slot: u8) -> DnaSeq {
+    setup.partition.version_primer(block, VersionSlot(slot))
+}

@@ -1,0 +1,22 @@
+//! Ablation: elongation depth vs retrieval precision (sequential access).
+
+use dna_bench::experiments::ablations;
+use dna_bench::report;
+
+fn main() {
+    report::section("Ablation: partial elongation sweep around block 531");
+    println!(
+        "  {:>7} | {:>11} | {:>16} | {:>15}",
+        "levels", "primer len", "amplified leaves", "useful fraction"
+    );
+    for p in ablations::elongation_sweep(0xE10) {
+        println!(
+            "  {:>7} | {:>11} | {:>16} | {:>14.3}%",
+            p.levels,
+            p.primer_len,
+            p.amplified_leaves,
+            p.expected_useful * 100.0
+        );
+    }
+    report::row("interpretation", "each 2-base elongation narrows scope 4x (Fig. 4 partial elongation)");
+}

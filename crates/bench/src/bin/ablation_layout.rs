@@ -1,0 +1,19 @@
+//! Ablation: the §5.3 update-placement ladder (Figs. 6/7/8), end to end.
+
+use dna_bench::experiments::ablations;
+use dna_bench::report;
+
+fn main() {
+    report::section("Ablation: update layouts (8 blocks, 2 updates each, read updated block 3)");
+    println!(
+        "  {:<22} | {:>14} | {:>14} | {:>10} | {:>7}",
+        "layout", "analytic scope", "reads used", "PCR rounds", "correct"
+    );
+    for row in ablations::layout_comparison(0x1A9) {
+        println!(
+            "  {:<22} | {:>14} | {:>14} | {:>10} | {:>7}",
+            row.name, row.analytic_scope_units, row.measured_reads, row.measured_rounds, row.correct
+        );
+    }
+    report::row("interpretation", "only Fig. 8 keeps retrieval cost independent of unrelated updates");
+}

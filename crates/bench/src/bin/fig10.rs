@@ -1,0 +1,22 @@
+//! Regenerates Figure 10: original-vs-update molecule counts after the
+//! §6.4.2 mixing protocols (the paper shows Amplify-then-Measure and notes
+//! Measure-then-Amplify "numbers are similar").
+
+use dna_bench::experiments::fig10;
+
+fn main() {
+    for atm in [true, false] {
+        let fig = fig10::run(atm, 100_000, 0xA11CE);
+        fig10::print(&fig);
+        let worst = fig
+            .per_block
+            .values()
+            .map(|c| (c.balance() - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        dna_bench::report::compare(
+            "worst update/original imbalance",
+            "small (Fig. 10 bars ~equal)",
+            format!("{:.0}%", worst * 100.0),
+        );
+    }
+}

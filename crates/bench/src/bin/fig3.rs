@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: capacity & density vs index length.
+
+use dna_bench::experiments::fig3;
+
+fn main() {
+    let fig = fig3::run();
+    fig3::print(&fig);
+}

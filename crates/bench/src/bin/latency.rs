@@ -1,0 +1,29 @@
+//! §7.4 latency table: NGS run counts and Nanopore hours.
+
+use dna_bench::experiments::costs;
+use dna_bench::report;
+
+fn main() {
+    // Use the paper's headline selectivity; cost_reduction prints the
+    // measured one.
+    let selectivity = 141.0;
+    report::section("§7.4 sequencing latency (selectivity 141x)");
+    println!(
+        "  {:>14} | {:>10} {:>10} {:>9} | {:>12} {:>12} {:>9}",
+        "partition", "NGS runs", "NGS(blk)", "reduct", "nanopore h", "nanopore(blk)", "reduct"
+    );
+    for row in costs::latency_table(selectivity) {
+        let c = row.cmp;
+        println!(
+            "  {:>12}GB | {:>10} {:>10} {:>8.0}x | {:>12.1} {:>12.3} {:>8.0}x",
+            (row.partition_bytes / 1e9) as u64,
+            c.ngs_runs_partition,
+            c.ngs_runs_block,
+            c.ngs_reduction(),
+            c.nanopore_hours_partition,
+            c.nanopore_hours_block,
+            c.nanopore_reduction(),
+        );
+    }
+    report::row("paper", "1TB partition = ~1000 MiSeq runs; nanopore reduction always = selectivity");
+}

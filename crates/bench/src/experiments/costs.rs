@@ -1,0 +1,114 @@
+//! §7.3–§7.5 cost and latency tables, derived from measured Fig. 9
+//! fractions.
+
+use dna_block_store::cost;
+use dna_sim::{NanoporeModel, NgsRunModel};
+
+/// The §7.3 sequencing-cost table.
+#[derive(Debug, Clone, Copy)]
+pub struct CostTable {
+    /// Useful-read fraction of the baseline whole-partition access.
+    pub baseline_useful: f64,
+    /// Useful-read fraction of the precise block access.
+    pub ours_useful: f64,
+    /// Baseline waste factor (paper: 293×).
+    pub waste_baseline: f64,
+    /// Our waste factor (paper: 1.08×).
+    pub waste_ours: f64,
+    /// Sequencing cost reduction (paper: 141×).
+    pub reduction: f64,
+}
+
+/// Builds the table from measured fractions.
+pub fn sequencing_costs(baseline_useful: f64, ours_useful: f64) -> CostTable {
+    CostTable {
+        baseline_useful,
+        ours_useful,
+        waste_baseline: cost::waste_factor(baseline_useful),
+        waste_ours: cost::waste_factor(ours_useful),
+        reduction: cost::sequencing_cost_reduction(baseline_useful, ours_useful),
+    }
+}
+
+/// The §7.5 update-cost table.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateCostTable {
+    /// Molecules the naive baseline synthesizes (whole partition).
+    pub baseline_synthesis_molecules: u64,
+    /// Molecules our patch synthesizes.
+    pub patch_molecules: u64,
+    /// Synthesis reduction (paper: ~580×).
+    pub synthesis_reduction: f64,
+    /// Sequencing reduction for reading the updated block (paper: ~146×).
+    pub updated_read_reduction: f64,
+    /// Dollar cost of the naive baseline under the vendor model.
+    pub baseline_dollars: f64,
+    /// Patch synthesis cost in dollars.
+    pub patch_dollars: f64,
+}
+
+/// Builds the §7.5 table. `ours_useful` is the measured on-target fraction
+/// when retrieving the updated block (data + update strands both count).
+pub fn update_costs(ours_useful: f64) -> UpdateCostTable {
+    let twist = dna_sim::SynthesisVendor::twist();
+    let baseline_mols = 8805u64;
+    let patch_mols = 15u64;
+    UpdateCostTable {
+        baseline_synthesis_molecules: baseline_mols,
+        patch_molecules: patch_mols,
+        synthesis_reduction: cost::update_synthesis_reduction(baseline_mols, patch_mols),
+        updated_read_reduction: cost::updated_read_reduction(baseline_mols, 30, ours_useful),
+        baseline_dollars: twist.synthesis_cost(baseline_mols as usize, 150),
+        patch_dollars: twist.synthesis_cost(patch_mols as usize, 150),
+    }
+}
+
+/// One row of the §7.4 latency table.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyRow {
+    /// Partition size in bytes.
+    pub partition_bytes: f64,
+    /// The comparison.
+    pub cmp: cost::LatencyComparison,
+}
+
+/// Builds the §7.4 latency table for several partition sizes at the given
+/// selectivity (the measured sequencing reduction).
+pub fn latency_table(selectivity: f64) -> Vec<LatencyRow> {
+    let ngs = NgsRunModel::miseq();
+    let nanopore = NanoporeModel::minion();
+    [1.0e9, 1.0e10, 1.0e11, 1.0e12]
+        .into_iter()
+        .map(|bytes| LatencyRow {
+            partition_bytes: bytes,
+            cmp: cost::latency_comparison(bytes, selectivity, &ngs, &nanopore),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_from_paper_fractions() {
+        let t = sequencing_costs(0.0034, 0.48);
+        assert!((t.reduction - 141.0).abs() < 1.5);
+        let u = update_costs(0.48);
+        assert!((u.synthesis_reduction - 587.0).abs() < 1.0);
+        assert!((u.updated_read_reduction - 140.9).abs() < 2.0);
+        assert!(u.baseline_dollars / u.patch_dollars > 500.0);
+    }
+
+    #[test]
+    fn latency_table_shape() {
+        let rows = latency_table(141.0);
+        assert_eq!(rows.len(), 4);
+        // 1 TB row: 1000 runs vs 8.
+        let tb = rows.last().unwrap();
+        assert_eq!(tb.cmp.ngs_runs_partition, 1000.0);
+        assert!(tb.cmp.nanopore_reduction() > 140.0);
+        // Small partitions cannot reduce NGS latency.
+        assert_eq!(rows[0].cmp.ngs_reduction(), 1.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 3: partition capacity and information density vs index length.
+
+use dna_block_store::capacity::{self, CapacityPoint};
+
+/// The two curves of Fig. 3 (primer lengths 20 and 30, strand length 150).
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Points for 20-base primers (solid lines).
+    pub primer20: Vec<CapacityPoint>,
+    /// Points for 30-base primers (dashed lines).
+    pub primer30: Vec<CapacityPoint>,
+    /// The world's-data reference line (log2 bytes).
+    pub world_data_log2: f64,
+}
+
+/// Regenerates the figure's data.
+pub fn run() -> Fig3 {
+    Fig3 {
+        primer20: capacity::sweep(150, 20),
+        primer30: capacity::sweep(150, 30),
+        world_data_log2: capacity::world_data_2023_log2_bytes(),
+    }
+}
+
+/// Prints the series as the figure's underlying table.
+pub fn print(fig: &Fig3) {
+    crate::report::section("Figure 3: capacity & density vs index length (strand 150)");
+    println!(
+        "  {:>5} | {:>16} {:>13} | {:>16} {:>13}",
+        "L", "cap log2(B) p20", "bits/base p20", "cap log2(B) p30", "bits/base p30"
+    );
+    for l in (0..=110).step_by(5) {
+        let p20 = fig.primer20.get(l);
+        let p30 = fig.primer30.get(l);
+        let fmt = |p: Option<&CapacityPoint>| match p {
+            Some(p) => format!("{:>16.1} {:>13.3}", p.capacity_log2_bytes, p.bits_per_base),
+            None => format!("{:>16} {:>13}", "-", "-"),
+        };
+        println!("  {l:>5} | {} | {}", fmt(p20), fmt(p30));
+    }
+    crate::report::row(
+        "world's data in 2023 (log2 bytes)",
+        format!("{:.1}", fig.world_data_log2),
+    );
+    let crossing = fig
+        .primer20
+        .iter()
+        .find(|p| p.capacity_log2_bytes > fig.world_data_log2)
+        .map(|p| p.index_len);
+    crate::report::row(
+        "smallest L whose capacity exceeds world data",
+        format!("{crossing:?}"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_has_expected_shape() {
+        let fig = run();
+        assert_eq!(fig.primer20.len(), 111);
+        assert_eq!(fig.primer30.len(), 91);
+        // Corner values from the paper.
+        assert!((fig.primer20.last().unwrap().capacity_log2_bytes - 217.0).abs() < 1e-9);
+        assert!((fig.primer20[0].bits_per_base - 2.0 * 110.0 / 150.0).abs() < 1e-12);
+        // Both curves cross the world-data line well before L = 60.
+        let cross20 = fig
+            .primer20
+            .iter()
+            .find(|p| p.capacity_log2_bytes > fig.world_data_log2)
+            .unwrap();
+        assert!(cross20.index_len < 60);
+    }
+}

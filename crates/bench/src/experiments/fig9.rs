@@ -1,0 +1,225 @@
+//! Figure 9: read distributions after PCR random access.
+//!
+//! - 9a: whole-partition access with the main primers — uniform within ~2×,
+//!   with the three co-synthesized-update blocks at ~2×, and the target
+//!   block at ~0.34% of reads;
+//! - 9b/9c: precise access with a 31-base elongated primer — ≈18% of reads
+//!   from leftover main primers, ≈82% carrying the correct target prefix of
+//!   which ≈59% are true target copies (≈48% of all reads on-target).
+
+use crate::alice::{AliceSetup, TWIST_UPDATED_BLOCKS};
+use dna_pipeline::ReadFilter;
+use dna_seq::rng::DetRng;
+use dna_sim::{IdsChannel, PcrPrimer, PcrProtocol, PcrReaction, Pool, Read, Sequencer};
+use std::collections::BTreeMap;
+
+/// Result of the Fig. 9a whole-partition access.
+#[derive(Debug, Clone)]
+pub struct WholePartitionAccess {
+    /// Reads per book block (index = block id).
+    pub reads_per_block: Vec<usize>,
+    /// Total reads sequenced.
+    pub total_reads: usize,
+    /// Fraction of reads belonging to block 531 (data + its update).
+    pub fraction_block_531: f64,
+    /// p95/p5 uniformity ratio across non-updated blocks.
+    pub uniformity_ratio: f64,
+    /// mean(updated blocks) / mean(other blocks) — the "twice as many
+    /// molecules" of Fig. 9a.
+    pub updated_over_plain: f64,
+}
+
+/// Runs Fig. 9a: main-primer PCR over the original (Twist) pool, then
+/// sequencing.
+pub fn whole_partition(setup: &AliceSetup, num_reads: usize, seed: u64) -> WholePartitionAccess {
+    let fwd = setup.partition.primers().forward().clone();
+    let rev = setup.partition.primers().reverse().clone();
+    let budget = setup.twist_pool.total_copies() * 30.0;
+    let reaction = PcrReaction {
+        forward_primers: vec![PcrPrimer::with_budget(fwd, budget)],
+        reverse_primer: PcrPrimer::with_budget(rev, budget),
+        protocol: PcrProtocol::paper_amplification(),
+    };
+    let out = reaction.run(&setup.twist_pool);
+    let mut rng = DetRng::seed_from_u64(seed);
+    let reads = Sequencer::new(IdsChannel::illumina()).sequence(&out.pool, num_reads, &mut rng);
+
+    let mut per_block = vec![0usize; dna_block_store::workload::ALICE_BLOCKS];
+    let mut total_13 = 0usize;
+    for r in &reads {
+        if let Some(t) = r.truth {
+            if t.partition == 13 && (t.unit as usize) < per_block.len() {
+                per_block[t.unit as usize] += 1;
+                total_13 += 1;
+            }
+        }
+    }
+    let f531 = per_block[531] as f64 / total_13.max(1) as f64;
+    let mut plain: Vec<usize> = per_block
+        .iter()
+        .enumerate()
+        .filter(|(b, _)| !TWIST_UPDATED_BLOCKS.contains(&(*b as u64)))
+        .map(|(_, &c)| c)
+        .collect();
+    plain.sort_unstable();
+    let p5 = plain[plain.len() * 5 / 100].max(1);
+    let p95 = plain[plain.len() * 95 / 100];
+    let plain_mean = plain.iter().sum::<usize>() as f64 / plain.len() as f64;
+    let updated_mean = TWIST_UPDATED_BLOCKS
+        .iter()
+        .map(|&b| per_block[b as usize] as f64)
+        .sum::<f64>()
+        / TWIST_UPDATED_BLOCKS.len() as f64;
+    WholePartitionAccess {
+        reads_per_block: per_block,
+        total_reads: reads.len(),
+        fraction_block_531: f531,
+        uniformity_ratio: p95 as f64 / p5 as f64,
+        updated_over_plain: updated_mean / plain_mean,
+    }
+}
+
+/// Result of a Fig. 9b/9c precise access.
+#[derive(Debug, Clone)]
+pub struct PreciseAccess {
+    /// The target block.
+    pub block: u64,
+    /// Reads per source block among correct-prefix reads (ground truth).
+    pub reads_per_block: BTreeMap<u64, usize>,
+    /// Total reads sequenced.
+    pub total_reads: usize,
+    /// Fraction of reads *without* the target prefix (leftover-main-primer
+    /// amplification; paper: ≈18%).
+    pub carryover_fraction: f64,
+    /// Fraction of reads with the correct target prefix (paper: ≈82%).
+    pub correct_prefix_fraction: f64,
+    /// Among correct-prefix reads, the fraction actually from the target
+    /// (paper: ≈59%).
+    pub target_within_prefix: f64,
+    /// Overall on-target fraction (paper: ≈48%).
+    pub on_target_fraction: f64,
+    /// Blocks that contributed misprimed reads ("a handful").
+    pub misprime_sources: Vec<u64>,
+    /// The raw reads (for downstream decoding experiments).
+    pub reads: Vec<Read>,
+    /// The amplified pool.
+    pub pool: Pool,
+}
+
+/// Runs Fig. 9b/9c: touchdown PCR with the block's elongated primer plus a
+/// leftover-main-primer carryover, then sequencing and classification.
+///
+/// `carryover_ratio` is the leftover primer's budget relative to the
+/// elongated primer's (calibrated so that ≈18% of reads come from it, as
+/// the paper observed).
+pub fn precise_access(
+    setup: &AliceSetup,
+    block: u64,
+    num_reads: usize,
+    carryover_ratio: f64,
+    seed: u64,
+) -> PreciseAccess {
+    let elongated = setup.partition.elongated_primer(block);
+    let main_fwd = setup.partition.primers().forward().clone();
+    let rev = setup.partition.primers().reverse().clone();
+    let budget = setup.pool.total_copies() * 30.0;
+    let reaction = PcrReaction {
+        forward_primers: vec![
+            PcrPrimer::with_budget(elongated.clone(), budget),
+            PcrPrimer::with_budget(main_fwd, budget * carryover_ratio),
+        ],
+        reverse_primer: PcrPrimer::with_budget(rev.clone(), budget * (1.0 + carryover_ratio)),
+        protocol: PcrProtocol::paper_block_access(),
+    };
+    let out = reaction.run(&setup.pool);
+    let mut rng = DetRng::seed_from_u64(seed);
+    let reads = Sequencer::new(IdsChannel::illumina()).sequence(&out.pool, num_reads, &mut rng);
+
+    // Classify: correct target prefix = physically carries the elongated
+    // primer (with the index-tail check; §7.2's "82% had the correct target
+    // prefix").
+    let filter = ReadFilter::with_tail_check(
+        elongated.clone(),
+        &rev,
+        3,
+        setup.partition.config().geometry.unit_index_len,
+        1,
+    );
+    let mut correct_prefix = 0usize;
+    let mut on_target = 0usize;
+    let mut per_block: BTreeMap<u64, usize> = BTreeMap::new();
+    for r in &reads {
+        let has_prefix = filter.extract(&r.seq).is_some();
+        if has_prefix {
+            correct_prefix += 1;
+            if let Some(t) = r.truth {
+                *per_block.entry(t.unit).or_insert(0) += 1;
+                if t.unit == block {
+                    on_target += 1;
+                }
+            }
+        }
+    }
+    let total = reads.len().max(1);
+    let correct_prefix_fraction = correct_prefix as f64 / total as f64;
+    let target_within_prefix = on_target as f64 / correct_prefix.max(1) as f64;
+    let misprime_sources: Vec<u64> = per_block
+        .iter()
+        .filter(|&(&b, &c)| b != block && c > correct_prefix / 100)
+        .map(|(&b, _)| b)
+        .collect();
+    PreciseAccess {
+        block,
+        reads_per_block: per_block,
+        total_reads: reads.len(),
+        carryover_fraction: 1.0 - correct_prefix_fraction,
+        correct_prefix_fraction,
+        target_within_prefix,
+        on_target_fraction: on_target as f64 / total as f64,
+        misprime_sources,
+        reads,
+        pool: out.pool,
+    }
+}
+
+/// Runs the §6.5 multiplex access: blocks 144, 307 and 531 amplified in one
+/// reaction with an equal mix of all three elongated primers ("with the
+/// total primer concentration of the mixed pool being the same as in the
+/// case of the single primer pair").
+pub fn multiplex_access(
+    setup: &AliceSetup,
+    blocks: &[u64],
+    num_reads: usize,
+    seed: u64,
+) -> BTreeMap<u64, f64> {
+    let rev = setup.partition.primers().reverse().clone();
+    let budget = setup.pool.total_copies() * 30.0;
+    let reaction = PcrReaction {
+        forward_primers: blocks
+            .iter()
+            .map(|&b| {
+                PcrPrimer::with_budget(
+                    setup.partition.elongated_primer(b),
+                    budget / blocks.len() as f64,
+                )
+            })
+            .collect(),
+        reverse_primer: PcrPrimer::with_budget(rev, budget),
+        protocol: PcrProtocol::paper_block_access(),
+    };
+    let out = reaction.run(&setup.pool);
+    let mut rng = DetRng::seed_from_u64(seed);
+    let reads = Sequencer::new(IdsChannel::illumina()).sequence(&out.pool, num_reads, &mut rng);
+    let mut per_target: BTreeMap<u64, usize> = blocks.iter().map(|&b| (b, 0)).collect();
+    for r in &reads {
+        if let Some(t) = r.truth {
+            if let Some(slot) = per_target.get_mut(&t.unit) {
+                *slot += 1;
+            }
+        }
+    }
+    per_target
+        .into_iter()
+        .map(|(b, c)| (b, c as f64 / reads.len() as f64))
+        .collect()
+}

@@ -1,0 +1,9 @@
+//! One module per paper artifact (DESIGN.md §4).
+
+pub mod ablations;
+pub mod costs;
+pub mod decode;
+pub mod fig10;
+pub mod fig3;
+pub mod fig9;
+pub mod scaling;

@@ -1,0 +1,117 @@
+//! §7.7 scalability analysis: block counts, primer-library scaling,
+//! block-size independence.
+
+use dna_primers::{PrimerConstraints, PrimerLibrary};
+use dna_sim::AnnealModel;
+
+/// One row of the primer-library scaling study (§1: "the number of
+/// compatible primers scales approximately linearly with the primer
+/// length").
+#[derive(Debug, Clone, Copy)]
+pub struct LibraryRow {
+    /// Primer length.
+    pub length: usize,
+    /// Minimum pairwise Hamming distance enforced.
+    pub min_distance: usize,
+    /// Primers found within the attempt budget.
+    pub found: usize,
+    /// Attempts used.
+    pub attempts: usize,
+}
+
+/// Greedy library search at lengths 20/25/30 under one attempt budget.
+pub fn primer_library_scaling(attempts: usize, seed: u64) -> Vec<LibraryRow> {
+    [20usize, 25, 30]
+        .into_iter()
+        .map(|length| {
+            let constraints = PrimerConstraints::paper_default(length);
+            let lib = PrimerLibrary::generate_with_distance(
+                &constraints,
+                length / 2,
+                usize::MAX,
+                attempts,
+                seed,
+            );
+            LibraryRow {
+                length,
+                min_distance: length / 2,
+                found: lib.len(),
+                attempts: lib.attempts_used(),
+            }
+        })
+        .collect()
+}
+
+/// §7.7.1 address-count arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCountReport {
+    /// Blocks with one-sided 10-base elongation (paper: 1024).
+    pub one_sided: u64,
+    /// Blocks with two-sided 10+10 elongation (paper: 1024² ≈ 10⁶, "the
+    /// same order of magnitude as the number of pages in memory or blocks
+    /// in modern SSDs").
+    pub two_sided: u64,
+    /// Extra bases per strand for our sparse index (§9: 5 — vs 20 for one
+    /// nested-primer level).
+    pub elongation_overhead_bases: usize,
+    /// Extra bases for one nested-PCR level (§9).
+    pub nested_overhead_bases: usize,
+}
+
+/// Computes the §7.7.1 / §9 address arithmetic.
+pub fn block_counts() -> BlockCountReport {
+    BlockCountReport {
+        one_sided: 1 << 10,          // 4^5 leaves from a 10-base sparse index
+        two_sided: 1 << 20,          // (4^5)² with both primers extended
+        elongation_overhead_bases: 5, // 10 sparse vs 5 dense bases
+        nested_overhead_bases: 20,
+    }
+}
+
+/// §7.7.2: mispriming is independent of block size. We verify the model
+/// property directly: binding probability depends only on the primer and
+/// the edit distance of the 5' index window, never on template length.
+pub fn mispriming_independent_of_block_size() -> bool {
+    let anneal = AnnealModel::calibrated();
+    let primer: dna_seq::DnaSeq = "AACCGGTTAACCGGTTAACCAACGACGTACG".parse().unwrap();
+    // Same prefix, payload tails of very different lengths.
+    let mut short = primer.clone();
+    short.extend((0..50).map(|i| dna_seq::Base::from_code((i % 4) as u8)));
+    let mut long = primer.clone();
+    long.extend((0..5000).map(|i| dna_seq::Base::from_code((i % 4) as u8)));
+    let p_short = anneal.site_probability(&primer, &short, 55.0);
+    let p_long = anneal.site_probability(&primer, &long, 55.0);
+    anneal.binding_distance(&primer, &short) == anneal.binding_distance(&primer, &long)
+        && (p_short - p_long).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_primers_admit_larger_libraries() {
+        let rows = primer_library_scaling(8_000, 7);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[2].found >= rows[0].found,
+            "len 30 ({}) should pack at least as many as len 20 ({})",
+            rows[2].found,
+            rows[0].found
+        );
+        assert!(rows[0].found > 0);
+    }
+
+    #[test]
+    fn block_count_arithmetic() {
+        let r = block_counts();
+        assert_eq!(r.one_sided, 1024);
+        assert_eq!(r.two_sided, 1024 * 1024);
+        assert_eq!(r.nested_overhead_bases / r.elongation_overhead_bases, 4);
+    }
+
+    #[test]
+    fn block_size_independence_holds() {
+        assert!(mispriming_independent_of_block_size());
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every figure and table of the paper.
+//!
+//! Each module under [`experiments`] reproduces one evaluation artifact
+//! (see DESIGN.md §4 for the index). The binaries under `src/bin/` print
+//! the same rows/series the paper reports; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alice;
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,54 @@
+//! Small report-formatting helpers shared by the experiment binaries.
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints an aligned `name: value` row.
+pub fn row(name: &str, value: impl std::fmt::Display) {
+    println!("  {name:<46} {value}");
+}
+
+/// Prints a paper-vs-measured comparison row.
+pub fn compare(name: &str, paper: impl std::fmt::Display, measured: impl std::fmt::Display) {
+    println!("  {name:<46} paper: {paper:<12} measured: {measured}");
+}
+
+/// Renders a sparse ASCII histogram of `values` (index = x), marking the
+/// listed x positions.
+pub fn histogram(values: &[usize], buckets: usize, mark: &[usize]) {
+    if values.is_empty() {
+        return;
+    }
+    let bucket_size = values.len().div_ceil(buckets);
+    let maxv = values.iter().copied().max().unwrap_or(1).max(1);
+    for b in 0..buckets {
+        let lo = b * bucket_size;
+        if lo >= values.len() {
+            break;
+        }
+        let hi = ((b + 1) * bucket_size).min(values.len());
+        let avg: usize = values[lo..hi].iter().sum::<usize>() / (hi - lo);
+        let bar = "#".repeat((avg * 50).div_ceil(maxv).max(1));
+        let marked = mark.iter().any(|&m| (lo..hi).contains(&m));
+        let flag = if marked { " <- updated" } else { "" };
+        println!("  [{lo:>4}..{hi:>4}) {avg:>7} {bar}{flag}");
+    }
+}
+
+/// Mean of an iterator of f64.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}

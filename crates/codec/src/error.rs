@@ -1,0 +1,45 @@
+//! Codec error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling or parsing strands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A strand component had the wrong length for the configured geometry.
+    LengthMismatch {
+        /// Which component was wrong (e.g. `"payload"`).
+        component: &'static str,
+        /// Expected length in bases.
+        expected: usize,
+        /// Actual length in bases.
+        got: usize,
+    },
+    /// An intra-unit address was out of range for its width.
+    AddressOutOfRange {
+        /// The offending address.
+        address: usize,
+        /// Maximum representable + 1.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::LengthMismatch {
+                component,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{component} length mismatch: expected {expected} bases, got {got}"
+            ),
+            CodecError::AddressOutOfRange { address, capacity } => {
+                write!(f, "address {address} out of range for capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}

@@ -1,0 +1,100 @@
+//! Dense intra-unit addressing (Fig. 1c, orange field).
+//!
+//! Molecules inside one encoding unit are distinguished **in software**, not
+//! chemically, so the densest base-4 positional code is best (§4.3: "the
+//! basic addressing scheme provides the best information density for that
+//! part of the address space"). The paper uses two bases — "from AA to GG,
+//! which is enough to distinguish between 15 molecules" (§6.3) — i.e. plain
+//! base-4 counting with the canonical digit order A<C<G<T.
+
+use crate::CodecError;
+use dna_seq::{Base, DnaSeq};
+
+/// Number of addresses representable with `width` bases.
+pub fn capacity(width: usize) -> usize {
+    4usize.saturating_pow(width as u32)
+}
+
+/// Encodes `address` as `width` base-4 digits, most significant first.
+///
+/// # Errors
+///
+/// Returns [`CodecError::AddressOutOfRange`] if `address >= 4^width`.
+///
+/// # Examples
+///
+/// ```
+/// use dna_codec::intra;
+/// assert_eq!(intra::encode(0, 2).unwrap().to_string(), "AA");
+/// assert_eq!(intra::encode(1, 2).unwrap().to_string(), "AC");
+/// assert_eq!(intra::encode(10, 2).unwrap().to_string(), "GG");
+/// assert_eq!(intra::encode(14, 2).unwrap().to_string(), "TG");
+/// ```
+pub fn encode(address: usize, width: usize) -> Result<DnaSeq, CodecError> {
+    let cap = capacity(width);
+    if address >= cap {
+        return Err(CodecError::AddressOutOfRange {
+            address,
+            capacity: cap,
+        });
+    }
+    let mut seq = DnaSeq::with_capacity(width);
+    for i in (0..width).rev() {
+        let digit = (address >> (2 * i)) & 0b11;
+        seq.push(Base::from_code(digit as u8));
+    }
+    Ok(seq)
+}
+
+/// Decodes a base-4 positional address.
+pub fn decode(seq: &DnaSeq) -> usize {
+    seq.iter()
+        .fold(0usize, |acc, b| (acc << 2) | usize::from(b.code()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_two_base_addresses() {
+        for addr in 0..16 {
+            let seq = encode(addr, 2).unwrap();
+            assert_eq!(seq.len(), 2);
+            assert_eq!(decode(&seq), addr);
+        }
+    }
+
+    #[test]
+    fn fifteen_molecules_fit_in_two_bases() {
+        // §6.3: two bases distinguish the 15 molecules of an RS(15,11) unit.
+        assert!(capacity(2) >= 15);
+        let addrs: Vec<String> = (0..15).map(|a| encode(a, 2).unwrap().to_string()).collect();
+        assert_eq!(addrs[0], "AA");
+        assert_eq!(addrs[14], "TG");
+        // all distinct
+        let mut dedup = addrs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 15);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            encode(16, 2),
+            Err(CodecError::AddressOutOfRange { address: 16, capacity: 16 })
+        ));
+        assert!(encode(63, 3).is_ok());
+        assert!(encode(64, 3).is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // base-4 counting must sort like the tree's canonical edge order
+        let mut seqs: Vec<DnaSeq> = (0..16).map(|a| encode(a, 2).unwrap()).collect();
+        let sorted = seqs.clone();
+        seqs.sort();
+        assert_eq!(seqs, sorted);
+    }
+}

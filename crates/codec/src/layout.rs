@@ -1,0 +1,332 @@
+//! Strand geometry and assembly (Fig. 1a + §6.2/§6.3).
+
+use crate::CodecError;
+use dna_seq::{Base, DnaSeq};
+
+/// The field layout of a synthesized DNA strand.
+///
+/// ```text
+/// | fwd primer | sync | unit index | version | intra index | payload | rev primer |
+/// |     20     |  1   |     10     |    1    |      2      |   96    |     20     |  = 150
+/// ```
+///
+/// - *sync*: one `A` after the forward primer, "a point of synchronization"
+///   (§6.2, following Organick et al.),
+/// - *unit index*: the sparse PCR-navigable address of the encoding unit
+///   (yellow in Fig. 1), produced by `dna-index`,
+/// - *version*: one base supporting updates (§6.3); data and its updates
+///   "only differ in the last base" of the prefix (§6.4),
+/// - *intra index*: dense base-4 address of the molecule inside its unit
+///   (orange in Fig. 1),
+/// - *payload*: unconstrained-coded data or ECC bases.
+///
+/// The elongated forward primer of §6.5 is
+/// `fwd primer + sync + unit index` = 20+1+10 = **31 bases**, exactly the
+/// primer length used in the paper's wetlab runs.
+///
+/// # Examples
+///
+/// ```
+/// use dna_codec::StrandGeometry;
+///
+/// let geom = StrandGeometry::paper_default();
+/// assert_eq!(geom.strand_len(), 150);
+/// assert_eq!(geom.elongated_primer_len(), 31);
+/// assert_eq!(geom.payload_bytes(), 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrandGeometry {
+    /// Length of each main primer (paper: 20).
+    pub primer_len: usize,
+    /// Length of the synchronization spacer after the forward primer
+    /// (paper: 1, a single `A`).
+    pub sync_len: usize,
+    /// Length of the sparse unit index (paper: 10 for 1024 leaves).
+    pub unit_index_len: usize,
+    /// Length of the version field for updates (paper: 1).
+    pub version_len: usize,
+    /// Length of the dense intra-unit index (paper: 2).
+    pub intra_index_len: usize,
+    /// Number of payload bases (paper: 96 = 24 bytes).
+    pub payload_len: usize,
+}
+
+impl StrandGeometry {
+    /// The exact configuration of the paper's wetlab evaluation (§6.2/§6.3):
+    /// 150-base strands, 20-base primers, 1 sync base, 10-base sparse unit
+    /// index, 1 version base, 2-base intra index, 96-base payload.
+    pub fn paper_default() -> StrandGeometry {
+        StrandGeometry {
+            primer_len: 20,
+            sync_len: 1,
+            unit_index_len: 10,
+            version_len: 1,
+            intra_index_len: 2,
+            payload_len: 96,
+        }
+    }
+
+    /// Total strand length in bases.
+    pub fn strand_len(&self) -> usize {
+        2 * self.primer_len
+            + self.sync_len
+            + self.unit_index_len
+            + self.version_len
+            + self.intra_index_len
+            + self.payload_len
+    }
+
+    /// Payload capacity in whole bytes (2 bits/base).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_len / 4
+    }
+
+    /// Length of a fully elongated forward primer:
+    /// `primer + sync + unit index` (paper: 31).
+    pub fn elongated_primer_len(&self) -> usize {
+        self.primer_len + self.sync_len + self.unit_index_len
+    }
+
+    /// Offset of the unit-index field from the strand's 5' end.
+    pub fn unit_index_offset(&self) -> usize {
+        self.primer_len + self.sync_len
+    }
+
+    /// Offset of the version base.
+    pub fn version_offset(&self) -> usize {
+        self.unit_index_offset() + self.unit_index_len
+    }
+
+    /// Offset of the intra-unit index.
+    pub fn intra_index_offset(&self) -> usize {
+        self.version_offset() + self.version_len
+    }
+
+    /// Offset of the payload.
+    pub fn payload_offset(&self) -> usize {
+        self.intra_index_offset() + self.intra_index_len
+    }
+
+    /// Assembles a full strand from its fields.
+    ///
+    /// `rev_primer` is given as the primer sequence itself; it is stored at
+    /// the strand's 3' end as the reverse complement (the reverse primer
+    /// anneals to the sense strand's tail).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::LengthMismatch`] if any field length differs
+    /// from the geometry.
+    pub fn assemble(
+        &self,
+        fwd_primer: &DnaSeq,
+        unit_index: &DnaSeq,
+        version: Base,
+        intra_index: &DnaSeq,
+        payload: &DnaSeq,
+        rev_primer: &DnaSeq,
+    ) -> Result<DnaSeq, CodecError> {
+        check_len("forward primer", fwd_primer, self.primer_len)?;
+        check_len("unit index", unit_index, self.unit_index_len)?;
+        check_len("intra index", intra_index, self.intra_index_len)?;
+        check_len("payload", payload, self.payload_len)?;
+        check_len("reverse primer", rev_primer, self.primer_len)?;
+        let mut strand = DnaSeq::with_capacity(self.strand_len());
+        strand.extend(fwd_primer.iter());
+        for _ in 0..self.sync_len {
+            strand.push(Base::A);
+        }
+        strand.extend(unit_index.iter());
+        for _ in 0..self.version_len {
+            strand.push(version);
+        }
+        strand.extend(intra_index.iter());
+        strand.extend(payload.iter());
+        strand.extend(rev_primer.reverse_complement().iter());
+        debug_assert_eq!(strand.len(), self.strand_len());
+        Ok(strand)
+    }
+
+    /// Splits an exact-length strand back into fields (noiseless parsing;
+    /// the recovery pipeline handles noisy reads separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::LengthMismatch`] if the strand length differs
+    /// from the geometry.
+    pub fn parse(&self, strand: &DnaSeq) -> Result<StrandFields, CodecError> {
+        check_len("strand", strand, self.strand_len())?;
+        let unit_index = strand.subseq(self.unit_index_offset()..self.version_offset());
+        let version = strand[self.version_offset()];
+        let intra_index = strand.subseq(self.intra_index_offset()..self.payload_offset());
+        let payload =
+            strand.subseq(self.payload_offset()..self.payload_offset() + self.payload_len);
+        Ok(StrandFields {
+            fwd_primer: strand.prefix(self.primer_len),
+            unit_index,
+            version,
+            intra_index,
+            payload,
+            rev_primer: strand
+                .subseq(self.strand_len() - self.primer_len..self.strand_len())
+                .reverse_complement(),
+        })
+    }
+
+    /// The strand's *address prefix* — everything an elongated primer can
+    /// cover: `fwd primer + sync + unit index` (+ optionally the version
+    /// base with [`StrandGeometry::prefix_with_version`]).
+    pub fn address_prefix(&self, strand: &DnaSeq) -> DnaSeq {
+        strand.prefix(self.elongated_primer_len())
+    }
+
+    /// The address prefix including the version base.
+    pub fn prefix_with_version(&self, strand: &DnaSeq) -> DnaSeq {
+        strand.prefix(self.elongated_primer_len() + self.version_len)
+    }
+}
+
+fn check_len(component: &'static str, seq: &DnaSeq, expected: usize) -> Result<(), CodecError> {
+    if seq.len() != expected {
+        Err(CodecError::LengthMismatch {
+            component,
+            expected,
+            got: seq.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// The parsed fields of a strand, as produced by [`StrandGeometry::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrandFields {
+    /// The forward (5') primer.
+    pub fwd_primer: DnaSeq,
+    /// The sparse unit index.
+    pub unit_index: DnaSeq,
+    /// The version base (original data vs update slots).
+    pub version: Base,
+    /// The dense intra-unit index.
+    pub intra_index: DnaSeq,
+    /// The payload bases.
+    pub payload: DnaSeq,
+    /// The reverse primer (as primer sequence, already re-complemented).
+    pub rev_primer: DnaSeq,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_seq::Base;
+
+    fn seq_of(base: Base, n: usize) -> DnaSeq {
+        DnaSeq::from_bases(std::iter::repeat(base).take(n))
+    }
+
+    fn balanced(n: usize) -> DnaSeq {
+        DnaSeq::from_bases((0..n).map(|i| Base::from_code((i % 4) as u8)))
+    }
+
+    #[test]
+    fn paper_geometry_adds_up() {
+        let g = StrandGeometry::paper_default();
+        assert_eq!(g.strand_len(), 150);
+        assert_eq!(g.payload_bytes(), 24);
+        assert_eq!(g.elongated_primer_len(), 31);
+        // §6.2: 40 primer bases + 1 sync leaves 109 for addresses + payload
+        assert_eq!(
+            g.strand_len() - 2 * g.primer_len - g.sync_len,
+            109
+        );
+    }
+
+    #[test]
+    fn assemble_parse_round_trip() {
+        let g = StrandGeometry::paper_default();
+        let fwd = balanced(20);
+        let rev = seq_of(Base::G, 20);
+        let unit = balanced(10);
+        let intra: DnaSeq = "AC".parse().unwrap();
+        let payload = balanced(96);
+        let strand = g
+            .assemble(&fwd, &unit, Base::T, &intra, &payload, &rev)
+            .unwrap();
+        assert_eq!(strand.len(), 150);
+        let fields = g.parse(&strand).unwrap();
+        assert_eq!(fields.fwd_primer, fwd);
+        assert_eq!(fields.unit_index, unit);
+        assert_eq!(fields.version, Base::T);
+        assert_eq!(fields.intra_index, intra);
+        assert_eq!(fields.payload, payload);
+        assert_eq!(fields.rev_primer, rev);
+    }
+
+    #[test]
+    fn sync_base_is_a() {
+        let g = StrandGeometry::paper_default();
+        let strand = g
+            .assemble(
+                &balanced(20),
+                &balanced(10),
+                Base::A,
+                &balanced(2),
+                &balanced(96),
+                &balanced(20),
+            )
+            .unwrap();
+        assert_eq!(strand[20], Base::A);
+    }
+
+    #[test]
+    fn wrong_lengths_are_rejected() {
+        let g = StrandGeometry::paper_default();
+        let err = g
+            .assemble(
+                &balanced(19), // too short
+                &balanced(10),
+                Base::A,
+                &balanced(2),
+                &balanced(96),
+                &balanced(20),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::LengthMismatch {
+                component: "forward primer",
+                expected: 20,
+                got: 19
+            }
+        ));
+        assert!(g.parse(&balanced(149)).is_err());
+    }
+
+    #[test]
+    fn elongated_prefix_includes_index() {
+        let g = StrandGeometry::paper_default();
+        let fwd = balanced(20);
+        let unit = balanced(10);
+        let strand = g
+            .assemble(&fwd, &unit, Base::C, &balanced(2), &balanced(96), &balanced(20))
+            .unwrap();
+        let prefix = g.address_prefix(&strand);
+        assert_eq!(prefix.len(), 31);
+        assert!(prefix.starts_with(&fwd));
+        assert!(prefix.ends_with(&unit));
+        let with_v = g.prefix_with_version(&strand);
+        assert_eq!(with_v.len(), 32);
+        assert_eq!(with_v.last(), Some(Base::C));
+    }
+
+    #[test]
+    fn reverse_primer_is_reverse_complemented_on_strand() {
+        let g = StrandGeometry::paper_default();
+        let rev: DnaSeq = "ACGTACGTACGTACGTACGT".parse().unwrap();
+        let strand = g
+            .assemble(&balanced(20), &balanced(10), Base::A, &balanced(2), &balanced(96), &rev)
+            .unwrap();
+        let tail = strand.subseq(130..150);
+        assert_eq!(tail, rev.reverse_complement());
+    }
+}

@@ -1,0 +1,51 @@
+//! Binary ↔ DNA codecs for the block-storage stack.
+//!
+//! The paper (§2.1.1) uses **unconstrained coding** for payloads: a simple
+//! 2-bits-per-base mapping at maximum information density, preceded by
+//! seeded *data randomization* so that long homopolymers become improbable
+//! and GC content balances on average, with outer Reed-Solomon ECC handling
+//! all residual error types. Internal addresses, by contrast, use the
+//! *constrained* sparse coding implemented in the `dna-index` crate.
+//!
+//! This crate provides:
+//!
+//! - [`Randomizer`] — the seeded, self-inverse byte randomizer (§4.4 stores
+//!   its seed as partition metadata, because the same randomization also
+//!   improves read clustering),
+//! - [`PayloadCodec`] — randomize + 2-bit pack into bases, and back,
+//! - [`StrandGeometry`] / strand assembly — the molecule layout of Fig. 1a
+//!   and §6.2/§6.3: `[fwd primer | sync A | unit index | version base |
+//!   intra-unit index | payload | rev primer]`, 150 bases in the paper's
+//!   configuration,
+//! - [`intra`] — the dense 2-base intra-unit address code (Fig. 1c, orange).
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_codec::{PayloadCodec, StrandGeometry};
+//!
+//! let codec = PayloadCodec::new(0xA11CE);
+//! let data = b"hello DNA block storage!"; // 24 bytes = one molecule payload
+//! let bases = codec.encode(data);
+//! assert_eq!(bases.len(), 96); // 2 bits/base
+//! assert_eq!(codec.decode(&bases), data.to_vec());
+//!
+//! let geom = StrandGeometry::paper_default();
+//! assert_eq!(geom.strand_len(), 150);
+//! assert_eq!(geom.payload_bytes(), 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod payload;
+mod randomizer;
+
+pub mod intra;
+
+pub use error::CodecError;
+pub use layout::{StrandFields, StrandGeometry};
+pub use payload::PayloadCodec;
+pub use randomizer::Randomizer;

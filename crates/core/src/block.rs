@@ -1,0 +1,148 @@
+//! Fixed-size blocks and unit integrity.
+
+use crate::StoreError;
+
+/// User-visible block size in bytes (§6.1: "The binary size of each
+/// encoding unit is 256 bytes, which is about the size of an average
+/// paragraph of text").
+pub const BLOCK_SIZE: usize = 256;
+
+/// Bytes per encoding unit: block + 8 padding bytes (§6.2: "the entire
+/// encoding unit contains 264 bytes, 256 are used for data and the
+/// remaining 8 bytes are randomly padded"). We make the padding *useful*:
+/// it carries a checksum of the block so the §8.1 candidate search can tell
+/// a correct recovery from a silent miscorrection. Density is unchanged.
+pub const UNIT_BYTES: usize = 264;
+
+/// FNV-1a 64-bit checksum used in the unit padding.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A fixed-size storage block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block's 256 bytes.
+    pub data: Vec<u8>,
+}
+
+impl Block {
+    /// Builds a block from at most [`BLOCK_SIZE`] bytes, zero-padding to
+    /// full size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidPatch`]... no — returns an error if
+    /// `data` exceeds the block size.
+    pub fn from_bytes(data: &[u8]) -> Result<Block, StoreError> {
+        if data.len() > BLOCK_SIZE {
+            return Err(StoreError::InvalidPatch(format!(
+                "block content {} exceeds {} bytes",
+                data.len(),
+                BLOCK_SIZE
+            )));
+        }
+        let mut bytes = data.to_vec();
+        bytes.resize(BLOCK_SIZE, 0);
+        Ok(Block { data: bytes })
+    }
+
+    /// A zero-filled block.
+    pub fn zeroed() -> Block {
+        Block {
+            data: vec![0; BLOCK_SIZE],
+        }
+    }
+
+    /// Serializes the block into unit bytes: block data plus checksummed
+    /// padding.
+    pub fn to_unit_bytes(&self) -> Vec<u8> {
+        let mut unit = self.data.clone();
+        unit.extend_from_slice(&checksum64(&self.data).to_le_bytes());
+        debug_assert_eq!(unit.len(), UNIT_BYTES);
+        unit
+    }
+
+    /// Parses unit bytes back into a block, verifying the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length or checksum is wrong.
+    pub fn from_unit_bytes(unit: &[u8]) -> Result<Block, StoreError> {
+        if unit.len() != UNIT_BYTES {
+            return Err(StoreError::DecodeFailed {
+                block: 0,
+                reason: format!("unit length {} != {UNIT_BYTES}", unit.len()),
+            });
+        }
+        if !unit_checksum_ok(unit) {
+            return Err(StoreError::DecodeFailed {
+                block: 0,
+                reason: "unit checksum mismatch".to_string(),
+            });
+        }
+        Ok(Block {
+            data: unit[..BLOCK_SIZE].to_vec(),
+        })
+    }
+}
+
+/// Validates unit bytes (length + checksum) — the validator handed to the
+/// pipeline's §8.1 candidate search.
+pub fn unit_checksum_ok(unit: &[u8]) -> bool {
+    unit.len() == UNIT_BYTES
+        && unit[BLOCK_SIZE..] == checksum64(&unit[..BLOCK_SIZE]).to_le_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_pads_to_size() {
+        let b = Block::from_bytes(b"hello").unwrap();
+        assert_eq!(b.data.len(), BLOCK_SIZE);
+        assert_eq!(&b.data[..5], b"hello");
+        assert!(b.data[5..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        assert!(Block::from_bytes(&[0u8; 257]).is_err());
+        assert!(Block::from_bytes(&[0u8; 256]).is_ok());
+    }
+
+    #[test]
+    fn unit_round_trip_with_checksum() {
+        let b = Block::from_bytes(b"some block content").unwrap();
+        let unit = b.to_unit_bytes();
+        assert_eq!(unit.len(), UNIT_BYTES);
+        assert!(unit_checksum_ok(&unit));
+        assert_eq!(Block::from_unit_bytes(&unit).unwrap(), b);
+    }
+
+    #[test]
+    fn corrupted_unit_detected() {
+        let b = Block::from_bytes(b"x").unwrap();
+        let mut unit = b.to_unit_bytes();
+        unit[17] ^= 1;
+        assert!(!unit_checksum_ok(&unit));
+        assert!(Block::from_unit_bytes(&unit).is_err());
+        // corrupted checksum also detected
+        let mut unit2 = b.to_unit_bytes();
+        unit2[260] ^= 0x80;
+        assert!(!unit_checksum_ok(&unit2));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(checksum64(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum64(b"a"), checksum64(b"b"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cost and latency models (§7.1–§7.5).
+//!
+//! Every formula here is lifted directly from the paper's arithmetic, so
+//! the bench harness can reproduce the headline numbers (141×, ~580×,
+//! ~146×) from measured read fractions.
+
+use dna_sim::{NanoporeModel, NgsRunModel};
+
+/// Units of unwanted data sequenced per unit of wanted data, given the
+/// fraction of useful reads (§7.1: 0.34% useful → "the baseline system has
+/// to sequence 1/0.34% = 293x of unwanted data").
+pub fn waste_factor(useful_fraction: f64) -> f64 {
+    assert!(useful_fraction > 0.0 && useful_fraction <= 1.0);
+    1.0 / useful_fraction - 1.0
+}
+
+/// Sequencing cost reduction between a baseline and an improved useful-read
+/// fraction (§7.3: `(293 + 1)/(1.08 + 1) = 141`).
+pub fn sequencing_cost_reduction(baseline_useful: f64, ours_useful: f64) -> f64 {
+    (waste_factor(baseline_useful) + 1.0) / (waste_factor(ours_useful) + 1.0)
+}
+
+/// Synthesis-cost reduction of a versioned update vs the naive
+/// recreate-the-partition baseline (§7.5: "synthesizing the entire new
+/// partition (8805 molecules), whereas in our system it requires the
+/// synthesis of 15 molecules ... a reduction of approximately 580x").
+pub fn update_synthesis_reduction(partition_molecules: u64, patch_molecules: u64) -> f64 {
+    partition_molecules as f64 / patch_molecules as f64
+}
+
+/// Sequencing-cost reduction for reading an updated block (§7.5: "our
+/// system can perform the precise access that retrieves both data and
+/// updates ... discarding only about 50% of reads and reducing the
+/// sequencing cost for updated data by approximately 0.5·(8805/30) = 146x").
+pub fn updated_read_reduction(
+    partition_molecules: u64,
+    block_plus_update_molecules: u64,
+    ours_useful: f64,
+) -> f64 {
+    ours_useful * partition_molecules as f64 / block_plus_update_molecules as f64
+}
+
+/// §7.4 latency comparison for one retrieval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyComparison {
+    /// NGS runs needed to sequence the whole partition.
+    pub ngs_runs_partition: f64,
+    /// NGS runs needed for the block-precise access.
+    pub ngs_runs_block: f64,
+    /// Nanopore hours for the whole partition.
+    pub nanopore_hours_partition: f64,
+    /// Nanopore hours for the block-precise access.
+    pub nanopore_hours_block: f64,
+}
+
+impl LatencyComparison {
+    /// NGS latency reduction factor.
+    pub fn ngs_reduction(&self) -> f64 {
+        self.ngs_runs_partition / self.ngs_runs_block
+    }
+
+    /// Nanopore latency reduction factor (always the selectivity factor).
+    pub fn nanopore_reduction(&self) -> f64 {
+        self.nanopore_hours_partition / self.nanopore_hours_block
+    }
+}
+
+/// Computes §7.4's latency comparison: sequencing a partition of
+/// `partition_bytes` vs a precise block access that only needs
+/// `1/selectivity` of that output.
+pub fn latency_comparison(
+    partition_bytes: f64,
+    selectivity: f64,
+    ngs: &NgsRunModel,
+    nanopore: &NanoporeModel,
+) -> LatencyComparison {
+    assert!(selectivity >= 1.0);
+    let block_bytes = partition_bytes / selectivity;
+    LatencyComparison {
+        ngs_runs_partition: ngs.runs_needed(partition_bytes),
+        ngs_runs_block: ngs.runs_needed(block_bytes),
+        nanopore_hours_partition: nanopore.latency_hours(partition_bytes),
+        nanopore_hours_block: nanopore.latency_hours(block_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cost_reduction_reproduced() {
+        // §7.1/§7.3: baseline 0.34% useful, ours 48% useful → ~141×.
+        let baseline = 0.0034;
+        let ours = 0.48;
+        assert!((waste_factor(baseline) - 293.1).abs() < 1.0);
+        assert!((waste_factor(ours) - 1.08).abs() < 0.01);
+        let reduction = sequencing_cost_reduction(baseline, ours);
+        assert!(
+            (reduction - 141.0).abs() < 1.5,
+            "expected ≈141, got {reduction}"
+        );
+    }
+
+    #[test]
+    fn paper_update_costs_reproduced() {
+        // §7.5.
+        let synth = update_synthesis_reduction(8805, 15);
+        assert!((synth - 587.0).abs() < 1.0);
+        let read = updated_read_reduction(8805, 30, 0.5);
+        assert!((read - 146.75).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_matches_paper_examples() {
+        // §7.4: 1 TB partition needs ~1000 MiSeq runs; block access at 141×
+        // selectivity needs ~1000/141 ≈ 8.
+        let cmp = latency_comparison(
+            1.0e12,
+            141.0,
+            &NgsRunModel::miseq(),
+            &NanoporeModel::minion(),
+        );
+        assert_eq!(cmp.ngs_runs_partition, 1000.0);
+        assert_eq!(cmp.ngs_runs_block, 8.0);
+        assert!((cmp.ngs_reduction() - 125.0).abs() < 1.0);
+        // Nanopore reduction is exactly the selectivity.
+        assert!((cmp.nanopore_reduction() - 141.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_partition_ngs_cannot_improve() {
+        // §7.4: "for small partition sizes that fit into a single
+        // sequencing run, the reduction in the sequencing latency is
+        // conceptually impossible".
+        let cmp = latency_comparison(
+            5.0e8,
+            141.0,
+            &NgsRunModel::miseq(),
+            &NanoporeModel::minion(),
+        );
+        assert_eq!(cmp.ngs_reduction(), 1.0);
+        assert!(cmp.nanopore_reduction() > 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_useful_fraction_panics() {
+        waste_factor(0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Block-store error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the block store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The partition id does not exist.
+    UnknownPartition(usize),
+    /// The block id is outside the partition's address space.
+    BlockOutOfRange {
+        /// Requested block.
+        block: u64,
+        /// Blocks available.
+        capacity: u64,
+    },
+    /// The block has never been written.
+    BlockNotWritten(u64),
+    /// A file is too large for the partition's remaining blocks.
+    FileTooLarge {
+        /// Blocks needed.
+        needed: u64,
+        /// Blocks available.
+        available: u64,
+    },
+    /// All version slots (and overflow space) for this block are exhausted.
+    UpdateSlotsExhausted(u64),
+    /// A patch description is malformed (e.g. offsets beyond block size).
+    InvalidPatch(String),
+    /// Wetlab retrieval ran but decoding failed (insufficient coverage,
+    /// uncorrectable errors, or unverifiable checksum).
+    DecodeFailed {
+        /// The affected block.
+        block: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The primer-pair library was exhausted (no compatible pair left).
+    NoPrimerPairAvailable,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownPartition(id) => write!(f, "unknown partition {id}"),
+            StoreError::BlockOutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            StoreError::BlockNotWritten(b) => write!(f, "block {b} has never been written"),
+            StoreError::FileTooLarge { needed, available } => {
+                write!(f, "file needs {needed} blocks, only {available} available")
+            }
+            StoreError::UpdateSlotsExhausted(b) => {
+                write!(f, "update slots exhausted for block {b}")
+            }
+            StoreError::InvalidPatch(msg) => write!(f, "invalid patch: {msg}"),
+            StoreError::DecodeFailed { block, reason } => {
+                write!(f, "decoding block {block} failed: {reason}")
+            }
+            StoreError::NoPrimerPairAvailable => write!(f, "no compatible primer pair available"),
+        }
+    }
+}
+
+impl Error for StoreError {}

@@ -1,0 +1,95 @@
+//! Update-placement layouts (§5.3, Figs. 6–8).
+
+/// Where update patches live in the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateLayout {
+    /// Fig. 6: all updates from *all* partitions logged in one dedicated
+    /// partition with its own primer pair. Reading any updated (or even
+    /// clean!) block requires also reading the entire shared log.
+    DedicatedLog,
+    /// Fig. 7: updates share the data partition's address space, growing
+    /// from the top while data grows from the bottom ("similar to how two
+    /// stacks are placed in memory"). One PCR covers data + updates, but a
+    /// block read must still scan the whole update region.
+    TwoStacks,
+    /// Fig. 8 (the paper's proposal): every data block is followed by
+    /// version slots sharing its address prefix — the version base is the
+    /// only difference — so a single precise PCR retrieves the block *and*
+    /// its updates. `update_slots` is the number of provisioned slots
+    /// (paper: 3); when they run out, the last slot holds a pointer into an
+    /// overflow chain.
+    Interleaved {
+        /// Update slots provisioned per block (1..=3 with a 1-base version
+        /// field).
+        update_slots: u8,
+    },
+}
+
+impl UpdateLayout {
+    /// The paper's layout: 3 update slots per block via one version base.
+    pub fn paper_default() -> UpdateLayout {
+        UpdateLayout::Interleaved { update_slots: 3 }
+    }
+
+    /// How many *encoding units* must be retrieved (amplified + sequenced)
+    /// to read one block that has `block_updates` updates, in a partition
+    /// holding `partition_updates` total updates, within a system holding
+    /// `system_updates` total updates.
+    ///
+    /// This is the analytical core of the layout ablation: the §5.3
+    /// discussion of why Fig. 6 and Fig. 7 are progressively better but
+    /// only Fig. 8 makes retrieval cost independent of unrelated updates.
+    pub fn retrieval_scope_units(
+        &self,
+        block_updates: u64,
+        partition_updates: u64,
+        system_updates: u64,
+    ) -> u64 {
+        match self {
+            // Block + every update ever logged anywhere.
+            UpdateLayout::DedicatedLog => 1 + system_updates,
+            // Block + every update in this partition.
+            UpdateLayout::TwoStacks => 1 + partition_updates,
+            // Block + only its own updates.
+            UpdateLayout::Interleaved { .. } => 1 + block_updates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_scope_is_independent_of_unrelated_updates() {
+        let layout = UpdateLayout::paper_default();
+        assert_eq!(layout.retrieval_scope_units(2, 1000, 100_000), 3);
+        assert_eq!(layout.retrieval_scope_units(0, 1000, 100_000), 1);
+    }
+
+    #[test]
+    fn two_stacks_pays_partition_updates() {
+        assert_eq!(
+            UpdateLayout::TwoStacks.retrieval_scope_units(2, 1000, 100_000),
+            1001
+        );
+    }
+
+    #[test]
+    fn dedicated_log_pays_system_updates() {
+        assert_eq!(
+            UpdateLayout::DedicatedLog.retrieval_scope_units(2, 1000, 100_000),
+            100_001
+        );
+    }
+
+    #[test]
+    fn layouts_are_strictly_ordered_when_updates_exist() {
+        // §5.3's argument in one assertion.
+        let (b, p, s) = (3u64, 500u64, 20_000u64);
+        let ded = UpdateLayout::DedicatedLog.retrieval_scope_units(b, p, s);
+        let two = UpdateLayout::TwoStacks.retrieval_scope_units(b, p, s);
+        let int = UpdateLayout::paper_default().retrieval_scope_units(b, p, s);
+        assert!(int < two && two < ded);
+    }
+}

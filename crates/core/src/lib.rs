@@ -1,0 +1,55 @@
+//! **dna-block-store** — the MICRO'23 paper's contribution: block-storage
+//! semantics and versioned data updates for PCR-based DNA storage.
+//!
+//! A [`Partition`] is the unit the chemistry addresses: one primer pair of
+//! length 20. Internally it is *blocked*: a PCR-navigable index tree
+//! (`dna-index`) maps fixed-size 256-byte blocks to sparse, GC-balanced
+//! 10-base indexes, so the forward primer can be elongated to address one
+//! block — or partially elongated to address a range (sequential access).
+//!
+//! Updates are *versioned*, not edited (§5): an update is synthesized as a
+//! small DNA patch whose address shares the target block's prefix and
+//! differs only in the final version base (§5.3, Fig. 8), so one PCR
+//! retrieves a block together with all its updates, and the patches are
+//! applied in software at decode time.
+//!
+//! [`BlockStore`] ties the full system together over the `dna-sim` wetlab:
+//! write files, read blocks and ranges back through
+//! PCR → sequencing → clustering → trace reconstruction → RS decoding →
+//! patch application, and update blocks by synthesizing and mixing patches.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_block_store::{BlockStore, PartitionConfig};
+//!
+//! let mut store = BlockStore::new(42);
+//! let pid = store.create_partition(PartitionConfig::paper_default(7)).unwrap();
+//! let data = vec![7u8; 1000]; // ~4 blocks
+//! let written = store.write_file(pid, &data).unwrap();
+//! assert_eq!(written, 4);
+//! let block0 = store.read_block(pid, 0).unwrap();
+//! assert_eq!(&block0.block.data[..], &data[..256]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod partition;
+mod store;
+mod update;
+
+pub mod capacity;
+pub mod cost;
+pub mod layout;
+pub mod planner;
+pub mod workload;
+
+pub use block::{checksum64, unit_checksum_ok, Block, BLOCK_SIZE, UNIT_BYTES};
+pub use error::StoreError;
+pub use layout::UpdateLayout;
+pub use partition::{Partition, PartitionConfig, VersionSlot};
+pub use store::{BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
+pub use update::UpdatePatch;

@@ -1,0 +1,611 @@
+//! Partitions: one primer pair, an internally blocked address space.
+
+use crate::block::Block;
+use crate::layout::UpdateLayout;
+use crate::update::UpdatePatch;
+use crate::StoreError;
+use dna_codec::{intra, PayloadCodec, StrandGeometry};
+use dna_ecc::{EncodingUnit, UnitConfig};
+use dna_index::{IndexTree, LeafId};
+use dna_pipeline::BlockDecodeConfig;
+use dna_primers::PrimerPair;
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+use dna_sim::{Molecule, StrandTag};
+use std::collections::BTreeMap;
+
+/// A version slot within a block's address: 0 is the original data, 1..
+/// are updates (§5.3: "the original object as ACGTA, the first update as
+/// ACGTC, second update as ACGTG").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VersionSlot(pub u8);
+
+impl VersionSlot {
+    /// The version base encoding this slot (slot i → i-th base).
+    pub fn base(self) -> Base {
+        Base::from_code(self.0)
+    }
+
+    /// Slot of a version base.
+    pub fn from_base(b: Base) -> VersionSlot {
+        VersionSlot(b.code())
+    }
+}
+
+/// Static configuration of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Strand geometry (paper: 150-base strands).
+    pub geometry: StrandGeometry,
+    /// Encoding-unit geometry (paper: RS(15,11) over GF(16)).
+    pub unit: UnitConfig,
+    /// Index-tree depth (paper: 5 → 1024 leaves).
+    pub tree_depth: usize,
+    /// Master seed; the tree seed and payload-randomizer seed derive from
+    /// it (§4.4: only seeds are stored as metadata).
+    pub master_seed: u64,
+    /// Update placement policy.
+    pub layout: UpdateLayout,
+    /// Ground-truth tag for simulator provenance (file number).
+    pub partition_tag: u32,
+}
+
+impl PartitionConfig {
+    /// The paper's wetlab configuration.
+    pub fn paper_default(master_seed: u64) -> PartitionConfig {
+        PartitionConfig {
+            geometry: StrandGeometry::paper_default(),
+            unit: UnitConfig::paper_default(),
+            tree_depth: 5,
+            master_seed,
+            layout: UpdateLayout::paper_default(),
+            partition_tag: 0,
+        }
+    }
+}
+
+/// Where one write (original or update) lands in the address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePlacement {
+    /// Leaf holding the unit.
+    pub leaf: u64,
+    /// Version slot at that leaf.
+    pub slot: VersionSlot,
+    /// Pointer units that must be synthesized alongside:
+    /// `(leaf, slot, target_leaf)`.
+    pub pointers: Vec<(u64, VersionSlot, u64)>,
+}
+
+/// A storage partition: primer pair + PCR-navigable index tree + versioned
+/// block address space.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    config: PartitionConfig,
+    primers: PrimerPair,
+    tree: IndexTree,
+    payload_seed: u64,
+    /// Per block: number of writes so far (1 = original only).
+    write_counts: BTreeMap<u64, u32>,
+    /// Per block: overflow chain leaves, in order.
+    chains: BTreeMap<u64, Vec<u64>>,
+    /// Next free overflow leaf (allocated downward from the top).
+    overflow_next: u64,
+    /// Highest data block written (collision guard for the overflow stack).
+    max_block_written: u64,
+    /// TwoStacks: number of updates placed so far.
+    stack_updates: u64,
+}
+
+impl Partition {
+    /// Creates a partition with the given config and main primer pair.
+    pub fn new(config: PartitionConfig, primers: PrimerPair) -> Partition {
+        let root = DetRng::seed_from_u64(config.master_seed);
+        let mut tree_stream = root.derive(0);
+        let mut payload_stream = root.derive(1);
+        let tree = IndexTree::new(tree_stream.next_u64(), config.tree_depth);
+        let payload_seed = payload_stream.next_u64();
+        let overflow_next = tree.num_leaves() - 1;
+        Partition {
+            config,
+            primers,
+            tree,
+            payload_seed,
+            write_counts: BTreeMap::new(),
+            chains: BTreeMap::new(),
+            overflow_next,
+            max_block_written: 0,
+            stack_updates: 0,
+        }
+    }
+
+    /// The partition configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// The main primer pair.
+    pub fn primers(&self) -> &PrimerPair {
+        &self.primers
+    }
+
+    /// The index tree.
+    pub fn tree(&self) -> &IndexTree {
+        &self.tree
+    }
+
+    /// The payload-randomizer seed (partition metadata, §4.4).
+    pub fn payload_seed(&self) -> u64 {
+        self.payload_seed
+    }
+
+    /// Number of addressable leaves.
+    pub fn num_leaves(&self) -> u64 {
+        self.tree.num_leaves()
+    }
+
+    /// Number of writes (original + updates) recorded for `block`.
+    pub fn writes_of(&self, block: u64) -> u32 {
+        self.write_counts.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Overflow chain leaves of `block`, if any.
+    pub fn chain_of(&self, block: u64) -> &[u64] {
+        self.chains.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Molecules per encoding unit.
+    pub fn strands_per_unit(&self) -> usize {
+        self.config.unit.total_cols
+    }
+
+    // ----- addressing ------------------------------------------------------
+
+    /// The fully elongated forward primer for a leaf: main primer + sync +
+    /// 10-base sparse index (31 bases in the paper's geometry, §6.5).
+    pub fn elongated_primer(&self, leaf: u64) -> DnaSeq {
+        let mut p = self.primers.forward().clone();
+        for _ in 0..self.config.geometry.sync_len {
+            p.push(Base::A);
+        }
+        p.extend(self.tree.leaf_index(LeafId(leaf)).iter());
+        p
+    }
+
+    /// A version-scoped primer: elongated primer + version base (targets a
+    /// single version slot).
+    pub fn version_primer(&self, leaf: u64, slot: VersionSlot) -> DnaSeq {
+        let mut p = self.elongated_primer(leaf);
+        p.push(slot.base());
+        p
+    }
+
+    /// Partially elongated primers covering the leaf range `lo..=hi`
+    /// exactly (§3.1 prefix covers; one multiplex PCR retrieves the range).
+    pub fn range_prefixes(&self, lo: u64, hi: u64) -> Vec<DnaSeq> {
+        self.range_prefixes_weighted(lo, hi)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// As [`Partition::range_prefixes`], with each prefix's covered leaf
+    /// count — the weight its primer concentration should get in a
+    /// multiplex reaction so that all covered leaves amplify evenly
+    /// (§3.2's uniform-concentration requirement).
+    pub fn range_prefixes_weighted(&self, lo: u64, hi: u64) -> Vec<(DnaSeq, f64)> {
+        self.tree
+            .cover_range(LeafId(lo), LeafId(hi))
+            .into_iter()
+            .map(|node| {
+                let mut p = self.primers.forward().clone();
+                for _ in 0..self.config.geometry.sync_len {
+                    p.push(Base::A);
+                }
+                p.extend(node.prefix(&self.tree).iter());
+                (p, node.leaf_count as f64)
+            })
+            .collect()
+    }
+
+    /// Number of updates placed in the TwoStacks update region.
+    pub fn stack_update_count(&self) -> u64 {
+        self.stack_updates
+    }
+
+    // ----- encoding --------------------------------------------------------
+
+    /// Encodes one unit (a block or a patch) at `(leaf, slot)` into its
+    /// strand set.
+    pub fn encode_unit(&self, leaf: u64, slot: VersionSlot, content: &Block) -> Vec<Molecule> {
+        let unit = EncodingUnit::new(self.config.unit);
+        let columns = unit
+            .encode(&content.to_unit_bytes())
+            .expect("unit geometry is consistent");
+        let geometry = &self.config.geometry;
+        columns
+            .iter()
+            .enumerate()
+            .map(|(col, bytes)| {
+                let codec = PayloadCodec::for_column(
+                    self.payload_seed,
+                    leaf,
+                    slot.base().code(),
+                    col as u8,
+                );
+                let payload = codec.encode(bytes);
+                let strand = geometry
+                    .assemble(
+                        self.primers.forward(),
+                        &self.tree.leaf_index(LeafId(leaf)),
+                        slot.base(),
+                        &intra::encode(col, geometry.intra_index_len)
+                            .expect("column fits intra index"),
+                        &payload,
+                        self.primers.reverse(),
+                    )
+                    .expect("strand geometry is consistent");
+                Molecule::new(
+                    strand,
+                    StrandTag::new(self.config.partition_tag, leaf, slot.0, col as u8),
+                )
+            })
+            .collect()
+    }
+
+    /// Writes the original content of `block`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range blocks and double writes (blocks are
+    /// write-once; changes go through updates).
+    pub fn encode_block(&mut self, block: u64, content: &Block) -> Result<Vec<Molecule>, StoreError> {
+        if block >= self.num_leaves() {
+            return Err(StoreError::BlockOutOfRange {
+                block,
+                capacity: self.num_leaves(),
+            });
+        }
+        if block >= self.overflow_next {
+            return Err(StoreError::FileTooLarge {
+                needed: block + 1,
+                available: self.overflow_next,
+            });
+        }
+        if self.writes_of(block) > 0 {
+            return Err(StoreError::InvalidPatch(format!(
+                "block {block} already written; use updates"
+            )));
+        }
+        self.write_counts.insert(block, 1);
+        self.max_block_written = self.max_block_written.max(block);
+        Ok(self.encode_unit(block, VersionSlot(0), content))
+    }
+
+    /// Plans where the next update of `block` goes (see
+    /// [`UpdateLayout`]). Advances no state; [`Partition::encode_update`]
+    /// commits.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block was never written, the address space is
+    /// exhausted, or the layout cannot accept updates here.
+    pub fn plan_update(&self, block: u64) -> Result<UpdatePlacement, StoreError> {
+        let writes = self.writes_of(block);
+        if writes == 0 {
+            return Err(StoreError::BlockNotWritten(block));
+        }
+        let update_index = writes; // 1-based: first update has index 1
+        match self.config.layout {
+            UpdateLayout::Interleaved { update_slots } => {
+                let direct = u32::from(update_slots) - 1; // last slot = pointer
+                if update_index <= direct {
+                    return Ok(UpdatePlacement {
+                        leaf: block,
+                        slot: VersionSlot(update_index as u8),
+                        pointers: Vec::new(),
+                    });
+                }
+                // Overflow chain: each chain leaf holds `update_slots`
+                // patches (slots 0..update_slots) and one pointer slot.
+                let per_leaf = u32::from(update_slots);
+                let j = update_index - direct - 1; // 0-based overflow index
+                let chain_idx = (j / per_leaf) as usize;
+                let slot_in_leaf = (j % per_leaf) as u8;
+                let chain = self.chain_of(block);
+                let mut pointers = Vec::new();
+                let leaf = if chain_idx < chain.len() {
+                    chain[chain_idx]
+                } else {
+                    // Allocate a new chain leaf and a pointer from the
+                    // previous tail.
+                    let new_leaf = self.overflow_next;
+                    if new_leaf <= self.max_block_written {
+                        return Err(StoreError::UpdateSlotsExhausted(block));
+                    }
+                    let pointer_slot = VersionSlot(update_slots);
+                    let pointer_from = if chain_idx == 0 {
+                        (block, pointer_slot)
+                    } else {
+                        (chain[chain_idx - 1], pointer_slot)
+                    };
+                    pointers.push((pointer_from.0, pointer_from.1, new_leaf));
+                    new_leaf
+                };
+                Ok(UpdatePlacement {
+                    leaf,
+                    slot: VersionSlot(slot_in_leaf),
+                    pointers,
+                })
+            }
+            UpdateLayout::TwoStacks => {
+                let leaf = self
+                    .num_leaves()
+                    .checked_sub(1 + self.stack_updates)
+                    .filter(|&l| l > self.max_block_written)
+                    .ok_or(StoreError::UpdateSlotsExhausted(block))?;
+                Ok(UpdatePlacement {
+                    leaf,
+                    slot: VersionSlot(0),
+                    pointers: Vec::new(),
+                })
+            }
+            UpdateLayout::DedicatedLog => {
+                // Updates do not live in data partitions under this layout;
+                // the store routes them to the shared log partition.
+                Err(StoreError::InvalidPatch(
+                    "DedicatedLog places updates in the shared log partition".to_string(),
+                ))
+            }
+        }
+    }
+
+    /// Encodes the next update of `block`, committing the placement.
+    /// Returns the patch strands plus any pointer-unit strands.
+    ///
+    /// # Errors
+    ///
+    /// See [`Partition::plan_update`].
+    pub fn encode_update(
+        &mut self,
+        block: u64,
+        patch: &UpdatePatch,
+    ) -> Result<(UpdatePlacement, Vec<Molecule>), StoreError> {
+        let placement = self.plan_update(block)?;
+        let mut molecules = self.encode_unit(placement.leaf, placement.slot, &patch.to_block());
+        for &(ptr_leaf, ptr_slot, target) in &placement.pointers {
+            let ptr_block = pointer_block(target);
+            molecules.extend(self.encode_unit(ptr_leaf, ptr_slot, &ptr_block));
+        }
+        // Commit.
+        match self.config.layout {
+            UpdateLayout::Interleaved { .. } => {
+                if !placement.pointers.is_empty() {
+                    self.chains.entry(block).or_default().push(placement.leaf);
+                    self.overflow_next -= 1;
+                }
+            }
+            UpdateLayout::TwoStacks => {
+                self.stack_updates += 1;
+                self.chains.entry(block).or_default().push(placement.leaf);
+            }
+            UpdateLayout::DedicatedLog => unreachable!("plan_update rejected"),
+        }
+        *self.write_counts.entry(block).or_insert(0) += 1;
+        Ok((placement, molecules))
+    }
+
+    /// Registers an externally placed update (used by the store for the
+    /// DedicatedLog layout, where patches live in the log partition).
+    pub fn note_external_update(&mut self, block: u64) {
+        *self.write_counts.entry(block).or_insert(0) += 1;
+    }
+
+    /// The PCR prefixes needed to read `block` with all its updates in one
+    /// round-trip: the block's elongated primer, plus chain-leaf primers
+    /// for committed overflow, plus (TwoStacks) the update region's cover.
+    pub fn read_scope(&self, block: u64) -> Vec<DnaSeq> {
+        let mut scope = vec![self.elongated_primer(block)];
+        match self.config.layout {
+            UpdateLayout::Interleaved { .. } => {
+                for &leaf in self.chain_of(block) {
+                    scope.push(self.elongated_primer(leaf));
+                }
+            }
+            UpdateLayout::TwoStacks => {
+                if self.stack_updates > 0 {
+                    let lo = self.num_leaves() - self.stack_updates;
+                    let hi = self.num_leaves() - 1;
+                    scope.extend(self.range_prefixes(lo, hi));
+                }
+            }
+            UpdateLayout::DedicatedLog => {}
+        }
+        scope
+    }
+
+    /// The pipeline decode configuration for a unit at `leaf`.
+    pub fn decode_config(&self, leaf: u64) -> BlockDecodeConfig {
+        BlockDecodeConfig {
+            geometry: self.config.geometry,
+            unit: self.config.unit,
+            payload_seed: self.payload_seed,
+            unit_id: leaf,
+            cluster: dna_pipeline::ClusterConfig::default(),
+            filter_max_edit: 3,
+            max_clusters: 0,
+            max_alternates: 2,
+            max_decode_attempts: 8192,
+            index_tail_tolerance: Some(1),
+        }
+    }
+}
+
+/// Encodes a pointer unit: an impossible patch header (`0xFF, 0xFF`) marks
+/// the block as a pointer; bytes 4..12 hold the target leaf.
+pub(crate) fn pointer_block(target_leaf: u64) -> Block {
+    let mut bytes = vec![0xFFu8, 0xFF, 0, 8];
+    bytes.extend_from_slice(&target_leaf.to_le_bytes());
+    Block::from_bytes(&bytes).expect("pointer block fits")
+}
+
+/// Parses a pointer unit, returning the target leaf.
+pub(crate) fn parse_pointer_block(block: &Block) -> Option<u64> {
+    if block.data[0] == 0xFF && block.data[1] == 0xFF && block.data[3] == 8 {
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&block.data[4..12]);
+        Some(u64::from_le_bytes(le))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primers() -> PrimerPair {
+        PrimerPair::new(
+            "AACCGGTTAACCGGTTAACC".parse().unwrap(),
+            "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
+        )
+    }
+
+    fn partition() -> Partition {
+        Partition::new(PartitionConfig::paper_default(77), primers())
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let p = partition();
+        assert_eq!(p.num_leaves(), 1024);
+        assert_eq!(p.strands_per_unit(), 15);
+        assert_eq!(p.elongated_primer(531).len(), 31);
+        assert_eq!(p.version_primer(531, VersionSlot(1)).len(), 32);
+    }
+
+    #[test]
+    fn encode_block_produces_15_tagged_strands() {
+        let mut p = partition();
+        let mols = p
+            .encode_block(531, &Block::from_bytes(b"paragraph text").unwrap())
+            .unwrap();
+        assert_eq!(mols.len(), 15);
+        for (col, m) in mols.iter().enumerate() {
+            assert_eq!(m.seq.len(), 150);
+            let tag = m.tag.unwrap();
+            assert_eq!(tag.unit, 531);
+            assert_eq!(tag.version, 0);
+            assert_eq!(tag.column, col as u8);
+            // Strand starts with the elongated primer (address prefix).
+            assert!(m.seq.starts_with(&p.elongated_primer(531)));
+        }
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let mut p = partition();
+        let b = Block::zeroed();
+        p.encode_block(3, &b).unwrap();
+        assert!(p.encode_block(3, &b).is_err());
+    }
+
+    #[test]
+    fn updates_fill_direct_slots_then_chain() {
+        let mut p = partition();
+        p.encode_block(10, &Block::zeroed()).unwrap();
+        let patch = UpdatePatch::new(0, 1, 0, b"x".to_vec()).unwrap();
+        // Updates 1 and 2 are direct (version bases C and G).
+        let (pl1, mols1) = p.encode_update(10, &patch).unwrap();
+        assert_eq!((pl1.leaf, pl1.slot), (10, VersionSlot(1)));
+        assert_eq!(mols1.len(), 15);
+        let (pl2, _) = p.encode_update(10, &patch).unwrap();
+        assert_eq!((pl2.leaf, pl2.slot), (10, VersionSlot(2)));
+        // Update 3 overflows: pointer at slot 3 + patch in a chain leaf.
+        let (pl3, mols3) = p.encode_update(10, &patch).unwrap();
+        assert_eq!(pl3.leaf, 1023);
+        assert_eq!(pl3.slot, VersionSlot(0));
+        assert_eq!(pl3.pointers, vec![(10, VersionSlot(3), 1023)]);
+        assert_eq!(mols3.len(), 30); // patch unit + pointer unit
+        assert_eq!(p.chain_of(10), &[1023]);
+        // Updates 4 and 5 fill the chain leaf's remaining slots.
+        let (pl4, _) = p.encode_update(10, &patch).unwrap();
+        assert_eq!((pl4.leaf, pl4.slot), (1023, VersionSlot(1)));
+        let (pl5, _) = p.encode_update(10, &patch).unwrap();
+        assert_eq!((pl5.leaf, pl5.slot), (1023, VersionSlot(2)));
+        // Update 6 chains again.
+        let (pl6, _) = p.encode_update(10, &patch).unwrap();
+        assert_eq!(pl6.leaf, 1022);
+        assert_eq!(pl6.pointers, vec![(1023, VersionSlot(3), 1022)]);
+        assert_eq!(p.chain_of(10), &[1023, 1022]);
+        assert_eq!(p.writes_of(10), 7);
+    }
+
+    #[test]
+    fn read_scope_includes_chain_leaves() {
+        let mut p = partition();
+        p.encode_block(10, &Block::zeroed()).unwrap();
+        let patch = UpdatePatch::identity();
+        for _ in 0..4 {
+            p.encode_update(10, &patch).unwrap();
+        }
+        let scope = p.read_scope(10);
+        assert_eq!(scope.len(), 2);
+        assert_eq!(scope[0], p.elongated_primer(10));
+        assert_eq!(scope[1], p.elongated_primer(1023));
+    }
+
+    #[test]
+    fn pointer_blocks_round_trip_and_cannot_be_patches() {
+        let b = pointer_block(987654);
+        assert_eq!(parse_pointer_block(&b), Some(987654));
+        // The sentinel header is an impossible patch.
+        assert!(UpdatePatch::from_block(&b).is_err());
+        // Regular patches never parse as pointers.
+        let patch = UpdatePatch::new(1, 2, 3, b"abc".to_vec()).unwrap();
+        assert_eq!(parse_pointer_block(&patch.to_block()), None);
+    }
+
+    #[test]
+    fn two_stacks_places_updates_from_the_top() {
+        let cfg = PartitionConfig {
+            layout: UpdateLayout::TwoStacks,
+            ..PartitionConfig::paper_default(5)
+        };
+        let mut p = Partition::new(cfg, primers());
+        p.encode_block(0, &Block::zeroed()).unwrap();
+        p.encode_block(1, &Block::zeroed()).unwrap();
+        let patch = UpdatePatch::identity();
+        let (pl1, _) = p.encode_update(0, &patch).unwrap();
+        assert_eq!(pl1.leaf, 1023);
+        let (pl2, _) = p.encode_update(1, &patch).unwrap();
+        assert_eq!(pl2.leaf, 1022);
+        // Read scope covers the whole used update region.
+        let scope = p.read_scope(0);
+        assert!(scope.len() >= 2);
+    }
+
+    #[test]
+    fn update_before_write_rejected() {
+        let mut p = partition();
+        assert_eq!(
+            p.encode_update(5, &UpdatePatch::identity()),
+            Err(StoreError::BlockNotWritten(5))
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_strands() {
+        let mut a = partition();
+        let mut b = partition();
+        let blk = Block::from_bytes(b"determinism").unwrap();
+        assert_eq!(a.encode_block(7, &blk).unwrap(), b.encode_block(7, &blk).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees_and_strands() {
+        let mut a = Partition::new(PartitionConfig::paper_default(1), primers());
+        let mut b = Partition::new(PartitionConfig::paper_default(2), primers());
+        let blk = Block::zeroed();
+        assert_ne!(a.encode_block(7, &blk).unwrap(), b.encode_block(7, &blk).unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+//! Retrieval planning: choosing elongation depth and prefix covers.
+//!
+//! §3.1/§4: a range can be fetched *precisely* (one primer per cover node,
+//! multiplexed) or *approximately* (one partially elongated primer for the
+//! longest common prefix, over-amplifying some neighbours). The planner
+//! quantifies that trade-off so callers — and the `abl_elong` ablation —
+//! can pick a point on the curve.
+
+use crate::partition::Partition;
+use dna_index::LeafId;
+use dna_seq::DnaSeq;
+
+/// A planned retrieval: the primers to synthesize/elongate and the expected
+/// amplification scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalPlan {
+    /// The elongated/partial primers to use (multiplexed in one reaction).
+    pub primers: Vec<DnaSeq>,
+    /// Leaves wanted by the caller.
+    pub wanted_leaves: u64,
+    /// Leaves the reaction will actually amplify.
+    pub amplified_leaves: u64,
+}
+
+impl RetrievalPlan {
+    /// Over-amplification factor: amplified / wanted (1.0 = perfectly
+    /// precise).
+    pub fn over_amplification(&self) -> f64 {
+        self.amplified_leaves as f64 / self.wanted_leaves as f64
+    }
+
+    /// Expected useful-read fraction if every amplified leaf ends up at
+    /// similar abundance (§3.2's concentration invariant).
+    pub fn expected_useful_fraction(&self) -> f64 {
+        self.wanted_leaves as f64 / self.amplified_leaves as f64
+    }
+
+    /// Extra primer bases to synthesize, relative to the bare main primer.
+    pub fn elongation_bases(&self, main_primer_len: usize) -> usize {
+        self.primers
+            .iter()
+            .map(|p| p.len().saturating_sub(main_primer_len))
+            .sum()
+    }
+}
+
+/// Plans a precise range retrieval: one primer per cover node (§3.1:
+/// "range AAA to AGT can be precisely described with ... AA, AC, AG").
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of bounds.
+pub fn plan_precise(partition: &Partition, lo: u64, hi: u64) -> RetrievalPlan {
+    let primers = partition.range_prefixes(lo, hi);
+    RetrievalPlan {
+        primers,
+        wanted_leaves: hi - lo + 1,
+        amplified_leaves: hi - lo + 1,
+    }
+}
+
+/// Plans a single-primer retrieval using the longest common prefix
+/// (possibly over-amplifying).
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of bounds.
+pub fn plan_common_prefix(partition: &Partition, lo: u64, hi: u64) -> RetrievalPlan {
+    let (node, _) = partition.tree().common_prefix_cover(LeafId(lo), LeafId(hi));
+    let mut primer = partition.primers().forward().clone();
+    for _ in 0..partition.config().geometry.sync_len {
+        primer.push(dna_seq::Base::A);
+    }
+    primer.extend(node.prefix(partition.tree()).iter());
+    RetrievalPlan {
+        primers: vec![primer],
+        wanted_leaves: hi - lo + 1,
+        amplified_leaves: node.leaf_count,
+    }
+}
+
+/// Plans a partial elongation of exactly `levels` tree levels around a
+/// single block — the `abl_elong` sweep: level 0 is the bare main primer
+/// (whole partition), level `depth` is the fully elongated primer (one
+/// block).
+///
+/// # Panics
+///
+/// Panics if `levels` exceeds the tree depth or `block` is out of range.
+pub fn plan_partial(partition: &Partition, block: u64, levels: usize) -> RetrievalPlan {
+    let tree = partition.tree();
+    let mut primer = partition.primers().forward().clone();
+    for _ in 0..partition.config().geometry.sync_len {
+        primer.push(dna_seq::Base::A);
+    }
+    primer.extend(tree.leaf_prefix(LeafId(block), levels).iter());
+    RetrievalPlan {
+        primers: vec![primer],
+        wanted_leaves: 1,
+        amplified_leaves: tree.leaves_under(levels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionConfig;
+    use dna_primers::PrimerPair;
+
+    fn partition() -> Partition {
+        Partition::new(
+            PartitionConfig::paper_default(3),
+            PrimerPair::new(
+                "AACCGGTTAACCGGTTAACC".parse().unwrap(),
+                "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
+            ),
+        )
+    }
+
+    #[test]
+    fn precise_plan_is_exact() {
+        let p = partition();
+        let plan = plan_precise(&p, 100, 163);
+        assert_eq!(plan.wanted_leaves, 64);
+        assert_eq!(plan.over_amplification(), 1.0);
+        assert_eq!(plan.expected_useful_fraction(), 1.0);
+        assert!(!plan.primers.is_empty());
+    }
+
+    #[test]
+    fn common_prefix_plan_trades_precision_for_one_primer() {
+        let p = partition();
+        let plan = plan_common_prefix(&p, 100, 163);
+        assert_eq!(plan.primers.len(), 1);
+        assert!(plan.over_amplification() >= 1.0);
+        // aligned 64-leaf range under one node → could still be 1.0; use an
+        // unaligned range to force over-amplification
+        let plan2 = plan_common_prefix(&p, 100, 200);
+        assert!(plan2.over_amplification() > 1.0);
+    }
+
+    #[test]
+    fn partial_elongation_sweep_narrows_scope() {
+        let p = partition();
+        let mut last = u64::MAX;
+        for levels in 0..=5usize {
+            let plan = plan_partial(&p, 531, levels);
+            assert_eq!(plan.amplified_leaves, 1024 >> (2 * levels));
+            assert!(plan.amplified_leaves < last || levels == 0);
+            last = plan.amplified_leaves;
+            // primer grows by 2 bases per level
+            assert_eq!(plan.primers[0].len(), 21 + 2 * levels);
+        }
+        // Full elongation isolates exactly one block.
+        assert_eq!(plan_partial(&p, 531, 5).amplified_leaves, 1);
+    }
+
+    #[test]
+    fn elongation_base_accounting() {
+        let p = partition();
+        let plan = plan_partial(&p, 531, 5);
+        assert_eq!(plan.elongation_bases(20), 11); // sync + 10 index bases
+    }
+}

@@ -1,0 +1,767 @@
+//! The end-to-end block store over the simulated wetlab.
+
+use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
+use crate::layout::UpdateLayout;
+use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
+use crate::update::UpdatePatch;
+use crate::StoreError;
+use dna_pipeline::{decode_block_validated, BlockDecodeOutcome};
+use dna_primers::{PrimerConstraints, PrimerLibrary, PrimerPair};
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+use dna_sim::{
+    IdsChannel, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction, Pool, Read, Sequencer,
+    SynthesisVendor,
+};
+use std::collections::BTreeMap;
+
+/// Handle to a partition within a [`BlockStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub usize);
+
+/// Wetlab statistics of one block read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadProtocolStats {
+    /// PCR + sequencing round-trips (1 unless overflow pointers were
+    /// followed).
+    pub pcr_rounds: usize,
+    /// Total reads sequenced.
+    pub reads_sequenced: usize,
+    /// Reads whose primer regions matched the target prefix.
+    pub reads_matched: usize,
+    /// Clusters reconstructed until coverage was complete (last round).
+    pub clusters_used: usize,
+}
+
+/// Result of reading one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReadOutcome {
+    /// The block content with all updates applied.
+    pub block: Block,
+    /// Number of update patches applied on top of the original.
+    pub patches_applied: usize,
+    /// Wetlab statistics.
+    pub stats: ReadProtocolStats,
+}
+
+/// The full system: partitions, the archival DNA pool, and the simulated
+/// instruments.
+///
+/// The store also keeps a *digital front-end cache* of logical block
+/// contents (§5.4: "Most DNA-storage systems will have digital front-ends")
+/// — used to compute update diffs; all read paths go through the wetlab.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    partitions: Vec<Partition>,
+    logical: BTreeMap<(usize, u64), Block>,
+    pool: Pool,
+    rng: DetRng,
+    twist: SynthesisVendor,
+    idt: SynthesisVendor,
+    sequencer: Sequencer,
+    nanodrop: Nanodrop,
+    primer_library: PrimerLibrary,
+    primers_handed_out: usize,
+    /// Reads sampled per expected strand during retrieval.
+    coverage: usize,
+    /// The shared update-log partition (created on demand for
+    /// [`UpdateLayout::DedicatedLog`]).
+    log_partition: Option<usize>,
+    /// Monotonic sequence number for log-layout updates.
+    log_seq: u32,
+    /// Next free leaf in the log partition.
+    log_head: u64,
+}
+
+impl BlockStore {
+    /// Creates a store with a deterministic seed. The seed drives primer
+    /// library generation, synthesis skew and read sampling — two stores
+    /// with the same seed and call sequence behave identically.
+    pub fn new(seed: u64) -> BlockStore {
+        let constraints = PrimerConstraints::paper_default(20);
+        let primer_library =
+            PrimerLibrary::generate_with_distance(&constraints, 8, 64, 400_000, seed ^ 0x9121);
+        BlockStore {
+            partitions: Vec::new(),
+            logical: BTreeMap::new(),
+            pool: Pool::new(),
+            rng: DetRng::seed_from_u64(seed),
+            twist: SynthesisVendor::twist(),
+            idt: SynthesisVendor::idt(),
+            sequencer: Sequencer::new(IdsChannel::illumina()),
+            nanodrop: Nanodrop::benchtop(),
+            primer_library,
+            primers_handed_out: 0,
+            coverage: 12,
+            log_partition: None,
+            log_seq: 0,
+            log_head: 0,
+        }
+    }
+
+    /// Sets the sequencing coverage (reads per expected strand).
+    pub fn set_coverage(&mut self, coverage: usize) {
+        assert!(coverage > 0, "coverage must be positive");
+        self.coverage = coverage;
+    }
+
+    /// Replaces the sequencer (e.g. to inject nanopore-grade noise).
+    pub fn set_sequencer(&mut self, sequencer: Sequencer) {
+        self.sequencer = sequencer;
+    }
+
+    /// The archival pool (inspection/benches).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Mutable pool access for custom bench protocols.
+    pub fn pool_mut(&mut self) -> &mut Pool {
+        &mut self.pool
+    }
+
+    /// Borrow a partition.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids are rejected.
+    pub fn partition(&self, pid: PartitionId) -> Result<&Partition, StoreError> {
+        self.partitions
+            .get(pid.0)
+            .ok_or(StoreError::UnknownPartition(pid.0))
+    }
+
+    /// Creates a partition, assigning the next compatible primer pair.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoPrimerPairAvailable`] when the primer library is
+    /// exhausted (§1: only ~1000–3000 compatible primers exist at length
+    /// 20 — the scarcity that motivates this whole design).
+    pub fn create_partition(&mut self, config: PartitionConfig) -> Result<PartitionId, StoreError> {
+        let pair = self.next_primer_pair()?;
+        let mut config = config;
+        config.partition_tag = self.partitions.len() as u32;
+        self.partitions.push(Partition::new(config, pair));
+        Ok(PartitionId(self.partitions.len() - 1))
+    }
+
+    fn next_primer_pair(&mut self) -> Result<PrimerPair, StoreError> {
+        if self.primers_handed_out + 2 > self.primer_library.len() {
+            return Err(StoreError::NoPrimerPairAvailable);
+        }
+        let fwd = self.primer_library.primer(self.primers_handed_out).clone();
+        let rev = self
+            .primer_library
+            .primer(self.primers_handed_out + 1)
+            .clone();
+        self.primers_handed_out += 2;
+        Ok(PrimerPair::new(fwd, rev))
+    }
+
+    /// Writes `data` as consecutive blocks starting at block 0, synthesizes
+    /// the strands (Twist vendor model) and adds them to the pool. Returns
+    /// the number of blocks written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (range, double write).
+    pub fn write_file(&mut self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
+        self.write_file_at(pid, 0, data)
+    }
+
+    /// Writes `data` as consecutive blocks starting at `first_block`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (range, double write).
+    pub fn write_file_at(
+        &mut self,
+        pid: PartitionId,
+        first_block: u64,
+        data: &[u8],
+    ) -> Result<u64, StoreError> {
+        let partition = self
+            .partitions
+            .get_mut(pid.0)
+            .ok_or(StoreError::UnknownPartition(pid.0))?;
+        let blocks = data.chunks(BLOCK_SIZE).collect::<Vec<_>>();
+        let mut designs = Vec::new();
+        for (i, chunk) in blocks.iter().enumerate() {
+            let block_id = first_block + i as u64;
+            let block = Block::from_bytes(chunk)?;
+            designs.extend(partition.encode_block(block_id, &block)?);
+            self.logical.insert((pid.0, block_id), block);
+        }
+        let synthesized = self.twist.synthesize(&designs, &mut self.rng);
+        self.pool = self.pool.mixed_with(&synthesized, 1.0, 1.0);
+        Ok(blocks.len() as u64)
+    }
+
+    /// Updates a block to `new_content`: computes a §6.4 diff patch against
+    /// the logical cache, synthesizes it (IDT vendor model, 50000× more
+    /// concentrated), and mixes it into the pool at matched per-oligo
+    /// concentration (§6.4.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block was never written, the change cannot fit one
+    /// patch, or the address space is exhausted.
+    pub fn update_block(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+        new_content: &[u8],
+    ) -> Result<(), StoreError> {
+        let old = self
+            .logical
+            .get(&(pid.0, block))
+            .cloned()
+            .ok_or(StoreError::BlockNotWritten(block))?;
+        let new = Block::from_bytes(new_content)?;
+        let patch = UpdatePatch::diff(&old, &new).ok_or_else(|| {
+            StoreError::InvalidPatch("change too large for one patch".to_string())
+        })?;
+        let layout = self
+            .partition(pid)?
+            .config()
+            .layout;
+        let designs = match layout {
+            UpdateLayout::DedicatedLog => self.encode_log_update(pid, block, &patch)?,
+            _ => {
+                let partition = self
+                    .partitions
+                    .get_mut(pid.0)
+                    .ok_or(StoreError::UnknownPartition(pid.0))?;
+                partition.encode_update(block, &patch)?.1
+            }
+        };
+        // Synthesize with the small-batch vendor and mix at matched
+        // per-oligo concentration.
+        let update_pool = self.idt.synthesize(&designs, &mut self.rng);
+        let data_per_oligo = self
+            .nanodrop
+            .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
+        let update_per_oligo = self.nanodrop.measure_per_oligo(
+            &update_pool,
+            update_pool.distinct().max(1),
+            &mut self.rng,
+        );
+        let dilution = (data_per_oligo / update_per_oligo).min(1.0);
+        self.pool = self.pool.mixed_with(&update_pool, 1.0, dilution);
+        self.logical.insert((pid.0, block), new);
+        Ok(())
+    }
+
+    /// Routes a DedicatedLog-layout update into the shared log partition.
+    fn encode_log_update(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+        patch: &UpdatePatch,
+    ) -> Result<Vec<dna_sim::Molecule>, StoreError> {
+        let log_pid = match self.log_partition {
+            Some(p) => p,
+            None => {
+                let pair = self.next_primer_pair()?;
+                let mut cfg = PartitionConfig::paper_default(0x106);
+                cfg.partition_tag = 1000; // distinguish log strands in tags
+                self.partitions.push(Partition::new(cfg, pair));
+                let p = self.partitions.len() - 1;
+                self.log_partition = Some(p);
+                p
+            }
+        };
+        let entry = log_entry_block(pid.0 as u32, block, self.log_seq, patch);
+        self.log_seq += 1;
+        let leaf = self.log_head;
+        self.log_head += 1;
+        let log_partition = &mut self.partitions[log_pid];
+        let molecules = log_partition.encode_block(leaf, &entry)?;
+        self.partitions[pid.0].note_external_update(block);
+        Ok(molecules)
+    }
+
+    /// Reads one block through the full wetlab path: precise PCR with the
+    /// block's elongated primer (multiplexed with chain/region primers as
+    /// the layout requires), sequencing, clustering, trace reconstruction,
+    /// RS decoding and patch application. Follows overflow pointers with
+    /// extra round-trips when present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DecodeFailed`] if any required unit cannot be
+    /// recovered.
+    pub fn read_block(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+    ) -> Result<BlockReadOutcome, StoreError> {
+        let layout = self.partition(pid)?.config().layout;
+        let mut stats = ReadProtocolStats {
+            pcr_rounds: 0,
+            reads_sequenced: 0,
+            reads_matched: 0,
+            clusters_used: 0,
+        };
+        // Round 1: the block's leaf (plus the update region for TwoStacks).
+        let (mut current, mut patches): (Block, Vec<UpdatePatch>) = match layout {
+            UpdateLayout::Interleaved { update_slots } => {
+                self.read_interleaved(pid, block, update_slots, &mut stats)?
+            }
+            UpdateLayout::TwoStacks => self.read_two_stacks(pid, block, &mut stats)?,
+            UpdateLayout::DedicatedLog => self.read_with_dedicated_log(pid, block, &mut stats)?,
+        };
+        let patches_applied = patches.len();
+        for patch in patches.drain(..) {
+            current = patch.apply(&current)?;
+        }
+        Ok(BlockReadOutcome {
+            block: current,
+            patches_applied,
+            stats,
+        })
+    }
+
+    /// Reads a contiguous block range via one multiplexed precise PCR
+    /// (§3.1 prefix cover). Updates are applied per block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any block in the range cannot be decoded.
+    pub fn read_range(
+        &mut self,
+        pid: PartitionId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<Block>, StoreError> {
+        let partition = self.partition(pid)?;
+        let primers = partition.range_prefixes_weighted(lo, hi);
+        let rev = partition.primers().reverse().clone();
+        let expected_units = (hi - lo + 1) as usize * 2;
+        let reads = self.run_retrieval(&primers, &rev, expected_units);
+        let mut out = Vec::new();
+        for block in lo..=hi {
+            let partition = self.partition(pid)?;
+            let prefix = partition.elongated_primer(block);
+            let cfg = partition.decode_config(block);
+            let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+            let (mut content, patches) = interpret_interleaved(&outcome, block)?;
+            for p in patches {
+                content = p.apply(&content)?;
+            }
+            out.push(content);
+        }
+        Ok(out)
+    }
+
+    // ----- layout-specific read paths ---------------------------------------
+
+    fn read_interleaved(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+        update_slots: u8,
+        stats: &mut ReadProtocolStats,
+    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+        let mut patches = Vec::new();
+        let mut original: Option<Block> = None;
+        let mut leaf = block;
+        // Follow the pointer chain; the common case is a single round-trip.
+        for _hop in 0..64 {
+            let partition = self.partition(pid)?;
+            let prefix = partition.elongated_primer(leaf);
+            let rev = partition.primers().reverse().clone();
+            let cfg = partition.decode_config(leaf);
+            let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 4);
+            stats.pcr_rounds += 1;
+            stats.reads_sequenced += reads.len();
+            let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+            stats.reads_matched += outcome.reads_matched;
+            stats.clusters_used = outcome.clusters_used;
+            let mut next_leaf = None;
+            for (base, v) in &outcome.versions {
+                let slot = VersionSlot::from_base(*base);
+                let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                    StoreError::DecodeFailed {
+                        block,
+                        reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
+                    }
+                })?;
+                if leaf == block && slot.0 == 0 {
+                    original = Some(content);
+                } else if slot.0 == update_slots {
+                    // pointer slot
+                    match parse_pointer_block(&content) {
+                        Some(target) => next_leaf = Some(target),
+                        None => {
+                            return Err(StoreError::DecodeFailed {
+                                block,
+                                reason: format!("malformed pointer at leaf {leaf}"),
+                            })
+                        }
+                    }
+                } else {
+                    patches.push((leaf, slot.0, UpdatePatch::from_block(&content)?));
+                }
+            }
+            if outcome.versions.is_empty() && leaf == block {
+                return Err(StoreError::DecodeFailed {
+                    block,
+                    reason: "no versions recovered".to_string(),
+                });
+            }
+            match next_leaf {
+                Some(target) => leaf = target,
+                None => break,
+            }
+        }
+        let original = original.ok_or(StoreError::DecodeFailed {
+            block,
+            reason: "original version missing".to_string(),
+        })?;
+        // Patches are already in (hop, slot) order: chain hops were visited
+        // chronologically and slots sort by version base.
+        let ordered = patches.into_iter().map(|(_, _, p)| p).collect();
+        Ok((original, ordered))
+    }
+
+    fn read_two_stacks(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+        stats: &mut ReadProtocolStats,
+    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+        let partition = self.partition(pid)?;
+        let rev = partition.primers().reverse().clone();
+        let update_leaves: Vec<u64> = partition.chain_of(block).to_vec();
+        // Fig. 7 cost: the block plus the ENTIRE used update region must be
+        // amplified, with primer concentrations weighted by covered leaves.
+        let stack_updates = partition.stack_update_count();
+        let mut scope: Vec<(DnaSeq, f64)> = vec![(partition.elongated_primer(block), 1.0)];
+        if stack_updates > 0 {
+            let lo = partition.num_leaves() - stack_updates;
+            let hi = partition.num_leaves() - 1;
+            scope.extend(partition.range_prefixes_weighted(lo, hi));
+        }
+        let expected_units = 1 + stack_updates as usize;
+        let reads = self.run_retrieval(&scope, &rev, expected_units);
+        stats.pcr_rounds += 1;
+        stats.reads_sequenced += reads.len();
+        // Decode the block itself.
+        let partition = self.partition(pid)?;
+        let prefix = partition.elongated_primer(block);
+        let cfg = partition.decode_config(block);
+        let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+        stats.reads_matched += outcome.reads_matched;
+        let (original, _) = interpret_interleaved(&outcome, block)?;
+        // Decode this block's update leaves (known from metadata; their
+        // content is self-ordering via version slots 0 at distinct leaves).
+        let mut patches = Vec::new();
+        for &leaf in &update_leaves {
+            let partition = self.partition(pid)?;
+            let prefix = partition.elongated_primer(leaf);
+            let cfg = partition.decode_config(leaf);
+            let o = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+            stats.reads_matched += o.reads_matched;
+            if let Some(v) = o.versions.get(&Base::A) {
+                let content = Block::from_unit_bytes(&v.unit_bytes)
+                    .map_err(|_| StoreError::DecodeFailed {
+                        block,
+                        reason: format!("update unit at leaf {leaf}"),
+                    })?;
+                patches.push(UpdatePatch::from_block(&content)?);
+            } else {
+                return Err(StoreError::DecodeFailed {
+                    block,
+                    reason: format!("update leaf {leaf} unrecovered"),
+                });
+            }
+        }
+        Ok((original, patches))
+    }
+
+    fn read_with_dedicated_log(
+        &mut self,
+        pid: PartitionId,
+        block: u64,
+        stats: &mut ReadProtocolStats,
+    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+        // Round 1: the data block.
+        let partition = self.partition(pid)?;
+        let prefix = partition.elongated_primer(block);
+        let rev = partition.primers().reverse().clone();
+        let cfg = partition.decode_config(block);
+        let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 2);
+        stats.pcr_rounds += 1;
+        stats.reads_sequenced += reads.len();
+        let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+        stats.reads_matched += outcome.reads_matched;
+        let (original, _) = interpret_interleaved(&outcome, block)?;
+        // Round 2: the ENTIRE shared log (the §5.3 Fig. 6 cost).
+        let mut patches = Vec::new();
+        if let Some(log_pid) = self.log_partition {
+            let log = &self.partitions[log_pid];
+            let log_fwd = {
+                let mut p = log.primers().forward().clone();
+                for _ in 0..log.config().geometry.sync_len {
+                    p.push(Base::A);
+                }
+                p
+            };
+            let log_rev = log.primers().reverse().clone();
+            let entries = self.log_head;
+            let reads =
+                self.run_retrieval(&[(log_fwd.clone(), 1.0)], &log_rev, entries as usize + 1);
+            stats.pcr_rounds += 1;
+            stats.reads_sequenced += reads.len();
+            let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
+            for leaf in 0..entries {
+                let log = &self.partitions[log_pid];
+                let prefix = log.elongated_primer(leaf);
+                let cfg = log.decode_config(leaf);
+                let o = decode_block_validated(&reads, &prefix, &log_rev, &cfg, unit_checksum_ok);
+                stats.reads_matched += o.reads_matched;
+                if let Some(v) = o.versions.get(&Base::A) {
+                    if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                        if let Some((epid, eblock, seq, patch)) = parse_log_entry(&content) {
+                            if epid == pid.0 as u32 && eblock == block {
+                                found.push((seq, patch));
+                            }
+                        }
+                    }
+                }
+            }
+            found.sort_by_key(|&(seq, _)| seq);
+            patches.extend(found.into_iter().map(|(_, p)| p));
+        }
+        Ok((original, patches))
+    }
+
+    /// Runs one precise PCR (multiplexed over weighted `primers`) on the
+    /// pool and sequences the product. Primer budgets are proportional to
+    /// each primer's weight (the number of leaves it covers), so every leaf
+    /// in scope amplifies evenly (§3.2).
+    fn run_retrieval(
+        &mut self,
+        primers: &[(DnaSeq, f64)],
+        rev: &DnaSeq,
+        expected_units: usize,
+    ) -> Vec<Read> {
+        let initial = self.pool.total_copies();
+        let budget = initial * 20.0;
+        let total_weight: f64 = primers.iter().map(|(_, w)| w.max(1e-9)).sum();
+        let rxn = PcrReaction {
+            forward_primers: primers
+                .iter()
+                .map(|(p, w)| {
+                    PcrPrimer::with_budget(p.clone(), budget * w.max(1e-9) / total_weight)
+                })
+                .collect(),
+            reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let out = rxn.run(&self.pool);
+        let strands = expected_units.max(1) * 15;
+        let n_reads = strands * self.coverage;
+        self.sequencer.sequence(&out.pool, n_reads, &mut self.rng)
+    }
+}
+
+/// Extracts the original block and its in-leaf patches from a decode
+/// outcome (Interleaved semantics: slot 0 = original, others = patches).
+fn interpret_interleaved(
+    outcome: &BlockDecodeOutcome,
+    block: u64,
+) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+    let original = outcome
+        .versions
+        .get(&Base::A)
+        .ok_or(StoreError::DecodeFailed {
+            block,
+            reason: "original version missing".to_string(),
+        })
+        .and_then(|v| {
+            Block::from_unit_bytes(&v.unit_bytes).map_err(|_| StoreError::DecodeFailed {
+                block,
+                reason: "unit checksum".to_string(),
+            })
+        })?;
+    let mut patches = Vec::new();
+    for (base, v) in &outcome.versions {
+        if *base == Base::A {
+            continue;
+        }
+        let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+            StoreError::DecodeFailed {
+                block,
+                reason: "update unit checksum".to_string(),
+            }
+        })?;
+        if parse_pointer_block(&content).is_none() {
+            patches.push(UpdatePatch::from_block(&content)?);
+        }
+    }
+    Ok((original, patches))
+}
+
+/// Serializes a DedicatedLog entry: marker, partition, block, sequence
+/// number, then the patch wire format.
+fn log_entry_block(pid: u32, block: u64, seq: u32, patch: &UpdatePatch) -> Block {
+    let mut bytes = vec![0xFEu8];
+    bytes.extend_from_slice(&pid.to_le_bytes());
+    bytes.extend_from_slice(&block.to_le_bytes());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    let wire = patch.to_block();
+    bytes.push(wire.data[0]);
+    bytes.push(wire.data[1]);
+    bytes.push(wire.data[2]);
+    bytes.push(wire.data[3]);
+    bytes.extend_from_slice(&patch.ins_bytes);
+    Block::from_bytes(&bytes).expect("log entry fits")
+}
+
+/// Parses a DedicatedLog entry.
+fn parse_log_entry(block: &Block) -> Option<(u32, u64, u32, UpdatePatch)> {
+    let d = &block.data;
+    if d[0] != 0xFE {
+        return None;
+    }
+    let pid = u32::from_le_bytes(d[1..5].try_into().ok()?);
+    let target = u64::from_le_bytes(d[5..13].try_into().ok()?);
+    let seq = u32::from_le_bytes(d[13..17].try_into().ok()?);
+    let ins_len = usize::from(d[20]);
+    if 21 + ins_len > d.len() {
+        return None;
+    }
+    let patch = UpdatePatch::new(d[17], d[18], d[19], d[21..21 + ins_len].to_vec()).ok()?;
+    Some((pid, target, seq, patch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut store = BlockStore::new(1);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(11))
+            .unwrap();
+        let data = crate::workload::deterministic_text(3 * BLOCK_SIZE, 5);
+        assert_eq!(store.write_file(pid, &data).unwrap(), 3);
+        for b in 0..3u64 {
+            let out = store.read_block(pid, b).unwrap();
+            assert_eq!(
+                out.block.data,
+                &data[b as usize * BLOCK_SIZE..(b as usize + 1) * BLOCK_SIZE],
+                "block {b}"
+            );
+            assert_eq!(out.patches_applied, 0);
+            assert_eq!(out.stats.pcr_rounds, 1);
+        }
+    }
+
+    #[test]
+    fn update_then_read_applies_patch() {
+        let mut store = BlockStore::new(2);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(12))
+            .unwrap();
+        let mut data = crate::workload::deterministic_text(2 * BLOCK_SIZE, 6);
+        store.write_file(pid, &data).unwrap();
+        // Edit a few bytes of block 1.
+        data[BLOCK_SIZE + 10..BLOCK_SIZE + 15].copy_from_slice(b"EDIT!");
+        store
+            .update_block(pid, 1, &data[BLOCK_SIZE..2 * BLOCK_SIZE])
+            .unwrap();
+        let out = store.read_block(pid, 1).unwrap();
+        assert_eq!(out.block.data, &data[BLOCK_SIZE..2 * BLOCK_SIZE]);
+        assert_eq!(out.patches_applied, 1);
+        // Unupdated block unaffected.
+        let out0 = store.read_block(pid, 0).unwrap();
+        assert_eq!(out0.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(out0.patches_applied, 0);
+    }
+
+    #[test]
+    fn multiple_updates_apply_in_order() {
+        let mut store = BlockStore::new(3);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(13))
+            .unwrap();
+        let data = crate::workload::deterministic_text(BLOCK_SIZE, 7);
+        store.write_file(pid, &data).unwrap();
+        let mut current = data.clone();
+        current[0..3].copy_from_slice(b"one");
+        store.update_block(pid, 0, &current).unwrap();
+        current[4..7].copy_from_slice(b"two");
+        store.update_block(pid, 0, &current).unwrap();
+        let out = store.read_block(pid, 0).unwrap();
+        assert_eq!(out.block.data, current);
+        assert_eq!(out.patches_applied, 2);
+        assert_eq!(out.stats.pcr_rounds, 1, "direct slots need one round-trip");
+    }
+
+    #[test]
+    fn overflow_chain_follows_pointers() {
+        let mut store = BlockStore::new(4);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(14))
+            .unwrap();
+        let data = crate::workload::deterministic_text(BLOCK_SIZE, 8);
+        store.write_file(pid, &data).unwrap();
+        let mut current = data.clone();
+        for i in 0..4u8 {
+            current[i as usize] = b'A' + i;
+            store.update_block(pid, 0, &current).unwrap();
+        }
+        let out = store.read_block(pid, 0).unwrap();
+        assert_eq!(out.block.data, current);
+        assert_eq!(out.patches_applied, 4);
+        assert!(out.stats.pcr_rounds >= 2, "chain requires a second round-trip");
+    }
+
+    #[test]
+    fn read_range_returns_consecutive_blocks() {
+        let mut store = BlockStore::new(5);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(15))
+            .unwrap();
+        let data = crate::workload::deterministic_text(5 * BLOCK_SIZE, 9);
+        store.write_file(pid, &data).unwrap();
+        let blocks = store.read_range(pid, 1, 3).unwrap();
+        assert_eq!(blocks.len(), 3);
+        for (i, b) in blocks.iter().enumerate() {
+            let off = (i + 1) * BLOCK_SIZE;
+            assert_eq!(b.data, &data[off..off + BLOCK_SIZE]);
+        }
+    }
+
+    #[test]
+    fn unknown_partition_and_block_errors() {
+        let mut store = BlockStore::new(6);
+        assert!(matches!(
+            store.read_block(PartitionId(0), 0),
+            Err(StoreError::UnknownPartition(0))
+        ));
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(16))
+            .unwrap();
+        assert!(matches!(
+            store.update_block(pid, 0, &[0u8; 10]),
+            Err(StoreError::BlockNotWritten(0))
+        ));
+    }
+
+    #[test]
+    fn log_entry_round_trip() {
+        let patch = UpdatePatch::new(3, 4, 5, b"body".to_vec()).unwrap();
+        let blk = log_entry_block(7, 99, 12, &patch);
+        let (pid, block, seq, got) = parse_log_entry(&blk).unwrap();
+        assert_eq!((pid, block, seq), (7, 99, 12));
+        assert_eq!(got, patch);
+        // Non-entries rejected.
+        assert!(parse_log_entry(&Block::zeroed()).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! Update patches (§6.4).
+//!
+//! "The first byte is an integer that identifies the first byte in the
+//! block (encoding unit) where deletion needs to happen. The second byte is
+//! a number that indicates how many bytes ... should be deleted, if any.
+//! The third part contains an integer that identifies the position of where
+//! an insertion should happen, after the deletion is applied. The rest is an
+//! array of bytes that should be inserted."
+
+use crate::block::{Block, BLOCK_SIZE};
+use crate::StoreError;
+
+/// A delete-then-insert patch against one 256-byte block.
+///
+/// Applying a patch keeps the block at fixed size: content shifts left on
+/// deletion and right on insertion, and the result is truncated / zero-
+/// padded back to [`BLOCK_SIZE`] (blocks are fixed-size by design; §5.4
+/// notes updates could instead carry whole replacement blocks or arbitrary
+/// application-specific encodings).
+///
+/// # Examples
+///
+/// ```
+/// use dna_block_store::{Block, UpdatePatch};
+///
+/// let old = Block::from_bytes(b"the cat sat on the mat").unwrap();
+/// let patch = UpdatePatch::new(4, 3, 4, b"dog".to_vec()).unwrap();
+/// let new = patch.apply(&old).unwrap();
+/// assert_eq!(&new.data[..22], b"the dog sat on the mat");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePatch {
+    /// First byte to delete.
+    pub del_start: u8,
+    /// Number of bytes to delete.
+    pub del_len: u8,
+    /// Insertion position (after the deletion is applied).
+    pub ins_pos: u8,
+    /// Bytes to insert.
+    pub ins_bytes: Vec<u8>,
+}
+
+impl UpdatePatch {
+    /// Maximum insertion payload that fits a patch unit:
+    /// block size minus the 3 header bytes and 1 length byte.
+    pub const MAX_INSERT: usize = BLOCK_SIZE - 4;
+
+    /// Creates a patch, validating offsets.
+    ///
+    /// # Errors
+    ///
+    /// Rejects patches whose deletion window or insertion point exceeds the
+    /// block, or whose insertion payload cannot fit a patch unit.
+    pub fn new(
+        del_start: u8,
+        del_len: u8,
+        ins_pos: u8,
+        ins_bytes: Vec<u8>,
+    ) -> Result<UpdatePatch, StoreError> {
+        if usize::from(del_start) + usize::from(del_len) > BLOCK_SIZE {
+            return Err(StoreError::InvalidPatch(format!(
+                "deletion {del_start}+{del_len} exceeds block size"
+            )));
+        }
+        if usize::from(ins_pos) > BLOCK_SIZE - usize::from(del_len) {
+            return Err(StoreError::InvalidPatch(format!(
+                "insertion position {ins_pos} beyond post-deletion content"
+            )));
+        }
+        if ins_bytes.len() > Self::MAX_INSERT {
+            return Err(StoreError::InvalidPatch(format!(
+                "insertion of {} bytes exceeds patch capacity {}",
+                ins_bytes.len(),
+                Self::MAX_INSERT
+            )));
+        }
+        Ok(UpdatePatch {
+            del_start,
+            del_len,
+            ins_pos,
+            ins_bytes,
+        })
+    }
+
+    /// The identity patch (no deletion, no insertion).
+    pub fn identity() -> UpdatePatch {
+        UpdatePatch {
+            del_start: 0,
+            del_len: 0,
+            ins_pos: 0,
+            ins_bytes: Vec::new(),
+        }
+    }
+
+    /// Applies the patch to `block`, producing a new fixed-size block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::InvalidPatch`] if offsets do not fit (can
+    /// only happen for hand-built patches on short logical content).
+    pub fn apply(&self, block: &Block) -> Result<Block, StoreError> {
+        let mut content = block.data.clone();
+        let start = usize::from(self.del_start);
+        let len = usize::from(self.del_len);
+        content.drain(start..start + len);
+        let pos = usize::from(self.ins_pos);
+        if pos > content.len() {
+            return Err(StoreError::InvalidPatch(format!(
+                "insertion position {pos} beyond content length {}",
+                content.len()
+            )));
+        }
+        for (i, &b) in self.ins_bytes.iter().enumerate() {
+            content.insert(pos + i, b);
+        }
+        content.resize(BLOCK_SIZE, 0);
+        Block::from_bytes(&content)
+    }
+
+    /// Computes a minimal delete-then-insert patch transforming `old` into
+    /// `new` (common-prefix / common-suffix trim). Returns `None` when the
+    /// middle difference cannot be expressed in one patch (insertion too
+    /// large) — the caller should then fall back to a whole-block replace
+    /// chain.
+    pub fn diff(old: &Block, new: &Block) -> Option<UpdatePatch> {
+        if old == new {
+            return Some(UpdatePatch::identity());
+        }
+        let a = &old.data;
+        let b = &new.data;
+        let mut prefix = 0usize;
+        while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+            prefix += 1;
+        }
+        let mut suffix = 0usize;
+        while suffix < a.len() - prefix && suffix < b.len() - prefix
+            && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+        {
+            suffix += 1;
+        }
+        let del_len = a.len() - prefix - suffix;
+        let ins = b[prefix..b.len() - suffix].to_vec();
+        if del_len > u8::MAX as usize || prefix > u8::MAX as usize || ins.len() > Self::MAX_INSERT {
+            return None;
+        }
+        // Note: both blocks are BLOCK_SIZE so del_len == ins.len() here; the
+        // general form still supports shifting edits on logical content.
+        UpdatePatch::new(prefix as u8, del_len as u8, prefix as u8, ins).ok()
+    }
+
+    /// Serializes into the §6.4 wire format:
+    /// `[del_start, del_len, ins_pos, ins_len, ins_bytes...]`, zero-padded
+    /// to [`BLOCK_SIZE`].
+    pub fn to_block(&self) -> Block {
+        let mut bytes = Vec::with_capacity(BLOCK_SIZE);
+        bytes.push(self.del_start);
+        bytes.push(self.del_len);
+        bytes.push(self.ins_pos);
+        bytes.push(self.ins_bytes.len() as u8);
+        bytes.extend_from_slice(&self.ins_bytes);
+        Block::from_bytes(&bytes).expect("patch fits by construction")
+    }
+
+    /// Parses the §6.4 wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidPatch`] on malformed input.
+    pub fn from_block(block: &Block) -> Result<UpdatePatch, StoreError> {
+        let bytes = &block.data;
+        let ins_len = usize::from(bytes[3]);
+        if 4 + ins_len > bytes.len() {
+            return Err(StoreError::InvalidPatch(format!(
+                "insertion length {ins_len} overruns patch block"
+            )));
+        }
+        UpdatePatch::new(
+            bytes[0],
+            bytes[1],
+            bytes[2],
+            bytes[4..4 + ins_len].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_patch_is_noop() {
+        let b = Block::from_bytes(b"unchanged").unwrap();
+        assert_eq!(UpdatePatch::identity().apply(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn delete_then_insert() {
+        let b = Block::from_bytes(b"abcdefgh").unwrap();
+        // delete "cde" (3 bytes at 2), insert "XY" at position 2
+        let p = UpdatePatch::new(2, 3, 2, b"XY".to_vec()).unwrap();
+        let out = p.apply(&b).unwrap();
+        assert_eq!(&out.data[..7], b"abXYfgh");
+    }
+
+    #[test]
+    fn pure_insert_and_pure_delete() {
+        let b = Block::from_bytes(b"hello world").unwrap();
+        let ins = UpdatePatch::new(0, 0, 5, b",".to_vec()).unwrap();
+        assert_eq!(&ins.apply(&b).unwrap().data[..12], b"hello, world");
+        let del = UpdatePatch::new(5, 6, 0, Vec::new()).unwrap();
+        assert_eq!(&del.apply(&b).unwrap().data[..5], b"hello");
+    }
+
+    #[test]
+    fn validation_rejects_bad_offsets() {
+        assert!(UpdatePatch::new(250, 10, 0, Vec::new()).is_err());
+        assert!(UpdatePatch::new(0, 0, 0, vec![0; 253]).is_err());
+        assert!(UpdatePatch::new(0, 0, 0, vec![0; 252]).is_ok());
+    }
+
+    #[test]
+    fn diff_round_trips_arbitrary_edits() {
+        let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (b"the cat sat on the mat".to_vec(), b"the dog sat on the mat".to_vec()),
+            (b"aaaa".to_vec(), b"aaaa".to_vec()),
+            (b"hello".to_vec(), b"help".to_vec()),
+            (vec![0; 200], vec![1; 200]),
+            (b"prefix middle suffix".to_vec(), b"prefix MIDDLE suffix".to_vec()),
+        ];
+        for (old_raw, new_raw) in cases {
+            let old = Block::from_bytes(&old_raw).unwrap();
+            let new = Block::from_bytes(&new_raw).unwrap();
+            let patch = UpdatePatch::diff(&old, &new)
+                .unwrap_or_else(|| panic!("diff failed for {old_raw:?}"));
+            assert_eq!(patch.apply(&old).unwrap(), new);
+        }
+    }
+
+    #[test]
+    fn diff_of_huge_change_falls_back() {
+        let old = Block::from_bytes(&vec![0u8; 256]).unwrap();
+        let new = Block::from_bytes(&(0..=255u8).collect::<Vec<_>>()).unwrap();
+        // 256-byte replacement cannot fit in one patch (max 252 insert).
+        assert!(UpdatePatch::diff(&old, &new).is_none());
+    }
+
+    #[test]
+    fn wire_format_round_trip() {
+        let p = UpdatePatch::new(10, 4, 12, b"patch body".to_vec()).unwrap();
+        let blk = p.to_block();
+        assert_eq!(UpdatePatch::from_block(&blk).unwrap(), p);
+        // Wire layout spot check (§6.4: byte0 = deletion start, byte1 =
+        // deletion count, byte2 = insertion position, then payload).
+        assert_eq!(blk.data[0], 10);
+        assert_eq!(blk.data[1], 4);
+        assert_eq!(blk.data[2], 12);
+        assert_eq!(blk.data[3], 10); // length prefix of the payload
+        assert_eq!(&blk.data[4..14], b"patch body");
+    }
+
+    #[test]
+    fn patch_composition_applies_in_order() {
+        let b0 = Block::from_bytes(b"version zero").unwrap();
+        let p1 = UpdatePatch::diff(&b0, &Block::from_bytes(b"version one!").unwrap()).unwrap();
+        let b1 = p1.apply(&b0).unwrap();
+        let p2 = UpdatePatch::diff(&b1, &Block::from_bytes(b"version two.").unwrap()).unwrap();
+        let b2 = p2.apply(&b1).unwrap();
+        assert_eq!(&b2.data[..12], b"version two.");
+    }
+}

@@ -1,0 +1,129 @@
+//! Workload generators for the paper's experiments (§6.1).
+//!
+//! Substitution note (DESIGN.md §2): the wetlab encodes the 150 kB text of
+//! *Alice's Adventures in Wonderland*. The text itself is immaterial to any
+//! measured quantity — what matters is the block structure: **587 encoding
+//! units of 256 B** (8805 strands) in file 13, alongside 12 unrelated files.
+//! We generate a deterministic English-like text of exactly 587 × 256 =
+//! 150,272 bytes, organized in paragraph-sized chunks.
+
+use dna_seq::rng::DetRng;
+
+/// Number of blocks in the paper's book partition (§7.5: 8805 molecules /
+/// 15 per unit = 587 blocks).
+pub const ALICE_BLOCKS: usize = 587;
+
+/// Bytes in the generated book: 587 × 256 = 150,272 ≈ the paper's "150KB".
+pub const ALICE_BYTES: usize = ALICE_BLOCKS * crate::BLOCK_SIZE;
+
+/// Word stock for the deterministic prose generator.
+const WORDS: &[&str] = &[
+    "alice", "began", "to", "get", "very", "tired", "of", "sitting", "by", "her", "sister",
+    "on", "the", "bank", "and", "having", "nothing", "do", "once", "or", "twice", "she",
+    "had", "peeped", "into", "book", "was", "reading", "but", "it", "no", "pictures",
+    "conversations", "in", "what", "is", "use", "a", "thought", "without", "white", "rabbit",
+    "with", "pink", "eyes", "ran", "close", "nothing", "so", "remarkable", "that", "down",
+    "went", "never", "how", "world", "curious", "garden", "queen", "said", "cat", "time",
+    "little", "door", "key", "table", "bottle", "drink", "me", "grew", "larger", "smaller",
+];
+
+/// Generates the deterministic "book": exactly [`ALICE_BYTES`] of
+/// paragraph-structured ASCII prose. Always identical (fixed seed), so every
+/// experiment and test shares one ground truth.
+pub fn alice_book() -> Vec<u8> {
+    deterministic_text(ALICE_BYTES, 0xA11CE)
+}
+
+/// One 256-byte paragraph (block) of the book.
+///
+/// # Panics
+///
+/// Panics if `block >= ALICE_BLOCKS`.
+pub fn alice_paragraph(block: usize) -> Vec<u8> {
+    assert!(block < ALICE_BLOCKS, "block {block} out of range");
+    let book = alice_book();
+    book[block * crate::BLOCK_SIZE..(block + 1) * crate::BLOCK_SIZE].to_vec()
+}
+
+/// English-like deterministic filler text of exactly `len` bytes.
+pub fn deterministic_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    let mut sentence_words = 0usize;
+    while out.len() < len {
+        let word = WORDS[rng.gen_range(WORDS.len())];
+        if sentence_words == 0 && !out.is_empty() {
+            out.push(b' ');
+        } else if sentence_words > 0 {
+            out.push(b' ');
+        }
+        out.extend_from_slice(word.as_bytes());
+        sentence_words += 1;
+        if sentence_words >= 8 + rng.gen_range(8) {
+            out.extend_from_slice(b".");
+            sentence_words = 0;
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// The 12 unrelated files stored alongside the book (§6.1: "12 of these
+/// files simply present unrelated data partitions in the same DNA pool").
+/// `blocks_each` controls their size (the paper does not specify; the
+/// experiments use a small value because only their *presence* matters).
+pub fn unrelated_files(count: usize, blocks_each: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| deterministic_text(blocks_each * crate::BLOCK_SIZE, 0xF11E + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn book_has_paper_dimensions() {
+        let book = alice_book();
+        assert_eq!(book.len(), 150_272);
+        assert_eq!(book.len() % crate::BLOCK_SIZE, 0);
+        assert_eq!(book.len() / crate::BLOCK_SIZE, 587);
+    }
+
+    #[test]
+    fn book_is_deterministic() {
+        assert_eq!(alice_book(), alice_book());
+    }
+
+    #[test]
+    fn paragraphs_tile_the_book() {
+        let book = alice_book();
+        for b in [0usize, 144, 307, 531, 586] {
+            assert_eq!(alice_paragraph(b), &book[b * 256..(b + 1) * 256]);
+        }
+    }
+
+    #[test]
+    fn text_is_printable_ascii() {
+        let book = alice_book();
+        assert!(book
+            .iter()
+            .all(|&c| c == b' ' || c == b'.' || c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn unrelated_files_are_distinct() {
+        let files = unrelated_files(12, 3);
+        assert_eq!(files.len(), 12);
+        for f in &files {
+            assert_eq!(f.len(), 768);
+        }
+        assert_ne!(files[0], files[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn paragraph_bounds_checked() {
+        alice_paragraph(587);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the block store's logical layers (no wetlab —
+//! those paths are covered by the integration tests).
+
+use dna_block_store::{
+    capacity, checksum64, unit_checksum_ok, Block, Partition, PartitionConfig, UpdatePatch,
+    VersionSlot, BLOCK_SIZE,
+};
+use dna_primers::PrimerPair;
+use proptest::prelude::*;
+
+fn primers() -> PrimerPair {
+    PrimerPair::new(
+        "AACCGGTTAACCGGTTAACC".parse().unwrap(),
+        "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
+    )
+}
+
+proptest! {
+    /// diff ∘ apply is the identity for arbitrary same-length edits.
+    #[test]
+    fn patch_diff_apply_identity(
+        old_bytes in prop::collection::vec(any::<u8>(), 0..=BLOCK_SIZE),
+        edit_at in 0usize..BLOCK_SIZE,
+        edit in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let old = Block::from_bytes(&old_bytes).unwrap();
+        let mut new_data = old.data.clone();
+        for (i, &b) in edit.iter().enumerate() {
+            if edit_at + i < BLOCK_SIZE {
+                new_data[edit_at + i] = b;
+            }
+        }
+        let new = Block::from_bytes(&new_data).unwrap();
+        if let Some(patch) = UpdatePatch::diff(&old, &new) {
+            prop_assert_eq!(patch.apply(&old).unwrap(), new);
+            // Wire format round-trips too.
+            let wire = patch.to_block();
+            let back = UpdatePatch::from_block(&wire).unwrap();
+            prop_assert_eq!(back, patch);
+        }
+    }
+
+    /// Unit serialization always verifies; any single corruption is caught.
+    #[test]
+    fn unit_checksum_catches_any_flip(
+        content in prop::collection::vec(any::<u8>(), 0..=BLOCK_SIZE),
+        flip_at in 0usize..264,
+        flip_bit in 0u8..8,
+    ) {
+        let block = Block::from_bytes(&content).unwrap();
+        let mut unit = block.to_unit_bytes();
+        prop_assert!(unit_checksum_ok(&unit));
+        unit[flip_at] ^= 1 << flip_bit;
+        prop_assert!(!unit_checksum_ok(&unit));
+        let recomputed = checksum64(&unit[..BLOCK_SIZE]).to_le_bytes();
+        prop_assert_ne!(recomputed.as_slice(), &unit[BLOCK_SIZE..]);
+    }
+
+    /// Strand encodings are deterministic per (seed, leaf, slot) and
+    /// distinct across leaves and slots.
+    #[test]
+    fn encode_unit_deterministic_and_distinct(
+        seed in any::<u64>(),
+        leaf in 0u64..1020,
+        slot in 0u8..4,
+    ) {
+        let p = Partition::new(PartitionConfig::paper_default(seed), primers());
+        let block = Block::from_bytes(b"prop content").unwrap();
+        let a = p.encode_unit(leaf, VersionSlot(slot), &block);
+        let b = p.encode_unit(leaf, VersionSlot(slot), &block);
+        prop_assert_eq!(&a, &b);
+        let other_leaf = p.encode_unit(leaf + 1, VersionSlot(slot), &block);
+        prop_assert_ne!(&a, &other_leaf);
+        let other_slot = p.encode_unit(leaf, VersionSlot((slot + 1) % 4), &block);
+        prop_assert_ne!(&a, &other_slot);
+        // All strands are exactly 150 bases and share the leaf's prefix.
+        let prefix = p.elongated_primer(leaf);
+        for m in &a {
+            prop_assert_eq!(m.seq.len(), 150);
+            prop_assert!(m.seq.starts_with(&prefix));
+        }
+    }
+
+    /// Version-slot planning is total and ordered for the interleaved
+    /// layout: every successive update gets a valid, previously unused
+    /// (leaf, slot) address.
+    #[test]
+    fn update_placements_never_collide(seed in any::<u64>(), updates in 1usize..12) {
+        let mut p = Partition::new(PartitionConfig::paper_default(seed), primers());
+        p.encode_block(5, &Block::zeroed()).unwrap();
+        let patch = UpdatePatch::identity();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert((5u64, 0u8)); // the original
+        for _ in 0..updates {
+            let (placement, _) = p.encode_update(5, &patch).unwrap();
+            prop_assert!(
+                seen.insert((placement.leaf, placement.slot.0)),
+                "duplicate address {:?}",
+                placement
+            );
+        }
+    }
+
+    /// The capacity model is monotone and the two corner formulas agree at
+    /// their boundary for any geometry.
+    #[test]
+    fn capacity_model_sane(strand in 60usize..400, primer in 10usize..40) {
+        prop_assume!(strand > 2 * primer + 2);
+        let sweep = capacity::sweep(strand, primer);
+        prop_assert_eq!(sweep.len(), strand - 2 * primer + 1);
+        for w in sweep.windows(2) {
+            prop_assert!(w[1].bits_per_base <= w[0].bits_per_base);
+        }
+        for p in &sweep {
+            prop_assert!(p.bits_per_base > 0.0);
+            prop_assert!(p.capacity_log2_bytes.is_finite());
+        }
+    }
+}

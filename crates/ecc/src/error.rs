@@ -1,0 +1,54 @@
+//! ECC error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the Reed-Solomon codec and the unit matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EccError {
+    /// The codeword is unrecoverable: more errors/erasures than the code can
+    /// correct.
+    TooManyErrors,
+    /// Input had an invalid length for the configured code or unit.
+    LengthMismatch {
+        /// What was being measured.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A symbol value does not fit in the field (e.g. ≥16 for GF(16)).
+    SymbolOutOfField {
+        /// The offending value.
+        value: u8,
+        /// The field size.
+        field: usize,
+    },
+    /// An erasure position was out of bounds for the codeword.
+    ErasureOutOfRange {
+        /// The offending position.
+        position: usize,
+        /// Codeword length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::TooManyErrors => write!(f, "too many errors to correct"),
+            EccError::LengthMismatch { what, expected, got } => {
+                write!(f, "{what} length mismatch: expected {expected}, got {got}")
+            }
+            EccError::SymbolOutOfField { value, field } => {
+                write!(f, "symbol {value} does not fit in GF({field})")
+            }
+            EccError::ErasureOutOfRange { position, len } => {
+                write!(f, "erasure position {position} out of range for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for EccError {}

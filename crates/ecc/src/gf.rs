@@ -1,0 +1,273 @@
+//! Finite-field arithmetic for GF(2^m), m ≤ 8, via log/antilog tables.
+
+use crate::EccError;
+
+/// Log/antilog tables for a GF(2^m) field defined by a primitive polynomial.
+///
+/// The paper's RS code uses GF(16) ("small 4-bit symbols ... to reduce the
+/// cost of experiments", §6.2); GF(256) is provided for the larger encoding
+/// units of production configurations.
+///
+/// # Examples
+///
+/// ```
+/// use dna_ecc::GfTables;
+/// let gf = GfTables::gf16();
+/// assert_eq!(gf.mul(3, 7), 9);         // (x+1)(x^2+x+1) mod x^4+x+1
+/// assert_eq!(gf.mul(5, gf.inv(5).unwrap()), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfTables {
+    m: u32,
+    size: usize,       // 2^m
+    exp: Vec<u8>,      // exp[i] = alpha^i, doubled length to skip mod
+    log: Vec<usize>,   // log[x] for x != 0
+}
+
+impl GfTables {
+    /// Builds tables for GF(2^m) with the given primitive polynomial
+    /// (including the leading term, e.g. `0b10011` for x⁴+x+1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `2..=8` or the polynomial does not generate
+    /// the full multiplicative group (i.e. is not primitive).
+    pub fn new(m: u32, prim_poly: u32) -> GfTables {
+        assert!((2..=8).contains(&m), "m must be in 2..=8");
+        let size = 1usize << m;
+        let mut exp = vec![0u8; 2 * (size - 1)];
+        let mut log = vec![0usize; size];
+        let mut x = 1u32;
+        for i in 0..(size - 1) {
+            exp[i] = x as u8;
+            assert!(
+                !(i > 0 && x == 1),
+                "polynomial {prim_poly:#b} is not primitive for m={m}"
+            );
+            log[x as usize] = i;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= prim_poly;
+            }
+        }
+        assert_eq!(x, 1, "polynomial {prim_poly:#b} is not primitive for m={m}");
+        for i in 0..(size - 1) {
+            exp[size - 1 + i] = exp[i];
+        }
+        GfTables { m, size, exp, log }
+    }
+
+    /// GF(16) with x⁴ + x + 1 — the paper's field.
+    pub fn gf16() -> GfTables {
+        GfTables::new(4, 0b1_0011)
+    }
+
+    /// GF(256) with x⁸ + x⁴ + x³ + x² + 1 (0x11D, the common RS polynomial).
+    pub fn gf256() -> GfTables {
+        GfTables::new(8, 0x11D)
+    }
+
+    /// Field size `2^m`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Symbol width in bits.
+    pub fn bits(&self) -> u32 {
+        self.m
+    }
+
+    /// Maximum codeword length `2^m − 1`.
+    pub fn max_codeword_len(&self) -> usize {
+        self.size - 1
+    }
+
+    /// Checks that `x` is a valid field element.
+    pub fn check(&self, x: u8) -> Result<(), EccError> {
+        if (x as usize) < self.size {
+            Ok(())
+        } else {
+            Err(EccError::SymbolOutOfField {
+                value: x,
+                field: self.size,
+            })
+        }
+    }
+
+    /// Addition (= subtraction = XOR in characteristic 2).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Multiplication via log tables.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] + self.log[b as usize]]
+        }
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(2^m)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] + (self.size - 1) - self.log[b as usize]]
+        }
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> Option<u8> {
+        if a == 0 {
+            None
+        } else {
+            Some(self.exp[(self.size - 1) - self.log[a as usize]])
+        }
+    }
+
+    /// `alpha^i` for any integer power (wraps modulo `2^m − 1`).
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u8 {
+        self.exp[i % (self.size - 1)]
+    }
+
+    /// Exponentiation `a^p`.
+    pub fn pow(&self, a: u8, p: usize) -> u8 {
+        if a == 0 {
+            return if p == 0 { 1 } else { 0 };
+        }
+        let l = (self.log[a as usize] * p) % (self.size - 1);
+        self.exp[l]
+    }
+
+    /// Evaluates a polynomial (coefficients highest-degree-first) at `x`
+    /// using Horner's method.
+    pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        poly.iter().fold(0u8, |acc, &c| self.add(self.mul(acc, x), c))
+    }
+
+    /// Multiplies two polynomials (highest-degree-first).
+    pub fn poly_mul(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(x, y);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf16_multiplication_table_spot_checks() {
+        let gf = GfTables::gf16();
+        assert_eq!(gf.mul(0, 7), 0);
+        assert_eq!(gf.mul(1, 7), 7);
+        assert_eq!(gf.mul(2, 8), 3); // x * x^3 = x^4 = x + 1 = 3
+        assert_eq!(gf.mul(3, 7), 9);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for gf in [GfTables::gf16(), GfTables::gf256()] {
+            assert_eq!(gf.inv(0), None);
+            for a in 1..gf.size() as u16 {
+                let a = a as u8;
+                let inv = gf.inv(a).unwrap();
+                assert_eq!(gf.mul(a, inv), 1, "a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let gf = GfTables::gf16();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in 0..16u8 {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        let gf = GfTables::gf16();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                for c in 0..16u8 {
+                    assert_eq!(
+                        gf.mul(a, gf.add(b, c)),
+                        gf.add(gf.mul(a, b), gf.mul(a, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        let gf = GfTables::gf256();
+        let mut seen = vec![false; 256];
+        for i in 0..255 {
+            seen[gf.alpha_pow(i) as usize] = true;
+        }
+        assert!(seen[1..].iter().all(|&s| s));
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = GfTables::gf16();
+        for a in 0..16u8 {
+            let mut acc = 1u8;
+            for p in 0..10usize {
+                assert_eq!(gf.pow(a, p), acc, "a={a} p={p}");
+                acc = gf.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = GfTables::gf16();
+        // p(x) = 3x^2 + 5x + 7 at x=2: 3*4 ^ 5*2 ^ 7 = 12 ^ 10 ^ 7
+        let expected = gf.add(gf.add(gf.mul(3, gf.mul(2, 2)), gf.mul(5, 2)), 7);
+        assert_eq!(gf.poly_eval(&[3, 5, 7], 2), expected);
+    }
+
+    #[test]
+    fn poly_mul_degree_and_identity() {
+        let gf = GfTables::gf16();
+        let p = [1u8, 2, 3];
+        assert_eq!(gf.poly_mul(&p, &[1]), p.to_vec());
+        let q = gf.poly_mul(&p, &[1, 0]); // multiply by x
+        assert_eq!(q, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not primitive")]
+    fn non_primitive_polynomial_panics() {
+        // x^4 + x^3 + x^2 + x + 1 has order 5, not 15.
+        GfTables::new(4, 0b1_1111);
+    }
+}

@@ -1,0 +1,48 @@
+//! Reed-Solomon error correction and the DNA encoding-unit matrix.
+//!
+//! The state-of-the-art architecture the paper builds on (Organick et al.,
+//! §2.1.3 / Fig. 1b-c) groups molecules into *encoding units*: all molecules
+//! of a unit are treated as columns of a matrix, and each row of the matrix
+//! is a Reed-Solomon codeword. Losing an entire molecule erases one symbol
+//! from every row (an *erasure*, correctable at twice the rate of unknown
+//! errors), and residual base errors after consensus become symbol errors.
+//!
+//! The paper's wetlab configuration (§6.2) uses 4-bit RS symbols →
+//! RS(15, 11) over GF(16): 15 molecules per unit, 11 data + 4 ECC, 24-byte
+//! molecule payloads → 48 codeword rows, 264 B per unit (256 B data + 8 B
+//! padding).
+//!
+//! This crate provides:
+//! - [`GfTables`] — log/antilog arithmetic for GF(2^m), m ≤ 8,
+//! - [`ReedSolomon`] — systematic encoder and a Berlekamp-Massey + Forney
+//!   decoder supporting mixed errors *and* erasures,
+//! - [`EncodingUnit`]/[`UnitConfig`] — the Fig. 1c matrix layout mapping a
+//!   unit's bytes to molecule payload columns and back.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_ecc::{GfTables, ReedSolomon};
+//!
+//! let rs = ReedSolomon::new(GfTables::gf16(), 4); // RS(15,11)
+//! let data: Vec<u8> = (0..11).collect();
+//! let mut cw = rs.encode(&data);
+//! cw[3] ^= 0x5; // corrupt one symbol
+//! cw[9] ^= 0x2; // and another
+//! let corrected = rs.decode(&mut cw, &[]).unwrap();
+//! assert_eq!(corrected, 2);
+//! assert_eq!(&cw[..11], &data[..]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gf;
+mod matrix;
+mod rs;
+
+pub use error::EccError;
+pub use gf::GfTables;
+pub use matrix::{EncodingUnit, UnitConfig};
+pub use rs::ReedSolomon;

@@ -1,0 +1,415 @@
+//! The encoding-unit matrix of Fig. 1b/c.
+//!
+//! An encoding unit packs `data_cols` molecule payloads plus `ecc_cols`
+//! parity payloads so that each *row* across the unit's columns is one
+//! Reed-Solomon codeword. Losing a whole molecule erases one symbol per row;
+//! a consensus mistake corrupts symbols in one column.
+
+use crate::{EccError, GfTables, ReedSolomon};
+
+/// Field choice for a unit's Reed-Solomon code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitField {
+    /// 4-bit symbols, RS over GF(16): up to 15 columns. The paper's wetlab
+    /// configuration (§6.2: "small 4-bit symbols ... a codeword has 2⁴−1=15
+    /// symbols").
+    Gf16,
+    /// 8-bit symbols, RS over GF(256): up to 255 columns, the scale of
+    /// production configurations (tens of thousands of molecules per unit,
+    /// §2.1.3).
+    Gf256,
+}
+
+/// Geometry of an encoding unit.
+///
+/// # Examples
+///
+/// ```
+/// use dna_ecc::UnitConfig;
+///
+/// let cfg = UnitConfig::paper_default();
+/// assert_eq!(cfg.total_cols, 15);
+/// assert_eq!(cfg.data_cols, 11);
+/// assert_eq!(cfg.unit_bytes(), 264); // 256 B data + 8 B padding upstream
+/// assert_eq!(cfg.rows(), 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitConfig {
+    /// Total molecules per unit (data + ECC columns).
+    pub total_cols: usize,
+    /// Data molecules per unit.
+    pub data_cols: usize,
+    /// Payload bytes per molecule (paper: 24).
+    pub col_bytes: usize,
+    /// Symbol field.
+    pub field: UnitField,
+}
+
+impl UnitConfig {
+    /// The paper's §6.2 unit: 15 columns (11 data + 4 ECC), 24-byte molecule
+    /// payloads, GF(16) symbols → 48 rows, 264 B per unit.
+    pub fn paper_default() -> UnitConfig {
+        UnitConfig {
+            total_cols: 15,
+            data_cols: 11,
+            col_bytes: 24,
+            field: UnitField::Gf16,
+        }
+    }
+
+    /// Parity columns.
+    pub fn ecc_cols(&self) -> usize {
+        self.total_cols - self.data_cols
+    }
+
+    /// Bytes of unit content (data columns only).
+    pub fn unit_bytes(&self) -> usize {
+        self.data_cols * self.col_bytes
+    }
+
+    /// Codeword rows: symbols per column.
+    pub fn rows(&self) -> usize {
+        match self.field {
+            UnitField::Gf16 => self.col_bytes * 2,
+            UnitField::Gf256 => self.col_bytes,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.data_cols >= 1, "need at least one data column");
+        assert!(
+            self.total_cols > self.data_cols,
+            "need at least one ECC column"
+        );
+        let max = match self.field {
+            UnitField::Gf16 => 15,
+            UnitField::Gf256 => 255,
+        };
+        assert!(
+            self.total_cols <= max,
+            "total_cols {} exceeds field capacity {max}",
+            self.total_cols
+        );
+        assert!(self.col_bytes >= 1, "col_bytes must be positive");
+    }
+}
+
+/// Encoder/decoder for one encoding-unit geometry.
+///
+/// # Examples
+///
+/// ```
+/// use dna_ecc::{EncodingUnit, UnitConfig};
+///
+/// let unit = EncodingUnit::new(UnitConfig::paper_default());
+/// let data: Vec<u8> = (0..264u32).map(|i| (i % 251) as u8).collect();
+/// let cols = unit.encode(&data).unwrap();
+/// assert_eq!(cols.len(), 15);
+///
+/// // Lose 4 whole molecules — still decodable via erasures.
+/// let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+/// received[0] = None;
+/// received[5] = None;
+/// received[9] = None;
+/// received[14] = None;
+/// let (decoded, _corrected) = unit.decode(&received).unwrap();
+/// assert_eq!(decoded, data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncodingUnit {
+    config: UnitConfig,
+    rs: ReedSolomon,
+}
+
+impl EncodingUnit {
+    /// Creates a codec for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`UnitConfig`]).
+    pub fn new(config: UnitConfig) -> EncodingUnit {
+        config.validate();
+        let gf = match config.field {
+            UnitField::Gf16 => GfTables::gf16(),
+            UnitField::Gf256 => GfTables::gf256(),
+        };
+        let rs = ReedSolomon::new(gf, config.ecc_cols());
+        EncodingUnit { config, rs }
+    }
+
+    /// The unit geometry.
+    pub fn config(&self) -> &UnitConfig {
+        &self.config
+    }
+
+    /// Encodes `unit_bytes()` bytes into `total_cols` molecule payloads of
+    /// `col_bytes` bytes each. Data fills columns in order (Fig. 1c: D\[0..k\)
+    /// is column 0); parity columns follow.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::LengthMismatch`] if `data` is not exactly
+    /// [`UnitConfig::unit_bytes`] long.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EccError> {
+        if data.len() != self.config.unit_bytes() {
+            return Err(EccError::LengthMismatch {
+                what: "unit data",
+                expected: self.config.unit_bytes(),
+                got: data.len(),
+            });
+        }
+        let rows = self.config.rows();
+        let mut columns = vec![vec![0u8; self.config.col_bytes]; self.config.total_cols];
+        // Data columns are direct byte copies.
+        for c in 0..self.config.data_cols {
+            columns[c].copy_from_slice(&data[c * self.config.col_bytes..][..self.config.col_bytes]);
+        }
+        // Row-wise RS encode to fill parity columns.
+        for r in 0..rows {
+            let mut row: Vec<u8> = (0..self.config.data_cols)
+                .map(|c| self.symbol(&columns[c], r))
+                .collect();
+            let cw = self.rs.encode(&row);
+            row.clear();
+            for (c, &sym) in cw.iter().enumerate().skip(self.config.data_cols) {
+                self.set_symbol(&mut columns[c], r, sym);
+            }
+        }
+        Ok(columns)
+    }
+
+    /// Decodes molecule payloads back into unit bytes. `None` columns are
+    /// treated as erasures for every row. Present columns may contain symbol
+    /// errors, corrected by the row codes.
+    ///
+    /// Returns the decoded bytes and the total number of corrected symbols
+    /// across all rows.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::LengthMismatch`] on wrong column count/length, or
+    /// [`EccError::TooManyErrors`] if any row is uncorrectable
+    /// (`2·errors + erasures > ecc_cols` for that row).
+    pub fn decode(&self, columns: &[Option<Vec<u8>>]) -> Result<(Vec<u8>, usize), EccError> {
+        if columns.len() != self.config.total_cols {
+            return Err(EccError::LengthMismatch {
+                what: "column count",
+                expected: self.config.total_cols,
+                got: columns.len(),
+            });
+        }
+        for col in columns.iter().flatten() {
+            if col.len() != self.config.col_bytes {
+                return Err(EccError::LengthMismatch {
+                    what: "column",
+                    expected: self.config.col_bytes,
+                    got: col.len(),
+                });
+            }
+        }
+        let erasures: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i))
+            .collect();
+        let rows = self.config.rows();
+        let mut restored = vec![vec![0u8; self.config.col_bytes]; self.config.data_cols];
+        let mut corrected = 0usize;
+        let mut cw = vec![0u8; self.config.total_cols];
+        for r in 0..rows {
+            for (c, col) in columns.iter().enumerate() {
+                cw[c] = match col {
+                    Some(bytes) => self.symbol(bytes, r),
+                    None => 0,
+                };
+            }
+            corrected += self.rs.decode(&mut cw, &erasures)?;
+            for c in 0..self.config.data_cols {
+                self.set_symbol(&mut restored[c], r, cw[c]);
+            }
+        }
+        let mut out = Vec::with_capacity(self.config.unit_bytes());
+        for col in restored {
+            out.extend_from_slice(&col);
+        }
+        Ok((out, corrected))
+    }
+
+    /// Extracts row-`r` symbol from a column payload.
+    fn symbol(&self, col: &[u8], r: usize) -> u8 {
+        match self.config.field {
+            UnitField::Gf16 => {
+                let byte = col[r / 2];
+                if r % 2 == 0 {
+                    byte >> 4
+                } else {
+                    byte & 0x0F
+                }
+            }
+            UnitField::Gf256 => col[r],
+        }
+    }
+
+    fn set_symbol(&self, col: &mut [u8], r: usize, sym: u8) {
+        match self.config.field {
+            UnitField::Gf16 => {
+                let byte = &mut col[r / 2];
+                if r % 2 == 0 {
+                    *byte = (*byte & 0x0F) | (sym << 4);
+                } else {
+                    *byte = (*byte & 0xF0) | (sym & 0x0F);
+                }
+            }
+            UnitField::Gf256 => col[r] = sym,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_seq::rng::DetRng;
+
+    fn unit() -> EncodingUnit {
+        EncodingUnit::new(UnitConfig::paper_default())
+    }
+
+    fn sample_data(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(256) as u8).collect()
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = UnitConfig::paper_default();
+        assert_eq!(cfg.ecc_cols(), 4);
+        assert_eq!(cfg.unit_bytes(), 264);
+        assert_eq!(cfg.rows(), 48);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let u = unit();
+        let data = sample_data(264, 1);
+        let cols = u.encode(&data).unwrap();
+        assert_eq!(cols.len(), 15);
+        assert!(cols.iter().all(|c| c.len() == 24));
+        let received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        let (decoded, corrected) = u.decode(&received).unwrap();
+        assert_eq!(decoded, data);
+        assert_eq!(corrected, 0);
+    }
+
+    #[test]
+    fn data_columns_are_systematic() {
+        let u = unit();
+        let data = sample_data(264, 2);
+        let cols = u.encode(&data).unwrap();
+        for c in 0..11 {
+            assert_eq!(&cols[c][..], &data[c * 24..(c + 1) * 24]);
+        }
+    }
+
+    #[test]
+    fn four_lost_molecules_recovered() {
+        let u = unit();
+        let data = sample_data(264, 3);
+        let cols = u.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        for &c in &[2usize, 7, 11, 14] {
+            received[c] = None;
+        }
+        let (decoded, corrected) = u.decode(&received).unwrap();
+        assert_eq!(decoded, data);
+        assert_eq!(corrected, 4 * 48); // 4 erasures in every one of 48 rows
+    }
+
+    #[test]
+    fn five_lost_molecules_fail() {
+        let u = unit();
+        let data = sample_data(264, 4);
+        let cols = u.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        for &c in &[0usize, 1, 2, 3, 4] {
+            received[c] = None;
+        }
+        assert_eq!(u.decode(&received), Err(EccError::TooManyErrors));
+    }
+
+    #[test]
+    fn corrupted_column_bytes_corrected() {
+        let u = unit();
+        let data = sample_data(264, 5);
+        let cols = u.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        // Corrupt two whole bytes in different columns: each byte is two
+        // symbols in two adjacent rows of that column -> 2 errors per row max.
+        if let Some(col) = received[3].as_mut() {
+            col[0] ^= 0xFF;
+        }
+        if let Some(col) = received[8].as_mut() {
+            col[10] ^= 0x3C;
+        }
+        let (decoded, corrected) = u.decode(&received).unwrap();
+        assert_eq!(decoded, data);
+        assert!(corrected >= 3);
+    }
+
+    #[test]
+    fn mixed_loss_and_corruption() {
+        let u = unit();
+        let data = sample_data(264, 6);
+        let cols = u.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        received[1] = None; // erasure
+        received[13] = None; // erasure
+        if let Some(col) = received[6].as_mut() {
+            col[5] ^= 0x11; // one error in two rows... 0x11 flips one nibble in each of rows 10,11
+        }
+        let (decoded, _) = u.decode(&received).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        let u = unit();
+        assert!(matches!(
+            u.encode(&[0u8; 263]),
+            Err(EccError::LengthMismatch { expected: 264, got: 263, .. })
+        ));
+        let cols = u.encode(&sample_data(264, 7)).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        received.pop();
+        assert!(u.decode(&received).is_err());
+    }
+
+    #[test]
+    fn gf256_unit_round_trip() {
+        let cfg = UnitConfig {
+            total_cols: 30,
+            data_cols: 24,
+            col_bytes: 24,
+            field: UnitField::Gf256,
+        };
+        let u = EncodingUnit::new(cfg);
+        let data = sample_data(cfg.unit_bytes(), 8);
+        let cols = u.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        for &c in &[0usize, 10, 20, 29, 15, 3] {
+            received[c] = None; // 6 erasures, ecc_cols = 6
+        }
+        let (decoded, _) = u.decode(&received).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field capacity")]
+    fn gf16_caps_at_15_columns() {
+        EncodingUnit::new(UnitConfig {
+            total_cols: 16,
+            data_cols: 11,
+            col_bytes: 24,
+            field: UnitField::Gf16,
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the Reed-Solomon codec and encoding units.
+
+use dna_ecc::{EncodingUnit, GfTables, ReedSolomon, UnitConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RS(15,11) corrects every pattern with 2·errors + erasures ≤ 4.
+    #[test]
+    fn rs_corrects_within_capacity(
+        data in prop::collection::vec(0u8..16, 11),
+        seed in any::<u64>(),
+        errors in 0usize..=2,
+    ) {
+        let rs = ReedSolomon::new(GfTables::gf16(), 4);
+        let clean = rs.encode(&data);
+        let mut rng = dna_seq::rng::DetRng::seed_from_u64(seed);
+        let erasures_allowed = 4 - 2 * errors;
+        let erasures = rng.gen_range(erasures_allowed + 1);
+        let mut pos: Vec<usize> = (0..15).collect();
+        rng.shuffle(&mut pos);
+        let mut cw = clean.clone();
+        for &p in &pos[..errors] {
+            cw[p] ^= (rng.gen_range(15) + 1) as u8;
+        }
+        let era: Vec<usize> = pos[errors..errors + erasures].to_vec();
+        for &p in &era {
+            cw[p] = rng.gen_range(16) as u8;
+        }
+        rs.decode(&mut cw, &era).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    /// Encoding is systematic and always produces valid codewords.
+    #[test]
+    fn rs_encode_valid(data in prop::collection::vec(0u8..16, 1..=11)) {
+        let rs = ReedSolomon::new(GfTables::gf16(), 4);
+        let cw = rs.encode(&data);
+        prop_assert!(rs.is_valid(&cw));
+        prop_assert_eq!(&cw[..data.len()], &data[..]);
+    }
+
+    /// GF(256) codec with random payload lengths.
+    #[test]
+    fn rs256_round_trip(
+        data in prop::collection::vec(any::<u8>(), 1..=200),
+        err_seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(GfTables::gf256(), 8);
+        prop_assume!(data.len() + 8 <= 255);
+        let clean = rs.encode(&data);
+        let mut rng = dna_seq::rng::DetRng::seed_from_u64(err_seed);
+        let mut cw = clean.clone();
+        // up to 4 random errors (capacity = 8/2)
+        let nerr = rng.gen_range(5);
+        let mut pos: Vec<usize> = (0..cw.len()).collect();
+        rng.shuffle(&mut pos);
+        for &p in &pos[..nerr] {
+            cw[p] ^= (rng.gen_range(255) + 1) as u8;
+        }
+        rs.decode(&mut cw, &[]).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    /// The encoding unit survives losing any ecc_cols-sized subset of columns.
+    #[test]
+    fn unit_survives_max_column_loss(
+        seed in any::<u64>(),
+        loss_seed in any::<u64>(),
+    ) {
+        let unit = EncodingUnit::new(UnitConfig::paper_default());
+        let mut rng = dna_seq::rng::DetRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..264).map(|_| rng.gen_range(256) as u8).collect();
+        let cols = unit.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();
+        let mut loss_rng = dna_seq::rng::DetRng::seed_from_u64(loss_seed);
+        let mut pos: Vec<usize> = (0..15).collect();
+        loss_rng.shuffle(&mut pos);
+        for &p in &pos[..4] {
+            received[p] = None;
+        }
+        let (decoded, _) = unit.decode(&received).unwrap();
+        prop_assert_eq!(decoded, data);
+    }
+}

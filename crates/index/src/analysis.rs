@@ -1,0 +1,225 @@
+//! Quantitative analysis of index trees: the distance and balance
+//! properties §4.3 claims, plus the edit-distance neighbourhoods that
+//! predict mispriming (§8.1).
+
+use crate::tree::{IndexTree, LeafId};
+use dna_seq::analysis::max_prefix_gc_deviation;
+use dna_seq::distance::{hamming, levenshtein_bounded};
+
+/// Summary statistics over a set of pairwise distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceStats {
+    /// Smallest observed distance.
+    pub min: usize,
+    /// Mean distance.
+    pub mean: f64,
+    /// Largest observed distance.
+    pub max: usize,
+    /// Number of pairs measured.
+    pub pairs: usize,
+}
+
+impl std::fmt::Display for DistanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {} / mean {:.2} / max {} over {} pairs",
+            self.min, self.mean, self.max, self.pairs
+        )
+    }
+}
+
+/// Pairwise Hamming distance statistics across all leaf indexes (or the
+/// first `sample` leaves for big trees).
+///
+/// §4.3 claims the sparse construction "increases the average Hamming
+/// distance between two indexes of the same length by at least 2x" relative
+/// to the dense baseline; the `abl_sparse` experiment verifies this.
+pub fn pairwise_hamming_stats(tree: &IndexTree, sample: usize) -> DistanceStats {
+    let n = (tree.num_leaves() as usize).min(sample);
+    let indexes: Vec<_> = (0..n as u64).map(|i| tree.leaf_index(LeafId(i))).collect();
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = hamming(indexes[i].as_slice(), indexes[j].as_slice());
+            min = min.min(d);
+            max = max.max(d);
+            total += d;
+            pairs += 1;
+        }
+    }
+    DistanceStats {
+        min: if pairs == 0 { 0 } else { min },
+        mean: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        max,
+        pairs,
+    }
+}
+
+/// Hamming distance statistics restricted to sibling leaves (children of a
+/// common parent). The sparse construction guarantees `min ≥ 2`.
+pub fn sibling_hamming_stats(tree: &IndexTree) -> DistanceStats {
+    let parents = tree.num_leaves() / 4;
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for p in 0..parents {
+        let leaves: Vec<_> = (0..4)
+            .map(|r| tree.leaf_index(LeafId(p * 4 + r)))
+            .collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let d = hamming(leaves[i].as_slice(), leaves[j].as_slice());
+                min = min.min(d);
+                max = max.max(d);
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    DistanceStats {
+        min: if pairs == 0 { 0 } else { min },
+        mean: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        max,
+        pairs,
+    }
+}
+
+/// All leaves whose index lies within edit distance `radius` of `target`'s
+/// index (excluding `target` itself), with their distances.
+///
+/// §8.1: "The incorrectly amplified strands largely had indexes that were
+/// very close to the indexes of our target block in edit distance ... usually
+/// 2 or 3 ... The ease of decoding a block mostly relates to the number of
+/// other indexes within this edit distance radius." This function is the
+/// static predictor of that risk.
+pub fn edit_neighborhood(tree: &IndexTree, target: LeafId, radius: usize) -> Vec<(LeafId, usize)> {
+    let t = tree.leaf_index(target);
+    let mut out = Vec::new();
+    for leaf in tree.leaves() {
+        if leaf == target {
+            continue;
+        }
+        let idx = tree.leaf_index(leaf);
+        if let Some(d) = levenshtein_bounded(t.as_slice(), idx.as_slice(), radius) {
+            out.push((leaf, d));
+        }
+    }
+    out.sort_by_key(|&(l, d)| (d, l.0));
+    out
+}
+
+/// Aggregate PCR-friendliness metrics over all leaf indexes of a tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexQuality {
+    /// Worst homopolymer run across all leaf indexes.
+    pub max_homopolymer: usize,
+    /// Worst GC deviation from 50% over all prefixes (length ≥ 2) of all
+    /// indexes.
+    pub max_gc_deviation: f64,
+    /// Fraction of leaves whose full index is exactly 50% GC.
+    pub perfectly_balanced_fraction: f64,
+}
+
+/// Computes [`IndexQuality`] (over the first `sample` leaves for big trees).
+pub fn index_quality(tree: &IndexTree, sample: usize) -> IndexQuality {
+    let n = (tree.num_leaves() as usize).min(sample);
+    let mut max_h = 0usize;
+    let mut max_dev: f64 = 0.0;
+    let mut balanced = 0usize;
+    for i in 0..n as u64 {
+        let idx = tree.leaf_index(LeafId(i));
+        max_h = max_h.max(idx.max_homopolymer());
+        max_dev = max_dev.max(max_prefix_gc_deviation(&idx, 2));
+        if idx.gc_count() * 2 == idx.len() {
+            balanced += 1;
+        }
+    }
+    IndexQuality {
+        max_homopolymer: max_h,
+        max_gc_deviation: max_dev,
+        perfectly_balanced_fraction: if n == 0 { 0.0 } else { balanced as f64 / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_doubles_mean_distance_over_dense() {
+        // §4.3's headline claim, at wetlab scale (1024 leaves, sampled).
+        let sparse = IndexTree::new(0x5EED, 5);
+        let dense = IndexTree::dense(5);
+        let s = pairwise_hamming_stats(&sparse, 128);
+        let d = pairwise_hamming_stats(&dense, 128);
+        assert!(
+            s.mean >= 2.0 * d.mean,
+            "sparse mean {} should be ≥ 2× dense mean {}",
+            s.mean,
+            d.mean
+        );
+    }
+
+    #[test]
+    fn sibling_minimums() {
+        let sparse = IndexTree::new(0x5EED, 5);
+        let dense = IndexTree::dense(5);
+        assert_eq!(sibling_hamming_stats(&dense).min, 1);
+        assert!(sibling_hamming_stats(&sparse).min >= 2);
+    }
+
+    #[test]
+    fn edit_neighborhood_is_sorted_and_excludes_target() {
+        let tree = IndexTree::new(3, 4);
+        let nb = edit_neighborhood(&tree, LeafId(10), 3);
+        assert!(nb.iter().all(|&(l, _)| l != LeafId(10)));
+        assert!(nb.windows(2).all(|w| w[0].1 <= w[1].1));
+        for &(_, d) in &nb {
+            assert!(d <= 3 && d >= 1);
+        }
+    }
+
+    #[test]
+    fn sparse_has_fewer_close_neighbors_than_dense() {
+        let sparse = IndexTree::new(21, 4);
+        let dense = IndexTree::dense(4);
+        let mut sparse_close = 0usize;
+        let mut dense_close = 0usize;
+        for leaf in (0..256u64).step_by(16).map(LeafId) {
+            sparse_close += edit_neighborhood(&sparse, leaf, 1).len();
+            dense_close += edit_neighborhood(&dense, leaf, 1).len();
+        }
+        assert!(
+            sparse_close < dense_close,
+            "sparse {sparse_close} should have fewer radius-1 neighbours than dense {dense_close}"
+        );
+    }
+
+    #[test]
+    fn quality_metrics_match_construction_guarantees() {
+        let sparse = IndexTree::new(1001, 5);
+        let q = index_quality(&sparse, 1024);
+        assert!(q.max_homopolymer <= 2);
+        assert!(q.max_gc_deviation <= 0.25 + 1e-9);
+        assert_eq!(q.perfectly_balanced_fraction, 1.0);
+
+        let dense = IndexTree::dense(5);
+        let qd = index_quality(&dense, 1024);
+        assert_eq!(qd.max_homopolymer, 5); // AAAAA exists
+        assert!(qd.max_gc_deviation >= 0.5 - 1e-9); // GGGGG prefix is 100% GC
+        assert!(qd.perfectly_balanced_fraction < 0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        let tree = IndexTree::new(5, 3);
+        let s = pairwise_hamming_stats(&tree, 16);
+        let text = s.to_string();
+        assert!(text.contains("pairs"));
+    }
+}

@@ -1,0 +1,50 @@
+//! PCR-navigable index trees (§4 of the paper).
+//!
+//! A partition's internal address space is a depth-`L` quaternary prefix
+//! tree. Prior work enumerates leaves densely (`AAA…A` to `TTT…T`) for
+//! maximum information density, but those indexes are useless as PCR primer
+//! extensions: unbalanced GC, long homopolymers, Hamming distance 1 between
+//! siblings. The paper's construction (§4.3, Fig. 5) fixes this at a small
+//! density cost:
+//!
+//! 1. **Randomize** the edge order of every node, derived from a stored seed
+//!    (nothing else needs to be persisted, §4.4);
+//! 2. **Sparsify** by inserting one extra base after every edge, chosen from
+//!    the *opposite GC class* of the preceding base and assigned to maximize
+//!    sibling Hamming distance (ties broken randomly).
+//!
+//! The result guarantees, for *every* prefix of *every* leaf index:
+//! near-perfect GC balance, homopolymer runs ≤ 2, and sibling distance ≥ 2 —
+//! making any prefix of any index usable as a primer elongation.
+//!
+//! [`IndexTree`] implements both the sparse construction and the dense
+//! baseline (for ablations), [`CoverNode`]/[`IndexTree::cover_range`]
+//! computes the §3.1 prefix covers that turn contiguous block ranges into a
+//! small set of PCR reactions, and [`analysis`] quantifies the
+//! distance/balance properties reported by the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_index::{IndexTree, LeafId};
+//!
+//! // The paper's wetlab tree: depth 5 → 1024 leaves, 10-base sparse indexes.
+//! let tree = IndexTree::new(0xA11CE, 5);
+//! assert_eq!(tree.num_leaves(), 1024);
+//! let idx = tree.leaf_index(LeafId(531));
+//! assert_eq!(idx.len(), 10);
+//! assert_eq!(tree.parse_index(&idx), Some(LeafId(531)));
+//! // Every prefix is GC-balanced and homopolymer-free by construction.
+//! assert!(idx.max_homopolymer() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod tree;
+
+pub mod analysis;
+
+pub use cover::CoverNode;
+pub use tree::{IndexStyle, IndexTree, LeafId};

@@ -1,0 +1,518 @@
+//! The index-tree construction of §4.3 (Fig. 5).
+
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+
+/// Logical address of a leaf (block slot) within a partition's index tree.
+///
+/// Leaves are numbered `0..4^depth` in the *randomized* tree order: leaf 0 is
+/// the leftmost path after edge randomization (Fig. 5b: "the leftmost path
+/// becomes CG and is assigned address 00").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LeafId(pub u64);
+
+impl std::fmt::Display for LeafId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "leaf#{}", self.0)
+    }
+}
+
+/// Which index encoding a tree uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexStyle {
+    /// The paper's construction: randomized edges + GC-alternating
+    /// separator bases. Index length = `2·depth`.
+    Sparse,
+    /// The maximum-density baseline of prior work: identity edge order, no
+    /// separators. Index length = `depth`. Not PCR-compatible; kept for
+    /// ablations.
+    Dense,
+}
+
+/// A PCR-navigable (or dense baseline) index tree.
+///
+/// The tree is never materialized: every node's edge permutation and
+/// separator assignment are re-derived from the seed and the node's path, so
+/// the only persistent metadata is the seed itself (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTree {
+    seed: u64,
+    depth: usize,
+    style: IndexStyle,
+}
+
+/// Per-node layout: edge base for each child rank, separator base after each
+/// edge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeLayout {
+    /// `edges[rank]` is the base labelling the edge to child `rank`.
+    pub edges: [Base; 4],
+    /// `seps[rank]` is the sparsity base inserted after `edges[rank]`.
+    pub seps: [Base; 4],
+}
+
+impl IndexTree {
+    /// Creates the paper's sparse tree with `4^depth` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or greater than 26 (4²⁶ leaves ≈ 4.5·10¹⁵ —
+    /// beyond any practical partition).
+    pub fn new(seed: u64, depth: usize) -> IndexTree {
+        assert!((1..=26).contains(&depth), "depth must be in 1..=26");
+        IndexTree {
+            seed,
+            depth,
+            style: IndexStyle::Sparse,
+        }
+    }
+
+    /// Creates the dense baseline tree (prior work, for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or greater than 26.
+    pub fn dense(depth: usize) -> IndexTree {
+        assert!((1..=26).contains(&depth), "depth must be in 1..=26");
+        IndexTree {
+            seed: 0,
+            depth,
+            style: IndexStyle::Dense,
+        }
+    }
+
+    /// The randomization seed (partition metadata).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Tree depth (number of branching levels).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The index encoding style.
+    pub fn style(&self) -> IndexStyle {
+        self.style
+    }
+
+    /// Number of leaves, `4^depth`.
+    pub fn num_leaves(&self) -> u64 {
+        1u64 << (2 * self.depth)
+    }
+
+    /// Length in bases of a full leaf index.
+    pub fn index_len(&self) -> usize {
+        match self.style {
+            IndexStyle::Sparse => 2 * self.depth,
+            IndexStyle::Dense => self.depth,
+        }
+    }
+
+    /// Length in bases of an index prefix covering the first `levels`
+    /// branching levels.
+    pub fn prefix_len(&self, levels: usize) -> usize {
+        match self.style {
+            IndexStyle::Sparse => 2 * levels,
+            IndexStyle::Dense => levels,
+        }
+    }
+
+    /// Splits a leaf id into per-level child ranks, most significant first.
+    pub(crate) fn ranks_of(&self, leaf: LeafId) -> Vec<u8> {
+        assert!(leaf.0 < self.num_leaves(), "{leaf} out of range");
+        (0..self.depth)
+            .rev()
+            .map(|level| ((leaf.0 >> (2 * level)) & 0b11) as u8)
+            .collect()
+    }
+
+    pub(crate) fn leaf_of_ranks(&self, ranks: &[u8]) -> LeafId {
+        debug_assert_eq!(ranks.len(), self.depth);
+        LeafId(
+            ranks
+                .iter()
+                .fold(0u64, |acc, &r| (acc << 2) | u64::from(r & 0b11)),
+        )
+    }
+
+    /// Derives the deterministic layout of the node reached by `path`
+    /// (child ranks from the root; empty = root).
+    pub(crate) fn node_layout(&self, path: &[u8]) -> NodeLayout {
+        match self.style {
+            IndexStyle::Dense => NodeLayout {
+                edges: Base::ALL,
+                // Dense trees have no separators; the value is unused.
+                seps: Base::ALL,
+            },
+            IndexStyle::Sparse => {
+                let mut rng = self.node_rng(path);
+                // (1) Randomize edge order (Fig. 5b).
+                let mut edges = Base::ALL;
+                rng.shuffle(&mut edges);
+                // (2) Separators: opposite GC class of the preceding edge
+                // base, assigned to maximize sibling Hamming distance — the
+                // two weak-edged children get {C, G} in random order, the two
+                // strong-edged children get {A, T} in random order (Fig. 5c).
+                let mut weak_seps = [Base::C, Base::G];
+                let mut strong_seps = [Base::A, Base::T];
+                rng.shuffle(&mut weak_seps);
+                rng.shuffle(&mut strong_seps);
+                let mut seps = [Base::A; 4];
+                let mut wi = 0;
+                let mut si = 0;
+                for rank in 0..4 {
+                    if edges[rank].is_gc() {
+                        seps[rank] = strong_seps[si];
+                        si += 1;
+                    } else {
+                        seps[rank] = weak_seps[wi];
+                        wi += 1;
+                    }
+                }
+                NodeLayout { edges, seps }
+            }
+        }
+    }
+
+    fn node_rng(&self, path: &[u8]) -> DetRng {
+        // Unique id per node: interior of a quaternary heap numbering.
+        let mut id = 1u64;
+        for &r in path {
+            id = (id << 2) | u64::from(r & 0b11);
+        }
+        DetRng::seed_from_u64(self.seed).derive(id)
+    }
+
+    /// Encodes a leaf id into its DNA index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dna_index::{IndexTree, LeafId};
+    /// let tree = IndexTree::new(7, 5);
+    /// let idx = tree.leaf_index(LeafId(0));
+    /// assert_eq!(idx.len(), 10);
+    /// ```
+    pub fn leaf_index(&self, leaf: LeafId) -> DnaSeq {
+        let ranks = self.ranks_of(leaf);
+        let mut seq = DnaSeq::with_capacity(self.index_len());
+        let mut path: Vec<u8> = Vec::with_capacity(self.depth);
+        for &rank in &ranks {
+            let layout = self.node_layout(&path);
+            seq.push(layout.edges[rank as usize]);
+            if self.style == IndexStyle::Sparse {
+                seq.push(layout.seps[rank as usize]);
+            }
+            path.push(rank);
+        }
+        seq
+    }
+
+    /// The index prefix of `leaf` covering its first `levels` branching
+    /// levels — the variable part of a *partially elongated* primer
+    /// (Fig. 4: "the primer can be elongated fully ... or partially").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels > depth` or `leaf` is out of range.
+    pub fn leaf_prefix(&self, leaf: LeafId, levels: usize) -> DnaSeq {
+        assert!(levels <= self.depth, "levels {levels} > depth {}", self.depth);
+        let full = self.leaf_index(leaf);
+        full.prefix(self.prefix_len(levels))
+    }
+
+    /// Decodes a full-length DNA index back to its leaf, checking every edge
+    /// *and* separator base. Returns `None` for anything that is not exactly
+    /// a leaf index of this tree.
+    pub fn parse_index(&self, seq: &DnaSeq) -> Option<LeafId> {
+        if seq.len() != self.index_len() {
+            return None;
+        }
+        let mut path: Vec<u8> = Vec::with_capacity(self.depth);
+        let mut pos = 0usize;
+        for _ in 0..self.depth {
+            let layout = self.node_layout(&path);
+            let edge = seq.get(pos)?;
+            let rank = layout.edges.iter().position(|&b| b == edge)? as u8;
+            pos += 1;
+            if self.style == IndexStyle::Sparse {
+                let sep = seq.get(pos)?;
+                if sep != layout.seps[rank as usize] {
+                    return None;
+                }
+                pos += 1;
+            }
+            path.push(rank);
+        }
+        Some(self.leaf_of_ranks(&path))
+    }
+
+    /// Decodes leniently: edges must match, separator mismatches are
+    /// tolerated (useful when upstream consensus left a residual error in a
+    /// separator position — the edge bases alone determine the leaf).
+    pub fn parse_index_lenient(&self, seq: &DnaSeq) -> Option<LeafId> {
+        if seq.len() != self.index_len() {
+            return None;
+        }
+        let mut path: Vec<u8> = Vec::with_capacity(self.depth);
+        let step = match self.style {
+            IndexStyle::Sparse => 2,
+            IndexStyle::Dense => 1,
+        };
+        for level in 0..self.depth {
+            let layout = self.node_layout(&path);
+            let edge = seq.get(level * step)?;
+            let rank = layout.edges.iter().position(|&b| b == edge)? as u8;
+            path.push(rank);
+        }
+        Some(self.leaf_of_ranks(&path))
+    }
+
+    /// The DNA prefix addressing an interior node given its child-rank path.
+    /// An empty path addresses the root (empty prefix = plain main primer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is longer than the depth or contains ranks ≥ 4.
+    pub fn node_prefix(&self, path: &[u8]) -> DnaSeq {
+        assert!(path.len() <= self.depth, "path deeper than tree");
+        let mut seq = DnaSeq::with_capacity(self.prefix_len(path.len()));
+        let mut walk: Vec<u8> = Vec::with_capacity(path.len());
+        for &rank in path {
+            assert!(rank < 4, "child rank must be < 4");
+            let layout = self.node_layout(&walk);
+            seq.push(layout.edges[rank as usize]);
+            if self.style == IndexStyle::Sparse {
+                seq.push(layout.seps[rank as usize]);
+            }
+            walk.push(rank);
+        }
+        seq
+    }
+
+    /// First leaf under the node at `path`.
+    pub fn first_leaf_under(&self, path: &[u8]) -> LeafId {
+        let mut id = 0u64;
+        for &r in path {
+            id = (id << 2) | u64::from(r & 0b11);
+        }
+        LeafId(id << (2 * (self.depth - path.len())))
+    }
+
+    /// Number of leaves under a node at depth `path_len`.
+    pub fn leaves_under(&self, path_len: usize) -> u64 {
+        1u64 << (2 * (self.depth - path_len))
+    }
+
+    /// Iterates over all leaf ids (careful with large depths).
+    pub fn leaves(&self) -> impl Iterator<Item = LeafId> {
+        (0..self.num_leaves()).map(LeafId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_seq::analysis::max_prefix_gc_deviation;
+    use dna_seq::distance::hamming;
+
+    #[test]
+    fn paper_dimensions() {
+        let tree = IndexTree::new(1, 5);
+        assert_eq!(tree.num_leaves(), 1024);
+        assert_eq!(tree.index_len(), 10);
+        let dense = IndexTree::dense(5);
+        assert_eq!(dense.index_len(), 5);
+        assert_eq!(dense.num_leaves(), 1024);
+    }
+
+    #[test]
+    fn encode_parse_round_trip_all_leaves() {
+        let tree = IndexTree::new(0xFEED, 4);
+        for leaf in tree.leaves() {
+            let idx = tree.leaf_index(leaf);
+            assert_eq!(idx.len(), 8);
+            assert_eq!(tree.parse_index(&idx), Some(leaf), "{leaf}");
+            assert_eq!(tree.parse_index_lenient(&idx), Some(leaf));
+        }
+    }
+
+    #[test]
+    fn dense_tree_is_plain_base4() {
+        let tree = IndexTree::dense(3);
+        assert_eq!(tree.leaf_index(LeafId(0)).to_string(), "AAA");
+        assert_eq!(tree.leaf_index(LeafId(1)).to_string(), "AAC");
+        assert_eq!(tree.leaf_index(LeafId(63)).to_string(), "TTT");
+        assert_eq!(
+            tree.parse_index(&"GCA".parse().unwrap()),
+            Some(LeafId(2 * 16 + 1 * 4))
+        );
+    }
+
+    #[test]
+    fn all_indexes_are_distinct() {
+        let tree = IndexTree::new(42, 5);
+        let mut seen = std::collections::HashSet::new();
+        for leaf in tree.leaves() {
+            assert!(seen.insert(tree.leaf_index(leaf).to_string()), "dup at {leaf}");
+        }
+        assert_eq!(seen.len(), 1024);
+    }
+
+    #[test]
+    fn sparse_invariants_hold_for_every_leaf() {
+        // §4.3 guarantees: homopolymers ≤ 2 and near-perfect GC balance in
+        // every prefix of every index.
+        let tree = IndexTree::new(0xBADC0FFE, 5);
+        for leaf in tree.leaves() {
+            let idx = tree.leaf_index(leaf);
+            assert!(idx.max_homopolymer() <= 2, "{leaf}: {idx}");
+            // Even-length prefixes are exactly balanced; odd ones deviate by
+            // at most 1/len. Checking from length 2 up:
+            let dev = max_prefix_gc_deviation(&idx, 2);
+            assert!(dev <= 0.25 + 1e-9, "{leaf}: {idx} dev {dev}");
+            // Perfect balance overall:
+            assert_eq!(idx.gc_count() * 2, idx.len(), "{leaf}: {idx}");
+        }
+    }
+
+    #[test]
+    fn sibling_hamming_distance_at_least_two() {
+        // §4.3: sparsification doubles the minimum sibling distance (1 → 2).
+        let tree = IndexTree::new(7, 5);
+        for parent in 0..256u64 {
+            let leaves: Vec<DnaSeq> = (0..4)
+                .map(|r| tree.leaf_index(LeafId(parent * 4 + r)))
+                .collect();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    let d = hamming(leaves[i].as_slice(), leaves[j].as_slice());
+                    assert!(d >= 2, "siblings {i},{j} under {parent}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separator_follows_opposite_gc_class_rule() {
+        let tree = IndexTree::new(99, 5);
+        for leaf in tree.leaves().step_by(7) {
+            let idx = tree.leaf_index(leaf);
+            let bases = idx.as_slice();
+            for pair in bases.chunks(2) {
+                assert_ne!(
+                    pair[0].is_gc(),
+                    pair[1].is_gc(),
+                    "separator must flip GC class: {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_shape_distance_improvement() {
+        // Fig. 5: dense siblings AA vs CA have Hamming 1; their sparse
+        // equivalents have distance ≥ 3... we verify the *guarantee*: any two
+        // leaves whose dense indexes differ in one position get sparse
+        // indexes at distance ≥ 2.
+        let dense = IndexTree::dense(2);
+        let sparse = IndexTree::new(123, 2);
+        for a in 0..16u64 {
+            for b in (a + 1)..16 {
+                let dd = hamming(
+                    dense.leaf_index(LeafId(a)).as_slice(),
+                    dense.leaf_index(LeafId(b)).as_slice(),
+                );
+                let ds = hamming(
+                    sparse.leaf_index(LeafId(a)).as_slice(),
+                    sparse.leaf_index(LeafId(b)).as_slice(),
+                );
+                if dd == 1 {
+                    assert!(ds >= 2, "{a} vs {b}: dense {dd}, sparse {ds}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        // §4.4: different partitions use different seeds so their trees are
+        // "vastly different".
+        let a = IndexTree::new(1, 5);
+        let b = IndexTree::new(2, 5);
+        let differing = a
+            .leaves()
+            .filter(|&l| a.leaf_index(l) != b.leaf_index(l))
+            .count();
+        assert!(differing > 900, "only {differing}/1024 differ");
+    }
+
+    #[test]
+    fn same_seed_reproduces_tree_exactly() {
+        let a = IndexTree::new(555, 5);
+        let b = IndexTree::new(555, 5);
+        for leaf in a.leaves().step_by(13) {
+            assert_eq!(a.leaf_index(leaf), b.leaf_index(leaf));
+        }
+    }
+
+    #[test]
+    fn prefixes_nest_correctly() {
+        let tree = IndexTree::new(31337, 5);
+        let leaf = LeafId(531);
+        let full = tree.leaf_index(leaf);
+        for levels in 0..=5 {
+            let p = tree.leaf_prefix(leaf, levels);
+            assert_eq!(p.len(), 2 * levels);
+            assert!(full.starts_with(&p), "level {levels}");
+        }
+    }
+
+    #[test]
+    fn node_prefix_matches_leaf_prefix() {
+        let tree = IndexTree::new(777, 4);
+        let leaf = LeafId(0b11_01_10_00); // ranks [3,1,2,0]
+        let ranks = vec![3u8, 1, 2, 0];
+        for l in 0..=4usize {
+            assert_eq!(tree.node_prefix(&ranks[..l]), tree.leaf_prefix(leaf, l));
+        }
+        assert_eq!(tree.first_leaf_under(&ranks[..2]), LeafId(0b11_01_00_00));
+        assert_eq!(tree.leaves_under(2), 16);
+    }
+
+    #[test]
+    fn parse_rejects_corrupted_separator_strict_but_not_lenient() {
+        let tree = IndexTree::new(2024, 5);
+        let leaf = LeafId(144);
+        let mut idx = tree.leaf_index(leaf);
+        // Corrupt a separator (odd position) to a base of the same GC class
+        // as... any different base; the edge at even positions stays intact.
+        let pos = 3;
+        let orig = idx[pos];
+        let replacement = Base::ALL.iter().copied().find(|&b| b != orig).unwrap();
+        let mut v: Vec<Base> = idx.iter().collect();
+        v[pos] = replacement;
+        idx = DnaSeq::from_bases(v);
+        assert_eq!(tree.parse_index(&idx), None);
+        assert_eq!(tree.parse_index_lenient(&idx), Some(leaf));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let tree = IndexTree::new(5, 5);
+        assert_eq!(tree.parse_index(&"ACGT".parse().unwrap()), None);
+        assert_eq!(tree.parse_index_lenient(&DnaSeq::new()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_out_of_range_panics() {
+        let tree = IndexTree::new(5, 2);
+        tree.leaf_index(LeafId(16));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the §4.3 index-tree invariants: these must hold
+//! for EVERY seed, not just the ones unit tests happen to pick.
+
+use dna_index::{IndexTree, LeafId};
+use dna_seq::analysis::max_prefix_gc_deviation;
+use dna_seq::distance::hamming;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode/parse is a bijection for arbitrary seeds and depths.
+    #[test]
+    fn leaf_index_bijective(seed in any::<u64>(), depth in 1usize..=5, leaf_frac in 0.0f64..1.0) {
+        let tree = IndexTree::new(seed, depth);
+        let leaf = LeafId(((tree.num_leaves() - 1) as f64 * leaf_frac) as u64);
+        let idx = tree.leaf_index(leaf);
+        prop_assert_eq!(idx.len(), 2 * depth);
+        prop_assert_eq!(tree.parse_index(&idx), Some(leaf));
+    }
+
+    /// GC balance and homopolymer caps hold for every prefix of every index,
+    /// for every seed (§4.2's elongation requirement).
+    #[test]
+    fn sparse_invariants_for_all_seeds(seed in any::<u64>(), leaf in 0u64..1024) {
+        let tree = IndexTree::new(seed, 5);
+        let idx = tree.leaf_index(LeafId(leaf));
+        prop_assert!(idx.max_homopolymer() <= 2);
+        prop_assert!(max_prefix_gc_deviation(&idx, 2) <= 0.25 + 1e-9);
+        prop_assert_eq!(idx.gc_count() * 2, idx.len());
+        // Separators alternate GC class with their edge base.
+        for pair in idx.as_slice().chunks(2) {
+            prop_assert_ne!(pair[0].is_gc(), pair[1].is_gc());
+        }
+    }
+
+    /// Sibling Hamming distance ≥ 2 for every seed and parent.
+    #[test]
+    fn sibling_distance_always_at_least_two(seed in any::<u64>(), parent in 0u64..256) {
+        let tree = IndexTree::new(seed, 5);
+        let leaves: Vec<_> = (0..4).map(|r| tree.leaf_index(LeafId(parent * 4 + r))).collect();
+        for i in 0..4 {
+            for j in (i+1)..4 {
+                prop_assert!(hamming(leaves[i].as_slice(), leaves[j].as_slice()) >= 2);
+            }
+        }
+    }
+
+    /// Prefix covers partition ranges exactly, for arbitrary ranges.
+    #[test]
+    fn cover_partitions_range(seed in any::<u64>(), a in 0u64..256, b in 0u64..256) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let tree = IndexTree::new(seed, 4);
+        let cover = tree.cover_range(LeafId(lo), LeafId(hi));
+        let mut leaves: Vec<u64> = Vec::new();
+        for node in &cover {
+            for l in 0..node.leaf_count {
+                leaves.push(node.first_leaf.0 + l);
+            }
+        }
+        leaves.sort_unstable();
+        let expected: Vec<u64> = (lo..=hi).collect();
+        prop_assert_eq!(leaves, expected);
+        // Each cover node's prefix must reproduce via node_prefix/leaf_prefix
+        for node in &cover {
+            let p = node.prefix(&tree);
+            let leaf_p = tree.leaf_prefix(node.first_leaf, node.path.len());
+            prop_assert_eq!(p, leaf_p);
+        }
+    }
+
+    /// Common-prefix cover always contains the range and its factor is ≥ 1.
+    #[test]
+    fn common_prefix_contains_range(seed in any::<u64>(), a in 0u64..1024, b in 0u64..1024) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let tree = IndexTree::new(seed, 5);
+        let (node, factor) = tree.common_prefix_cover(LeafId(lo), LeafId(hi));
+        prop_assert!(node.first_leaf.0 <= lo);
+        prop_assert!(node.first_leaf.0 + node.leaf_count > hi);
+        prop_assert!(factor >= 1.0);
+        // factor is exact
+        prop_assert!((factor - node.leaf_count as f64 / (hi - lo + 1) as f64).abs() < 1e-12);
+    }
+
+    /// Lenient parsing tolerates any single separator corruption.
+    #[test]
+    fn lenient_parse_survives_separator_noise(
+        seed in any::<u64>(),
+        leaf in 0u64..1024,
+        sep_pos in 0usize..5,
+        repl in 0u8..4,
+    ) {
+        let tree = IndexTree::new(seed, 5);
+        let idx = tree.leaf_index(LeafId(leaf));
+        let mut v: Vec<dna_seq::Base> = idx.iter().collect();
+        v[sep_pos * 2 + 1] = dna_seq::Base::from_code(repl); // corrupt separator only
+        let noisy = dna_seq::DnaSeq::from_bases(v);
+        prop_assert_eq!(tree.parse_index_lenient(&noisy), Some(LeafId(leaf)));
+    }
+}

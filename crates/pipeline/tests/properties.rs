@@ -1,0 +1,97 @@
+//! Property-based tests for the recovery pipeline.
+
+use dna_pipeline::{bma, cluster_reads, double_sided_bma, ClusterConfig, ReadFilter};
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+use dna_sim::IdsChannel;
+use proptest::prelude::*;
+
+fn random_seq(len: usize, rng: &mut DetRng) -> DnaSeq {
+    DnaSeq::from_bases((0..len).map(|_| Base::from_code(rng.gen_range(4) as u8)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BMA output always has the requested length, regardless of trace
+    /// noise, and reproduces clean unanimous traces exactly.
+    #[test]
+    fn bma_length_and_identity(seed in any::<u64>(), len in 8usize..150, coverage in 1usize..12) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let orig = random_seq(len, &mut rng);
+        let clean = vec![orig.clone(); coverage];
+        prop_assert_eq!(bma(&clean, len), Some(orig.clone()));
+        prop_assert_eq!(double_sided_bma(&clean, len), Some(orig.clone()));
+        let ch = IdsChannel::nanopore();
+        let noisy: Vec<DnaSeq> = (0..coverage).map(|_| ch.corrupt(&orig, &mut rng)).collect();
+        prop_assert_eq!(bma(&noisy, len).unwrap().len(), len);
+        prop_assert_eq!(double_sided_bma(&noisy, len).unwrap().len(), len);
+    }
+
+    /// Clustering always partitions the input: every read lands in exactly
+    /// one cluster, and clusters are size-sorted.
+    #[test]
+    fn clustering_partitions_input(seed in any::<u64>(), n_orig in 1usize..8, copies in 1usize..8) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let ch = IdsChannel::illumina();
+        let origs: Vec<DnaSeq> = (0..n_orig).map(|_| random_seq(80, &mut rng)).collect();
+        let reads: Vec<DnaSeq> = origs
+            .iter()
+            .flat_map(|o| (0..copies).map(|_| ch.corrupt(o, &mut rng)).collect::<Vec<_>>())
+            .collect();
+        let clusters = cluster_reads(&reads, &ClusterConfig::default());
+        let mut seen = vec![false; reads.len()];
+        for c in &clusters {
+            for &m in &c.members {
+                prop_assert!(!seen[m], "read {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        for w in clusters.windows(2) {
+            prop_assert!(w[0].size() >= w[1].size());
+        }
+    }
+
+    /// The read filter extracts exactly the interior for arbitrary clean
+    /// strands and rejects strands with a different index tail.
+    #[test]
+    fn filter_extracts_interior(seed in any::<u64>(), interior_len in 20usize..120) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let fwd = random_seq(31, &mut rng);
+        let rev = random_seq(20, &mut rng);
+        let interior = random_seq(interior_len, &mut rng);
+        let strand = fwd.concat(&interior).concat(&rev.reverse_complement());
+        let f = ReadFilter::new(fwd.clone(), &rev, 2);
+        prop_assert_eq!(f.extract(&strand), Some(interior.clone()));
+        // A strand with a heavily different prefix must not match.
+        let other = random_seq(31, &mut rng);
+        prop_assume!(dna_seq::distance::levenshtein(fwd.as_slice(), other.as_slice()) > 4);
+        let bad = other.concat(&interior).concat(&rev.reverse_complement());
+        prop_assert_eq!(f.extract(&bad), None);
+    }
+
+    /// The tail-checked filter never accepts a strand whose final ten bases
+    /// differ from the expected index by more than the tolerance (clean
+    /// reads — the sibling-discrimination property).
+    #[test]
+    fn tail_check_rejects_distant_tails(seed in any::<u64>()) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let main = random_seq(21, &mut rng);
+        let index = random_seq(10, &mut rng);
+        let fwd = main.concat(&index);
+        let rev = random_seq(20, &mut rng);
+        let f = ReadFilter::with_tail_check(fwd.clone(), &rev, 3, 10, 1);
+        // Build a "sibling": same main, index differing in 3 positions.
+        let mut sib: Vec<Base> = index.iter().collect();
+        for i in [2usize, 5, 8] {
+            sib[i] = Base::from_code((sib[i].code() + 1) & 3);
+        }
+        let sibling_prefix = main.concat(&DnaSeq::from_bases(sib));
+        let interior = random_seq(60, &mut rng);
+        let good = fwd.concat(&interior).concat(&rev.reverse_complement());
+        let bad = sibling_prefix.concat(&interior).concat(&rev.reverse_complement());
+        prop_assert!(f.extract(&good).is_some());
+        prop_assert!(f.extract(&bad).is_none());
+    }
+}

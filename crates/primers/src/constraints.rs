@@ -1,0 +1,226 @@
+//! Primer validity constraints (§2.1.4, §6.5).
+
+use dna_seq::analysis::hairpin_score;
+use dna_seq::tm::melting_temperature;
+use dna_seq::DnaSeq;
+use std::error::Error;
+use std::fmt;
+
+/// Why a candidate primer was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimerViolation {
+    /// Wrong length.
+    Length {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// GC fraction outside the allowed window.
+    GcOutOfRange {
+        /// Observed GC fraction.
+        gc: f64,
+        /// Allowed window.
+        window: (f64, f64),
+    },
+    /// Homopolymer run longer than allowed.
+    Homopolymer {
+        /// Observed longest run.
+        run: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// Melting temperature outside the allowed window.
+    TmOutOfRange {
+        /// Estimated Tm in °C.
+        tm: f64,
+        /// Allowed window.
+        window: (f64, f64),
+    },
+    /// Self-complementary head/tail long enough to form a hairpin.
+    Hairpin {
+        /// Observed self-complementary overlap.
+        score: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PrimerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimerViolation::Length { expected, got } => {
+                write!(f, "length {got}, expected {expected}")
+            }
+            PrimerViolation::GcOutOfRange { gc, window } => {
+                write!(f, "gc {:.2} outside [{:.2}, {:.2}]", gc, window.0, window.1)
+            }
+            PrimerViolation::Homopolymer { run, max } => {
+                write!(f, "homopolymer run {run} exceeds {max}")
+            }
+            PrimerViolation::TmOutOfRange { tm, window } => {
+                write!(f, "tm {:.1} outside [{:.1}, {:.1}]", tm, window.0, window.1)
+            }
+            PrimerViolation::Hairpin { score, max } => {
+                write!(f, "hairpin score {score} exceeds {max}")
+            }
+        }
+    }
+}
+
+impl Error for PrimerViolation {}
+
+/// Constraint set for main-primer candidates.
+///
+/// The defaults follow the paper's reported properties: "The GC content of
+/// all primers is between 48-52%" (§6.5) is what the *selected* primers
+/// achieved; the design window here is the standard 40–60% with Tm in the
+/// 48–68 °C annealing range (§2.1.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimerConstraints {
+    /// Required primer length (paper: 20 for main primers).
+    pub length: usize,
+    /// GC fraction window.
+    pub gc_window: (f64, f64),
+    /// Maximum homopolymer run.
+    pub max_homopolymer: usize,
+    /// Melting temperature window (°C).
+    pub tm_window: (f64, f64),
+    /// Maximum hairpin (self-complementary overlap) score.
+    pub max_hairpin: usize,
+}
+
+impl PrimerConstraints {
+    /// Standard constraints for main primers of the given length.
+    pub fn paper_default(length: usize) -> PrimerConstraints {
+        PrimerConstraints {
+            length,
+            gc_window: (0.40, 0.60),
+            max_homopolymer: 3,
+            tm_window: (45.0, 68.0),
+            max_hairpin: 5,
+        }
+    }
+
+    /// Validates a candidate, returning the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PrimerViolation`] discovered, checking length,
+    /// GC, homopolymers, Tm, then hairpin.
+    pub fn validate(&self, primer: &DnaSeq) -> Result<(), PrimerViolation> {
+        if primer.len() != self.length {
+            return Err(PrimerViolation::Length {
+                expected: self.length,
+                got: primer.len(),
+            });
+        }
+        let gc = primer.gc_fraction();
+        if gc < self.gc_window.0 || gc > self.gc_window.1 {
+            return Err(PrimerViolation::GcOutOfRange {
+                gc,
+                window: self.gc_window,
+            });
+        }
+        let run = primer.max_homopolymer();
+        if run > self.max_homopolymer {
+            return Err(PrimerViolation::Homopolymer {
+                run,
+                max: self.max_homopolymer,
+            });
+        }
+        let tm = melting_temperature(primer);
+        if tm < self.tm_window.0 || tm > self.tm_window.1 {
+            return Err(PrimerViolation::TmOutOfRange {
+                tm,
+                window: self.tm_window,
+            });
+        }
+        let score = hairpin_score(primer);
+        if score > self.max_hairpin {
+            return Err(PrimerViolation::Hairpin {
+                score,
+                max: self.max_hairpin,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn balanced_primer_passes() {
+        let c = PrimerConstraints::paper_default(20);
+        // 50% GC, max run 2, no self-complementary head/tail.
+        assert!(c.validate(&s("AACCGGTTAACCGGTTAACC")).is_ok());
+    }
+
+    #[test]
+    fn palindromic_primer_fails_hairpin() {
+        // ACGT repeats are reverse-complement palindromes — classic hairpin.
+        let c = PrimerConstraints::paper_default(20);
+        assert!(matches!(
+            c.validate(&s("ACGTACGTACGTACGTACGT")),
+            Err(PrimerViolation::Hairpin { .. })
+        ));
+    }
+
+    #[test]
+    fn length_checked_first() {
+        let c = PrimerConstraints::paper_default(20);
+        assert!(matches!(
+            c.validate(&s("ACGT")),
+            Err(PrimerViolation::Length { expected: 20, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn gc_window_enforced() {
+        let c = PrimerConstraints::paper_default(20);
+        assert!(matches!(
+            c.validate(&s("AATTAATTAATTAATTAATT")),
+            Err(PrimerViolation::GcOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.validate(&s("GGCCGGCCGGCCGGCCGGCC")),
+            Err(PrimerViolation::GcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn homopolymers_rejected() {
+        let c = PrimerConstraints::paper_default(20);
+        // 50% GC but a long run
+        assert!(matches!(
+            c.validate(&s("GGGGGATATATCACACTCTC")),
+            Err(PrimerViolation::Homopolymer { run: 5, max: 3 })
+        ));
+    }
+
+    #[test]
+    fn hairpin_rejected() {
+        let c = PrimerConstraints::paper_default(20);
+        // 10-base head whose reverse complement equals the tail
+        let head = s("ACGTTGCAAC");
+        let tail = head.reverse_complement();
+        let hp = head.concat(&tail);
+        assert_eq!(hp.len(), 20);
+        assert!(matches!(
+            c.validate(&hp),
+            Err(PrimerViolation::Hairpin { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = PrimerViolation::GcOutOfRange { gc: 0.9, window: (0.4, 0.6) };
+        assert!(v.to_string().contains("gc 0.90"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Elongated primers (§4, Fig. 4).
+//!
+//! A main primer is extended with the sync base and a prefix of the target's
+//! sparse index. Because the index construction keeps *every* prefix
+//! GC-balanced and homopolymer-free, every elongation length yields a valid
+//! PCR primer (§4.2) — that is the entire point of the sparse encoding.
+
+use crate::{PrimerConstraints, PrimerViolation};
+use dna_seq::tm::melting_temperature;
+use dna_seq::DnaSeq;
+
+/// A main primer plus a variable elongation tail.
+///
+/// The tail is everything appended after the main primer: the sync base (if
+/// any) followed by the desired portion of the sparse index — possibly
+/// including the version base when targeting a specific update slot.
+///
+/// # Examples
+///
+/// ```
+/// use dna_primers::ElongatedPrimer;
+/// use dna_seq::DnaSeq;
+///
+/// let main: DnaSeq = "ACGTACGTACGTACGTACGT".parse().unwrap();
+/// let tail: DnaSeq = "ACTGAGCATG".parse().unwrap(); // sync omitted here
+/// let ep = ElongatedPrimer::new(main.clone(), tail);
+/// assert_eq!(ep.len(), 30);
+/// assert!(ep.full().starts_with(&main));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ElongatedPrimer {
+    main: DnaSeq,
+    tail: DnaSeq,
+}
+
+impl ElongatedPrimer {
+    /// Creates an elongated primer from its main part and tail.
+    pub fn new(main: DnaSeq, tail: DnaSeq) -> ElongatedPrimer {
+        ElongatedPrimer { main, tail }
+    }
+
+    /// The main (partition) primer.
+    pub fn main(&self) -> &DnaSeq {
+        &self.main
+    }
+
+    /// The elongation tail.
+    pub fn tail(&self) -> &DnaSeq {
+        &self.tail
+    }
+
+    /// Full primer sequence: main followed by tail.
+    pub fn full(&self) -> DnaSeq {
+        self.main.concat(&self.tail)
+    }
+
+    /// Total length in bases (paper's block primers: 20 + 1 + 10 = 31).
+    pub fn len(&self) -> usize {
+        self.main.len() + self.tail.len()
+    }
+
+    /// `true` when there is no elongation at all (plain main primer).
+    pub fn is_empty(&self) -> bool {
+        self.main.is_empty() && self.tail.is_empty()
+    }
+
+    /// Estimated melting temperature of the full primer (°C). The paper's
+    /// 31-base elongated primers melt at 63–64 °C (§6.5).
+    pub fn tm(&self) -> f64 {
+        melting_temperature(&self.full())
+    }
+
+    /// Validates that the *fully elongated* primer is PCR-compatible and
+    /// that every intermediate elongation point also stays within the GC
+    /// window (§4.2: "the GC content needs to be balanced within every part
+    /// of every index regardless of its length").
+    ///
+    /// `main_constraints` applies to the main primer; the elongation checks
+    /// use its GC window and homopolymer cap on every prefix of the full
+    /// primer at least as long as the main primer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, main_constraints: &PrimerConstraints) -> Result<(), PrimerViolation> {
+        main_constraints.validate(&self.main)?;
+        let full = self.full();
+        // Homopolymer check across the junction and tail.
+        let run = full.max_homopolymer();
+        if run > main_constraints.max_homopolymer {
+            return Err(PrimerViolation::Homopolymer {
+                run,
+                max: main_constraints.max_homopolymer,
+            });
+        }
+        // GC balance at every elongation point.
+        for cut in self.main.len()..=full.len() {
+            let prefix = full.prefix(cut);
+            let gc = prefix.gc_fraction();
+            if gc < main_constraints.gc_window.0 || gc > main_constraints.gc_window.1 {
+                return Err(PrimerViolation::GcOutOfRange {
+                    gc,
+                    window: main_constraints.gc_window,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_index::{IndexTree, LeafId};
+    use dna_seq::Base;
+
+    fn main_primer() -> DnaSeq {
+        // Balanced, run-free, non-self-complementary.
+        "AACCGGTTAACCGGTTAACC".parse().unwrap()
+    }
+
+    #[test]
+    fn paper_block_primer_is_31_bases() {
+        let tree = IndexTree::new(0xA11CE, 5);
+        let mut tail = DnaSeq::new();
+        tail.push(Base::A); // sync
+        tail.extend(tree.leaf_index(LeafId(531)).iter());
+        let ep = ElongatedPrimer::new(main_primer(), tail);
+        assert_eq!(ep.len(), 31);
+        assert!((60.0..67.0).contains(&ep.tm()), "tm {}", ep.tm());
+    }
+
+    #[test]
+    fn every_elongation_point_validates_with_sparse_index() {
+        // The §4.2 requirement: elongation by 6 or by 10 bases must both be
+        // PCR-compatible. The sparse tree guarantees it.
+        let constraints = PrimerConstraints::paper_default(20);
+        let tree = IndexTree::new(0xFACE, 5);
+        for leaf in [0u64, 144, 307, 531, 1023] {
+            let mut tail = DnaSeq::new();
+            tail.push(Base::A);
+            tail.extend(tree.leaf_index(LeafId(leaf)).iter());
+            let ep = ElongatedPrimer::new(main_primer(), tail);
+            ep.validate(&constraints)
+                .unwrap_or_else(|v| panic!("leaf {leaf}: {v}"));
+        }
+    }
+
+    #[test]
+    fn dense_index_elongation_fails_validation() {
+        // The dense baseline's indexes break elongation: e.g. leaf 0 is
+        // AAAAA — a homopolymer run of 5 plus GC collapse.
+        let constraints = PrimerConstraints::paper_default(20);
+        let tree = IndexTree::dense(5);
+        let mut tail = DnaSeq::new();
+        tail.push(Base::A);
+        tail.extend(tree.leaf_index(LeafId(0)).iter());
+        let ep = ElongatedPrimer::new(main_primer(), tail);
+        assert!(ep.validate(&constraints).is_err());
+    }
+
+    #[test]
+    fn empty_tail_is_the_main_primer() {
+        let ep = ElongatedPrimer::new(main_primer(), DnaSeq::new());
+        assert_eq!(ep.full(), main_primer());
+        assert_eq!(ep.len(), 20);
+        assert!(!ep.is_empty());
+    }
+
+    #[test]
+    fn junction_homopolymer_detected() {
+        // Main ends in CC; a tail starting with CC creates a run of 4.
+        let constraints = PrimerConstraints::paper_default(20);
+        let tail: DnaSeq = "CCTG".parse().unwrap();
+        let ep = ElongatedPrimer::new(main_primer(), tail);
+        assert!(matches!(
+            ep.validate(&constraints),
+            Err(PrimerViolation::Homopolymer { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! PCR primer design for DNA storage.
+//!
+//! Main access primers define partitions and must be mutually distant so any
+//! partition can be extracted regardless of relative concentration (§4.2).
+//! The paper (§1) notes that the largest known mutually-compatible sets
+//! contain only ~1000–3000 primers of length 20, and that the count scales
+//! roughly linearly with primer length (~10K at length 30) — which is what
+//! makes primer pairs too precious to spend one per object, and motivates
+//! the block architecture.
+//!
+//! This crate provides:
+//! - [`PrimerConstraints`] — GC window, homopolymer cap, melting-temperature
+//!   window, hairpin self-complementarity cap,
+//! - [`PrimerLibrary`] — greedy random search for mutually-compatible primer
+//!   sets at a minimum pairwise Hamming distance (the §1 scaling experiment),
+//! - [`ElongatedPrimer`] — a main primer extended with a sync base and a
+//!   (possibly partial) sparse index prefix (§4 / Fig. 4), with validation
+//!   that *every* elongation point stays PCR-compatible (§4.2),
+//! - [`PrimerPair`] — the forward/reverse pair tagging one partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_primers::{PrimerConstraints, PrimerLibrary};
+//!
+//! let constraints = PrimerConstraints::paper_default(20);
+//! let lib = PrimerLibrary::generate(&constraints, 8, 20_000, 42);
+//! assert_eq!(lib.len(), 8);
+//! for p in lib.primers() {
+//!     assert!(constraints.validate(p).is_ok());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraints;
+mod elongation;
+mod library;
+mod pair;
+
+pub use constraints::{PrimerConstraints, PrimerViolation};
+pub use elongation::ElongatedPrimer;
+pub use library::PrimerLibrary;
+pub use pair::PrimerPair;

@@ -1,0 +1,89 @@
+//! Forward/reverse primer pairs.
+
+use dna_seq::DnaSeq;
+
+/// The pair of main primers that chemically tags one partition (§1: "a pair
+/// of random-access PCR primers of length 20 ... an independent storage
+/// partition").
+///
+/// The forward primer appears verbatim at a strand's 5' end; the reverse
+/// primer's binding site is the reverse complement at the 3' end.
+///
+/// # Examples
+///
+/// ```
+/// use dna_primers::PrimerPair;
+/// use dna_seq::DnaSeq;
+///
+/// let fwd: DnaSeq = "ACGTACGTACGTACGTACGT".parse().unwrap();
+/// let rev: DnaSeq = "TGCATGCATGCATGCATGCA".parse().unwrap();
+/// let pair = PrimerPair::new(fwd.clone(), rev.clone());
+/// let strand = fwd.concat(&"AACCGGTT".parse().unwrap()).concat(&rev.reverse_complement());
+/// assert!(pair.matches_strand(&strand));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrimerPair {
+    forward: DnaSeq,
+    reverse: DnaSeq,
+}
+
+impl PrimerPair {
+    /// Creates a pair from forward and reverse primer sequences.
+    pub fn new(forward: DnaSeq, reverse: DnaSeq) -> PrimerPair {
+        PrimerPair { forward, reverse }
+    }
+
+    /// The forward primer.
+    pub fn forward(&self) -> &DnaSeq {
+        &self.forward
+    }
+
+    /// The reverse primer.
+    pub fn reverse(&self) -> &DnaSeq {
+        &self.reverse
+    }
+
+    /// The reverse primer's binding site as it appears on the sense strand
+    /// (its reverse complement).
+    pub fn reverse_site(&self) -> DnaSeq {
+        self.reverse.reverse_complement()
+    }
+
+    /// `true` if `strand` begins with the forward primer and ends with the
+    /// reverse primer's site (exact match — the simulator's annealing model
+    /// handles mismatches).
+    pub fn matches_strand(&self, strand: &DnaSeq) -> bool {
+        strand.starts_with(&self.forward) && strand.ends_with(&self.reverse_site())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> PrimerPair {
+        // Neither primer is a reverse-complement palindrome.
+        PrimerPair::new(
+            "AACCGGTTAACCGGTTAACC".parse().unwrap(),
+            "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn match_requires_both_ends() {
+        let p = pair();
+        let payload: DnaSeq = "AACCGGTT".parse().unwrap();
+        let good = p.forward().concat(&payload).concat(&p.reverse_site());
+        assert!(p.matches_strand(&good));
+        let bad_tail = p.forward().concat(&payload).concat(p.reverse()); // not complemented
+        assert!(!p.matches_strand(&bad_tail));
+        let bad_head = payload.concat(&p.reverse_site());
+        assert!(!p.matches_strand(&bad_head));
+    }
+
+    #[test]
+    fn reverse_site_is_involution() {
+        let p = pair();
+        assert_eq!(p.reverse_site().reverse_complement(), *p.reverse());
+    }
+}

@@ -1,0 +1,138 @@
+//! GC-content and structural analysis of sequences.
+//!
+//! PCR compatibility (§2.1.4, §4.2 of the paper) requires balanced GC content
+//! *within every part of every index regardless of its length*, and no long
+//! homopolymer runs. These helpers verify those properties.
+
+use crate::DnaSeq;
+
+/// GC fraction of every window of length `window`, sliding by one base.
+///
+/// Returns an empty vector when the sequence is shorter than `window` or
+/// `window == 0`.
+pub fn windowed_gc(seq: &DnaSeq, window: usize) -> Vec<f64> {
+    if window == 0 || seq.len() < window {
+        return Vec::new();
+    }
+    let slice = seq.as_slice();
+    let mut gc = slice[..window].iter().filter(|b| b.is_gc()).count();
+    let mut out = Vec::with_capacity(seq.len() - window + 1);
+    out.push(gc as f64 / window as f64);
+    for i in window..seq.len() {
+        gc += usize::from(slice[i].is_gc());
+        gc -= usize::from(slice[i - window].is_gc());
+        out.push(gc as f64 / window as f64);
+    }
+    out
+}
+
+/// Checks that **every prefix** of `seq` of length ≥ `min_len` has GC
+/// fraction in `[lo, hi]`.
+///
+/// This is the elongated-primer requirement of §4.2: "the GC content needs to
+/// be balanced within every part of every index regardless of its length",
+/// because a primer may be elongated by 6 bases or 10 bases and must be PCR
+/// compatible either way.
+pub fn gc_balanced_prefixes(seq: &DnaSeq, lo: f64, hi: f64, min_len: usize) -> bool {
+    let mut gc = 0usize;
+    for (i, b) in seq.iter().enumerate() {
+        gc += usize::from(b.is_gc());
+        let len = i + 1;
+        if len >= min_len {
+            let frac = gc as f64 / len as f64;
+            if frac < lo || frac > hi {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Maximum absolute deviation of any prefix (length ≥ `min_len`) from 50% GC.
+///
+/// Useful as a scalar "PCR friendliness" score; the sparse index trees keep
+/// this near zero by construction.
+pub fn max_prefix_gc_deviation(seq: &DnaSeq, min_len: usize) -> f64 {
+    let mut gc = 0usize;
+    let mut worst: f64 = 0.0;
+    for (i, b) in seq.iter().enumerate() {
+        gc += usize::from(b.is_gc());
+        let len = i + 1;
+        if len >= min_len {
+            worst = worst.max((gc as f64 / len as f64 - 0.5).abs());
+        }
+    }
+    worst
+}
+
+/// Longest self-complementary tail/head overlap, a crude hairpin propensity
+/// score: the length of the longest suffix of `seq` whose reverse complement
+/// is a prefix of `seq`.
+///
+/// Primers with long such overlaps fold on themselves and fail to anneal;
+/// primer validation rejects scores above a threshold.
+pub fn hairpin_score(seq: &DnaSeq) -> usize {
+    let rc = seq.reverse_complement();
+    let n = seq.len();
+    let mut best = 0;
+    for k in (1..=n / 2).rev() {
+        // suffix of length k: seq[n-k..]; its reverse complement is rc[..k]
+        if seq.as_slice()[..k] == rc.as_slice()[..k] {
+            best = k;
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn windowed_gc_slides_correctly() {
+        let seq = s("GGATAT");
+        let w = windowed_gc(&seq, 2);
+        assert_eq!(w, vec![1.0, 0.5, 0.0, 0.0, 0.0]);
+        assert!(windowed_gc(&seq, 0).is_empty());
+        assert!(windowed_gc(&seq, 7).is_empty());
+    }
+
+    #[test]
+    fn perfectly_alternating_sequence_is_balanced() {
+        let seq = s("ACAGTCTG"); // weak/strong alternating
+        // odd-length prefixes of an alternating sequence deviate by up to
+        // 1/(2k+1); length-3 prefix "ACA" has GC 1/3.
+        assert!(gc_balanced_prefixes(&seq, 1.0 / 3.0, 2.0 / 3.0, 2));
+        assert!(max_prefix_gc_deviation(&seq, 2) <= 0.25);
+    }
+
+    #[test]
+    fn skewed_sequence_fails_balance() {
+        let seq = s("GGGGGGAT");
+        assert!(!gc_balanced_prefixes(&seq, 0.4, 0.6, 2));
+        assert!(max_prefix_gc_deviation(&seq, 2) == 0.5);
+    }
+
+    #[test]
+    fn min_len_exempts_short_prefixes() {
+        // first 3 bases are all GC but prefixes shorter than 4 are ignored
+        let seq = s("GCGATATA"); // prefix(4)=GCGA 75%... fails at 0.6
+        assert!(!gc_balanced_prefixes(&seq, 0.4, 0.6, 4));
+        // but with min_len 8 only the whole sequence is checked: 3/8 = 0.375
+        assert!(gc_balanced_prefixes(&seq, 0.35, 0.6, 8));
+    }
+
+    #[test]
+    fn hairpin_score_detects_self_complement() {
+        // prefix ACGT's reverse complement is ACGT -> palindromic head/tail
+        let seq = s("ACGTAAAAACGT");
+        assert!(hairpin_score(&seq) >= 4);
+        let clean = s("ACCATG");
+        assert!(hairpin_score(&clean) <= 2);
+    }
+}

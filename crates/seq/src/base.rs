@@ -1,0 +1,217 @@
+//! The four-letter DNA alphabet.
+
+use crate::error::ParseDnaError;
+use std::fmt;
+
+/// A single DNA nucleotide: adenine, cytosine, guanine or thymine.
+///
+/// The discriminants are the canonical 2-bit encoding used throughout the
+/// storage stack (`A=0, C=1, G=2, T=3`), matching the alphabetical edge order
+/// of the index trees in the paper (§3.1: "four edges labelled A, C, G, T, in
+/// that order").
+///
+/// # Examples
+///
+/// ```
+/// use dna_seq::Base;
+///
+/// assert_eq!(Base::A.complement(), Base::T);
+/// assert_eq!(Base::G.to_char(), 'G');
+/// assert!(Base::C.is_gc());
+/// assert_eq!(Base::from_code(3), Base::T);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in canonical (alphabetical) order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Returns the Watson–Crick complement (`A↔T`, `C↔G`).
+    #[inline]
+    pub const fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Returns `true` for the *strong* (three-hydrogen-bond) bases G and C.
+    ///
+    /// The paper's sparsification rule (§4.3) always inserts a base of the
+    /// *opposite* GC class from its predecessor, which is what keeps every
+    /// elongation GC-balanced.
+    #[inline]
+    pub const fn is_gc(self) -> bool {
+        matches!(self, Base::C | Base::G)
+    }
+
+    /// Returns the canonical 2-bit code (`A=0, C=1, G=2, T=3`).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a base from its 2-bit code. Only the low two bits are used.
+    #[inline]
+    pub const fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Returns the uppercase ASCII character for this base.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+
+    /// Parses a single character (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDnaError`] if `c` is not one of `AaCcGgTt`.
+    pub fn from_char(c: char) -> Result<Base, ParseDnaError> {
+        match c {
+            'A' | 'a' => Ok(Base::A),
+            'C' | 'c' => Ok(Base::C),
+            'G' | 'g' => Ok(Base::G),
+            'T' | 't' => Ok(Base::T),
+            other => Err(ParseDnaError::new(other)),
+        }
+    }
+
+    /// The two bases of the *same* GC class as `self` (including `self`).
+    #[inline]
+    pub const fn same_gc_class(self) -> [Base; 2] {
+        if self.is_gc() {
+            [Base::C, Base::G]
+        } else {
+            [Base::A, Base::T]
+        }
+    }
+
+    /// The two bases of the *opposite* GC class from `self`.
+    ///
+    /// This is the candidate set for the §4.3 separator insertion: "if the
+    /// previous letter on the path from the root was A, the extra letter
+    /// could be either C or G".
+    #[inline]
+    pub const fn opposite_gc_class(self) -> [Base; 2] {
+        if self.is_gc() {
+            [Base::A, Base::T]
+        } else {
+            [Base::C, Base::G]
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Base::A => "A",
+            Base::C => "C",
+            Base::G => "G",
+            Base::T => "T",
+        })
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = ParseDnaError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        Base::from_char(c)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_char()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn complement_swaps_gc_class_membership() {
+        // A<->T stay weak, C<->G stay strong.
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(Base::G.is_gc());
+        for b in Base::ALL {
+            assert_eq!(b.is_gc(), b.complement().is_gc());
+        }
+    }
+
+    #[test]
+    fn code_round_trips() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+        // from_code masks to two bits.
+        assert_eq!(Base::from_code(4), Base::A);
+        assert_eq!(Base::from_code(7), Base::T);
+    }
+
+    #[test]
+    fn char_round_trips_case_insensitive() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_char(b.to_char()).unwrap(), b);
+            assert_eq!(
+                Base::from_char(b.to_char().to_ascii_lowercase()).unwrap(),
+                b
+            );
+        }
+        assert!(Base::from_char('N').is_err());
+        assert!(Base::from_char('x').is_err());
+    }
+
+    #[test]
+    fn gc_classes_partition_alphabet() {
+        for b in Base::ALL {
+            let same = b.same_gc_class();
+            let opp = b.opposite_gc_class();
+            assert!(same.contains(&b));
+            assert!(!opp.contains(&b));
+            let mut all: Vec<Base> = same.iter().chain(opp.iter()).copied().collect();
+            all.sort();
+            assert_eq!(all, Base::ALL.to_vec());
+        }
+    }
+
+    #[test]
+    fn canonical_order_matches_paper_edge_labels() {
+        assert_eq!(Base::ALL.map(|b| b.to_char()), ['A', 'C', 'G', 'T']);
+    }
+}

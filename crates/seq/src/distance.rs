@@ -1,0 +1,255 @@
+//! Hamming and Levenshtein (edit) distances between DNA sequences.
+//!
+//! Both metrics matter in the paper: primer libraries are screened by
+//! *Hamming* distance (§1), while read clustering and mispriming analysis use
+//! *Levenshtein* distance (§2.1.2, §8.1 — "incorrectly amplified strands
+//! largely had indexes ... 2 or 3 edit distance apart").
+
+use crate::Base;
+
+/// Hamming distance between two equal-length base slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths; use [`hamming_prefix`] for
+/// comparing a primer against the prefix of a longer template.
+///
+/// # Examples
+///
+/// ```
+/// use dna_seq::{distance::hamming, DnaSeq};
+/// let a: DnaSeq = "ACGT".parse().unwrap();
+/// let b: DnaSeq = "AGGA".parse().unwrap();
+/// assert_eq!(hamming(a.as_slice(), b.as_slice()), 2);
+/// ```
+pub fn hamming(a: &[Base], b: &[Base]) -> usize {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hamming distance requires equal lengths ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Hamming distance between `probe` and the equally long prefix of
+/// `template`. Positions of `probe` beyond `template`'s end count as
+/// mismatches.
+///
+/// This models primer-vs-strand annealing comparisons, where the primer is
+/// matched against the 5' end of the template.
+pub fn hamming_prefix(probe: &[Base], template: &[Base]) -> usize {
+    let overlap = probe.len().min(template.len());
+    let mismatches = probe[..overlap]
+        .iter()
+        .zip(&template[..overlap])
+        .filter(|(x, y)| x != y)
+        .count();
+    mismatches + (probe.len() - overlap)
+}
+
+/// Hamming distance with early exit: returns `None` as soon as the distance
+/// exceeds `bound`.
+pub fn hamming_bounded(a: &[Base], b: &[Base], bound: usize) -> Option<usize> {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    let mut d = 0;
+    for (x, y) in a.iter().zip(b) {
+        if x != y {
+            d += 1;
+            if d > bound {
+                return None;
+            }
+        }
+    }
+    Some(d)
+}
+
+/// Levenshtein (edit) distance: minimum number of insertions, deletions and
+/// substitutions converting `a` into `b`.
+///
+/// # Examples
+///
+/// ```
+/// use dna_seq::{distance::levenshtein, DnaSeq};
+/// let a: DnaSeq = "ACGT".parse().unwrap();
+/// let b: DnaSeq = "AGT".parse().unwrap();
+/// assert_eq!(levenshtein(a.as_slice(), b.as_slice()), 1);
+/// ```
+pub fn levenshtein(a: &[Base], b: &[Base]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row dynamic program.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &x) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded Levenshtein distance with early exit: returns `None` if the
+/// distance exceeds `bound`. Runs in `O(bound · max(|a|,|b|))`, which is what
+/// makes clustering millions of reads tractable.
+pub fn levenshtein_bounded(a: &[Base], b: &[Base], bound: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
+        return None;
+    }
+    if n == 0 {
+        return (m <= bound).then_some(m);
+    }
+    if m == 0 {
+        return (n <= bound).then_some(n);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Band of width 2*bound+1 around the diagonal.
+    let width = 2 * bound + 1;
+    let mut prev = vec![BIG; width];
+    let mut cur = vec![BIG; width];
+    // prev corresponds to row i=0: cell (0, j) = j for |j - 0| <= bound.
+    for (k, slot) in prev.iter_mut().enumerate() {
+        // k indexes offset j - i + bound.
+        let j = k as isize - bound as isize;
+        if j >= 0 && (j as usize) <= m {
+            *slot = j as usize;
+        }
+    }
+    for i in 1..=n {
+        cur.fill(BIG);
+        let x = a[i - 1];
+        let lo = i.saturating_sub(bound).max(0);
+        let hi = (i + bound).min(m);
+        for j in lo..=hi {
+            let k = (j as isize - i as isize + bound as isize) as usize;
+            let mut best = BIG;
+            // Substitution / match: prev[(j-1) - (i-1) + bound] = prev[k]
+            if j >= 1 {
+                let diag = prev[k];
+                if diag < BIG {
+                    best = best.min(diag + usize::from(x != b[j - 1]));
+                }
+            } else if i >= 1 {
+                // j == 0 column: distance is i (delete all of a's prefix)
+                best = best.min(i);
+            }
+            // Deletion from a: (i-1, j) -> prev[k+1]
+            if k + 1 < width && prev[k + 1] < BIG {
+                best = best.min(prev[k + 1] + 1);
+            }
+            // Insertion into a: (i, j-1) -> cur[k-1]
+            if k >= 1 && cur[k - 1] < BIG {
+                best = best.min(cur[k - 1] + 1);
+            }
+            cur[k] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let k = (m as isize - n as isize + bound as isize) as usize;
+    let d = prev[k];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DnaSeq;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming(s("ACGT").as_slice(), s("ACGT").as_slice()), 0);
+        assert_eq!(hamming(s("AAAA").as_slice(), s("TTTT").as_slice()), 4);
+        assert_eq!(hamming(s("").as_slice(), s("").as_slice()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_panics_on_length_mismatch() {
+        hamming(s("AC").as_slice(), s("ACG").as_slice());
+    }
+
+    #[test]
+    fn hamming_prefix_counts_overhang() {
+        assert_eq!(hamming_prefix(s("ACG").as_slice(), s("ACGTTT").as_slice()), 0);
+        assert_eq!(hamming_prefix(s("ACT").as_slice(), s("ACGTTT").as_slice()), 1);
+        assert_eq!(hamming_prefix(s("ACGTT").as_slice(), s("ACG").as_slice()), 2);
+    }
+
+    #[test]
+    fn hamming_bounded_early_exit() {
+        assert_eq!(
+            hamming_bounded(s("AAAA").as_slice(), s("AATA").as_slice(), 1),
+            Some(1)
+        );
+        assert_eq!(
+            hamming_bounded(s("AAAA").as_slice(), s("TTTT").as_slice(), 2),
+            None
+        );
+    }
+
+    #[test]
+    fn levenshtein_textbook_cases() {
+        assert_eq!(levenshtein(s("ACGT").as_slice(), s("ACGT").as_slice()), 0);
+        assert_eq!(levenshtein(s("ACGT").as_slice(), s("AGT").as_slice()), 1);
+        assert_eq!(levenshtein(s("").as_slice(), s("ACG").as_slice()), 3);
+        assert_eq!(levenshtein(s("ACG").as_slice(), s("").as_slice()), 3);
+        // classic: kitten/sitting analogue in DNA
+        assert_eq!(levenshtein(s("ACGTACGT").as_slice(), s("AGTACGGT").as_slice()), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric_and_triangle() {
+        let seqs = [s("ACGT"), s("AGT"), s("TTTT"), s("ACGG"), s("")];
+        for a in &seqs {
+            for b in &seqs {
+                let dab = levenshtein(a.as_slice(), b.as_slice());
+                let dba = levenshtein(b.as_slice(), a.as_slice());
+                assert_eq!(dab, dba);
+                for c in &seqs {
+                    let dac = levenshtein(a.as_slice(), c.as_slice());
+                    let dcb = levenshtein(c.as_slice(), b.as_slice());
+                    assert!(dab <= dac + dcb, "triangle inequality violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees_with_full() {
+        let pairs = [
+            ("ACGTACGT", "ACGTACGT"),
+            ("ACGTACGT", "ACGACGT"),
+            ("ACGTACGT", "TCGTACGA"),
+            ("AAAA", "TTTT"),
+            ("ACGT", ""),
+            ("", ""),
+            ("ACGTAAGGTT", "CGTAAGGTTA"),
+        ];
+        for (x, y) in pairs {
+            let a = s(x);
+            let b = s(y);
+            let full = levenshtein(a.as_slice(), b.as_slice());
+            for bound in 0..=10 {
+                let got = levenshtein_bounded(a.as_slice(), b.as_slice(), bound);
+                if full <= bound {
+                    assert_eq!(got, Some(full), "{x} vs {y} bound {bound}");
+                } else {
+                    assert_eq!(got, None, "{x} vs {y} bound {bound}");
+                }
+            }
+        }
+    }
+}

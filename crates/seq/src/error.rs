@@ -1,0 +1,43 @@
+//! Error types for DNA parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing DNA from text encounters a non-`ACGT`
+/// character.
+///
+/// # Examples
+///
+/// ```
+/// use dna_seq::DnaSeq;
+///
+/// let err = "ACGX".parse::<DnaSeq>().unwrap_err();
+/// assert_eq!(err.invalid_char(), 'X');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDnaError {
+    invalid: char,
+}
+
+impl ParseDnaError {
+    pub(crate) fn new(invalid: char) -> Self {
+        ParseDnaError { invalid }
+    }
+
+    /// The offending character.
+    pub fn invalid_char(&self) -> char {
+        self.invalid
+    }
+}
+
+impl fmt::Display for ParseDnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid DNA character {:?}, expected one of A, C, G, T",
+            self.invalid
+        )
+    }
+}
+
+impl Error for ParseDnaError {}

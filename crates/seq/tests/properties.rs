@@ -1,0 +1,98 @@
+//! Property-based tests for the foundational sequence types.
+
+use dna_seq::distance::{hamming, levenshtein, levenshtein_bounded};
+use dna_seq::{Base, DnaSeq};
+use proptest::prelude::*;
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, 0..max_len)
+        .prop_map(|codes| DnaSeq::from_bases(codes.into_iter().map(Base::from_code)))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(seq in arb_seq(200)) {
+        let text = seq.to_string();
+        let back: DnaSeq = text.parse().unwrap();
+        prop_assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn packed_bytes_round_trip(seq in arb_seq(200)) {
+        let packed = seq.to_packed_bytes();
+        let back = DnaSeq::from_packed_bytes(&packed, seq.len());
+        prop_assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in arb_seq(200)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn complement_preserves_gc_count(seq in arb_seq(200)) {
+        prop_assert_eq!(seq.complement().gc_count(), seq.gc_count());
+    }
+
+    #[test]
+    fn hamming_vs_levenshtein(a in arb_seq(64), b in arb_seq(64)) {
+        // Levenshtein is a lower bound on Hamming for equal-length strings.
+        if a.len() == b.len() {
+            let h = hamming(a.as_slice(), b.as_slice());
+            let l = levenshtein(a.as_slice(), b.as_slice());
+            prop_assert!(l <= h);
+        }
+    }
+
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in arb_seq(48), b in arb_seq(48)) {
+        prop_assert_eq!(levenshtein(a.as_slice(), a.as_slice()), 0);
+        prop_assert_eq!(
+            levenshtein(a.as_slice(), b.as_slice()),
+            levenshtein(b.as_slice(), a.as_slice())
+        );
+    }
+
+    #[test]
+    fn bounded_levenshtein_matches_full(a in arb_seq(40), b in arb_seq(40), bound in 0usize..12) {
+        let full = levenshtein(a.as_slice(), b.as_slice());
+        let got = levenshtein_bounded(a.as_slice(), b.as_slice(), bound);
+        if full <= bound {
+            prop_assert_eq!(got, Some(full));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn levenshtein_length_difference_lower_bound(a in arb_seq(64), b in arb_seq(64)) {
+        let l = levenshtein(a.as_slice(), b.as_slice());
+        prop_assert!(l >= a.len().abs_diff(b.len()));
+        prop_assert!(l <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn homopolymer_bounded_by_len(seq in arb_seq(100)) {
+        let h = seq.max_homopolymer();
+        prop_assert!(h <= seq.len());
+        if !seq.is_empty() {
+            prop_assert!(h >= 1);
+        }
+    }
+
+    #[test]
+    fn minhash_self_similarity_is_one(seq in arb_seq(80)) {
+        prop_assume!(seq.len() >= 8);
+        let sig = dna_seq::kmer::MinHashSignature::new(&seq, 6, 16);
+        prop_assert_eq!(sig.similarity(&sig), 1.0);
+    }
+
+    #[test]
+    fn rng_reproducibility(seed in any::<u64>()) {
+        let mut a = dna_seq::rng::DetRng::seed_from_u64(seed);
+        let mut b = dna_seq::rng::DetRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

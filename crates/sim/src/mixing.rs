@@ -1,0 +1,248 @@
+//! Physical mixing of data and update pools (§5.5, §6.4.2).
+//!
+//! The update pool may arrive 50000× more concentrated than the data pool
+//! (different vendor, §6.4.1). If mixed naively, sequencing output would be
+//! dominated by whichever pool is denser, multiplying sequencing cost (§5.5:
+//! a 10× mismatch wastes ~90% of the output). Both paper protocols dilute to
+//! matched *per-oligo* concentrations before combining:
+//!
+//! - **Measure-then-Amplify**: measure both raw pools, dilute the update
+//!   pool, mix, then amplify the mixture with the main partition primers;
+//! - **Amplify-then-Measure**: amplify each pool separately (when the
+//!   original synthesis pools are no longer available), clean up, measure,
+//!   then mix "in concentrations proportionate to the number of unique
+//!   oligos in each pool".
+
+use crate::nanodrop::Nanodrop;
+use crate::pcr::{PcrOutcome, PcrPrimer, PcrProtocol, PcrReaction};
+use crate::pool::Pool;
+use dna_seq::rng::DetRng;
+use dna_seq::DnaSeq;
+
+/// Outcome of a mixing protocol.
+#[derive(Debug, Clone)]
+pub struct MixOutcome {
+    /// The combined pool.
+    pub pool: Pool,
+    /// Dilution factor applied to the data pool.
+    pub data_dilution: f64,
+    /// Dilution factor applied to the update pool.
+    pub update_dilution: f64,
+}
+
+/// Pipetting transfer-volume noise (relative sigma) applied when combining
+/// pools; even perfect measurement leaves this.
+const PIPETTING_SIGMA: f64 = 0.02;
+
+/// Measure-then-Amplify (§6.4.2): equalize per-oligo concentrations of the
+/// *unamplified* pools, combine, then amplify the mixture with the main
+/// partition primers (15 cycles).
+///
+/// `data_designs` / `update_designs` are the known distinct-oligo counts of
+/// each pool (the operator ordered them, so they are known exactly).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_then_amplify(
+    data: &Pool,
+    update: &Pool,
+    data_designs: usize,
+    update_designs: usize,
+    fwd: &DnaSeq,
+    rev: &DnaSeq,
+    nanodrop: &Nanodrop,
+    rng: &mut DetRng,
+) -> MixOutcome {
+    let data_per_oligo = nanodrop.measure_per_oligo(data, data_designs, rng);
+    let update_per_oligo = nanodrop.measure_per_oligo(update, update_designs, rng);
+    // Dilute the denser pool down to the thinner one's per-oligo level.
+    let (data_dilution, update_dilution) = dilutions(data_per_oligo, update_per_oligo);
+    let mixed = data.mixed_with(
+        update,
+        data_dilution * rng.lognormal(0.0, PIPETTING_SIGMA),
+        update_dilution * rng.lognormal(0.0, PIPETTING_SIGMA),
+    );
+    let outcome = amplify_with_main_primers(&mixed, fwd, rev);
+    MixOutcome {
+        pool: outcome.pool,
+        data_dilution,
+        update_dilution,
+    }
+}
+
+/// Amplify-then-Measure (§6.4.2): amplify each pool separately with the main
+/// primers (simulating the case where the original synthesis pools are
+/// unavailable), then measure and mix at matched per-oligo concentrations.
+#[allow(clippy::too_many_arguments)]
+pub fn amplify_then_measure(
+    data: &Pool,
+    update: &Pool,
+    data_designs: usize,
+    update_designs: usize,
+    fwd: &DnaSeq,
+    rev: &DnaSeq,
+    nanodrop: &Nanodrop,
+    rng: &mut DetRng,
+) -> MixOutcome {
+    let data_amp = amplify_with_main_primers(data, fwd, rev).pool;
+    let update_amp = amplify_with_main_primers(update, fwd, rev).pool;
+    let data_per_oligo = nanodrop.measure_per_oligo(&data_amp, data_designs, rng);
+    let update_per_oligo = nanodrop.measure_per_oligo(&update_amp, update_designs, rng);
+    let (data_dilution, update_dilution) = dilutions(data_per_oligo, update_per_oligo);
+    let pool = data_amp.mixed_with(
+        &update_amp,
+        data_dilution * rng.lognormal(0.0, PIPETTING_SIGMA),
+        update_dilution * rng.lognormal(0.0, PIPETTING_SIGMA),
+    );
+    MixOutcome {
+        pool,
+        data_dilution,
+        update_dilution,
+    }
+}
+
+/// Dilution factors that bring both pools to the smaller per-oligo level.
+fn dilutions(data_per_oligo: f64, update_per_oligo: f64) -> (f64, f64) {
+    assert!(data_per_oligo > 0.0 && update_per_oligo > 0.0);
+    if update_per_oligo >= data_per_oligo {
+        (1.0, data_per_oligo / update_per_oligo)
+    } else {
+        (update_per_oligo / data_per_oligo, 1.0)
+    }
+}
+
+/// 15-cycle amplification with the main partition primers (§6.4.2), primer
+/// budget sized for healthy exponential growth without immediate plateau.
+fn amplify_with_main_primers(pool: &Pool, fwd: &DnaSeq, rev: &DnaSeq) -> PcrOutcome {
+    let budget = pool.total_copies() * 2000.0;
+    let rxn = PcrReaction {
+        forward_primers: vec![PcrPrimer::with_budget(fwd.clone(), budget)],
+        reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
+        protocol: PcrProtocol::paper_amplification(),
+    };
+    rxn.run(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::StrandTag;
+    use dna_seq::Base;
+
+    fn fwd() -> DnaSeq {
+        "AACCGGTTAACCGGTTAACC".parse().unwrap()
+    }
+
+    fn rev() -> DnaSeq {
+        "AAGGCCTTAAGGCCTTAAGG".parse().unwrap()
+    }
+
+    fn payload(phase: usize) -> DnaSeq {
+        // Encode the phase in the leading bases so payloads never collide.
+        let mut s = DnaSeq::new();
+        for j in 0..10 {
+            s.push(Base::from_code(((phase >> (2 * j)) & 3) as u8));
+        }
+        s.extend((0..50).map(|i| Base::from_code((i % 4) as u8)));
+        s
+    }
+
+    fn strand(phase: usize) -> DnaSeq {
+        fwd().concat(&payload(phase)).concat(&rev().reverse_complement())
+    }
+
+    /// Data pool: 10 oligos at ~1e6 copies. Update pool: 2 oligos at ~5e10
+    /// (the 50000× gap of §6.4.1).
+    fn pools() -> (Pool, Pool) {
+        let mut data = Pool::new();
+        for i in 0..10 {
+            data.add(strand(i), 1.0e6, Some(StrandTag::new(0, i as u64, 0, 0)));
+        }
+        let mut update = Pool::new();
+        for i in 0..2 {
+            update.add(strand(100 + i), 5.0e10, Some(StrandTag::new(0, i as u64, 1, 0)));
+        }
+        (data, update)
+    }
+
+    fn balance_of(pool: &Pool) -> f64 {
+        // mean update-oligo abundance / mean data-oligo abundance
+        let (mut du, mut nu, mut dd, mut nd) = (0.0, 0, 0.0, 0);
+        for (_, s) in pool.iter() {
+            match s.tag {
+                Some(t) if t.version > 0 => {
+                    du += s.abundance;
+                    nu += 1;
+                }
+                Some(_) => {
+                    dd += s.abundance;
+                    nd += 1;
+                }
+                None => {}
+            }
+        }
+        (du / nu as f64) / (dd / nd as f64)
+    }
+
+    #[test]
+    fn measure_then_amplify_balances_50000x_gap() {
+        let (data, update) = pools();
+        let mut rng = DetRng::seed_from_u64(42);
+        let out = measure_then_amplify(
+            &data,
+            &update,
+            10,
+            2,
+            &fwd(),
+            &rev(),
+            &Nanodrop::benchtop(),
+            &mut rng,
+        );
+        let balance = balance_of(&out.pool);
+        assert!(
+            (0.5..2.0).contains(&balance),
+            "per-oligo balance {balance} should be ~1 after mixing"
+        );
+        assert!(out.update_dilution < 1.0e-4, "update must be heavily diluted");
+        assert_eq!(out.data_dilution, 1.0);
+    }
+
+    #[test]
+    fn amplify_then_measure_balances_too() {
+        let (data, update) = pools();
+        let mut rng = DetRng::seed_from_u64(43);
+        let out = amplify_then_measure(
+            &data,
+            &update,
+            10,
+            2,
+            &fwd(),
+            &rev(),
+            &Nanodrop::benchtop(),
+            &mut rng,
+        );
+        let balance = balance_of(&out.pool);
+        assert!(
+            (0.5..2.0).contains(&balance),
+            "per-oligo balance {balance} should be ~1 after mixing"
+        );
+    }
+
+    #[test]
+    fn naive_mixing_is_catastrophically_skewed() {
+        // The §5.5 failure mode the protocols exist to prevent.
+        let (data, update) = pools();
+        let naive = data.mixed_with(&update, 1.0, 1.0);
+        let balance = balance_of(&naive);
+        assert!(balance > 10_000.0, "naive balance {balance}");
+    }
+
+    #[test]
+    fn dilution_math() {
+        assert_eq!(dilutions(10.0, 10.0), (1.0, 1.0));
+        let (d, u) = dilutions(1.0, 50_000.0);
+        assert_eq!(d, 1.0);
+        assert!((u - 2.0e-5).abs() < 1e-12);
+        let (d, u) = dilutions(100.0, 10.0);
+        assert_eq!(u, 1.0);
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+}

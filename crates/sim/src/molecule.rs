@@ -1,0 +1,82 @@
+//! Molecules and their ground-truth tags.
+
+use dna_seq::DnaSeq;
+
+/// Ground-truth provenance of a synthesized strand.
+///
+/// Tags ride along through synthesis, PCR and sequencing purely for
+/// *measurement* (e.g. Fig. 9's reads-per-block histograms); the decoding
+/// pipeline never sees them. A misprimed PCR product keeps the tag of the
+/// template it copied — its payload still belongs to the original block even
+/// though its prefix now claims otherwise, which is exactly the §8.1 false
+/// positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrandTag {
+    /// Partition (file) id.
+    pub partition: u32,
+    /// Encoding-unit / block id within the partition.
+    pub unit: u64,
+    /// Version slot: 0 = original data, 1.. = updates.
+    pub version: u8,
+    /// Molecule column within the encoding unit.
+    pub column: u8,
+    /// Set when PCR overwrote this strand's prefix with a primer that did
+    /// not match it exactly (mispriming product).
+    pub prefix_overwritten: bool,
+}
+
+impl StrandTag {
+    /// Creates a tag for an original synthesized strand.
+    pub fn new(partition: u32, unit: u64, version: u8, column: u8) -> StrandTag {
+        StrandTag {
+            partition,
+            unit,
+            version,
+            column,
+            prefix_overwritten: false,
+        }
+    }
+}
+
+/// A designed DNA molecule: sequence plus optional ground-truth tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Molecule {
+    /// The strand sequence (5'→3').
+    pub seq: DnaSeq,
+    /// Ground-truth tag, if tracked.
+    pub tag: Option<StrandTag>,
+}
+
+impl Molecule {
+    /// Creates a tagged molecule.
+    pub fn new(seq: DnaSeq, tag: StrandTag) -> Molecule {
+        Molecule { seq, tag: Some(tag) }
+    }
+
+    /// Creates a molecule without ground-truth tracking.
+    pub fn untagged(seq: DnaSeq) -> Molecule {
+        Molecule { seq, tag: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_construction() {
+        let t = StrandTag::new(13, 531, 0, 7);
+        assert_eq!(t.partition, 13);
+        assert_eq!(t.unit, 531);
+        assert!(!t.prefix_overwritten);
+    }
+
+    #[test]
+    fn molecule_constructors() {
+        let seq: DnaSeq = "ACGT".parse().unwrap();
+        let m = Molecule::untagged(seq.clone());
+        assert!(m.tag.is_none());
+        let t = Molecule::new(seq, StrandTag::new(1, 2, 3, 4));
+        assert_eq!(t.tag.unwrap().unit, 2);
+    }
+}

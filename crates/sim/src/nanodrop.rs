@@ -1,0 +1,82 @@
+//! Concentration measurement (nanodrop spectrophotometry).
+
+use crate::pool::Pool;
+use dna_seq::rng::DetRng;
+
+/// A concentration-measurement instrument with multiplicative noise.
+///
+/// §6.4.2 measures pool concentrations via nanodrop before mixing; §6.4.2
+/// also notes "more precise concentration measurements" as an upgrade path,
+/// so the noise level is a parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nanodrop {
+    /// Relative standard deviation of a measurement (e.g. `0.02` = 2%).
+    pub relative_error: f64,
+}
+
+impl Nanodrop {
+    /// A typical benchtop instrument: ~3% relative error.
+    pub fn benchtop() -> Nanodrop {
+        Nanodrop { relative_error: 0.03 }
+    }
+
+    /// A perfect instrument (for differential testing).
+    pub fn ideal() -> Nanodrop {
+        Nanodrop { relative_error: 0.0 }
+    }
+
+    /// Measures total molecule count of a pool, with noise.
+    pub fn measure_total(&self, pool: &Pool, rng: &mut DetRng) -> f64 {
+        let truth = pool.total_copies();
+        if self.relative_error == 0.0 {
+            truth
+        } else {
+            truth * rng.lognormal(0.0, self.relative_error)
+        }
+    }
+
+    /// Measures mean copies per distinct oligo — total concentration divided
+    /// by the *known* design count (the operator knows how many distinct
+    /// oligos were ordered: "8850 for amplified Alice pool and 45 for IDT
+    /// update pool", §6.4.2).
+    pub fn measure_per_oligo(&self, pool: &Pool, design_count: usize, rng: &mut DetRng) -> f64 {
+        assert!(design_count > 0, "design count must be positive");
+        self.measure_total(pool, rng) / design_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        let mut p = Pool::new();
+        p.add("ACGTACGTACGT".parse().unwrap(), 1000.0, None);
+        p.add("TGCATGCATGCA".parse().unwrap(), 3000.0, None);
+        p
+    }
+
+    #[test]
+    fn ideal_measures_exactly() {
+        let mut rng = DetRng::seed_from_u64(1);
+        assert_eq!(Nanodrop::ideal().measure_total(&pool(), &mut rng), 4000.0);
+        assert_eq!(
+            Nanodrop::ideal().measure_per_oligo(&pool(), 2, &mut rng),
+            2000.0
+        );
+    }
+
+    #[test]
+    fn noisy_measurement_is_unbiased_and_bounded() {
+        let nd = Nanodrop::benchtop();
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let m = nd.measure_total(&pool(), &mut rng);
+            assert!(m > 4000.0 * 0.8 && m < 4000.0 * 1.25);
+            sum += m;
+        }
+        let mean = sum / 2000.0;
+        assert!((mean / 4000.0 - 1.0).abs() < 0.01, "mean {mean}");
+    }
+}

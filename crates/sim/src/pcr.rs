@@ -1,0 +1,500 @@
+//! Cycle-level PCR simulation.
+//!
+//! Each cycle, every species can be copied by any forward primer that binds
+//! its 5' region together with the reverse primer binding its 3' region.
+//! Three mechanisms drive the paper's observed behaviour:
+//!
+//! 1. **Exponential amplification** of perfectly-matched templates;
+//! 2. **Index overwrite on mispriming** (§3.2, §8.1): when a primer binds a
+//!    near-matching site (edit distance 1..=max), the *product* carries the
+//!    primer's sequence as its new prefix — so a neighbour block's strand
+//!    becomes indistinguishable, by address, from the target, and amplifies
+//!    at full efficiency from then on;
+//! 3. **Finite primer budgets**: every new copy consumes one forward and
+//!    one reverse primer molecule, producing the familiar plateau and making
+//!    leftover-primer carryover (§7.2: "18% of reads were discarded as they
+//!    were amplified by the leftover main primers") a simple initial
+//!    condition rather than a special case.
+
+use crate::anneal::{AnnealModel, BindingSite};
+use crate::pool::Pool;
+use dna_seq::DnaSeq;
+use std::collections::BTreeMap;
+
+/// A primer participating in a reaction, with a finite molecule budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcrPrimer {
+    /// The primer sequence (for forward primers, matched against strand 5'
+    /// prefixes; for the reverse primer, against the reverse complement).
+    pub seq: DnaSeq,
+    /// Available molecules. Use [`f64::INFINITY`] for "primer excess".
+    pub budget: f64,
+}
+
+impl PcrPrimer {
+    /// A primer with the given molecule budget.
+    pub fn with_budget(seq: DnaSeq, budget: f64) -> PcrPrimer {
+        PcrPrimer { seq, budget }
+    }
+
+    /// A primer in effective excess (never depletes).
+    pub fn unlimited(seq: DnaSeq) -> PcrPrimer {
+        PcrPrimer {
+            seq,
+            budget: f64::INFINITY,
+        }
+    }
+}
+
+/// The thermal protocol: one annealing temperature per cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcrProtocol {
+    /// Annealing temperature (°C) for each cycle.
+    pub temps: Vec<f64>,
+    /// The annealing model.
+    pub anneal: AnnealModel,
+}
+
+impl PcrProtocol {
+    /// Constant-temperature protocol.
+    pub fn standard(cycles: usize, temp: f64) -> PcrProtocol {
+        PcrProtocol {
+            temps: vec![temp; cycles],
+            anneal: AnnealModel::calibrated(),
+        }
+    }
+
+    /// Touchdown protocol: 1 °C decrease per cycle from `start` down to
+    /// `end`, then `plateau_cycles` more at `end` (§6.5: "a decrease of 1°C
+    /// per annealing step in each cycle, starting at 65°C, for 10 cycles,
+    /// before amplification at 55°C ... for another 18 cycles").
+    pub fn touchdown(start: f64, end: f64, plateau_cycles: usize) -> PcrProtocol {
+        assert!(start >= end, "touchdown must cool down");
+        let mut temps = Vec::new();
+        let mut t = start;
+        while t > end {
+            temps.push(t);
+            t -= 1.0;
+        }
+        temps.extend(std::iter::repeat(end).take(plateau_cycles));
+        PcrProtocol {
+            temps,
+            anneal: AnnealModel::calibrated(),
+        }
+    }
+
+    /// The paper's block-access protocol: touchdown 65→55 (10 cycles) plus
+    /// 18 cycles at 55 °C.
+    pub fn paper_block_access() -> PcrProtocol {
+        PcrProtocol::touchdown(65.0, 55.0, 18)
+    }
+
+    /// The paper's plain amplification protocol: 15 cycles at 55 °C
+    /// (§6.4.2).
+    pub fn paper_amplification() -> PcrProtocol {
+        PcrProtocol::standard(15, 55.0)
+    }
+
+    /// Number of cycles.
+    pub fn cycles(&self) -> usize {
+        self.temps.len()
+    }
+}
+
+/// A configured reaction: forward primer set (singleton for simple PCR,
+/// several for multiplex, §6.5), one reverse primer, and a protocol.
+#[derive(Debug, Clone)]
+pub struct PcrReaction {
+    /// Forward primers (possibly elongated, possibly leftover carryover).
+    pub forward_primers: Vec<PcrPrimer>,
+    /// The reverse primer.
+    pub reverse_primer: PcrPrimer,
+    /// Thermal protocol.
+    pub protocol: PcrProtocol,
+}
+
+/// Result of running a reaction.
+#[derive(Debug, Clone)]
+pub struct PcrOutcome {
+    /// The amplified pool (input species plus any mispriming products).
+    pub pool: Pool,
+    /// Forward-primer molecules consumed, per primer.
+    pub fwd_consumed: Vec<f64>,
+    /// Reverse-primer molecules consumed.
+    pub rev_consumed: f64,
+    /// Number of distinct mispriming product species created.
+    pub misprime_species: usize,
+}
+
+/// Per-species cached binding geometry.
+struct BindingInfo {
+    /// Binding geometry of each forward primer at this species' 5' site.
+    fwd_site: Vec<Option<BindingSite>>,
+    /// Binding geometry of the reverse primer at the 3' site (via reverse
+    /// complement).
+    rev_site: Option<BindingSite>,
+}
+
+impl PcrReaction {
+    /// Runs the reaction on `input`, returning the amplified pool and
+    /// consumption statistics. Deterministic (expected-value dynamics).
+    pub fn run(&self, input: &Pool) -> PcrOutcome {
+        let anneal = &self.protocol.anneal;
+        let mut pool = input.clone();
+        let mut info: BTreeMap<DnaSeq, BindingInfo> = BTreeMap::new();
+        let mut fwd_left: Vec<f64> = self.forward_primers.iter().map(|p| p.budget).collect();
+        let mut rev_left = self.reverse_primer.budget;
+        let mut fwd_consumed = vec![0.0; self.forward_primers.len()];
+        let mut rev_consumed = 0.0;
+        let mut misprime_species = 0usize;
+
+        for &temp in &self.protocol.temps {
+            // Pass 1: compute desired contributions.
+            // (species_seq, primer_idx, copies, product_seq_if_misprimed)
+            let mut contributions: Vec<(DnaSeq, usize, f64, Option<DnaSeq>)> = Vec::new();
+            let mut fwd_demand = vec![0.0; self.forward_primers.len()];
+            let mut rev_demand = 0.0;
+            for (seq, species) in pool.iter() {
+                if species.abundance <= 0.0 {
+                    continue;
+                }
+                let entry = info.entry(seq.clone()).or_insert_with(|| BindingInfo {
+                    fwd_site: self
+                        .forward_primers
+                        .iter()
+                        .map(|p| anneal.binding_site(&p.seq, seq))
+                        .collect(),
+                    rev_site: {
+                        let rc = seq.reverse_complement();
+                        anneal.binding_site(&self.reverse_primer.seq, &rc)
+                    },
+                });
+                let p_rev = match entry.rev_site {
+                    Some(s) => anneal.binding_probability(&self.reverse_primer.seq, s, temp),
+                    None => 0.0,
+                };
+                if p_rev <= 0.0 {
+                    continue;
+                }
+                for (pi, primer) in self.forward_primers.iter().enumerate() {
+                    let Some(site) = entry.fwd_site[pi] else { continue };
+                    let d = site.dist;
+                    let p_fwd = anneal.binding_probability(&primer.seq, site, temp);
+                    if p_fwd <= 0.0 {
+                        continue;
+                    }
+                    // Per-cycle duplex yield is limited by the weaker primer:
+                    // each strand of the duplex is primed independently, so
+                    // overall efficiency tracks min(p_fwd, p_rev), the
+                    // standard per-cycle efficiency model.
+                    let copies = species.abundance * p_fwd.min(p_rev);
+                    if copies <= 0.0 {
+                        continue;
+                    }
+                    let product = if d == 0 {
+                        None // faithful copy of the template
+                    } else {
+                        // Index overwrite: the product starts with the primer
+                        // itself, then continues with the template past the
+                        // primer-length mark.
+                        let mut ns = primer.seq.clone();
+                        if primer.seq.len() < seq.len() {
+                            ns.extend_from_slice(&seq.as_slice()[primer.seq.len()..]);
+                        }
+                        Some(ns)
+                    };
+                    fwd_demand[pi] += copies;
+                    rev_demand += copies;
+                    contributions.push((seq.clone(), pi, copies, product));
+                }
+            }
+            if contributions.is_empty() {
+                continue;
+            }
+            // Pass 2: scale by primer budgets and apply.
+            let rev_factor = if rev_demand > rev_left {
+                rev_left / rev_demand
+            } else {
+                1.0
+            };
+            let fwd_factor: Vec<f64> = fwd_demand
+                .iter()
+                .zip(&fwd_left)
+                .map(|(&d, &left)| if d > left { left / d } else { 1.0 })
+                .collect();
+            let mut additions: Vec<(DnaSeq, f64, Option<crate::StrandTag>)> = Vec::new();
+            for (seq, pi, copies, product) in contributions {
+                let actual = copies * fwd_factor[pi].min(rev_factor);
+                if actual <= 0.0 {
+                    continue;
+                }
+                fwd_consumed[pi] += actual;
+                fwd_left[pi] -= actual;
+                rev_consumed += actual;
+                rev_left -= actual;
+                match product {
+                    None => additions.push((seq, actual, None)),
+                    Some(product_seq) => {
+                        let tag = pool.get(&seq).and_then(|s| s.tag).map(|mut t| {
+                            t.prefix_overwritten = true;
+                            t
+                        });
+                        if pool.get(&product_seq).is_none()
+                            && !additions.iter().any(|(s, _, _)| *s == product_seq)
+                        {
+                            misprime_species += 1;
+                        }
+                        additions.push((product_seq, actual, tag));
+                    }
+                }
+            }
+            for (seq, copies, tag) in additions {
+                match tag {
+                    Some(t) => pool.add(seq, copies, Some(t)),
+                    None => {
+                        let existing = pool.get(&seq).and_then(|s| s.tag);
+                        pool.add(seq, copies, existing);
+                    }
+                }
+            }
+            fwd_left = fwd_left.iter().map(|&x| x.max(0.0)).collect();
+            rev_left = rev_left.max(0.0);
+        }
+
+        PcrOutcome {
+            pool,
+            fwd_consumed,
+            rev_consumed,
+            misprime_species,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::StrandTag;
+    use dna_seq::Base;
+
+    fn balanced(n: usize, phase: usize) -> DnaSeq {
+        DnaSeq::from_bases((0..n).map(|i| Base::from_code(((i + phase) % 4) as u8)))
+    }
+
+    /// fwd(20) + payload + rc(rev(20)) strand around the given payload.
+    fn strand(fwd: &DnaSeq, payload: &DnaSeq, rev: &DnaSeq) -> DnaSeq {
+        fwd.concat(payload).concat(&rev.reverse_complement())
+    }
+
+    fn fwd() -> DnaSeq {
+        "AACCGGTTAACCGGTTAACC".parse().unwrap()
+    }
+
+    fn rev() -> DnaSeq {
+        "AAGGCCTTAAGGCCTTAAGG".parse().unwrap()
+    }
+
+    #[test]
+    fn matched_template_amplifies_exponentially() {
+        let mut pool = Pool::new();
+        let s = strand(&fwd(), &balanced(60, 0), &rev());
+        pool.add(s.clone(), 100.0, Some(StrandTag::new(0, 1, 0, 0)));
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::unlimited(fwd())],
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::standard(10, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let final_ab = out.pool.get(&s).unwrap().abundance;
+        // 10 cycles at ~0.6+ efficiency: at least 2^6 = 64x growth.
+        assert!(final_ab > 100.0 * 64.0, "only {final_ab}");
+        assert_eq!(out.misprime_species, 0);
+    }
+
+    #[test]
+    fn unrelated_template_does_not_amplify() {
+        let mut pool = Pool::new();
+        let target = strand(&fwd(), &balanced(60, 0), &rev());
+        let other_fwd = balanced(20, 1);
+        let other = strand(&other_fwd, &balanced(60, 2), &rev());
+        pool.add(target.clone(), 100.0, None);
+        pool.add(other.clone(), 100.0, None);
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::unlimited(fwd())],
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::standard(12, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let t = out.pool.get(&target).unwrap().abundance;
+        let o = out.pool.get(&other).unwrap().abundance;
+        assert!(t / o > 1000.0, "selectivity too weak: target {t}, other {o}");
+        assert_eq!(o, 100.0, "unrelated strand must not grow");
+    }
+
+    #[test]
+    fn primer_budget_caps_growth() {
+        let mut pool = Pool::new();
+        let s = strand(&fwd(), &balanced(60, 0), &rev());
+        pool.add(s.clone(), 100.0, None);
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::with_budget(fwd(), 5_000.0)],
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::standard(20, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let final_ab = out.pool.get(&s).unwrap().abundance;
+        assert!(final_ab <= 100.0 + 5_000.0 + 1e-6, "budget violated: {final_ab}");
+        assert!(final_ab > 5_000.0 * 0.99, "budget should be ~exhausted");
+        assert!((out.fwd_consumed[0] - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn conservation_budget_equals_new_copies() {
+        let mut pool = Pool::new();
+        let s = strand(&fwd(), &balanced(60, 0), &rev());
+        pool.add(s.clone(), 50.0, None);
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::unlimited(fwd())],
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::standard(8, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let grown = out.pool.total_copies() - pool.total_copies();
+        assert!((grown - out.fwd_consumed[0]).abs() < 1e-6);
+        assert!((grown - out.rev_consumed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mispriming_overwrites_prefix_and_then_amplifies() {
+        // Elongated primer = fwd + 10-base extension. A neighbour template
+        // whose extension differs by 2 edits should yield a product carrying
+        // the TARGET's prefix but the NEIGHBOUR's payload.
+        let ext_target: DnaSeq = "ACAGTCTGAC".parse().unwrap();
+        let ext_near: DnaSeq = "ACAGTCGTAC".parse().unwrap(); // 2 edits away
+        let elongated = fwd().concat(&ext_target);
+        let payload_t = balanced(50, 0);
+        let payload_n = balanced(50, 2);
+        let target = fwd()
+            .concat(&ext_target)
+            .concat(&payload_t)
+            .concat(&rev().reverse_complement());
+        let near = fwd()
+            .concat(&ext_near)
+            .concat(&payload_n)
+            .concat(&rev().reverse_complement());
+        let mut pool = Pool::new();
+        pool.add(target.clone(), 100.0, Some(StrandTag::new(0, 1, 0, 0)));
+        pool.add(near.clone(), 100.0, Some(StrandTag::new(0, 2, 0, 0)));
+        let rxn = PcrReaction {
+            forward_primers: vec![PcrPrimer::unlimited(elongated.clone())],
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::standard(15, 55.0),
+        };
+        let out = rxn.run(&pool);
+        assert!(out.misprime_species >= 1, "expected mispriming products");
+        // The misprimed product: elongated primer + near's payload tail.
+        let mut product = elongated.clone();
+        product.extend_from_slice(&near.as_slice()[elongated.len()..]);
+        let ms = out.pool.get(&product).expect("misprime product exists");
+        assert!(ms.tag.unwrap().prefix_overwritten);
+        assert_eq!(ms.tag.unwrap().unit, 2, "payload provenance preserved");
+        // It must amplify far beyond its source (index now matches primer).
+        assert!(ms.abundance > 10.0 * out.pool.get(&near).unwrap().abundance);
+        // But target still dominates.
+        let t = out.pool.get(&target).unwrap().abundance;
+        assert!(t > ms.abundance, "target {t} vs misprime {}", ms.abundance);
+    }
+
+    #[test]
+    fn touchdown_reduces_mispriming_vs_flat_protocol() {
+        let ext_target: DnaSeq = "ACAGTCTGAC".parse().unwrap();
+        let ext_near: DnaSeq = "ACAGTCGTAC".parse().unwrap();
+        let elongated = fwd().concat(&ext_target);
+        let target = fwd()
+            .concat(&ext_target)
+            .concat(&balanced(50, 0))
+            .concat(&rev().reverse_complement());
+        let near = fwd()
+            .concat(&ext_near)
+            .concat(&balanced(50, 2))
+            .concat(&rev().reverse_complement());
+        let mut pool = Pool::new();
+        pool.add(target.clone(), 100.0, Some(StrandTag::new(0, 1, 0, 0)));
+        pool.add(near.clone(), 100.0, Some(StrandTag::new(0, 2, 0, 0)));
+
+        let run = |protocol: PcrProtocol| {
+            let rxn = PcrReaction {
+                forward_primers: vec![PcrPrimer::unlimited(elongated.clone())],
+                reverse_primer: PcrPrimer::unlimited(rev()),
+                protocol,
+            };
+            let out = rxn.run(&pool);
+            let wrong: f64 = out
+                .pool
+                .iter()
+                .filter(|(_, s)| s.tag.map(|t| t.unit == 2 && t.prefix_overwritten).unwrap_or(false))
+                .map(|(_, s)| s.abundance)
+                .sum();
+            let right = out.pool.get(&target).unwrap().abundance;
+            wrong / right
+        };
+        // Same total cycle count: 28 flat vs 10 touchdown + 18 flat.
+        let flat = run(PcrProtocol::standard(28, 55.0));
+        let td = run(PcrProtocol::paper_block_access());
+        assert!(
+            td < flat,
+            "touchdown misprime ratio {td:.4} should beat flat {flat:.4}"
+        );
+    }
+
+    #[test]
+    fn multiplex_amplifies_all_targets() {
+        // §6.5: "the last utilized an equal mix of all three for multiplexed
+        // amplification".
+        let exts: Vec<DnaSeq> = vec![
+            "ACAGTCTGAC".parse().unwrap(),
+            "TGTCAGACTG".parse().unwrap(),
+            "CATGCATGCA".parse().unwrap(),
+        ];
+        let mut pool = Pool::new();
+        let mut strands = Vec::new();
+        for (i, ext) in exts.iter().enumerate() {
+            let s = fwd()
+                .concat(ext)
+                .concat(&balanced(50, i))
+                .concat(&rev().reverse_complement());
+            pool.add(s.clone(), 100.0, Some(StrandTag::new(0, i as u64, 0, 0)));
+            strands.push(s);
+        }
+        // a fourth, unrelated block
+        let other = fwd()
+            .concat(&"GACTGACTGA".parse::<DnaSeq>().unwrap())
+            .concat(&balanced(50, 3))
+            .concat(&rev().reverse_complement());
+        pool.add(other.clone(), 100.0, Some(StrandTag::new(0, 99, 0, 0)));
+
+        let rxn = PcrReaction {
+            forward_primers: exts
+                .iter()
+                .map(|e| PcrPrimer::unlimited(fwd().concat(e)))
+                .collect(),
+            reverse_primer: PcrPrimer::unlimited(rev()),
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let out = rxn.run(&pool);
+        let o = out.pool.get(&other).unwrap().abundance;
+        for (i, s) in strands.iter().enumerate() {
+            let t = out.pool.get(s).unwrap().abundance;
+            assert!(t / o > 100.0, "multiplex target {i} too weak: {t} vs {o}");
+        }
+    }
+
+    #[test]
+    fn touchdown_protocol_shape() {
+        let p = PcrProtocol::paper_block_access();
+        assert_eq!(p.cycles(), 28); // 10 touchdown (65..56) + 18 at 55
+        assert_eq!(p.temps[0], 65.0);
+        assert_eq!(p.temps[9], 56.0);
+        assert_eq!(p.temps[10], 55.0);
+        assert_eq!(*p.temps.last().unwrap(), 55.0);
+    }
+}

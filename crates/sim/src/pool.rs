@@ -1,0 +1,229 @@
+//! DNA pools: the in-silico test tube.
+
+use crate::molecule::StrandTag;
+use dna_seq::DnaSeq;
+use std::collections::BTreeMap;
+
+/// One distinct sequence in a pool, with its copy count.
+///
+/// Copy counts are `f64` expected values: PCR dynamics evolve them
+/// deterministically, and stochasticity enters only where it matters — the
+/// sequencer samples integer reads from the abundance distribution. This
+/// keeps simulations smooth, fast and exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Species {
+    /// Expected number of physical copies in the tube.
+    pub abundance: f64,
+    /// Ground-truth tag (carried from the molecule that created the species).
+    pub tag: Option<StrandTag>,
+}
+
+/// A test tube: a set of distinct sequences with abundances.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore every
+/// simulation consuming it — is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dna_sim::Pool;
+///
+/// let mut pool = Pool::new();
+/// pool.add("ACGT".parse().unwrap(), 100.0, None);
+/// pool.add("ACGT".parse().unwrap(), 50.0, None); // merges
+/// assert_eq!(pool.distinct(), 1);
+/// assert_eq!(pool.total_copies(), 150.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pool {
+    species: BTreeMap<DnaSeq, Species>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// Adds `abundance` copies of `seq`. Merges with an existing species of
+    /// the same sequence (keeping the existing tag).
+    pub fn add(&mut self, seq: DnaSeq, abundance: f64, tag: Option<StrandTag>) {
+        assert!(abundance >= 0.0, "abundance must be non-negative");
+        self.species
+            .entry(seq)
+            .and_modify(|s| s.abundance += abundance)
+            .or_insert(Species { abundance, tag });
+    }
+
+    /// Number of distinct sequences.
+    pub fn distinct(&self) -> usize {
+        self.species.len()
+    }
+
+    /// `true` if the pool holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Total copies across all species.
+    pub fn total_copies(&self) -> f64 {
+        self.species.values().map(|s| s.abundance).sum()
+    }
+
+    /// Mean copies per distinct species (the "per-oligo concentration" that
+    /// the §6.4.2 mixing protocols equalize). Zero for an empty pool.
+    pub fn mean_abundance(&self) -> f64 {
+        if self.species.is_empty() {
+            0.0
+        } else {
+            self.total_copies() / self.species.len() as f64
+        }
+    }
+
+    /// Iterates over `(sequence, species)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&DnaSeq, &Species)> {
+        self.species.iter()
+    }
+
+    /// Looks up a species by exact sequence.
+    pub fn get(&self, seq: &DnaSeq) -> Option<&Species> {
+        self.species.get(seq)
+    }
+
+    /// Returns a copy of this pool with all abundances multiplied by
+    /// `factor` (dilution for `factor < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn scaled(&self, factor: f64) -> Pool {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        let mut out = self.clone();
+        for s in out.species.values_mut() {
+            s.abundance *= factor;
+        }
+        out
+    }
+
+    /// Mixes two pools (after independent dilutions) into a new tube.
+    pub fn mixed_with(&self, other: &Pool, self_scale: f64, other_scale: f64) -> Pool {
+        let mut out = self.scaled(self_scale);
+        for (seq, s) in other.iter() {
+            out.add(seq.clone(), s.abundance * other_scale, s.tag);
+        }
+        out
+    }
+
+    /// Removes species below `min_abundance` (wash/cleanup steps).
+    pub fn filtered(&self, min_abundance: f64) -> Pool {
+        Pool {
+            species: self
+                .species
+                .iter()
+                .filter(|(_, s)| s.abundance >= min_abundance)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Sums abundance per block unit (tag-based ground truth): the Fig. 9
+    /// histograms before sequencing.
+    pub fn abundance_by_unit(&self) -> BTreeMap<u64, f64> {
+        let mut out = BTreeMap::new();
+        for (_, s) in self.iter() {
+            if let Some(tag) = s.tag {
+                *out.entry(tag.unit).or_insert(0.0) += s.abundance;
+            }
+        }
+        out
+    }
+}
+
+impl Extend<(DnaSeq, Species)> for Pool {
+    fn extend<I: IntoIterator<Item = (DnaSeq, Species)>>(&mut self, iter: I) {
+        for (seq, s) in iter {
+            self.add(seq, s.abundance, s.tag);
+        }
+    }
+}
+
+impl FromIterator<(DnaSeq, Species)> for Pool {
+    fn from_iter<I: IntoIterator<Item = (DnaSeq, Species)>>(iter: I) -> Pool {
+        let mut pool = Pool::new();
+        pool.extend(iter);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::StrandTag;
+
+    fn seq(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn add_merges_same_sequence() {
+        let mut pool = Pool::new();
+        pool.add(seq("AAAA"), 10.0, Some(StrandTag::new(1, 2, 0, 0)));
+        pool.add(seq("AAAA"), 5.0, None);
+        pool.add(seq("CCCC"), 1.0, None);
+        assert_eq!(pool.distinct(), 2);
+        assert_eq!(pool.get(&seq("AAAA")).unwrap().abundance, 15.0);
+        // first tag wins on merge
+        assert!(pool.get(&seq("AAAA")).unwrap().tag.is_some());
+    }
+
+    #[test]
+    fn scaling_and_mixing() {
+        let mut a = Pool::new();
+        a.add(seq("AAAA"), 100.0, None);
+        let mut b = Pool::new();
+        b.add(seq("CCCC"), 1000.0, None);
+        b.add(seq("AAAA"), 10.0, None);
+        let mix = a.mixed_with(&b, 1.0, 0.1);
+        assert_eq!(mix.total_copies(), 100.0 + 100.0 + 1.0);
+        assert_eq!(mix.get(&seq("AAAA")).unwrap().abundance, 101.0);
+        let diluted = mix.scaled(0.5);
+        assert!((diluted.total_copies() - 100.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_abundance() {
+        let mut pool = Pool::new();
+        assert_eq!(pool.mean_abundance(), 0.0);
+        pool.add(seq("AAAA"), 10.0, None);
+        pool.add(seq("CCCC"), 30.0, None);
+        assert_eq!(pool.mean_abundance(), 20.0);
+    }
+
+    #[test]
+    fn filtering_removes_trace_species() {
+        let mut pool = Pool::new();
+        pool.add(seq("AAAA"), 100.0, None);
+        pool.add(seq("CCCC"), 0.001, None);
+        let clean = pool.filtered(1.0);
+        assert_eq!(clean.distinct(), 1);
+    }
+
+    #[test]
+    fn abundance_by_unit_aggregates_tags() {
+        let mut pool = Pool::new();
+        pool.add(seq("AAAA"), 10.0, Some(StrandTag::new(13, 531, 0, 0)));
+        pool.add(seq("CCCC"), 20.0, Some(StrandTag::new(13, 531, 1, 0)));
+        pool.add(seq("GGGG"), 5.0, Some(StrandTag::new(13, 144, 0, 0)));
+        pool.add(seq("TTTT"), 1.0, None);
+        let by_unit = pool.abundance_by_unit();
+        assert_eq!(by_unit[&531], 30.0);
+        assert_eq!(by_unit[&144], 5.0);
+        assert_eq!(by_unit.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_abundance_panics() {
+        Pool::new().add(seq("AAAA"), -1.0, None);
+    }
+}

@@ -1,0 +1,298 @@
+//! Sequencing: read sampling through an IDS error channel, plus run models
+//! for the §7.4 latency analysis.
+
+use crate::molecule::StrandTag;
+use crate::pool::Pool;
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+
+/// One sequencer read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// The (noisy) read sequence.
+    pub seq: DnaSeq,
+    /// Ground truth of the molecule the read came from — for measurement
+    /// only, never consumed by decoding.
+    pub truth: Option<StrandTag>,
+}
+
+/// Insertion/deletion/substitution channel with independent per-base rates.
+///
+/// Defaults follow typical Illumina short-read error profiles; Nanopore
+/// presets are an order of magnitude noisier (§5: nanopore-based
+/// technologies are one motivation for updatable storage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdsChannel {
+    /// Per-base substitution probability.
+    pub sub_rate: f64,
+    /// Per-position insertion probability.
+    pub ins_rate: f64,
+    /// Per-base deletion probability.
+    pub del_rate: f64,
+}
+
+impl IdsChannel {
+    /// Illumina-like: 0.4% substitutions, light indels.
+    pub fn illumina() -> IdsChannel {
+        IdsChannel {
+            sub_rate: 0.004,
+            ins_rate: 0.0005,
+            del_rate: 0.001,
+        }
+    }
+
+    /// Nanopore-like: several percent of every error type.
+    pub fn nanopore() -> IdsChannel {
+        IdsChannel {
+            sub_rate: 0.03,
+            ins_rate: 0.02,
+            del_rate: 0.03,
+        }
+    }
+
+    /// A noiseless channel (for pipeline unit tests).
+    pub fn noiseless() -> IdsChannel {
+        IdsChannel {
+            sub_rate: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+        }
+    }
+
+    /// Passes `seq` through the channel.
+    pub fn corrupt(&self, seq: &DnaSeq, rng: &mut DetRng) -> DnaSeq {
+        let mut out = DnaSeq::with_capacity(seq.len() + 4);
+        for b in seq.iter() {
+            if rng.gen_bool(self.ins_rate) {
+                out.push(Base::from_code(rng.gen_range(4) as u8));
+            }
+            if rng.gen_bool(self.del_rate) {
+                continue;
+            }
+            if rng.gen_bool(self.sub_rate) {
+                let mut nb = Base::from_code(rng.gen_range(4) as u8);
+                if nb == b {
+                    nb = Base::from_code((b.code() + 1) & 0b11);
+                }
+                out.push(nb);
+            } else {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+/// A sequencer: samples reads ∝ abundance and applies the channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sequencer {
+    /// The error channel applied to every read.
+    pub channel: IdsChannel,
+}
+
+impl Sequencer {
+    /// A sequencer with the given channel.
+    pub fn new(channel: IdsChannel) -> Sequencer {
+        Sequencer { channel }
+    }
+
+    /// Draws `num_reads` reads from `pool`, each from a species chosen with
+    /// probability proportional to abundance ("the sequencing cost is always
+    /// proportional to the size of the sequencing output", §7.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty but reads were requested.
+    pub fn sequence(&self, pool: &Pool, num_reads: usize, rng: &mut DetRng) -> Vec<Read> {
+        if num_reads == 0 {
+            return Vec::new();
+        }
+        assert!(!pool.is_empty(), "cannot sequence an empty pool");
+        // Cumulative weights for O(log n) sampling.
+        let entries: Vec<(&DnaSeq, &crate::pool::Species)> = pool.iter().collect();
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut total = 0.0;
+        for (_, s) in &entries {
+            total += s.abundance;
+            cum.push(total);
+        }
+        assert!(total > 0.0, "pool has zero total abundance");
+        let mut reads = Vec::with_capacity(num_reads);
+        for _ in 0..num_reads {
+            let x = rng.next_f64() * total;
+            let i = cum.partition_point(|&c| c < x).min(entries.len() - 1);
+            let (seq, species) = entries[i];
+            reads.push(Read {
+                seq: self.channel.corrupt(seq, rng),
+                truth: species.tag,
+            });
+        }
+        reads
+    }
+}
+
+/// Fixed-run next-generation sequencing model (§7.4: "The duration of a
+/// single NGS run is fixed by design ... one run of Illumina MiSeq can only
+/// produce around 1GB of user data").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NgsRunModel {
+    /// Usable bytes of output per run.
+    pub bytes_per_run: f64,
+    /// Wall-clock hours per run.
+    pub hours_per_run: f64,
+}
+
+impl NgsRunModel {
+    /// MiSeq-like: 1 GB per run, ~24 h.
+    pub fn miseq() -> NgsRunModel {
+        NgsRunModel {
+            bytes_per_run: 1.0e9,
+            hours_per_run: 24.0,
+        }
+    }
+
+    /// Runs needed to sequence `output_bytes` of demanded output.
+    pub fn runs_needed(&self, output_bytes: f64) -> f64 {
+        (output_bytes / self.bytes_per_run).ceil().max(1.0)
+    }
+
+    /// Total latency in hours for `output_bytes`.
+    pub fn latency_hours(&self, output_bytes: f64) -> f64 {
+        self.runs_needed(output_bytes) * self.hours_per_run
+    }
+}
+
+/// Streaming Nanopore model (§7.4: "runtime of a single sequencing run is
+/// always output-size-dependent ... the sequencing can be stopped once the
+/// data is successfully decoded").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NanoporeModel {
+    /// Usable output bytes per hour.
+    pub bytes_per_hour: f64,
+}
+
+impl NanoporeModel {
+    /// MinION-like throughput.
+    pub fn minion() -> NanoporeModel {
+        NanoporeModel {
+            bytes_per_hour: 1.5e8,
+        }
+    }
+
+    /// Latency to stream `output_bytes` — strictly linear, so block access
+    /// reduces it by exactly the selectivity factor.
+    pub fn latency_hours(&self, output_bytes: f64) -> f64 {
+        output_bytes / self.bytes_per_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::StrandTag;
+    use dna_seq::distance::levenshtein;
+
+    fn pool_two_species() -> Pool {
+        let mut pool = Pool::new();
+        pool.add(
+            "AAAACCCCGGGGTTTTAAAACCCCGGGGTTTT".parse().unwrap(),
+            900.0,
+            Some(StrandTag::new(0, 1, 0, 0)),
+        );
+        pool.add(
+            "TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAA".parse().unwrap(),
+            100.0,
+            Some(StrandTag::new(0, 2, 0, 0)),
+        );
+        pool
+    }
+
+    #[test]
+    fn reads_sample_proportionally() {
+        let seq = Sequencer::new(IdsChannel::noiseless());
+        let mut rng = DetRng::seed_from_u64(3);
+        let reads = seq.sequence(&pool_two_species(), 10_000, &mut rng);
+        let unit1 = reads.iter().filter(|r| r.truth.unwrap().unit == 1).count();
+        let frac = unit1 as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "unit1 fraction {frac}, want ~0.9");
+    }
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let s: DnaSeq = "ACGGTTAACC".parse().unwrap();
+        assert_eq!(IdsChannel::noiseless().corrupt(&s, &mut rng), s);
+    }
+
+    #[test]
+    fn channel_error_rates_are_calibrated() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let ch = IdsChannel::illumina();
+        let s = DnaSeq::from_bases((0..150).map(|i| Base::from_code((i % 4) as u8)));
+        let trials = 2000;
+        let mut total_edit = 0usize;
+        for _ in 0..trials {
+            let noisy = ch.corrupt(&s, &mut rng);
+            total_edit += levenshtein(s.as_slice(), noisy.as_slice());
+        }
+        let mean_edit = total_edit as f64 / trials as f64;
+        let expected = 150.0 * (ch.sub_rate + ch.ins_rate + ch.del_rate);
+        assert!(
+            (mean_edit - expected).abs() < expected * 0.25 + 0.1,
+            "mean edit {mean_edit}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn nanopore_channel_is_much_noisier() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let s = DnaSeq::from_bases((0..150).map(|i| Base::from_code((i % 4) as u8)));
+        let mut illumina = 0usize;
+        let mut nanopore = 0usize;
+        for _ in 0..300 {
+            illumina += levenshtein(
+                s.as_slice(),
+                IdsChannel::illumina().corrupt(&s, &mut rng).as_slice(),
+            );
+            nanopore += levenshtein(
+                s.as_slice(),
+                IdsChannel::nanopore().corrupt(&s, &mut rng).as_slice(),
+            );
+        }
+        assert!(nanopore > 5 * illumina);
+    }
+
+    #[test]
+    fn sequencing_is_deterministic() {
+        let seq = Sequencer::new(IdsChannel::illumina());
+        let a = seq.sequence(&pool_two_species(), 100, &mut DetRng::seed_from_u64(7));
+        let b = seq.sequence(&pool_two_species(), 100, &mut DetRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ngs_run_model_quantizes() {
+        let m = NgsRunModel::miseq();
+        assert_eq!(m.runs_needed(1.0), 1.0);
+        assert_eq!(m.runs_needed(1.0e9), 1.0);
+        assert_eq!(m.runs_needed(1.0e9 + 1.0), 2.0);
+        // §7.4: "Sequencing a partition of 1TB would therefore require ~1000 runs"
+        assert_eq!(m.runs_needed(1.0e12), 1000.0);
+        assert_eq!(m.latency_hours(1.0e12), 24_000.0);
+    }
+
+    #[test]
+    fn nanopore_latency_is_linear() {
+        let m = NanoporeModel::minion();
+        let one = m.latency_hours(1.0e9);
+        let block = m.latency_hours(1.0e9 / 141.0);
+        assert!((one / block - 141.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_request_returns_no_reads() {
+        let seq = Sequencer::new(IdsChannel::noiseless());
+        let mut rng = DetRng::seed_from_u64(8);
+        assert!(seq.sequence(&pool_two_species(), 0, &mut rng).is_empty());
+    }
+}

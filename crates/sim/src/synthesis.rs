@@ -1,0 +1,177 @@
+//! Commercial DNA synthesis vendor models.
+//!
+//! Substitution note (DESIGN.md §2): the paper had files synthesized by
+//! Twist BioScience and update patches by IDT; the IDT pool arrived *50000×
+//! more concentrated* (§6.4.1), which is what makes the §6.4.2 mixing
+//! protocols necessary. The vendor model reproduces the two observable
+//! properties that matter: per-molecule copy-count skew (Fig. 9a shows
+//! uniformity "within 2×") and the gross concentration scale.
+
+use crate::molecule::Molecule;
+use crate::pool::Pool;
+use dna_seq::rng::DetRng;
+use dna_seq::{Base, DnaSeq};
+
+/// A synthesis vendor: turns molecule designs into a physical pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisVendor {
+    /// Vendor name (for reports).
+    pub name: String,
+    /// Mean physical copies per designed molecule.
+    pub copies_per_molecule: f64,
+    /// Log-normal sigma of per-molecule copy skew. The default 0.17 keeps
+    /// ~99% of molecules within 2× of each other, matching Fig. 9a.
+    pub copy_skew_sigma: f64,
+    /// Per-base substitution rate during synthesis (error molecules are
+    /// emitted as separate low-abundance species). Zero by default; raised
+    /// in failure-injection tests.
+    pub error_rate: f64,
+    /// Cost in dollars per synthesized base (per design, not per copy) —
+    /// used by the §7.5 update-cost comparison.
+    pub cost_per_base: f64,
+}
+
+impl SynthesisVendor {
+    /// The main-pool vendor preset (Twist-like): baseline concentration.
+    pub fn twist() -> SynthesisVendor {
+        SynthesisVendor {
+            name: "twist".to_string(),
+            copies_per_molecule: 1.0e6,
+            copy_skew_sigma: 0.17,
+            error_rate: 0.0,
+            cost_per_base: 0.07,
+        }
+    }
+
+    /// The small-batch vendor preset (IDT-like): 50000× the Twist
+    /// concentration (§6.4.1), cheaper for tiny pools.
+    pub fn idt() -> SynthesisVendor {
+        SynthesisVendor {
+            name: "idt".to_string(),
+            copies_per_molecule: 5.0e10,
+            copy_skew_sigma: 0.17,
+            error_rate: 0.0,
+            cost_per_base: 0.05,
+        }
+    }
+
+    /// Synthesizes `designs` into a pool. Per-molecule copy counts are
+    /// log-normally skewed around [`SynthesisVendor::copies_per_molecule`];
+    /// if [`SynthesisVendor::error_rate`] is nonzero, a fraction of each
+    /// design's copies is emitted as single-substitution mutant species.
+    pub fn synthesize(&self, designs: &[Molecule], rng: &mut DetRng) -> Pool {
+        let mut pool = Pool::new();
+        for design in designs {
+            let copies = self.copies_per_molecule * rng.lognormal(0.0, self.copy_skew_sigma);
+            if self.error_rate > 0.0 && !design.seq.is_empty() {
+                // Expected fraction of copies with ≥1 synthesis error.
+                let clean_frac = (1.0 - self.error_rate).powi(design.seq.len() as i32);
+                pool.add(design.seq.clone(), copies * clean_frac, design.tag);
+                // Emit a handful of representative mutant species sharing the
+                // erroneous mass.
+                let error_mass = copies * (1.0 - clean_frac);
+                let mutants = 3.min(design.seq.len());
+                for _ in 0..mutants {
+                    let pos = rng.gen_range(design.seq.len());
+                    let mut bases: Vec<Base> = design.seq.iter().collect();
+                    let old = bases[pos];
+                    let mut new = Base::from_code(rng.gen_range(4) as u8);
+                    if new == old {
+                        new = Base::from_code((old.code() + 1) & 0b11);
+                    }
+                    bases[pos] = new;
+                    pool.add(
+                        DnaSeq::from_bases(bases),
+                        error_mass / mutants as f64,
+                        design.tag,
+                    );
+                }
+            } else {
+                pool.add(design.seq.clone(), copies, design.tag);
+            }
+        }
+        pool
+    }
+
+    /// Synthesis cost for a set of designs (charged per designed base —
+    /// §5.1: "DNA synthesis is the most expensive process in DNA storage").
+    pub fn synthesis_cost(&self, design_count: usize, strand_len: usize) -> f64 {
+        self.cost_per_base * design_count as f64 * strand_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::StrandTag;
+
+    fn designs(n: usize) -> Vec<Molecule> {
+        (0..n)
+            .map(|i| {
+                // Encode i in the first bases so every design is distinct.
+                let mut seq = DnaSeq::new();
+                for j in 0..10 {
+                    seq.push(Base::from_code(((i >> (2 * j)) & 3) as u8));
+                }
+                seq.extend((0..30).map(|j| Base::from_code((j % 4) as u8)));
+                Molecule::new(seq, StrandTag::new(0, i as u64, 0, 0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn copy_counts_skew_within_two_x() {
+        // Fig. 9a: "all molecules are represented fairly uniformly ...
+        // within 2x".
+        let vendor = SynthesisVendor::twist();
+        let mut rng = DetRng::seed_from_u64(5);
+        let pool = vendor.synthesize(&designs(500), &mut rng);
+        assert_eq!(pool.distinct(), 500);
+        let mean = pool.mean_abundance();
+        let mut within = 0usize;
+        for (_, s) in pool.iter() {
+            if s.abundance > mean / 2.0 && s.abundance < mean * 2.0 {
+                within += 1;
+            }
+        }
+        assert!(within >= 495, "only {within}/500 within 2x of mean");
+    }
+
+    #[test]
+    fn idt_is_50000x_twist() {
+        let ratio =
+            SynthesisVendor::idt().copies_per_molecule / SynthesisVendor::twist().copies_per_molecule;
+        assert_eq!(ratio, 50_000.0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let vendor = SynthesisVendor::twist();
+        let a = vendor.synthesize(&designs(10), &mut DetRng::seed_from_u64(9));
+        let b = vendor.synthesize(&designs(10), &mut DetRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthesis_errors_spawn_mutants() {
+        let mut vendor = SynthesisVendor::twist();
+        vendor.error_rate = 0.01;
+        let mut rng = DetRng::seed_from_u64(11);
+        let pool = vendor.synthesize(&designs(5), &mut rng);
+        assert!(pool.distinct() > 5, "mutant species expected");
+        // clean species still dominate
+        let d = designs(5);
+        for m in &d {
+            let clean = pool.get(&m.seq).unwrap().abundance;
+            assert!(clean > 0.5 * vendor.copies_per_molecule);
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_designs_and_length() {
+        let vendor = SynthesisVendor::twist();
+        let one = vendor.synthesis_cost(15, 150);
+        let partition = vendor.synthesis_cost(8805, 150);
+        assert!((partition / one - 587.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Primer design: build a compatible library, validate elongations at every
+//! length (§4.2), and see why dense indexes fail.
+//!
+//! ```text
+//! cargo run --release --example primer_design
+//! ```
+
+use dna_storage::index::{IndexTree, LeafId};
+use dna_storage::primers::{ElongatedPrimer, PrimerConstraints, PrimerLibrary};
+use dna_storage::seq::{Base, DnaSeq};
+
+fn main() {
+    // A mutually compatible main-primer library: balanced GC, no long
+    // homopolymers, Tm in the PCR window, pairwise Hamming ≥ 10.
+    let constraints = PrimerConstraints::paper_default(20);
+    let library = PrimerLibrary::generate_with_distance(&constraints, 10, 12, 100_000, 1);
+    println!("library of {} primers (min pairwise Hamming {}):", library.len(), library.min_distance());
+    for p in library.primers().iter().take(6) {
+        println!(
+            "  {p}  gc={:.0}% tm={:.1}C",
+            p.gc_fraction() * 100.0,
+            dna_storage::seq::tm::melting_temperature(p)
+        );
+    }
+
+    // Elongate the first primer with a sparse index: every elongation point
+    // stays PCR-compatible (§4.2) — that is the whole point of the tree.
+    let main = library.primer(0).clone();
+    let tree = IndexTree::new(0xFEED, 5);
+    let leaf = LeafId(531);
+    let mut tail = DnaSeq::new();
+    tail.push(Base::A); // sync base
+    tail.extend(tree.leaf_index(leaf).iter());
+    let ep = ElongatedPrimer::new(main.clone(), tail);
+    println!(
+        "\nelongated primer for {leaf}: {} ({} bases, tm {:.1}C)",
+        ep.full(),
+        ep.len(),
+        ep.tm()
+    );
+    match ep.validate(&constraints) {
+        Ok(()) => println!("  every elongation point is PCR-compatible"),
+        Err(v) => println!("  UNEXPECTED violation: {v}"),
+    }
+
+    // The dense baseline fails: its leaf 0 is AAAAA... — a homopolymer run.
+    let dense = IndexTree::dense(5);
+    let mut dense_tail = DnaSeq::new();
+    dense_tail.push(Base::A);
+    dense_tail.extend(dense.leaf_index(LeafId(0)).iter());
+    let bad = ElongatedPrimer::new(main, dense_tail);
+    match bad.validate(&constraints) {
+        Ok(()) => println!("dense index unexpectedly validated"),
+        Err(v) => println!("\ndense-index elongation rejected as expected: {v}"),
+    }
+}

@@ -1,0 +1,34 @@
+//! # dna-storage
+//!
+//! A production-quality Rust reproduction of **"Efficiently Enabling Block
+//! Semantics and Data Updates in DNA Storage"** (MICRO 2023). This meta-crate
+//! re-exports every layer of the stack under one import:
+//!
+//! - [`seq`] — DNA alphabet, sequences, distances, deterministic PRNGs
+//! - [`codec`] — binary↔DNA codecs and the strand layout
+//! - [`ecc`] — Reed-Solomon ECC and the encoding-unit matrix
+//! - [`index`] — PCR-navigable sparse index trees and prefix covers
+//! - [`primers`] — primer constraints, libraries, and elongation
+//! - [`sim`] — the wetlab simulator (pools, synthesis, PCR, sequencing,
+//!   mixing protocols)
+//! - [`pipeline`] — read recovery: filtering, clustering, trace
+//!   reconstruction, decoding
+//! - [`block_store`] — the paper's contribution: partitions with block
+//!   read/write semantics and versioned updates
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through: create a
+//! partition, store a file, retrieve one block with an elongated primer, and
+//! apply an update patch.
+
+#![forbid(unsafe_code)]
+
+pub use dna_block_store as block_store;
+pub use dna_codec as codec;
+pub use dna_ecc as ecc;
+pub use dna_index as index;
+pub use dna_pipeline as pipeline;
+pub use dna_primers as primers;
+pub use dna_seq as seq;
+pub use dna_sim as sim;
