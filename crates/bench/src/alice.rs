@@ -78,7 +78,12 @@ pub fn build(config: AliceConfig) -> AliceSetup {
     assert!(library.len() >= 26, "need 13 primer pairs");
     let alice_primers = PrimerPair::new(library.primer(0).clone(), library.primer(1).clone());
     let other_primers: Vec<PrimerPair> = (1..13)
-        .map(|i| PrimerPair::new(library.primer(2 * i).clone(), library.primer(2 * i + 1).clone()))
+        .map(|i| {
+            PrimerPair::new(
+                library.primer(2 * i).clone(),
+                library.primer(2 * i + 1).clone(),
+            )
+        })
         .collect();
 
     // File 13: the book.

@@ -18,5 +18,8 @@ fn main() {
             p.expected_useful * 100.0
         );
     }
-    report::row("interpretation", "each 2-base elongation narrows scope 4x (Fig. 4 partial elongation)");
+    report::row(
+        "interpretation",
+        "each 2-base elongation narrows scope 4x (Fig. 4 partial elongation)",
+    );
 }

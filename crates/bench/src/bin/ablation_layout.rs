@@ -12,8 +12,15 @@ fn main() {
     for row in ablations::layout_comparison(0x1A9) {
         println!(
             "  {:<22} | {:>14} | {:>14} | {:>10} | {:>7}",
-            row.name, row.analytic_scope_units, row.measured_reads, row.measured_rounds, row.correct
+            row.name,
+            row.analytic_scope_units,
+            row.measured_reads,
+            row.measured_rounds,
+            row.correct
         );
     }
-    report::row("interpretation", "only Fig. 8 keeps retrieval cost independent of unrelated updates");
+    report::row(
+        "interpretation",
+        "only Fig. 8 keeps retrieval cost independent of unrelated updates",
+    );
 }

@@ -6,17 +6,46 @@ use dna_bench::report;
 fn main() {
     let r = ablations::sparse_vs_dense(0xAB1A7E);
     report::section("Ablation: sparse (PCR-navigable) vs dense (max-density) indexes");
-    report::compare("max homopolymer (sparse)", "<=2 by construction", r.sparse_quality.max_homopolymer);
+    report::compare(
+        "max homopolymer (sparse)",
+        "<=2 by construction",
+        r.sparse_quality.max_homopolymer,
+    );
     report::row("max homopolymer (dense)", r.dense_quality.max_homopolymer);
-    report::compare("worst prefix GC deviation (sparse)", "~0 (balanced)", format!("{:.2}", r.sparse_quality.max_gc_deviation));
-    report::row("worst prefix GC deviation (dense)", format!("{:.2}", r.dense_quality.max_gc_deviation));
+    report::compare(
+        "worst prefix GC deviation (sparse)",
+        "~0 (balanced)",
+        format!("{:.2}", r.sparse_quality.max_gc_deviation),
+    );
+    report::row(
+        "worst prefix GC deviation (dense)",
+        format!("{:.2}", r.dense_quality.max_gc_deviation),
+    );
     report::compare(
         "mean pairwise Hamming (sparse vs dense)",
         ">=2x (§4.3)",
-        format!("{:.2} vs {:.2} = {:.2}x", r.sparse_mean_distance, r.dense_mean_distance, r.sparse_mean_distance / r.dense_mean_distance),
+        format!(
+            "{:.2} vs {:.2} = {:.2}x",
+            r.sparse_mean_distance,
+            r.dense_mean_distance,
+            r.sparse_mean_distance / r.dense_mean_distance
+        ),
     );
-    report::compare("invalid elongated primers (sparse)", "0%", format!("{:.0}%", r.sparse_invalid_primers * 100.0));
-    report::row("invalid elongated primers (dense)", format!("{:.0}%", r.dense_invalid_primers * 100.0));
-    report::row("precise-access on-target (sparse)", format!("{:.1}%", r.sparse_on_target * 100.0));
-    report::row("precise-access on-target (dense)", format!("{:.1}%", r.dense_on_target * 100.0));
+    report::compare(
+        "invalid elongated primers (sparse)",
+        "0%",
+        format!("{:.0}%", r.sparse_invalid_primers * 100.0),
+    );
+    report::row(
+        "invalid elongated primers (dense)",
+        format!("{:.0}%", r.dense_invalid_primers * 100.0),
+    );
+    report::row(
+        "precise-access on-target (sparse)",
+        format!("{:.1}%", r.sparse_on_target * 100.0),
+    );
+    report::row(
+        "precise-access on-target (dense)",
+        format!("{:.1}%", r.dense_on_target * 100.0),
+    );
 }

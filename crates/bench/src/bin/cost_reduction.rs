@@ -10,9 +10,29 @@ fn main() {
     let b = fig9::precise_access(&setup, 531, 50_000, 0.20, 2);
     let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction);
     report::section("§7.3 sequencing cost reduction (block 531)");
-    report::compare("baseline useful fraction", "0.34%", format!("{:.2}%", table.baseline_useful * 100.0));
-    report::compare("baseline waste factor", "293x", format!("{:.0}x", table.waste_baseline));
-    report::compare("precise-access useful fraction", "48%", format!("{:.1}%", table.ours_useful * 100.0));
-    report::compare("precise-access waste factor", "1.08x", format!("{:.2}x", table.waste_ours));
-    report::compare("sequencing cost reduction", "141x", format!("{:.0}x", table.reduction));
+    report::compare(
+        "baseline useful fraction",
+        "0.34%",
+        format!("{:.2}%", table.baseline_useful * 100.0),
+    );
+    report::compare(
+        "baseline waste factor",
+        "293x",
+        format!("{:.0}x", table.waste_baseline),
+    );
+    report::compare(
+        "precise-access useful fraction",
+        "48%",
+        format!("{:.1}%", table.ours_useful * 100.0),
+    );
+    report::compare(
+        "precise-access waste factor",
+        "1.08x",
+        format!("{:.2}x", table.waste_ours),
+    );
+    report::compare(
+        "sequencing cost reduction",
+        "141x",
+        format!("{:.0}x", table.reduction),
+    );
 }

@@ -13,11 +13,26 @@ fn main() {
     report::section("§8 decoding block 531 from the precise-access product");
     report::compare("reads needed for full recovery", "225", min_reads);
     report::compare("clusters reconstructed", "31", stats.clusters_used);
-    report::compare("strands recovered (original + update)", "30", stats.strands_recovered);
+    report::compare(
+        "strands recovered (original + update)",
+        "30",
+        stats.strands_recovered,
+    );
     report::compare("versions decoded", "2", stats.versions_decoded);
-    report::compare("RS corrections needed", "0 (100% accurate)", stats.corrected_symbols);
+    report::compare(
+        "RS corrections needed",
+        "0 (100% accurate)",
+        stats.corrected_symbols,
+    );
     report::compare("original paragraph correct", "yes", stats.original_ok);
     report::compare("updated paragraph correct", "yes", stats.updated_ok);
-    report::row("§8.1 alternate-candidate search used", stats.used_alternates);
-    report::compare("baseline reads for same recovery", "~50000", stats.baseline_reads_needed);
+    report::row(
+        "§8.1 alternate-candidate search used",
+        stats.used_alternates,
+    );
+    report::compare(
+        "baseline reads for same recovery",
+        "~50000",
+        stats.baseline_reads_needed,
+    );
 }

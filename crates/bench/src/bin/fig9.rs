@@ -7,25 +7,63 @@ use dna_bench::report;
 fn main() {
     let t0 = std::time::Instant::now();
     let setup = build(AliceConfig::default());
-    eprintln!("setup built in {:?} (pool {} species)", t0.elapsed(), setup.pool.distinct());
+    eprintln!(
+        "setup built in {:?} (pool {} species)",
+        t0.elapsed(),
+        setup.pool.distinct()
+    );
 
     let a = fig9::whole_partition(&setup, 50_000, 1);
     report::section("Figure 9a: whole-partition random access (main primers)");
-    report::compare("block 531 fraction of reads", "0.34%", format!("{:.2}%", a.fraction_block_531 * 100.0));
-    report::compare("uniformity (p95/p5, plain blocks)", "within 2x", format!("{:.2}x", a.uniformity_ratio));
-    report::compare("updated blocks vs plain (mean ratio)", "~2x", format!("{:.2}x", a.updated_over_plain));
+    report::compare(
+        "block 531 fraction of reads",
+        "0.34%",
+        format!("{:.2}%", a.fraction_block_531 * 100.0),
+    );
+    report::compare(
+        "uniformity (p95/p5, plain blocks)",
+        "within 2x",
+        format!("{:.2}x", a.uniformity_ratio),
+    );
+    report::compare(
+        "updated blocks vs plain (mean ratio)",
+        "~2x",
+        format!("{:.2}x", a.updated_over_plain),
+    );
     report::row("total reads", a.total_reads);
     report::histogram(&a.reads_per_block, 24, &[144, 307, 531]);
 
     for (label, block) in [("9b", 531u64), ("9c", 144u64)] {
         let t = std::time::Instant::now();
         let b = fig9::precise_access(&setup, block, 50_000, 0.20, 2);
-        report::section(&format!("Figure {label}: precise access for block {block} ({:?})", t.elapsed()));
-        report::compare("leftover-primer (discarded) fraction", "18%", format!("{:.1}%", b.carryover_fraction * 100.0));
-        report::compare("correct-target-prefix fraction", "82%", format!("{:.1}%", b.correct_prefix_fraction * 100.0));
-        report::compare("target within correct-prefix reads", "59%", format!("{:.1}%", b.target_within_prefix * 100.0));
-        report::compare("overall on-target fraction", "48%", format!("{:.1}%", b.on_target_fraction * 100.0));
-        report::row("misprime source blocks", format!("{:?}", b.misprime_sources));
+        report::section(&format!(
+            "Figure {label}: precise access for block {block} ({:?})",
+            t.elapsed()
+        ));
+        report::compare(
+            "leftover-primer (discarded) fraction",
+            "18%",
+            format!("{:.1}%", b.carryover_fraction * 100.0),
+        );
+        report::compare(
+            "correct-target-prefix fraction",
+            "82%",
+            format!("{:.1}%", b.correct_prefix_fraction * 100.0),
+        );
+        report::compare(
+            "target within correct-prefix reads",
+            "59%",
+            format!("{:.1}%", b.target_within_prefix * 100.0),
+        );
+        report::compare(
+            "overall on-target fraction",
+            "48%",
+            format!("{:.1}%", b.on_target_fraction * 100.0),
+        );
+        report::row(
+            "misprime source blocks",
+            format!("{:?}", b.misprime_sources),
+        );
         let top: Vec<_> = b.reads_per_block.iter().filter(|(_, &c)| c > 50).collect();
         report::row("reads by source block (top)", format!("{top:?}"));
     }

@@ -25,5 +25,8 @@ fn main() {
             c.nanopore_reduction(),
         );
     }
-    report::row("paper", "1TB partition = ~1000 MiSeq runs; nanopore reduction always = selectivity");
+    report::row(
+        "paper",
+        "1TB partition = ~1000 MiSeq runs; nanopore reduction always = selectivity",
+    );
 }

@@ -8,12 +8,27 @@ fn main() {
     report::section("§7.7.1 block counts");
     let r = scaling::block_counts();
     report::compare("one-sided 10-base elongation", "1024 blocks", r.one_sided);
-    report::compare("two-sided 10+10 elongation", "1024^2 = ~1M blocks", r.two_sided);
-    report::compare("sparse-index overhead", "5 bases", format!("{} bases", r.elongation_overhead_bases));
-    report::compare("nested-PCR overhead (one level)", "20 bases", format!("{} bases", r.nested_overhead_bases));
+    report::compare(
+        "two-sided 10+10 elongation",
+        "1024^2 = ~1M blocks",
+        r.two_sided,
+    );
+    report::compare(
+        "sparse-index overhead",
+        "5 bases",
+        format!("{} bases", r.elongation_overhead_bases),
+    );
+    report::compare(
+        "nested-PCR overhead (one level)",
+        "20 bases",
+        format!("{} bases", r.nested_overhead_bases),
+    );
 
     report::section("§1 primer-library scaling (greedy packing, equal attempt budget)");
-    println!("  {:>8} | {:>12} | {:>8} | {:>9}", "length", "min distance", "found", "attempts");
+    println!(
+        "  {:>8} | {:>12} | {:>8} | {:>9}",
+        "length", "min distance", "found", "attempts"
+    );
     let rows = scaling::primer_library_scaling(60_000, 0x5CA1E);
     for row in &rows {
         println!(
@@ -22,7 +37,11 @@ fn main() {
         );
     }
     let ratio = rows.last().unwrap().found as f64 / rows[0].found.max(1) as f64;
-    report::compare("len-30 / len-20 library ratio", "~linear growth (§1)", format!("{ratio:.2}"));
+    report::compare(
+        "len-30 / len-20 library ratio",
+        "~linear growth (§1)",
+        format!("{ratio:.2}"),
+    );
 
     report::section("§7.7.2 block-size independence of mispriming");
     report::compare(

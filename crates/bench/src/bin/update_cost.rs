@@ -9,10 +9,35 @@ fn main() {
     let b = fig9::precise_access(&setup, 531, 50_000, 0.20, 2);
     let table = costs::update_costs(b.on_target_fraction);
     report::section("§7.5 cost of creating and retrieving updates (block 531)");
-    report::compare("baseline synthesis (naive re-partition)", "8805 molecules", format!("{} molecules", table.baseline_synthesis_molecules));
-    report::compare("our synthesis (one patch unit)", "15 molecules", format!("{} molecules", table.patch_molecules));
-    report::compare("synthesis reduction", "~580x", format!("{:.0}x", table.synthesis_reduction));
-    report::compare("updated-block sequencing reduction", "~146x", format!("{:.0}x", table.updated_read_reduction));
-    report::row("vendor-model dollars (baseline vs patch)", format!("${:.0} vs ${:.2}", table.baseline_dollars, table.patch_dollars));
-    report::row("hidden costs removed (§7.5.1)", "no primer pair burned, no stale copy, no re-notification");
+    report::compare(
+        "baseline synthesis (naive re-partition)",
+        "8805 molecules",
+        format!("{} molecules", table.baseline_synthesis_molecules),
+    );
+    report::compare(
+        "our synthesis (one patch unit)",
+        "15 molecules",
+        format!("{} molecules", table.patch_molecules),
+    );
+    report::compare(
+        "synthesis reduction",
+        "~580x",
+        format!("{:.0}x", table.synthesis_reduction),
+    );
+    report::compare(
+        "updated-block sequencing reduction",
+        "~146x",
+        format!("{:.0}x", table.updated_read_reduction),
+    );
+    report::row(
+        "vendor-model dollars (baseline vs patch)",
+        format!(
+            "${:.0} vs ${:.2}",
+            table.baseline_dollars, table.patch_dollars
+        ),
+    );
+    report::row(
+        "hidden costs removed (§7.5.1)",
+        "no primer pair burned, no stale copy, no re-notification",
+    );
 }

@@ -6,9 +6,7 @@
 //!   elongation = sequential access);
 //! - `layout_comparison`: the §5.3 ladder (Figs. 6/7/8) measured end to end.
 
-use dna_block_store::{
-    planner, workload, BlockStore, PartitionConfig, UpdateLayout, BLOCK_SIZE,
-};
+use dna_block_store::{planner, workload, BlockStore, PartitionConfig, UpdateLayout, BLOCK_SIZE};
 use dna_index::{analysis, IndexTree, LeafId};
 use dna_primers::{ElongatedPrimer, PrimerConstraints};
 use dna_seq::rng::DetRng;
@@ -51,7 +49,10 @@ pub fn sparse_vs_dense(seed: u64) -> SparseVsDense {
             let mut tail = DnaSeq::new();
             tail.push(Base::A);
             tail.extend(tree.leaf_index(LeafId(leaf)).iter());
-            if ElongatedPrimer::new(main.clone(), tail).validate(&constraints).is_err() {
+            if ElongatedPrimer::new(main.clone(), tail)
+                .validate(&constraints)
+                .is_err()
+            {
                 bad += 1;
             }
         }
@@ -81,7 +82,9 @@ fn on_target_fraction(tree: &IndexTree, main: &DnaSeq, seed: u64) -> f64 {
         strand.extend(tree.leaf_index(LeafId(leaf)).iter());
         // distinct payload per leaf
         for j in 0..60 {
-            strand.push(Base::from_code((((leaf as usize) >> (2 * (j % 5))) as u8 + j as u8) & 3));
+            strand.push(Base::from_code(
+                (((leaf as usize) >> (2 * (j % 5))) as u8 + j as u8) & 3,
+            ));
         }
         strand.extend(rev.reverse_complement().iter());
         pool.add(strand, 1.0e6, Some(StrandTag::new(0, leaf, 0, 0)));

@@ -44,7 +44,15 @@ pub fn run(amplify_then_measure: bool, num_reads: usize, seed: u64) -> Fig10 {
     let reads = Sequencer::new(IdsChannel::illumina()).sequence(&setup.pool, num_reads, &mut rng);
     let mut per_block: BTreeMap<u64, MixCounts> = IDT_UPDATED_BLOCKS
         .iter()
-        .map(|&b| (b, MixCounts { original: 0, update: 0 }))
+        .map(|&b| {
+            (
+                b,
+                MixCounts {
+                    original: 0,
+                    update: 0,
+                },
+            )
+        })
         .collect();
     for r in &reads {
         if let Some(t) = r.truth {

@@ -61,8 +61,8 @@ pub struct BlockCountReport {
 /// Computes the §7.7.1 / §9 address arithmetic.
 pub fn block_counts() -> BlockCountReport {
     BlockCountReport {
-        one_sided: 1 << 10,          // 4^5 leaves from a 10-base sparse index
-        two_sided: 1 << 20,          // (4^5)² with both primers extended
+        one_sided: 1 << 10,           // 4^5 leaves from a 10-base sparse index
+        two_sided: 1 << 20,           // (4^5)² with both primers extended
         elongation_overhead_bases: 5, // 10 sparse vs 5 dense bases
         nested_overhead_bases: 20,
     }

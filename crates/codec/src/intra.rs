@@ -83,7 +83,10 @@ mod tests {
     fn out_of_range_rejected() {
         assert!(matches!(
             encode(16, 2),
-            Err(CodecError::AddressOutOfRange { address: 16, capacity: 16 })
+            Err(CodecError::AddressOutOfRange {
+                address: 16,
+                capacity: 16
+            })
         ));
         assert!(encode(63, 3).is_ok());
         assert!(encode(64, 3).is_err());

@@ -221,7 +221,7 @@ mod tests {
     use dna_seq::Base;
 
     fn seq_of(base: Base, n: usize) -> DnaSeq {
-        DnaSeq::from_bases(std::iter::repeat(base).take(n))
+        DnaSeq::from_bases(std::iter::repeat_n(base, n))
     }
 
     fn balanced(n: usize) -> DnaSeq {
@@ -235,10 +235,7 @@ mod tests {
         assert_eq!(g.payload_bytes(), 24);
         assert_eq!(g.elongated_primer_len(), 31);
         // §6.2: 40 primer bases + 1 sync leaves 109 for addresses + payload
-        assert_eq!(
-            g.strand_len() - 2 * g.primer_len - g.sync_len,
-            109
-        );
+        assert_eq!(g.strand_len() - 2 * g.primer_len - g.sync_len, 109);
     }
 
     #[test]
@@ -308,7 +305,14 @@ mod tests {
         let fwd = balanced(20);
         let unit = balanced(10);
         let strand = g
-            .assemble(&fwd, &unit, Base::C, &balanced(2), &balanced(96), &balanced(20))
+            .assemble(
+                &fwd,
+                &unit,
+                Base::C,
+                &balanced(2),
+                &balanced(96),
+                &balanced(20),
+            )
             .unwrap();
         let prefix = g.address_prefix(&strand);
         assert_eq!(prefix.len(), 31);
@@ -324,7 +328,14 @@ mod tests {
         let g = StrandGeometry::paper_default();
         let rev: DnaSeq = "ACGTACGTACGTACGTACGT".parse().unwrap();
         let strand = g
-            .assemble(&balanced(20), &balanced(10), Base::A, &balanced(2), &balanced(96), &rev)
+            .assemble(
+                &balanced(20),
+                &balanced(10),
+                Base::A,
+                &balanced(2),
+                &balanced(96),
+                &rev,
+            )
             .unwrap();
         let tail = strand.subseq(130..150);
         assert_eq!(tail, rev.reverse_complement());

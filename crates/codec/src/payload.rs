@@ -66,7 +66,7 @@ impl PayloadCodec {
     /// whole bytes in this stack).
     pub fn decode(&self, bases: &DnaSeq) -> Vec<u8> {
         assert!(
-            bases.len() % 4 == 0,
+            bases.len().is_multiple_of(4),
             "payload base count {} not a whole number of bytes",
             bases.len()
         );

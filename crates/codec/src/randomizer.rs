@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn keystream_is_deterministic() {
-        assert_eq!(Randomizer::new(9).keystream(16), Randomizer::new(9).keystream(16));
+        assert_eq!(
+            Randomizer::new(9).keystream(16),
+            Randomizer::new(9).keystream(16)
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ proptest! {
     #[test]
     fn randomization_tames_pathological_payloads(seed in any::<u64>(), byte in any::<u8>()) {
         let codec = PayloadCodec::new(seed);
-        let bases = codec.encode(&vec![byte; 24]);
+        let bases = codec.encode(&[byte; 24]);
         prop_assert!(bases.max_homopolymer() <= 10, "run {}", bases.max_homopolymer());
         let gc = bases.gc_fraction();
         prop_assert!((0.2..=0.8).contains(&gc), "gc {gc}");

@@ -95,8 +95,7 @@ impl Block {
 /// Validates unit bytes (length + checksum) — the validator handed to the
 /// pipeline's §8.1 candidate search.
 pub fn unit_checksum_ok(unit: &[u8]) -> bool {
-    unit.len() == UNIT_BYTES
-        && unit[BLOCK_SIZE..] == checksum64(&unit[..BLOCK_SIZE]).to_le_bytes()
+    unit.len() == UNIT_BYTES && unit[BLOCK_SIZE..] == checksum64(&unit[..BLOCK_SIZE]).to_le_bytes()
 }
 
 #[cfg(test)]

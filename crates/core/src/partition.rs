@@ -258,7 +258,11 @@ impl Partition {
     ///
     /// Rejects out-of-range blocks and double writes (blocks are
     /// write-once; changes go through updates).
-    pub fn encode_block(&mut self, block: u64, content: &Block) -> Result<Vec<Molecule>, StoreError> {
+    pub fn encode_block(
+        &mut self,
+        block: u64,
+        content: &Block,
+    ) -> Result<Vec<Molecule>, StoreError> {
         if block >= self.num_leaves() {
             return Err(StoreError::BlockOutOfRange {
                 block,
@@ -598,7 +602,10 @@ mod tests {
         let mut a = partition();
         let mut b = partition();
         let blk = Block::from_bytes(b"determinism").unwrap();
-        assert_eq!(a.encode_block(7, &blk).unwrap(), b.encode_block(7, &blk).unwrap());
+        assert_eq!(
+            a.encode_block(7, &blk).unwrap(),
+            b.encode_block(7, &blk).unwrap()
+        );
     }
 
     #[test]
@@ -606,6 +613,9 @@ mod tests {
         let mut a = Partition::new(PartitionConfig::paper_default(1), primers());
         let mut b = Partition::new(PartitionConfig::paper_default(2), primers());
         let blk = Block::zeroed();
-        assert_ne!(a.encode_block(7, &blk).unwrap(), b.encode_block(7, &blk).unwrap());
+        assert_ne!(
+            a.encode_block(7, &blk).unwrap(),
+            b.encode_block(7, &blk).unwrap()
+        );
     }
 }

@@ -222,10 +222,7 @@ impl BlockStore {
         let patch = UpdatePatch::diff(&old, &new).ok_or_else(|| {
             StoreError::InvalidPatch("change too large for one patch".to_string())
         })?;
-        let layout = self
-            .partition(pid)?
-            .config()
-            .layout;
+        let layout = self.partition(pid)?.config().layout;
         let designs = match layout {
             UpdateLayout::DedicatedLog => self.encode_log_update(pid, block, &patch)?,
             _ => {
@@ -239,9 +236,9 @@ impl BlockStore {
         // Synthesize with the small-batch vendor and mix at matched
         // per-oligo concentration.
         let update_pool = self.idt.synthesize(&designs, &mut self.rng);
-        let data_per_oligo = self
-            .nanodrop
-            .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
+        let data_per_oligo =
+            self.nanodrop
+                .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
         let update_per_oligo = self.nanodrop.measure_per_oligo(
             &update_pool,
             update_pool.distinct().max(1),
@@ -465,11 +462,12 @@ impl BlockStore {
             let o = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
             stats.reads_matched += o.reads_matched;
             if let Some(v) = o.versions.get(&Base::A) {
-                let content = Block::from_unit_bytes(&v.unit_bytes)
-                    .map_err(|_| StoreError::DecodeFailed {
+                let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                    StoreError::DecodeFailed {
                         block,
                         reason: format!("update unit at leaf {leaf}"),
-                    })?;
+                    }
+                })?;
                 patches.push(UpdatePatch::from_block(&content)?);
             } else {
                 return Err(StoreError::DecodeFailed {
@@ -592,12 +590,11 @@ fn interpret_interleaved(
         if *base == Base::A {
             continue;
         }
-        let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
-            StoreError::DecodeFailed {
+        let content =
+            Block::from_unit_bytes(&v.unit_bytes).map_err(|_| StoreError::DecodeFailed {
                 block,
                 reason: "update unit checksum".to_string(),
-            }
-        })?;
+            })?;
         if parse_pointer_block(&content).is_none() {
             patches.push(UpdatePatch::from_block(&content)?);
         }
@@ -719,7 +716,10 @@ mod tests {
         let out = store.read_block(pid, 0).unwrap();
         assert_eq!(out.block.data, current);
         assert_eq!(out.patches_applied, 4);
-        assert!(out.stats.pcr_rounds >= 2, "chain requires a second round-trip");
+        assert!(
+            out.stats.pcr_rounds >= 2,
+            "chain requires a second round-trip"
+        );
     }
 
     #[test]

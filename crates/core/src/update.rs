@@ -133,7 +133,8 @@ impl UpdatePatch {
             prefix += 1;
         }
         let mut suffix = 0usize;
-        while suffix < a.len() - prefix && suffix < b.len() - prefix
+        while suffix < a.len() - prefix
+            && suffix < b.len() - prefix
             && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
         {
             suffix += 1;
@@ -174,12 +175,7 @@ impl UpdatePatch {
                 "insertion length {ins_len} overruns patch block"
             )));
         }
-        UpdatePatch::new(
-            bytes[0],
-            bytes[1],
-            bytes[2],
-            bytes[4..4 + ins_len].to_vec(),
-        )
+        UpdatePatch::new(bytes[0], bytes[1], bytes[2], bytes[4..4 + ins_len].to_vec())
     }
 }
 
@@ -221,11 +217,17 @@ mod tests {
     #[test]
     fn diff_round_trips_arbitrary_edits() {
         let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
-            (b"the cat sat on the mat".to_vec(), b"the dog sat on the mat".to_vec()),
+            (
+                b"the cat sat on the mat".to_vec(),
+                b"the dog sat on the mat".to_vec(),
+            ),
             (b"aaaa".to_vec(), b"aaaa".to_vec()),
             (b"hello".to_vec(), b"help".to_vec()),
             (vec![0; 200], vec![1; 200]),
-            (b"prefix middle suffix".to_vec(), b"prefix MIDDLE suffix".to_vec()),
+            (
+                b"prefix middle suffix".to_vec(),
+                b"prefix MIDDLE suffix".to_vec(),
+            ),
         ];
         for (old_raw, new_raw) in cases {
             let old = Block::from_bytes(&old_raw).unwrap();

@@ -18,13 +18,78 @@ pub const ALICE_BYTES: usize = ALICE_BLOCKS * crate::BLOCK_SIZE;
 
 /// Word stock for the deterministic prose generator.
 const WORDS: &[&str] = &[
-    "alice", "began", "to", "get", "very", "tired", "of", "sitting", "by", "her", "sister",
-    "on", "the", "bank", "and", "having", "nothing", "do", "once", "or", "twice", "she",
-    "had", "peeped", "into", "book", "was", "reading", "but", "it", "no", "pictures",
-    "conversations", "in", "what", "is", "use", "a", "thought", "without", "white", "rabbit",
-    "with", "pink", "eyes", "ran", "close", "nothing", "so", "remarkable", "that", "down",
-    "went", "never", "how", "world", "curious", "garden", "queen", "said", "cat", "time",
-    "little", "door", "key", "table", "bottle", "drink", "me", "grew", "larger", "smaller",
+    "alice",
+    "began",
+    "to",
+    "get",
+    "very",
+    "tired",
+    "of",
+    "sitting",
+    "by",
+    "her",
+    "sister",
+    "on",
+    "the",
+    "bank",
+    "and",
+    "having",
+    "nothing",
+    "do",
+    "once",
+    "or",
+    "twice",
+    "she",
+    "had",
+    "peeped",
+    "into",
+    "book",
+    "was",
+    "reading",
+    "but",
+    "it",
+    "no",
+    "pictures",
+    "conversations",
+    "in",
+    "what",
+    "is",
+    "use",
+    "a",
+    "thought",
+    "without",
+    "white",
+    "rabbit",
+    "with",
+    "pink",
+    "eyes",
+    "ran",
+    "close",
+    "nothing",
+    "so",
+    "remarkable",
+    "that",
+    "down",
+    "went",
+    "never",
+    "how",
+    "world",
+    "curious",
+    "garden",
+    "queen",
+    "said",
+    "cat",
+    "time",
+    "little",
+    "door",
+    "key",
+    "table",
+    "bottle",
+    "drink",
+    "me",
+    "grew",
+    "larger",
+    "smaller",
 ];
 
 /// Generates the deterministic "book": exactly [`ALICE_BYTES`] of
@@ -52,9 +117,7 @@ pub fn deterministic_text(len: usize, seed: u64) -> Vec<u8> {
     let mut sentence_words = 0usize;
     while out.len() < len {
         let word = WORDS[rng.gen_range(WORDS.len())];
-        if sentence_words == 0 && !out.is_empty() {
-            out.push(b' ');
-        } else if sentence_words > 0 {
+        if sentence_words > 0 || !out.is_empty() {
             out.push(b' ');
         }
         out.extend_from_slice(word.as_bytes());

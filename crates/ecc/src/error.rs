@@ -38,14 +38,21 @@ impl fmt::Display for EccError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EccError::TooManyErrors => write!(f, "too many errors to correct"),
-            EccError::LengthMismatch { what, expected, got } => {
+            EccError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => {
                 write!(f, "{what} length mismatch: expected {expected}, got {got}")
             }
             EccError::SymbolOutOfField { value, field } => {
                 write!(f, "symbol {value} does not fit in GF({field})")
             }
             EccError::ErasureOutOfRange { position, len } => {
-                write!(f, "erasure position {position} out of range for length {len}")
+                write!(
+                    f,
+                    "erasure position {position} out of range for length {len}"
+                )
             }
         }
     }

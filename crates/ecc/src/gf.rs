@@ -19,9 +19,9 @@ use crate::EccError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GfTables {
     m: u32,
-    size: usize,       // 2^m
-    exp: Vec<u8>,      // exp[i] = alpha^i, doubled length to skip mod
-    log: Vec<usize>,   // log[x] for x != 0
+    size: usize,     // 2^m
+    exp: Vec<u8>,    // exp[i] = alpha^i, doubled length to skip mod
+    log: Vec<usize>, // log[x] for x != 0
 }
 
 impl GfTables {
@@ -38,8 +38,8 @@ impl GfTables {
         let mut exp = vec![0u8; 2 * (size - 1)];
         let mut log = vec![0usize; size];
         let mut x = 1u32;
-        for i in 0..(size - 1) {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().take(size - 1).enumerate() {
+            *e = x as u8;
             assert!(
                 !(i > 0 && x == 1),
                 "polynomial {prim_poly:#b} is not primitive for m={m}"
@@ -51,9 +51,7 @@ impl GfTables {
             }
         }
         assert_eq!(x, 1, "polynomial {prim_poly:#b} is not primitive for m={m}");
-        for i in 0..(size - 1) {
-            exp[size - 1 + i] = exp[i];
-        }
+        exp.copy_within(0..size - 1, size - 1);
         GfTables { m, size, exp, log }
     }
 
@@ -153,7 +151,8 @@ impl GfTables {
     /// Evaluates a polynomial (coefficients highest-degree-first) at `x`
     /// using Horner's method.
     pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
-        poly.iter().fold(0u8, |acc, &c| self.add(self.mul(acc, x), c))
+        poly.iter()
+            .fold(0u8, |acc, &c| self.add(self.mul(acc, x), c))
     }
 
     /// Multiplies two polynomials (highest-degree-first).
@@ -215,10 +214,7 @@ mod tests {
         for a in 0..16u8 {
             for b in 0..16u8 {
                 for c in 0..16u8 {
-                    assert_eq!(
-                        gf.mul(a, gf.add(b, c)),
-                        gf.add(gf.mul(a, b), gf.mul(a, c))
-                    );
+                    assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
                 }
             }
         }

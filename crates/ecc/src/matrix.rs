@@ -240,7 +240,7 @@ impl EncodingUnit {
         match self.config.field {
             UnitField::Gf16 => {
                 let byte = col[r / 2];
-                if r % 2 == 0 {
+                if r.is_multiple_of(2) {
                     byte >> 4
                 } else {
                     byte & 0x0F
@@ -254,7 +254,7 @@ impl EncodingUnit {
         match self.config.field {
             UnitField::Gf16 => {
                 let byte = &mut col[r / 2];
-                if r % 2 == 0 {
+                if r.is_multiple_of(2) {
                     *byte = (*byte & 0x0F) | (sym << 4);
                 } else {
                     *byte = (*byte & 0xF0) | (sym & 0x0F);
@@ -375,7 +375,11 @@ mod tests {
         let u = unit();
         assert!(matches!(
             u.encode(&[0u8; 263]),
-            Err(EccError::LengthMismatch { expected: 264, got: 263, .. })
+            Err(EccError::LengthMismatch {
+                expected: 264,
+                got: 263,
+                ..
+            })
         ));
         let cols = u.encode(&sample_data(264, 7)).unwrap();
         let mut received: Vec<Option<Vec<u8>>> = cols.into_iter().map(Some).collect();

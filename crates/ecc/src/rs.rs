@@ -126,7 +126,10 @@ impl ReedSolomon {
         }
         for &p in erasures {
             if p >= n {
-                return Err(EccError::ErasureOutOfRange { position: p, len: n });
+                return Err(EccError::ErasureOutOfRange {
+                    position: p,
+                    len: n,
+                });
             }
         }
         if erasures.len() > self.nsym {
@@ -249,10 +252,7 @@ impl ReedSolomon {
         let mut synd_shifted = synd.to_vec();
         synd_shifted.reverse();
         synd_shifted.push(0);
-        let err_eval = self.poly_mod_xk(
-            &self.gf.poly_mul(&synd_shifted, &err_loc),
-            err_loc.len(),
-        );
+        let err_eval = self.poly_mod_xk(&self.gf.poly_mul(&synd_shifted, &err_loc), err_loc.len());
         let x: Vec<u8> = coef_pos.iter().map(|&c| self.gf.alpha_pow(c)).collect();
         for (i, &xi) in x.iter().enumerate() {
             let xi_inv = self.gf.inv(xi).expect("nonzero locator root");
@@ -410,7 +410,10 @@ mod tests {
         let mut cw = rs.encode(&[1; 11]);
         assert!(matches!(
             rs.decode(&mut cw, &[15]),
-            Err(EccError::ErasureOutOfRange { position: 15, len: 15 })
+            Err(EccError::ErasureOutOfRange {
+                position: 15,
+                len: 15
+            })
         ));
     }
 
@@ -465,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn random_error_erasure_mixtures_within_capacity(){
+    fn random_error_erasure_mixtures_within_capacity() {
         let rs = rs15_11();
         let mut rng = DetRng::seed_from_u64(4242);
         for trial in 0..200 {
@@ -487,9 +490,8 @@ mod tests {
             }
             let mut era = era_pos.to_vec();
             era.sort_unstable();
-            rs.decode(&mut cw, &era).unwrap_or_else(|e2| {
-                panic!("trial {trial}: e={e} v={v} should decode: {e2}")
-            });
+            rs.decode(&mut cw, &era)
+                .unwrap_or_else(|e2| panic!("trial {trial}: e={e} v={v} should decode: {e2}"));
             assert_eq!(cw, clean, "trial {trial}");
         }
     }

@@ -53,7 +53,11 @@ pub fn pairwise_hamming_stats(tree: &IndexTree, sample: usize) -> DistanceStats 
     }
     DistanceStats {
         min: if pairs == 0 { 0 } else { min },
-        mean: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        mean: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
         max,
         pairs,
     }
@@ -68,9 +72,7 @@ pub fn sibling_hamming_stats(tree: &IndexTree) -> DistanceStats {
     let mut total = 0usize;
     let mut pairs = 0usize;
     for p in 0..parents {
-        let leaves: Vec<_> = (0..4)
-            .map(|r| tree.leaf_index(LeafId(p * 4 + r)))
-            .collect();
+        let leaves: Vec<_> = (0..4).map(|r| tree.leaf_index(LeafId(p * 4 + r))).collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 let d = hamming(leaves[i].as_slice(), leaves[j].as_slice());
@@ -83,7 +85,11 @@ pub fn sibling_hamming_stats(tree: &IndexTree) -> DistanceStats {
     }
     DistanceStats {
         min: if pairs == 0 { 0 } else { min },
-        mean: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        mean: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
         max,
         pairs,
     }
@@ -142,7 +148,11 @@ pub fn index_quality(tree: &IndexTree, sample: usize) -> IndexQuality {
     IndexQuality {
         max_homopolymer: max_h,
         max_gc_deviation: max_dev,
-        perfectly_balanced_fraction: if n == 0 { 0.0 } else { balanced as f64 / n as f64 },
+        perfectly_balanced_fraction: if n == 0 {
+            0.0
+        } else {
+            balanced as f64 / n as f64
+        },
     }
 }
 
@@ -180,7 +190,7 @@ mod tests {
         assert!(nb.iter().all(|&(l, _)| l != LeafId(10)));
         assert!(nb.windows(2).all(|w| w[0].1 <= w[1].1));
         for &(_, d) in &nb {
-            assert!(d <= 3 && d >= 1);
+            assert!((1..=3).contains(&d));
         }
     }
 

@@ -49,11 +49,11 @@ impl IndexTree {
         let end = hi.0;
         while cur <= end {
             // Largest aligned block starting at cur that fits within [cur, end].
+            // Size of the subtree at path length `level` is 4^(depth-level).
             let mut level = self.depth(); // levels consumed from root; leaf = depth
-            // size of subtree at path length `level` is 4^(depth-level)
             while level > 0 {
                 let size = 1u64 << (2 * (self.depth() - (level - 1)));
-                if cur % size == 0 && cur + size - 1 <= end {
+                if cur.is_multiple_of(size) && cur + size - 1 <= end {
                     level -= 1;
                 } else {
                     break;
@@ -145,7 +145,14 @@ mod tests {
     #[test]
     fn cover_is_exact_partition_of_range() {
         let tree = IndexTree::new(9, 4); // 256 leaves
-        for (lo, hi) in [(0u64, 255u64), (3, 200), (17, 17), (64, 127), (1, 254), (100, 103)] {
+        for (lo, hi) in [
+            (0u64, 255u64),
+            (3, 200),
+            (17, 17),
+            (64, 127),
+            (1, 254),
+            (100, 103),
+        ] {
             let cover = tree.cover_range(LeafId(lo), LeafId(hi));
             let mut leaves = leaves_of_cover(&tree, &cover);
             leaves.sort_unstable();

@@ -221,7 +221,11 @@ impl IndexTree {
     ///
     /// Panics if `levels > depth` or `leaf` is out of range.
     pub fn leaf_prefix(&self, leaf: LeafId, levels: usize) -> DnaSeq {
-        assert!(levels <= self.depth, "levels {levels} > depth {}", self.depth);
+        assert!(
+            levels <= self.depth,
+            "levels {levels} > depth {}",
+            self.depth
+        );
         let full = self.leaf_index(leaf);
         full.prefix(self.prefix_len(levels))
     }
@@ -350,7 +354,7 @@ mod tests {
         assert_eq!(tree.leaf_index(LeafId(63)).to_string(), "TTT");
         assert_eq!(
             tree.parse_index(&"GCA".parse().unwrap()),
-            Some(LeafId(2 * 16 + 1 * 4))
+            Some(LeafId(2 * 16 + 4))
         );
     }
 
@@ -359,7 +363,10 @@ mod tests {
         let tree = IndexTree::new(42, 5);
         let mut seen = std::collections::HashSet::new();
         for leaf in tree.leaves() {
-            assert!(seen.insert(tree.leaf_index(leaf).to_string()), "dup at {leaf}");
+            assert!(
+                seen.insert(tree.leaf_index(leaf).to_string()),
+                "dup at {leaf}"
+            );
         }
         assert_eq!(seen.len(), 1024);
     }
@@ -477,7 +484,7 @@ mod tests {
     fn node_prefix_matches_leaf_prefix() {
         let tree = IndexTree::new(777, 4);
         let leaf = LeafId(0b11_01_10_00); // ranks [3,1,2,0]
-        let ranks = vec![3u8, 1, 2, 0];
+        let ranks = [3u8, 1, 2, 0];
         for l in 0..=4usize {
             assert_eq!(tree.node_prefix(&ranks[..l]), tree.leaf_prefix(leaf, l));
         }

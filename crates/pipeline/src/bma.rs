@@ -41,20 +41,18 @@ pub fn bma(traces: &[DnaSeq], target_len: usize) -> Option<DnaSeq> {
             }
         }
         // Deterministic argmax (ties → smallest code).
-        let maj = (0..4).max_by_key(|&c| (counts[c], 3 - c)).expect("non-empty");
+        let maj = (0..4)
+            .max_by_key(|&c| (counts[c], 3 - c))
+            .expect("non-empty");
         let maj_base = Base::from_code(maj as u8);
         out.push(maj_base);
         for (t, p) in traces.iter().zip(ptr.iter_mut()) {
             match t.get(*p) {
                 Some(b) if b == maj_base => *p += 1,
-                Some(_) => {
-                    // Insertion in this trace? Peek one ahead.
-                    if t.get(*p + 1) == Some(maj_base) {
-                        *p += 2;
-                    }
-                    // else: deletion in this trace — hold position.
-                }
-                None => {}
+                // Insertion in this trace? Peek one ahead.
+                Some(_) if t.get(*p + 1) == Some(maj_base) => *p += 2,
+                // Deletion in this trace — hold position.
+                Some(_) | None => {}
             }
         }
     }

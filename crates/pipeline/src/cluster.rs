@@ -86,7 +86,7 @@ pub fn cluster_reads(reads: &[DnaSeq], config: &ClusterConfig) -> Vec<Cluster> {
             if let Some(d) =
                 levenshtein_bounded(read.as_slice(), reads[rep_idx].as_slice(), config.max_edit)
             {
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, c));
                 }
             }
@@ -104,7 +104,11 @@ pub fn cluster_reads(reads: &[DnaSeq], config: &ClusterConfig) -> Vec<Cluster> {
         }
     }
     // Largest first; stable on first-appearance order.
-    clusters.sort_by(|a, b| b.size().cmp(&a.size()).then(a.members[0].cmp(&b.members[0])));
+    clusters.sort_by(|a, b| {
+        b.size()
+            .cmp(&a.size())
+            .then(a.members[0].cmp(&b.members[0]))
+    });
     clusters
 }
 

@@ -173,15 +173,13 @@ pub fn decode_block_validated(
         if column >= config.unit.total_cols {
             continue; // junk address
         }
-        let payload = strand.subseq(
-            config.geometry.version_len + config.geometry.intra_index_len..interior_len,
-        );
+        let payload = strand
+            .subseq(config.geometry.version_len + config.geometry.intra_index_len..interior_len);
         let entry = slots.entry((version, column)).or_default();
         if entry.is_empty() {
             entry.push((payload, cluster.size()));
             clusters_used = ci + 1;
-        } else if entry.len() <= config.max_alternates
-            && !entry.iter().any(|(p, _)| *p == payload)
+        } else if entry.len() <= config.max_alternates && !entry.iter().any(|(p, _)| *p == payload)
         {
             // §8 step 3: "We discard any reconstructed strand that has the
             // same address as a previously recovered strand" — but §8.1
@@ -464,7 +462,11 @@ mod tests {
         assert_eq!(out.versions.len(), 2, "failed: {:?}", out.failed_versions);
         assert_eq!(out.versions[&Base::A].unit_bytes, data.to_vec());
         assert_eq!(out.versions[&Base::C].unit_bytes, update.to_vec());
-        assert!(out.clusters_used >= 30, "clusters used {}", out.clusters_used);
+        assert!(
+            out.clusters_used >= 30,
+            "clusters used {}",
+            out.clusters_used
+        );
         assert!(!out.versions[&Base::A].used_alternates);
     }
 

@@ -133,10 +133,11 @@ impl ReadFilter {
             if let Some(d) = levenshtein_bounded(self.rev_site.as_slice(), window, self.max_edit) {
                 let tie = w.abs_diff(n);
                 match best {
-                    Some((bd, bstart)) if {
-                        let bw = read.len() - bstart;
-                        (bd, bw.abs_diff(n)) <= (d, tie)
-                    } => {}
+                    Some((bd, bstart))
+                        if {
+                            let bw = read.len() - bstart;
+                            (bd, bw.abs_diff(n)) <= (d, tie)
+                        } => {}
                     _ => best = Some((d, read.len() - w)),
                 }
             }
@@ -165,7 +166,9 @@ mod tests {
     }
 
     fn read() -> DnaSeq {
-        fwd().concat(&interior()).concat(&rev().reverse_complement())
+        fwd()
+            .concat(&interior())
+            .concat(&rev().reverse_complement())
     }
 
     #[test]
@@ -196,7 +199,9 @@ mod tests {
     fn wrong_prefix_rejected() {
         let f = ReadFilter::new(fwd(), &rev(), 2);
         let other = DnaSeq::from_bases((0..20).map(|i| Base::from_code(((i + 2) % 4) as u8)));
-        let bad = other.concat(&interior()).concat(&rev().reverse_complement());
+        let bad = other
+            .concat(&interior())
+            .concat(&rev().reverse_complement());
         assert_eq!(f.extract(&bad), None);
     }
 

@@ -177,7 +177,10 @@ mod tests {
         let c = PrimerConstraints::paper_default(20);
         assert!(matches!(
             c.validate(&s("ACGT")),
-            Err(PrimerViolation::Length { expected: 20, got: 4 })
+            Err(PrimerViolation::Length {
+                expected: 20,
+                got: 4
+            })
         ));
     }
 
@@ -220,7 +223,10 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = PrimerViolation::GcOutOfRange { gc: 0.9, window: (0.4, 0.6) };
+        let v = PrimerViolation::GcOutOfRange {
+            gc: 0.9,
+            window: (0.4, 0.6),
+        };
         assert!(v.to_string().contains("gc 0.90"));
     }
 }

@@ -36,7 +36,13 @@ impl PrimerLibrary {
         max_attempts: usize,
         seed: u64,
     ) -> PrimerLibrary {
-        Self::generate_with_distance(constraints, constraints.length / 2, target, max_attempts, seed)
+        Self::generate_with_distance(
+            constraints,
+            constraints.length / 2,
+            target,
+            max_attempts,
+            seed,
+        )
     }
 
     /// As [`PrimerLibrary::generate`] with an explicit distance threshold.

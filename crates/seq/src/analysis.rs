@@ -104,9 +104,9 @@ mod tests {
 
     #[test]
     fn perfectly_alternating_sequence_is_balanced() {
-        let seq = s("ACAGTCTG"); // weak/strong alternating
-        // odd-length prefixes of an alternating sequence deviate by up to
-        // 1/(2k+1); length-3 prefix "ACA" has GC 1/3.
+        // Weak/strong alternating. Odd-length prefixes of such a sequence
+        // deviate by up to 1/(2k+1); length-3 prefix "ACA" has GC 1/3.
+        let seq = s("ACAGTCTG");
         assert!(gc_balanced_prefixes(&seq, 1.0 / 3.0, 2.0 / 3.0, 2));
         assert!(max_prefix_gc_deviation(&seq, 2) <= 0.25);
     }

@@ -127,7 +127,7 @@ pub fn levenshtein_bounded(a: &[Base], b: &[Base], bound: usize) -> Option<usize
     for i in 1..=n {
         cur.fill(BIG);
         let x = a[i - 1];
-        let lo = i.saturating_sub(bound).max(0);
+        let lo = i.saturating_sub(bound);
         let hi = (i + bound).min(m);
         for j in lo..=hi {
             let k = (j as isize - i as isize + bound as isize) as usize;
@@ -183,9 +183,18 @@ mod tests {
 
     #[test]
     fn hamming_prefix_counts_overhang() {
-        assert_eq!(hamming_prefix(s("ACG").as_slice(), s("ACGTTT").as_slice()), 0);
-        assert_eq!(hamming_prefix(s("ACT").as_slice(), s("ACGTTT").as_slice()), 1);
-        assert_eq!(hamming_prefix(s("ACGTT").as_slice(), s("ACG").as_slice()), 2);
+        assert_eq!(
+            hamming_prefix(s("ACG").as_slice(), s("ACGTTT").as_slice()),
+            0
+        );
+        assert_eq!(
+            hamming_prefix(s("ACT").as_slice(), s("ACGTTT").as_slice()),
+            1
+        );
+        assert_eq!(
+            hamming_prefix(s("ACGTT").as_slice(), s("ACG").as_slice()),
+            2
+        );
     }
 
     #[test]
@@ -207,7 +216,10 @@ mod tests {
         assert_eq!(levenshtein(s("").as_slice(), s("ACG").as_slice()), 3);
         assert_eq!(levenshtein(s("ACG").as_slice(), s("").as_slice()), 3);
         // classic: kitten/sitting analogue in DNA
-        assert_eq!(levenshtein(s("ACGTACGT").as_slice(), s("AGTACGGT").as_slice()), 2);
+        assert_eq!(
+            levenshtein(s("ACGTACGT").as_slice(), s("AGTACGGT").as_slice()),
+            2
+        );
     }
 
     #[test]

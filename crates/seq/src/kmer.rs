@@ -67,7 +67,7 @@ impl Kmer {
 ///
 /// Yields nothing if the sequence is shorter than `k` or `k` is 0 or > 32.
 pub fn kmers(seq: &DnaSeq, k: usize) -> impl Iterator<Item = Kmer> + '_ {
-    let valid = k >= 1 && k <= 32 && seq.len() >= k;
+    let valid = (1..=32).contains(&k) && seq.len() >= k;
     let count = if valid { seq.len() - k + 1 } else { 0 };
     (0..count).map(move |i| Kmer::from_bases(&seq.as_slice()[i..i + k]).expect("valid window"))
 }
@@ -112,7 +112,11 @@ impl MinHashSignature {
     ///
     /// Panics if the signatures have different widths.
     pub fn similarity(&self, other: &MinHashSignature) -> f64 {
-        assert_eq!(self.slots.len(), other.slots.len(), "signature widths differ");
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "signature widths differ"
+        );
         if self.slots.is_empty() {
             return 0.0;
         }
@@ -143,7 +147,12 @@ mod tests {
 
     #[test]
     fn kmer_round_trip() {
-        for text in ["A", "ACGT", "TTTTGGGGCCCCAAAA", "ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+        for text in [
+            "A",
+            "ACGT",
+            "TTTTGGGGCCCCAAAA",
+            "ACGTACGTACGTACGTACGTACGTACGTACGT",
+        ] {
             let seq = s(text);
             let k = Kmer::from_bases(seq.as_slice()).unwrap();
             assert_eq!(k.to_seq(), seq);

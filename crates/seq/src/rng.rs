@@ -166,7 +166,11 @@ impl DetRng {
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         // Avoid ln(0).
         let u1 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let u1 = if u1 <= f64::MIN_POSITIVE { f64::MIN_POSITIVE } else { u1 };
+        let u1 = if u1 <= f64::MIN_POSITIVE {
+            f64::MIN_POSITIVE
+        } else {
+            u1
+        };
         let u2 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + std_dev * z
@@ -262,7 +266,14 @@ mod tests {
         // SplitMix64 reference implementation.
         let mut sm = SplitMix64::new(1234567);
         let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
-        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
     }
 
     #[test]
@@ -321,7 +332,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]
@@ -342,7 +357,10 @@ mod tests {
             total += rng.binomial(100, 0.3);
         }
         let mean = total as f64 / trials as f64;
-        assert!((mean - 30.0).abs() < 1.0, "binomial mean {mean} should be ~30");
+        assert!(
+            (mean - 30.0).abs() < 1.0,
+            "binomial mean {mean} should be ~30"
+        );
     }
 
     #[test]

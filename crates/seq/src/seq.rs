@@ -366,10 +366,7 @@ mod tests {
     #[test]
     fn parse_rejects_invalid() {
         assert!("ACGU".parse::<DnaSeq>().is_err());
-        assert_eq!(
-            "AXGT".parse::<DnaSeq>().unwrap_err().invalid_char(),
-            'X'
-        );
+        assert_eq!("AXGT".parse::<DnaSeq>().unwrap_err().invalid_char(), 'X');
     }
 
     #[test]

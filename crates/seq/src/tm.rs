@@ -108,9 +108,7 @@ mod tests {
         // Monotonicity sanity for balanced primers of growing length.
         let mut prev = 0.0;
         for len in [14usize, 18, 22, 26, 30, 34] {
-            let seq = DnaSeq::from_bases(
-                (0..len).map(|i| crate::Base::from_code((i % 4) as u8)),
-            );
+            let seq = DnaSeq::from_bases((0..len).map(|i| crate::Base::from_code((i % 4) as u8)));
             let tm = marmur_doty(&seq);
             assert!(tm > prev, "Tm should grow with length");
             prev = tm;

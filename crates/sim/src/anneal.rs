@@ -116,7 +116,9 @@ impl AnnealModel {
             };
             let better = match best {
                 None => true,
-                Some(b) => (candidate.dist, candidate.three_prime_dist) < (b.dist, b.three_prime_dist),
+                Some(b) => {
+                    (candidate.dist, candidate.three_prime_dist) < (b.dist, b.three_prime_dist)
+                }
             };
             if better {
                 best = Some(candidate);
@@ -178,7 +180,10 @@ mod tests {
     }
 
     fn site(d: usize, d3: usize) -> BindingSite {
-        BindingSite { dist: d, three_prime_dist: d3 }
+        BindingSite {
+            dist: d,
+            three_prime_dist: d3,
+        }
     }
 
     #[test]
@@ -214,7 +219,10 @@ mod tests {
         assert_eq!(m.binding_probability(&primer, site(5, 0), 55.0), 0.0);
         // 3'-terminal mismatches are far more destructive than internal.
         let p2_terminal = m.binding_probability(&primer, site(2, 2), 55.0);
-        assert!(p2_terminal < p2 / 10.0, "3' mismatches should block extension");
+        assert!(
+            p2_terminal < p2 / 10.0,
+            "3' mismatches should block extension"
+        );
     }
 
     #[test]

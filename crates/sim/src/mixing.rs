@@ -146,7 +146,9 @@ mod tests {
     }
 
     fn strand(phase: usize) -> DnaSeq {
-        fwd().concat(&payload(phase)).concat(&rev().reverse_complement())
+        fwd()
+            .concat(&payload(phase))
+            .concat(&rev().reverse_complement())
     }
 
     /// Data pool: 10 oligos at ~1e6 copies. Update pool: 2 oligos at ~5e10
@@ -158,7 +160,11 @@ mod tests {
         }
         let mut update = Pool::new();
         for i in 0..2 {
-            update.add(strand(100 + i), 5.0e10, Some(StrandTag::new(0, i as u64, 1, 0)));
+            update.add(
+                strand(100 + i),
+                5.0e10,
+                Some(StrandTag::new(0, i as u64, 1, 0)),
+            );
         }
         (data, update)
     }
@@ -201,7 +207,10 @@ mod tests {
             (0.5..2.0).contains(&balance),
             "per-oligo balance {balance} should be ~1 after mixing"
         );
-        assert!(out.update_dilution < 1.0e-4, "update must be heavily diluted");
+        assert!(
+            out.update_dilution < 1.0e-4,
+            "update must be heavily diluted"
+        );
         assert_eq!(out.data_dilution, 1.0);
     }
 

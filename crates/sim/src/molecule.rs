@@ -50,7 +50,10 @@ pub struct Molecule {
 impl Molecule {
     /// Creates a tagged molecule.
     pub fn new(seq: DnaSeq, tag: StrandTag) -> Molecule {
-        Molecule { seq, tag: Some(tag) }
+        Molecule {
+            seq,
+            tag: Some(tag),
+        }
     }
 
     /// Creates a molecule without ground-truth tracking.

@@ -17,12 +17,16 @@ pub struct Nanodrop {
 impl Nanodrop {
     /// A typical benchtop instrument: ~3% relative error.
     pub fn benchtop() -> Nanodrop {
-        Nanodrop { relative_error: 0.03 }
+        Nanodrop {
+            relative_error: 0.03,
+        }
     }
 
     /// A perfect instrument (for differential testing).
     pub fn ideal() -> Nanodrop {
-        Nanodrop { relative_error: 0.0 }
+        Nanodrop {
+            relative_error: 0.0,
+        }
     }
 
     /// Measures total molecule count of a pool, with noise.

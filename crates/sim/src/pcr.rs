@@ -76,7 +76,7 @@ impl PcrProtocol {
             temps.push(t);
             t -= 1.0;
         }
-        temps.extend(std::iter::repeat(end).take(plateau_cycles));
+        temps.extend(std::iter::repeat_n(end, plateau_cycles));
         PcrProtocol {
             temps,
             anneal: AnnealModel::calibrated(),
@@ -177,7 +177,9 @@ impl PcrReaction {
                     continue;
                 }
                 for (pi, primer) in self.forward_primers.iter().enumerate() {
-                    let Some(site) = entry.fwd_site[pi] else { continue };
+                    let Some(site) = entry.fwd_site[pi] else {
+                        continue;
+                    };
                     let d = site.dist;
                     let p_fwd = anneal.binding_probability(&primer.seq, site, temp);
                     if p_fwd <= 0.0 {
@@ -326,7 +328,10 @@ mod tests {
         let out = rxn.run(&pool);
         let t = out.pool.get(&target).unwrap().abundance;
         let o = out.pool.get(&other).unwrap().abundance;
-        assert!(t / o > 1000.0, "selectivity too weak: target {t}, other {o}");
+        assert!(
+            t / o > 1000.0,
+            "selectivity too weak: target {t}, other {o}"
+        );
         assert_eq!(o, 100.0, "unrelated strand must not grow");
     }
 
@@ -342,7 +347,10 @@ mod tests {
         };
         let out = rxn.run(&pool);
         let final_ab = out.pool.get(&s).unwrap().abundance;
-        assert!(final_ab <= 100.0 + 5_000.0 + 1e-6, "budget violated: {final_ab}");
+        assert!(
+            final_ab <= 100.0 + 5_000.0 + 1e-6,
+            "budget violated: {final_ab}"
+        );
         assert!(final_ab > 5_000.0 * 0.99, "budget should be ~exhausted");
         assert!((out.fwd_consumed[0] - 5_000.0).abs() < 1.0);
     }
@@ -431,7 +439,11 @@ mod tests {
             let wrong: f64 = out
                 .pool
                 .iter()
-                .filter(|(_, s)| s.tag.map(|t| t.unit == 2 && t.prefix_overwritten).unwrap_or(false))
+                .filter(|(_, s)| {
+                    s.tag
+                        .map(|t| t.unit == 2 && t.prefix_overwritten)
+                        .unwrap_or(false)
+                })
                 .map(|(_, s)| s.abundance)
                 .sum();
             let right = out.pool.get(&target).unwrap().abundance;

@@ -214,7 +214,10 @@ mod tests {
         let reads = seq.sequence(&pool_two_species(), 10_000, &mut rng);
         let unit1 = reads.iter().filter(|r| r.truth.unwrap().unit == 1).count();
         let frac = unit1 as f64 / 10_000.0;
-        assert!((frac - 0.9).abs() < 0.02, "unit1 fraction {frac}, want ~0.9");
+        assert!(
+            (frac - 0.9).abs() < 0.02,
+            "unit1 fraction {frac}, want ~0.9"
+        );
     }
 
     #[test]

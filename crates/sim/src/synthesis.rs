@@ -139,8 +139,8 @@ mod tests {
 
     #[test]
     fn idt_is_50000x_twist() {
-        let ratio =
-            SynthesisVendor::idt().copies_per_molecule / SynthesisVendor::twist().copies_per_molecule;
+        let ratio = SynthesisVendor::idt().copies_per_molecule
+            / SynthesisVendor::twist().copies_per_molecule;
         assert_eq!(ratio, 50_000.0);
     }
 

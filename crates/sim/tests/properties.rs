@@ -2,9 +2,7 @@
 
 use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
-use dna_sim::{
-    IdsChannel, PcrPrimer, PcrProtocol, PcrReaction, Pool, Sequencer, StrandTag,
-};
+use dna_sim::{IdsChannel, PcrPrimer, PcrProtocol, PcrReaction, Pool, Sequencer, StrandTag};
 use proptest::prelude::*;
 
 fn strand(fwd_phase: usize, payload_phase: usize) -> DnaSeq {

@@ -38,7 +38,10 @@ fn main() {
         b.correct_prefix_fraction * 100.0,
         b.on_target_fraction * 100.0
     );
-    println!("     misprime sources (edit-close indexes): {:?}", b.misprime_sources);
+    println!(
+        "     misprime sources (edit-close indexes): {:?}",
+        b.misprime_sources
+    );
 
     // §7.3: the headline cost reduction, from measured fractions.
     let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction);

@@ -14,7 +14,11 @@ fn main() {
     // homopolymers, Tm in the PCR window, pairwise Hamming ≥ 10.
     let constraints = PrimerConstraints::paper_default(20);
     let library = PrimerLibrary::generate_with_distance(&constraints, 10, 12, 100_000, 1);
-    println!("library of {} primers (min pairwise Hamming {}):", library.len(), library.min_distance());
+    println!(
+        "library of {} primers (min pairwise Hamming {}):",
+        library.len(),
+        library.min_distance()
+    );
     for p in library.primers().iter().take(6) {
         println!(
             "  {p}  gc={:.0}% tm={:.1}C",

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Store a small "file" across 4 blocks.
     let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
     let blocks = store.write_file(pid, &data)?;
-    println!("wrote {blocks} blocks ({} bytes) into partition {pid:?}", data.len());
+    println!(
+        "wrote {blocks} blocks ({} bytes) into partition {pid:?}",
+        data.len()
+    );
 
     // Random block access: one PCR with a 31-base elongated primer,
     // sequencing, clustering, trace reconstruction, RS decoding.

@@ -7,8 +7,8 @@
 //! cargo run --release --example update_workflow
 //! ```
 
-use dna_storage::block_store::{BlockStore, PartitionConfig, UpdatePatch, BLOCK_SIZE};
 use dna_storage::block_store::Block;
+use dna_storage::block_store::{BlockStore, PartitionConfig, UpdatePatch, BLOCK_SIZE};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store = BlockStore::new(2024);
@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let old_block = Block::from_bytes(original)?;
     let patch = UpdatePatch::new(4, 3, 4, b"dog".to_vec())?;
     let preview = patch.apply(&old_block)?;
-    println!("patch preview: {:?}", std::str::from_utf8(&preview.data[..32])?);
+    println!(
+        "patch preview: {:?}",
+        std::str::from_utf8(&preview.data[..32])?
+    );
 
     // Five successive updates: the first two land in the direct version
     // slots (version bases C and G); the third triggers the §5.3 overflow

@@ -10,8 +10,12 @@ fn multi_partition_isolation() {
     // Two partitions in one tube: reading from one never returns the
     // other's content (the primer pair is the chemical namespace).
     let mut store = BlockStore::new(100);
-    let a = store.create_partition(PartitionConfig::paper_default(1)).unwrap();
-    let b = store.create_partition(PartitionConfig::paper_default(2)).unwrap();
+    let a = store
+        .create_partition(PartitionConfig::paper_default(1))
+        .unwrap();
+    let b = store
+        .create_partition(PartitionConfig::paper_default(2))
+        .unwrap();
     let data_a = workload::deterministic_text(2 * BLOCK_SIZE, 10);
     let data_b = workload::deterministic_text(2 * BLOCK_SIZE, 20);
     store.write_file(a, &data_a).unwrap();
@@ -27,7 +31,9 @@ fn multi_partition_isolation() {
 fn update_history_survives_many_edits() {
     // Seven updates: 2 direct slots, then the overflow chain (§5.3).
     let mut store = BlockStore::new(101);
-    let pid = store.create_partition(PartitionConfig::paper_default(3)).unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(3))
+        .unwrap();
     let data = workload::deterministic_text(BLOCK_SIZE, 30);
     store.write_file(pid, &data).unwrap();
     let mut current = data.clone();
@@ -38,7 +44,10 @@ fn update_history_survives_many_edits() {
     let out = store.read_block(pid, 0).unwrap();
     assert_eq!(out.block.data, current);
     assert_eq!(out.patches_applied, 7);
-    assert!(out.stats.pcr_rounds >= 2, "overflow chain needs extra rounds");
+    assert!(
+        out.stats.pcr_rounds >= 2,
+        "overflow chain needs extra rounds"
+    );
 }
 
 #[test]
@@ -51,7 +60,9 @@ fn noisy_sequencer_still_round_trips() {
         del_rate: 0.004,
     }));
     store.set_coverage(20);
-    let pid = store.create_partition(PartitionConfig::paper_default(4)).unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(4))
+        .unwrap();
     let data = workload::deterministic_text(2 * BLOCK_SIZE, 40);
     store.write_file(pid, &data).unwrap();
     let out = store.read_block(pid, 1).unwrap();
@@ -73,7 +84,9 @@ fn all_layouts_round_trip_updates() {
         store.write_file(pid, &data).unwrap();
         let mut current = data.clone();
         current[BLOCK_SIZE] = b'X';
-        store.update_block(pid, 1, &current[BLOCK_SIZE..2 * BLOCK_SIZE]).unwrap();
+        store
+            .update_block(pid, 1, &current[BLOCK_SIZE..2 * BLOCK_SIZE])
+            .unwrap();
         let out = store.read_block(pid, 1).unwrap();
         assert_eq!(
             out.block.data,
@@ -87,7 +100,9 @@ fn all_layouts_round_trip_updates() {
 #[test]
 fn range_reads_see_updates() {
     let mut store = BlockStore::new(104);
-    let pid = store.create_partition(PartitionConfig::paper_default(6)).unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(6))
+        .unwrap();
     let data = workload::deterministic_text(6 * BLOCK_SIZE, 60);
     store.write_file(pid, &data).unwrap();
     let mut current = data.clone();
@@ -104,10 +119,14 @@ fn range_reads_see_updates() {
 #[test]
 fn errors_are_reported_not_panicked() {
     let mut store = BlockStore::new(105);
-    let pid = store.create_partition(PartitionConfig::paper_default(7)).unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(7))
+        .unwrap();
     // Reading an unwritten block fails cleanly with a decode error (there
     // is nothing in the tube to amplify... and nothing to decode).
-    store.write_file(pid, &workload::deterministic_text(BLOCK_SIZE, 70)).unwrap();
+    store
+        .write_file(pid, &workload::deterministic_text(BLOCK_SIZE, 70))
+        .unwrap();
     let err = store.read_block(pid, 9).unwrap_err();
     assert!(matches!(err, StoreError::DecodeFailed { .. }));
     // Updating an unwritten block is a caller error.
@@ -122,7 +141,9 @@ fn deterministic_replay() {
     // Identical seeds and call sequences produce identical wetlab outcomes.
     let run = || {
         let mut store = BlockStore::new(106);
-        let pid = store.create_partition(PartitionConfig::paper_default(8)).unwrap();
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(8))
+            .unwrap();
         let data = workload::deterministic_text(2 * BLOCK_SIZE, 80);
         store.write_file(pid, &data).unwrap();
         let out = store.read_block(pid, 0).unwrap();

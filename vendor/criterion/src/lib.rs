@@ -1,0 +1,151 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of criterion's surface its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups, and
+//! `Bencher::iter`. Each benchmark is timed with `std::time::Instant` over a
+//! fixed wall-clock budget and reported as a mean per-iteration time — no
+//! statistics, plotting, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    /// Wall-clock measurement budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `f` and prints a `name ... mean time/iter` line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group; group benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Accepted for API compatibility; this subset sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op beyond releasing the borrow).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: one untimed warmup call, then batches of timed calls.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e9 {
+            (per_iter / 1e9, "s")
+        } else if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!(
+            "{name:<40} {value:>10.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Bundles benchmark functions into one runnable group
+/// (mirror of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group (mirror of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

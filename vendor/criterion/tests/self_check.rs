@@ -1,0 +1,38 @@
+//! The vendored criterion subset must run benchmark closures and time them.
+
+use criterion::{criterion_group, Criterion};
+use std::cell::Cell;
+
+#[test]
+fn bench_function_runs_the_routine() {
+    let runs = Cell::new(0u64);
+    let mut c = Criterion::default();
+    c.bench_function("smoke", |b| {
+        b.iter(|| runs.set(runs.get() + 1));
+    });
+    // One warmup call plus at least one timed batch.
+    assert!(runs.get() > 1, "bencher never invoked the routine");
+}
+
+#[test]
+fn groups_compose() {
+    let runs = Cell::new(0u64);
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("g");
+    group.sample_size(10);
+    group.bench_function("a", |b| b.iter(|| runs.set(runs.get() + 1)));
+    group.bench_function("b", |b| b.iter(|| runs.set(runs.get() + 1)));
+    group.finish();
+    assert!(runs.get() > 2);
+}
+
+fn target_a(c: &mut Criterion) {
+    c.bench_function("target_a", |b| b.iter(|| 1 + 1));
+}
+
+criterion_group!(self_check_group, target_a);
+
+#[test]
+fn criterion_group_macro_produces_runnable_fn() {
+    self_check_group();
+}

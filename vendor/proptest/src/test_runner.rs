@@ -1,0 +1,132 @@
+//! Case driver: deterministic RNG, config, and the pass/fail/reject loop.
+
+/// Deterministic per-test random source (SplitMix64).
+///
+/// Proptest proper threads a `TestRng` through strategies; this subset only
+/// needs uniform integers and unit-interval floats.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test data.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition unmet (`prop_assume!`); draw another case.
+    Reject,
+    /// Assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runs one property over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Runner with the given config.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Drives `case` until enough successes accumulate; panics on the first
+    /// failure (no shrinking) or when rejects exhaust the budget.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Stable seed per test name so failures reproduce across runs.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::new(seed ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            case_index += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case #{passed} \
+                         (seed {seed:#x}, draw {})\n{msg}",
+                        case_index - 1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The vendored proptest subset must genuinely generate cases, vary them,
+//! honor rejects, and fail loudly on a false property — otherwise every
+//! suite built on it would be vacuously green.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+
+proptest! {
+    #[test]
+    fn ranges_respect_bounds(a in 0u64..1024, b in 3usize..=7, x in 0.0f64..2.0) {
+        prop_assert!(a < 1024);
+        prop_assert!((3..=7).contains(&b));
+        prop_assert!((0.0..2.0).contains(&x));
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges_do_not_degenerate(
+        a in 0u64..=u64::MAX,
+        b in i64::MIN..=i64::MAX,
+        c in 0u8..=u8::MAX,
+    ) {
+        // Regression: span 2^64 used to truncate to 0, either tripping a
+        // debug assert or pinning every draw to the range minimum.
+        let _ = (a, b, c);
+    }
+
+    #[test]
+    fn float_ranges_stay_below_exclusive_bound(x in 0.0f64..1.0, y in 0f32..1f32) {
+        prop_assert!((0.0..1.0).contains(&x));
+        prop_assert!(y < 1.0, "f32 draw rounded up to the exclusive bound");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_elements(v in prop::collection::vec(0u8..4, 5..20)) {
+        prop_assert!((5..20).contains(&v.len()));
+        prop_assert!(v.iter().all(|&e| e < 4));
+    }
+
+    #[test]
+    fn prop_map_applies(n in (0u32..100).prop_map(|n| n * 2)) {
+        prop_assert_eq!(n % 2, 0);
+        prop_assert!(n < 200);
+    }
+
+    #[test]
+    fn assume_filters_cases(n in any::<u64>()) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn false_property_fails(n in 0u32..1000) {
+        // Must eventually draw a value ≥ 10 and fail; a runner that never
+        // generates (or never checks) would wrongly pass.
+        prop_assert!(n < 10);
+    }
+}
+
+#[test]
+fn runner_executes_configured_case_count() {
+    let calls = Cell::new(0u32);
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+    runner.run("counting", |_rng| {
+        calls.set(calls.get() + 1);
+        Ok(())
+    });
+    assert_eq!(calls.get(), 64);
+}
+
+#[test]
+fn cases_actually_vary() {
+    let mut seen = std::collections::HashSet::new();
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+    runner.run("variety", |rng| {
+        seen.insert(rng.next_u64());
+        Ok(())
+    });
+    assert!(seen.len() > 16, "RNG produced near-constant draws");
+}
+
+#[test]
+fn rejects_do_not_count_as_passes() {
+    let passes = Cell::new(0u32);
+    let attempts = Cell::new(0u32);
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+    runner.run("rejecting", |_rng| {
+        attempts.set(attempts.get() + 1);
+        if attempts.get().is_multiple_of(2) {
+            return Err(TestCaseError::Reject);
+        }
+        passes.set(passes.get() + 1);
+        Ok(())
+    });
+    assert_eq!(passes.get(), 10);
+    assert!(attempts.get() > 10);
+}
