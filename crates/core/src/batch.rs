@@ -1,0 +1,292 @@
+//! Multiplexed batch retrieval planning.
+//!
+//! The paper's central cost argument (§7) is that wetlab work amortizes:
+//! one PCR reaction can amplify *many* primer-addressed targets at once
+//! (multiplexed primer pools, as in Yazdi et al.'s random-access system),
+//! so the per-block cost of a batched access falls with the batch size
+//! instead of staying flat. The [`BatchPlanner`] is the piece that decides
+//! *which* targets may share a tube: primer pairs from different partitions
+//! can only be multiplexed when they are chemically compatible —
+//! no cross-dimers and a shared melting-temperature window
+//! ([`dna_primers::MultiplexCompat`]).
+//!
+//! The planner consumes one [`PlanItem`] per partition touched by a batch
+//! (a partition under the DedicatedLog layout also drags the shared log
+//! partition's primer pair into its item, because its patches live there)
+//! and greedily packs items into the fewest *multiplex rounds* such that
+//! every primer pair in a round is pairwise compatible with every other.
+//! Each round then becomes one [`dna_sim::MultiplexPcrReaction`] + one
+//! sequencing run, demultiplexed in software and decoded in parallel
+//! (see [`crate::BlockStore::read_blocks_batch`]).
+//!
+//! Greedy first-fit is the right tool here: optimal compatibility grouping
+//! is graph coloring (NP-hard), batches are small (tens of partitions), and
+//! first-fit is deterministic — the same requests always produce the same
+//! rounds, which the reproducibility guarantees of the store require.
+
+use dna_primers::{MultiplexCompat, PrimerPair};
+
+/// One schedulable unit of a batch: a partition (identified by `id`) plus
+/// every primer pair that must be present in the tube to serve it.
+#[derive(Debug, Clone)]
+pub struct PlanItem {
+    /// Caller-chosen identifier (the store uses the partition index).
+    pub id: usize,
+    /// Primer pairs this item brings to the tube. The first is the
+    /// partition's own pair; a DedicatedLog partition appends the shared
+    /// log partition's pair.
+    pub pairs: Vec<PrimerPair>,
+}
+
+/// One multiplex PCR round: the item ids sharing the tube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedRound {
+    /// Ids of the [`PlanItem`]s packed into this round.
+    pub items: Vec<usize>,
+}
+
+/// The full schedule for a batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchPlan {
+    /// Rounds in execution order.
+    pub rounds: Vec<PlannedRound>,
+}
+
+impl BatchPlan {
+    /// Number of PCR + sequencing round-trips the plan needs.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Groups batch requests into multiplex PCR rounds subject to
+/// primer-compatibility constraints.
+///
+/// See the [module docs](self) for the chemistry and the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPlanner {
+    /// The compatibility rules primer pairs must satisfy to share a tube.
+    pub compat: MultiplexCompat,
+    /// Maximum distinct primer pairs per round (`0` = unlimited). Real
+    /// multiplex PCR degrades beyond a few tens of primer pairs per tube.
+    pub max_pairs_per_round: usize,
+}
+
+impl BatchPlanner {
+    /// Paper-grade defaults: [`MultiplexCompat::paper_default`] and at most
+    /// 16 primer pairs per tube.
+    pub fn paper_default() -> BatchPlanner {
+        BatchPlanner {
+            compat: MultiplexCompat::paper_default(),
+            max_pairs_per_round: 16,
+        }
+    }
+
+    /// Packs `items` into rounds by deterministic greedy first-fit: each
+    /// item joins the earliest round whose pairs are all compatible with
+    /// the item's pairs ([`MultiplexCompat::compatible_with_all`];
+    /// identical pairs — e.g. the shared log partition appearing in two
+    /// items — are always mutually admissible) and whose pair budget has
+    /// room; otherwise it opens a new round.
+    ///
+    /// An item is never rejected, and compatibility is enforced *between*
+    /// items only: an item's own pairs are forced co-residents by the
+    /// caller's co-location requirement (a DedicatedLog partition cannot
+    /// be served without the log pair in the same tube), so the planner
+    /// takes them as given rather than second-guessing the layout.
+    pub fn plan(&self, items: &[PlanItem]) -> BatchPlan {
+        let mut rounds: Vec<PlannedRound> = Vec::new();
+        let mut round_pairs: Vec<Vec<PrimerPair>> = Vec::new();
+        for item in items {
+            let slot = (0..rounds.len()).find(|&r| {
+                let new_pairs = item
+                    .pairs
+                    .iter()
+                    .filter(|p| !round_pairs[r].contains(p))
+                    .count();
+                if self.max_pairs_per_round != 0
+                    && round_pairs[r].len() + new_pairs > self.max_pairs_per_round
+                {
+                    return false;
+                }
+                item.pairs
+                    .iter()
+                    .all(|candidate| self.compat.compatible_with_all(candidate, &round_pairs[r]))
+            });
+            match slot {
+                Some(r) => {
+                    rounds[r].items.push(item.id);
+                    for pair in &item.pairs {
+                        if !round_pairs[r].contains(pair) {
+                            round_pairs[r].push(pair.clone());
+                        }
+                    }
+                }
+                None => {
+                    rounds.push(PlannedRound {
+                        items: vec![item.id],
+                    });
+                    round_pairs.push(item.pairs.clone());
+                }
+            }
+        }
+        BatchPlan { rounds }
+    }
+}
+
+/// Aggregate wetlab statistics of one batched retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// PCR + sequencing round-trips performed (the paper's unit of wetlab
+    /// cost; sequential access pays one per block).
+    pub rounds: usize,
+    /// Distinct primer pairs multiplexed, summed over rounds.
+    pub primer_pairs: usize,
+    /// Total reads sequenced across all rounds.
+    pub reads_sequenced: usize,
+    /// Reads whose primer regions matched some requested target.
+    pub reads_matched: usize,
+    /// Reads sequenced that matched no requested target — the wasted
+    /// amplification a multiplexed round pays for sharing a tube.
+    pub wasted_reads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_seq::DnaSeq;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    fn pair(f: &str, r: &str) -> PrimerPair {
+        PrimerPair::new(s(f), s(r))
+    }
+
+    fn permissive() -> BatchPlanner {
+        BatchPlanner {
+            compat: MultiplexCompat {
+                max_cross_dimer: 19,
+                tm_window: 40.0,
+            },
+            max_pairs_per_round: 0,
+        }
+    }
+
+    #[test]
+    fn compatible_items_share_one_round() {
+        let items = vec![
+            PlanItem {
+                id: 0,
+                pairs: vec![pair("AACCGGTTAACCGGTTAACC", "AAGGCCTTAAGGCCTTAAGG")],
+            },
+            PlanItem {
+                id: 1,
+                pairs: vec![pair("CAGTGACTCAGTGACTCAGT", "GTCAGTCAGTCAGTCAGTCA")],
+            },
+        ];
+        let plan = permissive().plan(&items);
+        assert_eq!(plan.num_rounds(), 1);
+        assert_eq!(plan.rounds[0].items, vec![0, 1]);
+    }
+
+    #[test]
+    fn tm_incompatible_items_split_rounds() {
+        let planner = BatchPlanner {
+            compat: MultiplexCompat {
+                max_cross_dimer: 19,
+                tm_window: 5.0,
+            },
+            max_pairs_per_round: 0,
+        };
+        // AT-rich vs GC-rich: ~20 °C apart.
+        let items = vec![
+            PlanItem {
+                id: 0,
+                pairs: vec![pair("ATTATATAGCATTATATAGC", "ATATTAGCATATATTAGCAT")],
+            },
+            PlanItem {
+                id: 1,
+                pairs: vec![pair("GGCGCGCGTAGGCGCGCGTA", "GCGGCGTAGCGCGGCGTAGC")],
+            },
+        ];
+        let plan = planner.plan(&items);
+        assert_eq!(plan.num_rounds(), 2);
+    }
+
+    #[test]
+    fn pair_cap_bounds_round_size() {
+        let mut planner = permissive();
+        planner.max_pairs_per_round = 2;
+        let primers = [
+            ("AACCGGTTAACCGGTTAACC", "AAGGCCTTAAGGCCTTAAGG"),
+            ("CAGTGACTCAGTGACTCAGT", "GTCAGTCAGTCAGTCAGTCA"),
+            ("TGACTGACTGACTGACTGAC", "ACTGACTGACTGACTGACTG"),
+            ("CATGCATGCATGCATGCATG", "GTACGTACGTACGTACGTAC"),
+        ];
+        let items: Vec<PlanItem> = primers
+            .iter()
+            .enumerate()
+            .map(|(i, (f, r))| PlanItem {
+                id: i,
+                pairs: vec![pair(f, r)],
+            })
+            .collect();
+        let plan = planner.plan(&items);
+        assert_eq!(plan.num_rounds(), 2);
+        assert!(plan.rounds.iter().all(|r| r.items.len() <= 2));
+    }
+
+    #[test]
+    fn shared_log_pair_counts_once_and_never_self_conflicts() {
+        // Two DedicatedLog partitions both drag the same log pair along; a
+        // strict dimer threshold must not split them on the self-comparison.
+        let log = pair("TGACTGACTGACTGACTGAC", "ACTGACTGACTGACTGACTG");
+        // These 4-periodic test primers form perfect 20-base dimers with
+        // each other; disable the dimer check to isolate the dedup logic.
+        let planner = BatchPlanner {
+            compat: MultiplexCompat {
+                max_cross_dimer: 20,
+                tm_window: 40.0,
+            },
+            max_pairs_per_round: 3,
+        };
+        let items = vec![
+            PlanItem {
+                id: 0,
+                pairs: vec![
+                    pair("AACCGGTTAACCGGTTAACC", "AAGGCCTTAAGGCCTTAAGG"),
+                    log.clone(),
+                ],
+            },
+            PlanItem {
+                id: 1,
+                pairs: vec![
+                    pair("CAGTGACTCAGTGACTCAGT", "GTCAGTCAGTCAGTCAGTCA"),
+                    log.clone(),
+                ],
+            },
+        ];
+        // 2 partition pairs + 1 shared log pair = 3 ≤ cap: one round.
+        let plan = planner.plan(&items);
+        assert_eq!(plan.num_rounds(), 1);
+    }
+
+    #[test]
+    fn empty_batch_plans_no_rounds() {
+        assert_eq!(permissive().plan(&[]).num_rounds(), 0);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let items: Vec<PlanItem> = (0..6)
+            .map(|i| PlanItem {
+                id: i,
+                pairs: vec![pair("AACCGGTTAACCGGTTAACC", "AAGGCCTTAAGGCCTTAAGG")],
+            })
+            .collect();
+        let planner = permissive();
+        assert_eq!(planner.plan(&items), planner.plan(&items));
+    }
+}

@@ -17,6 +17,10 @@
 //! write files, read blocks and ranges back through
 //! PCR → sequencing → clustering → trace reconstruction → RS decoding →
 //! patch application, and update blocks by synthesizing and mixing patches.
+//! Multi-block workloads go through [`BlockStore::read_blocks_batch`]: the
+//! [`batch::BatchPlanner`] packs primer-compatible partitions into
+//! multiplex PCR rounds and each round's reads are demultiplexed and
+//! decoded in parallel.
 //!
 //! # Examples
 //!
@@ -41,15 +45,17 @@ mod partition;
 mod store;
 mod update;
 
+pub mod batch;
 pub mod capacity;
 pub mod cost;
 pub mod layout;
 pub mod planner;
 pub mod workload;
 
+pub use batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem, PlannedRound};
 pub use block::{checksum64, unit_checksum_ok, Block, BLOCK_SIZE, UNIT_BYTES};
 pub use error::StoreError;
 pub use layout::UpdateLayout;
-pub use partition::{Partition, PartitionConfig, VersionSlot};
-pub use store::{BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
+pub use partition::{parse_pointer_block, pointer_block, Partition, PartitionConfig, VersionSlot};
+pub use store::{BatchReadOutcome, BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
 pub use update::UpdatePatch;

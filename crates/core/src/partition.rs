@@ -160,13 +160,21 @@ impl Partition {
 
     // ----- addressing ------------------------------------------------------
 
-    /// The fully elongated forward primer for a leaf: main primer + sync +
-    /// 10-base sparse index (31 bases in the paper's geometry, §6.5).
-    pub fn elongated_primer(&self, leaf: u64) -> DnaSeq {
+    /// The zero-elongation scope primer: main forward primer + sync bases,
+    /// the §3.1 empty prefix that amplifies every leaf of the partition.
+    /// Per-leaf and per-range primers extend it with index bases.
+    pub fn scope_primer(&self) -> DnaSeq {
         let mut p = self.primers.forward().clone();
         for _ in 0..self.config.geometry.sync_len {
             p.push(Base::A);
         }
+        p
+    }
+
+    /// The fully elongated forward primer for a leaf: main primer + sync +
+    /// 10-base sparse index (31 bases in the paper's geometry, §6.5).
+    pub fn elongated_primer(&self, leaf: u64) -> DnaSeq {
+        let mut p = self.scope_primer();
         p.extend(self.tree.leaf_index(LeafId(leaf)).iter());
         p
     }
@@ -197,10 +205,7 @@ impl Partition {
             .cover_range(LeafId(lo), LeafId(hi))
             .into_iter()
             .map(|node| {
-                let mut p = self.primers.forward().clone();
-                for _ in 0..self.config.geometry.sync_len {
-                    p.push(Base::A);
-                }
+                let mut p = self.scope_primer();
                 p.extend(node.prefix(&self.tree).iter());
                 (p, node.leaf_count as f64)
             })
@@ -446,14 +451,18 @@ impl Partition {
 
 /// Encodes a pointer unit: an impossible patch header (`0xFF, 0xFF`) marks
 /// the block as a pointer; bytes 4..12 hold the target leaf.
-pub(crate) fn pointer_block(target_leaf: u64) -> Block {
+///
+/// Public so integration/property tests can assert that the patch wire
+/// format and the pointer encoding never collide.
+pub fn pointer_block(target_leaf: u64) -> Block {
     let mut bytes = vec![0xFFu8, 0xFF, 0, 8];
     bytes.extend_from_slice(&target_leaf.to_le_bytes());
     Block::from_bytes(&bytes).expect("pointer block fits")
 }
 
-/// Parses a pointer unit, returning the target leaf.
-pub(crate) fn parse_pointer_block(block: &Block) -> Option<u64> {
+/// Parses a pointer unit, returning the target leaf (`None` when `block`
+/// is not a pointer — e.g. any valid patch).
+pub fn parse_pointer_block(block: &Block) -> Option<u64> {
     if block.data[0] == 0xFF && block.data[1] == 0xFF && block.data[3] == 8 {
         let mut le = [0u8; 8];
         le.copy_from_slice(&block.data[4..12]);

@@ -67,10 +67,7 @@ pub fn plan_precise(partition: &Partition, lo: u64, hi: u64) -> RetrievalPlan {
 /// Panics if the range is empty or out of bounds.
 pub fn plan_common_prefix(partition: &Partition, lo: u64, hi: u64) -> RetrievalPlan {
     let (node, _) = partition.tree().common_prefix_cover(LeafId(lo), LeafId(hi));
-    let mut primer = partition.primers().forward().clone();
-    for _ in 0..partition.config().geometry.sync_len {
-        primer.push(dna_seq::Base::A);
-    }
+    let mut primer = partition.scope_primer();
     primer.extend(node.prefix(partition.tree()).iter());
     RetrievalPlan {
         primers: vec![primer],
@@ -89,10 +86,7 @@ pub fn plan_common_prefix(partition: &Partition, lo: u64, hi: u64) -> RetrievalP
 /// Panics if `levels` exceeds the tree depth or `block` is out of range.
 pub fn plan_partial(partition: &Partition, block: u64, levels: usize) -> RetrievalPlan {
     let tree = partition.tree();
-    let mut primer = partition.primers().forward().clone();
-    for _ in 0..partition.config().geometry.sync_len {
-        primer.push(dna_seq::Base::A);
-    }
+    let mut primer = partition.scope_primer();
     primer.extend(tree.leaf_prefix(LeafId(block), levels).iter());
     RetrievalPlan {
         primers: vec![primer],

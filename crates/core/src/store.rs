@@ -1,17 +1,18 @@
 //! The end-to-end block store over the simulated wetlab.
 
+use crate::batch::{BatchPlanner, BatchStats, PlanItem};
 use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
 use crate::layout::UpdateLayout;
 use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
 use crate::update::UpdatePatch;
 use crate::StoreError;
-use dna_pipeline::{decode_block_validated, BlockDecodeOutcome};
+use dna_pipeline::{decode_block_validated, decode_jobs_parallel, BlockDecodeOutcome, DecodeJob};
 use dna_primers::{PrimerConstraints, PrimerLibrary, PrimerPair};
 use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
 use dna_sim::{
-    IdsChannel, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction, Pool, Read, Sequencer,
-    SynthesisVendor,
+    IdsChannel, MultiplexPcrReaction, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction, Pool,
+    PrimerChannel, Read, Sequencer, SynthesisVendor,
 };
 use std::collections::BTreeMap;
 
@@ -42,6 +43,25 @@ pub struct BlockReadOutcome {
     pub patches_applied: usize,
     /// Wetlab statistics.
     pub stats: ReadProtocolStats,
+}
+
+/// One channel of a multiplex round before budget assignment: the weighted
+/// forward scope, the reverse primer, and the encoding units it covers.
+struct ChannelSpec {
+    scope: Vec<(DnaSeq, f64)>,
+    reverse: DnaSeq,
+    units: usize,
+}
+
+/// Result of a batched multi-block retrieval
+/// ([`BlockStore::read_blocks_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchReadOutcome {
+    /// Per-request outcomes, in request order. A failed block does not
+    /// poison the rest of the batch.
+    pub outcomes: Vec<Result<BlockReadOutcome, StoreError>>,
+    /// Aggregate wetlab statistics across all multiplex rounds.
+    pub stats: BatchStats,
 }
 
 /// The full system: partitions, the archival DNA pool, and the simulated
@@ -323,6 +343,11 @@ impl BlockStore {
     /// Reads a contiguous block range via one multiplexed precise PCR
     /// (§3.1 prefix cover). Updates are applied per block.
     ///
+    /// Implemented on top of [`BlockStore::read_blocks_batch`]: the batch
+    /// planner recognizes the contiguous run and covers it with weighted
+    /// range prefixes in a single multiplex round, then decodes every block
+    /// in parallel.
+    ///
     /// # Errors
     ///
     /// Fails if any block in the range cannot be decoded.
@@ -332,24 +357,393 @@ impl BlockStore {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<Block>, StoreError> {
-        let partition = self.partition(pid)?;
-        let primers = partition.range_prefixes_weighted(lo, hi);
-        let rev = partition.primers().reverse().clone();
-        let expected_units = (hi - lo + 1) as usize * 2;
-        let reads = self.run_retrieval(&primers, &rev, expected_units);
-        let mut out = Vec::new();
-        for block in lo..=hi {
+        let requests: Vec<(PartitionId, u64)> = (lo..=hi).map(|b| (pid, b)).collect();
+        let batch = self.read_blocks_batch(&requests)?;
+        batch
+            .outcomes
+            .into_iter()
+            .map(|r| r.map(|o| o.block))
+            .collect()
+    }
+
+    // ----- batched retrieval ------------------------------------------------
+
+    /// Reads many blocks — across any number of partitions — in as few PCR
+    /// + sequencing round-trips as primer chemistry allows.
+    ///
+    /// The [`BatchPlanner`] groups the touched partitions into multiplex
+    /// rounds subject to cross-dimer/Tm compatibility
+    /// ([`dna_primers::MultiplexCompat`]); each round runs one
+    /// [`dna_sim::MultiplexPcrReaction`] with per-pair primer budgets, one
+    /// sequencing pass, and a parallel software demultiplex + decode
+    /// ([`dna_pipeline::decode_jobs_parallel`]). Contiguous runs of
+    /// requested blocks are covered by §3.1 prefix primers; committed
+    /// overflow-chain leaves, the TwoStacks update region, and the shared
+    /// DedicatedLog partition ride in the same tube, so every block's
+    /// updates arrive with it.
+    ///
+    /// Per-block failures are reported in
+    /// [`BatchReadOutcome::outcomes`] without failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails as a whole only for requests naming an unknown partition.
+    pub fn read_blocks_batch(
+        &mut self,
+        requests: &[(PartitionId, u64)],
+    ) -> Result<BatchReadOutcome, StoreError> {
+        self.read_blocks_batch_planned(requests, &BatchPlanner::paper_default())
+    }
+
+    /// As [`BlockStore::read_blocks_batch`], with an explicit planner
+    /// (custom compatibility rules or per-round pair caps).
+    ///
+    /// # Errors
+    ///
+    /// Fails as a whole only for requests naming an unknown partition.
+    pub fn read_blocks_batch_planned(
+        &mut self,
+        requests: &[(PartitionId, u64)],
+        planner: &BatchPlanner,
+    ) -> Result<BatchReadOutcome, StoreError> {
+        let mut outcomes: Vec<Option<Result<BlockReadOutcome, StoreError>>> =
+            vec![None; requests.len()];
+        // Group in-range requests by partition; out-of-range ones get their
+        // error outcome immediately.
+        let mut by_partition: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &(pid, block)) in requests.iter().enumerate() {
             let partition = self.partition(pid)?;
-            let prefix = partition.elongated_primer(block);
-            let cfg = partition.decode_config(block);
-            let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
-            let (mut content, patches) = interpret_interleaved(&outcome, block)?;
-            for p in patches {
-                content = p.apply(&content)?;
+            if block >= partition.num_leaves() {
+                outcomes[i] = Some(Err(StoreError::BlockOutOfRange {
+                    block,
+                    capacity: partition.num_leaves(),
+                }));
+            } else {
+                by_partition.entry(pid.0).or_default().push((i, block));
             }
-            out.push(content);
         }
-        Ok(out)
+        let items: Vec<PlanItem> = by_partition
+            .keys()
+            .map(|&p| {
+                let mut pairs = vec![self.partitions[p].primers().clone()];
+                if self.partitions[p].config().layout == UpdateLayout::DedicatedLog {
+                    if let Some(log) = self.log_partition {
+                        pairs.push(self.partitions[log].primers().clone());
+                    }
+                }
+                PlanItem { id: p, pairs }
+            })
+            .collect();
+        let plan = planner.plan(&items);
+        let mut stats = BatchStats {
+            rounds: plan.num_rounds(),
+            ..BatchStats::default()
+        };
+        for round in &plan.rounds {
+            self.run_batch_round(&round.items, &by_partition, &mut outcomes, &mut stats);
+        }
+        stats.wasted_reads = stats.reads_sequenced.saturating_sub(stats.reads_matched);
+        Ok(BatchReadOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolved"))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Runs one multiplex round: amplify every target of `round_partitions`
+    /// in a single tube, sequence once, decode all leaves in parallel, and
+    /// assemble per-request outcomes.
+    fn run_batch_round(
+        &mut self,
+        round_partitions: &[usize],
+        by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
+        outcomes: &mut [Option<Result<BlockReadOutcome, StoreError>>],
+        stats: &mut BatchStats,
+    ) {
+        let budget = self.retrieval_budget();
+        // (weighted forward scope, reverse primer, encoding units covered)
+        // per channel; budgets are assigned after the total unit count is
+        // known so per-unit amplification stays even across channels.
+        let mut pending: Vec<ChannelSpec> = Vec::new();
+        let mut expected_units = 0usize;
+        let mut jobs: Vec<DecodeJob> = Vec::new();
+        let mut job_index: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+        let mut log_in_round = false;
+
+        for &p in round_partitions {
+            let partition = &self.partitions[p];
+            let rev = partition.primers().reverse().clone();
+            let mut blocks: Vec<u64> = by_partition[&p].iter().map(|&(_, b)| b).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            // Cover contiguous runs with §3.1 prefix primers, weighted by
+            // covered leaf count so the whole run amplifies evenly.
+            let mut scope: Vec<(DnaSeq, f64)> = Vec::new();
+            let mut run_start = blocks[0];
+            let mut prev = blocks[0];
+            for &b in &blocks[1..] {
+                if b != prev + 1 {
+                    scope.extend(partition.range_prefixes_weighted(run_start, prev));
+                    run_start = b;
+                }
+                prev = b;
+            }
+            scope.extend(partition.range_prefixes_weighted(run_start, prev));
+            let mut add_job = |jobs: &mut Vec<DecodeJob>, leaf: u64| {
+                job_index.entry((p, leaf)).or_insert_with(|| {
+                    jobs.push(DecodeJob {
+                        prefix: partition.elongated_primer(leaf),
+                        reverse: rev.clone(),
+                        config: partition.decode_config(leaf),
+                    });
+                    jobs.len() - 1
+                });
+            };
+            for &b in &blocks {
+                add_job(&mut jobs, b);
+            }
+            // Update scope: committed chain leaves / the TwoStacks update
+            // region come along in the same tube (DedicatedLog patches live
+            // in the shared log partition, handled once per round below).
+            // Sequencing depth is provisioned per encoding unit, counted
+            // from the update metadata rather than a flat per-block
+            // constant, so heavily-updated blocks keep their per-unit
+            // coverage.
+            let channel_units = match partition.config().layout {
+                UpdateLayout::Interleaved { .. } => {
+                    // Units per block: the original plus every patch
+                    // (`writes_of`) plus one pointer unit per chain hop,
+                    // floored at the 2 units/block the range path budgets.
+                    let units = blocks
+                        .iter()
+                        .map(|&b| {
+                            (partition.writes_of(b) as usize + partition.chain_of(b).len()).max(2)
+                        })
+                        .sum::<usize>();
+                    let mut chain: Vec<u64> = blocks
+                        .iter()
+                        .flat_map(|&b| partition.chain_of(b).iter().copied())
+                        .collect();
+                    chain.sort_unstable();
+                    chain.dedup();
+                    for &leaf in &chain {
+                        scope.push((partition.elongated_primer(leaf), 1.0));
+                        add_job(&mut jobs, leaf);
+                    }
+                    units
+                }
+                UpdateLayout::TwoStacks => {
+                    let mut units = blocks.len() * 2;
+                    let stack = partition.stack_update_count();
+                    if stack > 0 {
+                        let lo = partition.num_leaves() - stack;
+                        let hi = partition.num_leaves() - 1;
+                        scope.extend(partition.range_prefixes_weighted(lo, hi));
+                        let mut leaves: Vec<u64> = blocks
+                            .iter()
+                            .flat_map(|&b| partition.chain_of(b).iter().copied())
+                            .collect();
+                        leaves.sort_unstable();
+                        leaves.dedup();
+                        for &leaf in &leaves {
+                            add_job(&mut jobs, leaf);
+                        }
+                        units += stack as usize;
+                    }
+                    units
+                }
+                UpdateLayout::DedicatedLog => {
+                    log_in_round = true;
+                    blocks.len() * 2
+                }
+            };
+            expected_units += channel_units;
+            pending.push(ChannelSpec {
+                scope,
+                reverse: rev,
+                units: channel_units,
+            });
+        }
+        if log_in_round {
+            if let Some(log_pid) = self.log_partition {
+                let log = &self.partitions[log_pid];
+                let log_fwd = log.scope_primer();
+                let log_rev = log.primers().reverse().clone();
+                for leaf in 0..self.log_head {
+                    job_index.entry((log_pid, leaf)).or_insert_with(|| {
+                        jobs.push(DecodeJob {
+                            prefix: log.elongated_primer(leaf),
+                            reverse: log_rev.clone(),
+                            config: log.decode_config(leaf),
+                        });
+                        jobs.len() - 1
+                    });
+                }
+                let units = self.log_head as usize + 1;
+                expected_units += units;
+                pending.push(ChannelSpec {
+                    scope: vec![(log_fwd, units as f64)],
+                    reverse: log_rev,
+                    units,
+                });
+            }
+        }
+
+        // Each channel's primer budget is proportional to its share of the
+        // units in scope (scaled so a single-channel round gets exactly the
+        // sequential path's budget): the sequencing pass samples the tube
+        // by abundance, so equal budgets would starve large-scope channels
+        // of per-unit read depth.
+        let total_units = expected_units.max(1) as f64;
+        let channels: Vec<PrimerChannel> = pending
+            .iter()
+            .map(|spec| {
+                let channel_budget =
+                    budget * (spec.units as f64) * (pending.len() as f64) / total_units;
+                PrimerChannel {
+                    forward_primers: weighted_forward_primers(&spec.scope, channel_budget),
+                    reverse_primer: PcrPrimer::with_budget(spec.reverse.clone(), channel_budget),
+                }
+            })
+            .collect();
+
+        stats.primer_pairs += channels.len();
+        let rxn = MultiplexPcrReaction {
+            channels,
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let amplified = rxn.run(&self.pool);
+        let n_reads = self.reads_to_sequence(expected_units);
+        let reads = self
+            .sequencer
+            .sequence(&amplified.pool, n_reads, &mut self.rng);
+        stats.reads_sequenced += reads.len();
+
+        let decoded = decode_jobs_parallel(&reads, &jobs, unit_checksum_ok, 0);
+        for outcome in &decoded {
+            stats.reads_matched += outcome.reads_matched;
+        }
+
+        for &p in round_partitions {
+            for &(req_idx, block) in &by_partition[&p] {
+                outcomes[req_idx] =
+                    Some(self.assemble_batch_outcome(p, block, &job_index, &decoded, reads.len()));
+            }
+        }
+    }
+
+    /// Reconstructs one requested block from a round's decoded leaves,
+    /// mirroring the layout-specific single-read paths.
+    fn assemble_batch_outcome(
+        &self,
+        p: usize,
+        block: u64,
+        job_index: &BTreeMap<(usize, u64), usize>,
+        decoded: &[BlockDecodeOutcome],
+        round_reads: usize,
+    ) -> Result<BlockReadOutcome, StoreError> {
+        let partition = &self.partitions[p];
+        let origin = &decoded[job_index[&(p, block)]];
+        let mut stats = ReadProtocolStats {
+            pcr_rounds: 1,
+            reads_sequenced: round_reads,
+            reads_matched: origin.reads_matched,
+            clusters_used: origin.clusters_used,
+        };
+        let (original, patches) = match partition.config().layout {
+            UpdateLayout::Interleaved { update_slots } => {
+                let mut original = None;
+                let mut patches = Vec::new();
+                let mut leaves = vec![block];
+                leaves.extend_from_slice(partition.chain_of(block));
+                for (hop, &leaf) in leaves.iter().enumerate() {
+                    let outcome = &decoded[job_index[&(p, leaf)]];
+                    if hop > 0 {
+                        stats.reads_matched += outcome.reads_matched;
+                    }
+                    for (base, v) in &outcome.versions {
+                        let slot = VersionSlot::from_base(*base);
+                        let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                            StoreError::DecodeFailed {
+                                block,
+                                reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
+                            }
+                        })?;
+                        if hop == 0 && slot.0 == 0 {
+                            original = Some(content);
+                        } else if slot.0 == update_slots {
+                            // Pointer slot — the chain is already known from
+                            // metadata, nothing to follow.
+                        } else {
+                            patches.push(UpdatePatch::from_block(&content)?);
+                        }
+                    }
+                }
+                let original = original.ok_or(StoreError::DecodeFailed {
+                    block,
+                    reason: "original version missing".to_string(),
+                })?;
+                (original, patches)
+            }
+            UpdateLayout::TwoStacks => {
+                let (original, _) = interpret_interleaved(origin, block)?;
+                let mut patches = Vec::new();
+                for &leaf in partition.chain_of(block) {
+                    let outcome = &decoded[job_index[&(p, leaf)]];
+                    stats.reads_matched += outcome.reads_matched;
+                    let v = outcome
+                        .versions
+                        .get(&Base::A)
+                        .ok_or(StoreError::DecodeFailed {
+                            block,
+                            reason: format!("update leaf {leaf} unrecovered"),
+                        })?;
+                    let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                        StoreError::DecodeFailed {
+                            block,
+                            reason: format!("update unit at leaf {leaf}"),
+                        }
+                    })?;
+                    patches.push(UpdatePatch::from_block(&content)?);
+                }
+                (original, patches)
+            }
+            UpdateLayout::DedicatedLog => {
+                let (original, _) = interpret_interleaved(origin, block)?;
+                let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
+                if let Some(log_pid) = self.log_partition {
+                    for leaf in 0..self.log_head {
+                        let Some(&job) = job_index.get(&(log_pid, leaf)) else {
+                            continue;
+                        };
+                        let outcome = &decoded[job];
+                        stats.reads_matched += outcome.reads_matched;
+                        if let Some(v) = outcome.versions.get(&Base::A) {
+                            if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                                found.extend(log_patch_for(&content, p as u32, block));
+                            }
+                        }
+                    }
+                }
+                found.sort_by_key(|&(seq, _)| seq);
+                (
+                    original,
+                    found.into_iter().map(|(_, patch)| patch).collect(),
+                )
+            }
+        };
+        let patches_applied = patches.len();
+        let mut current = original;
+        for patch in patches {
+            current = patch.apply(&current)?;
+        }
+        Ok(BlockReadOutcome {
+            block: current,
+            patches_applied,
+            stats,
+        })
     }
 
     // ----- layout-specific read paths ---------------------------------------
@@ -500,13 +894,7 @@ impl BlockStore {
         let mut patches = Vec::new();
         if let Some(log_pid) = self.log_partition {
             let log = &self.partitions[log_pid];
-            let log_fwd = {
-                let mut p = log.primers().forward().clone();
-                for _ in 0..log.config().geometry.sync_len {
-                    p.push(Base::A);
-                }
-                p
-            };
+            let log_fwd = log.scope_primer();
             let log_rev = log.primers().reverse().clone();
             let entries = self.log_head;
             let reads =
@@ -522,11 +910,7 @@ impl BlockStore {
                 stats.reads_matched += o.reads_matched;
                 if let Some(v) = o.versions.get(&Base::A) {
                     if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
-                        if let Some((epid, eblock, seq, patch)) = parse_log_entry(&content) {
-                            if epid == pid.0 as u32 && eblock == block {
-                                found.push((seq, patch));
-                            }
-                        }
+                        found.extend(log_patch_for(&content, pid.0 as u32, block));
                     }
                 }
             }
@@ -534,6 +918,20 @@ impl BlockStore {
             patches.extend(found.into_iter().map(|(_, p)| p));
         }
         Ok((original, patches))
+    }
+
+    /// Primer-molecule budget for one retrieval reaction: 20× the tube's
+    /// template count, so cycles end in template competition rather than
+    /// primer exhaustion. Shared by the sequential and batched paths.
+    fn retrieval_budget(&self) -> f64 {
+        self.pool.total_copies() * 20.0
+    }
+
+    /// Reads to sequence when `expected_units` encoding units are in scope
+    /// (15 strands per unit at the configured coverage). Shared by the
+    /// sequential and batched paths.
+    fn reads_to_sequence(&self, expected_units: usize) -> usize {
+        expected_units.max(1) * 15 * self.coverage
     }
 
     /// Runs one precise PCR (multiplexed over weighted `primers`) on the
@@ -546,24 +944,33 @@ impl BlockStore {
         rev: &DnaSeq,
         expected_units: usize,
     ) -> Vec<Read> {
-        let initial = self.pool.total_copies();
-        let budget = initial * 20.0;
-        let total_weight: f64 = primers.iter().map(|(_, w)| w.max(1e-9)).sum();
+        let budget = self.retrieval_budget();
         let rxn = PcrReaction {
-            forward_primers: primers
-                .iter()
-                .map(|(p, w)| {
-                    PcrPrimer::with_budget(p.clone(), budget * w.max(1e-9) / total_weight)
-                })
-                .collect(),
+            forward_primers: weighted_forward_primers(primers, budget),
             reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
             protocol: PcrProtocol::paper_block_access(),
         };
         let out = rxn.run(&self.pool);
-        let strands = expected_units.max(1) * 15;
-        let n_reads = strands * self.coverage;
+        let n_reads = self.reads_to_sequence(expected_units);
         self.sequencer.sequence(&out.pool, n_reads, &mut self.rng)
     }
+}
+
+/// Splits one reaction's forward-primer budget across a weighted scope so
+/// every covered leaf amplifies evenly (§3.2's concentration invariant).
+fn weighted_forward_primers(scope: &[(DnaSeq, f64)], budget: f64) -> Vec<PcrPrimer> {
+    let total_weight: f64 = scope.iter().map(|(_, w)| w.max(1e-9)).sum();
+    scope
+        .iter()
+        .map(|(p, w)| PcrPrimer::with_budget(p.clone(), budget * w.max(1e-9) / total_weight))
+        .collect()
+}
+
+/// Parses a decoded log-entry unit, returning `(seq, patch)` when the entry
+/// targets `(pid, block)`.
+fn log_patch_for(content: &Block, pid: u32, block: u64) -> Option<(u32, UpdatePatch)> {
+    let (epid, eblock, seq, patch) = parse_log_entry(content)?;
+    (epid == pid && eblock == block).then_some((seq, patch))
 }
 
 /// Extracts the original block and its in-leaf patches from a decode
@@ -752,6 +1159,165 @@ mod tests {
             store.update_block(pid, 0, &[0u8; 10]),
             Err(StoreError::BlockNotWritten(0))
         ));
+    }
+
+    #[test]
+    fn batch_read_uses_one_round_for_one_partition() {
+        // The acceptance bar: 8 blocks from one partition must cost
+        // strictly fewer PCR rounds than 8 sequential reads, with
+        // byte-identical contents.
+        let mut store = BlockStore::new(7);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(17))
+            .unwrap();
+        let data = crate::workload::deterministic_text(8 * BLOCK_SIZE, 11);
+        store.write_file(pid, &data).unwrap();
+        let sequential: Vec<Block> = (0..8u64)
+            .map(|b| store.read_block(pid, b).unwrap().block)
+            .collect();
+        let sequential_rounds: usize = 8; // one per read_block call
+        let requests: Vec<(PartitionId, u64)> = (0..8u64).map(|b| (pid, b)).collect();
+        let batch = store.read_blocks_batch(&requests).unwrap();
+        assert!(
+            batch.stats.rounds < sequential_rounds,
+            "batch used {} rounds",
+            batch.stats.rounds
+        );
+        assert_eq!(batch.stats.rounds, 1);
+        assert_eq!(batch.stats.primer_pairs, 1);
+        assert!(batch.stats.reads_sequenced > 0);
+        for (i, outcome) in batch.outcomes.iter().enumerate() {
+            let got = outcome.as_ref().unwrap();
+            assert_eq!(got.block, sequential[i], "block {i} differs");
+            assert_eq!(got.stats.pcr_rounds, 1);
+        }
+    }
+
+    #[test]
+    fn batch_read_spans_partitions_and_sees_updates() {
+        let mut store = BlockStore::new(8);
+        let a = store
+            .create_partition(PartitionConfig::paper_default(18))
+            .unwrap();
+        let b = store
+            .create_partition(PartitionConfig::paper_default(19))
+            .unwrap();
+        let data_a = crate::workload::deterministic_text(2 * BLOCK_SIZE, 21);
+        let mut data_b = crate::workload::deterministic_text(2 * BLOCK_SIZE, 22);
+        store.write_file(a, &data_a).unwrap();
+        store.write_file(b, &data_b).unwrap();
+        data_b[5..10].copy_from_slice(b"PATCH");
+        store.update_block(b, 0, &data_b[..BLOCK_SIZE]).unwrap();
+        let batch = store
+            .read_blocks_batch(&[(a, 0), (b, 0), (a, 1), (b, 1)])
+            .unwrap();
+        assert!(batch.stats.rounds <= 2, "rounds {}", batch.stats.rounds);
+        let blocks: Vec<&Block> = batch
+            .outcomes
+            .iter()
+            .map(|o| &o.as_ref().unwrap().block)
+            .collect();
+        assert_eq!(blocks[0].data, &data_a[..BLOCK_SIZE]);
+        assert_eq!(blocks[1].data, &data_b[..BLOCK_SIZE]);
+        assert_eq!(blocks[2].data, &data_a[BLOCK_SIZE..]);
+        assert_eq!(blocks[3].data, &data_b[BLOCK_SIZE..]);
+        assert_eq!(batch.outcomes[1].as_ref().unwrap().patches_applied, 1);
+        assert_eq!(
+            batch.stats.wasted_reads,
+            batch.stats.reads_sequenced - batch.stats.reads_matched
+        );
+    }
+
+    #[test]
+    fn batch_read_covers_overflow_chains_in_one_round() {
+        // A heavily-updated block (direct slots full + overflow chain)
+        // must batch-decode byte-exactly: sequencing depth is provisioned
+        // per encoding unit from the update metadata, so the extra
+        // versions don't starve the per-unit coverage.
+        let mut store = BlockStore::new(11);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(26))
+            .unwrap();
+        let data = crate::workload::deterministic_text(2 * BLOCK_SIZE, 33);
+        store.write_file(pid, &data).unwrap();
+        let mut current = data.clone();
+        for i in 0..4u8 {
+            current[i as usize] = b'A' + i;
+            store.update_block(pid, 0, &current[..BLOCK_SIZE]).unwrap();
+        }
+        let batch = store.read_blocks_batch(&[(pid, 0), (pid, 1)]).unwrap();
+        assert_eq!(batch.stats.rounds, 1, "chain leaves ride the same tube");
+        let updated = batch.outcomes[0].as_ref().unwrap();
+        assert_eq!(updated.block.data, &current[..BLOCK_SIZE]);
+        assert_eq!(updated.patches_applied, 4);
+        let clean = batch.outcomes[1].as_ref().unwrap();
+        assert_eq!(clean.block.data, &current[BLOCK_SIZE..]);
+    }
+
+    #[test]
+    fn batch_read_reports_per_block_errors_without_failing() {
+        let mut store = BlockStore::new(9);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(20))
+            .unwrap();
+        let data = crate::workload::deterministic_text(BLOCK_SIZE, 23);
+        store.write_file(pid, &data).unwrap();
+        // Block 0 exists; block 9999 is out of range; block 5 was never
+        // written (decode failure).
+        let batch = store
+            .read_blocks_batch(&[(pid, 0), (pid, 9999), (pid, 5)])
+            .unwrap();
+        assert_eq!(
+            batch.outcomes[0].as_ref().unwrap().block.data,
+            &data[..BLOCK_SIZE]
+        );
+        assert!(matches!(
+            batch.outcomes[1],
+            Err(StoreError::BlockOutOfRange { block: 9999, .. })
+        ));
+        assert!(matches!(
+            batch.outcomes[2],
+            Err(StoreError::DecodeFailed { block: 5, .. })
+        ));
+        // Unknown partitions still fail the whole call.
+        assert!(store.read_blocks_batch(&[(PartitionId(99), 0)]).is_err());
+        // Empty batches are free.
+        let empty = store.read_blocks_batch(&[]).unwrap();
+        assert!(empty.outcomes.is_empty());
+        assert_eq!(empty.stats.rounds, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_under_forced_round_split() {
+        // A planner capped at one pair per round degenerates into
+        // sequential-style rounds but must return the same bytes.
+        let mut store = BlockStore::new(10);
+        let a = store
+            .create_partition(PartitionConfig::paper_default(24))
+            .unwrap();
+        let b = store
+            .create_partition(PartitionConfig::paper_default(25))
+            .unwrap();
+        let data_a = crate::workload::deterministic_text(BLOCK_SIZE, 31);
+        let data_b = crate::workload::deterministic_text(BLOCK_SIZE, 32);
+        store.write_file(a, &data_a).unwrap();
+        store.write_file(b, &data_b).unwrap();
+        let planner = BatchPlanner {
+            max_pairs_per_round: 1,
+            ..BatchPlanner::paper_default()
+        };
+        let batch = store
+            .read_blocks_batch_planned(&[(a, 0), (b, 0)], &planner)
+            .unwrap();
+        assert_eq!(batch.stats.rounds, 2);
+        assert_eq!(
+            batch.outcomes[0].as_ref().unwrap().block.data,
+            &data_a[..BLOCK_SIZE]
+        );
+        assert_eq!(
+            batch.outcomes[1].as_ref().unwrap().block.data,
+            &data_b[..BLOCK_SIZE]
+        );
     }
 
     #[test]

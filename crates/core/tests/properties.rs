@@ -2,8 +2,8 @@
 //! those paths are covered by the integration tests).
 
 use dna_block_store::{
-    capacity, checksum64, unit_checksum_ok, Block, Partition, PartitionConfig, UpdatePatch,
-    VersionSlot, BLOCK_SIZE,
+    capacity, checksum64, parse_pointer_block, pointer_block, unit_checksum_ok, Block, Partition,
+    PartitionConfig, UpdatePatch, VersionSlot, BLOCK_SIZE,
 };
 use dna_primers::PrimerPair;
 use proptest::prelude::*;
@@ -13,6 +13,17 @@ fn primers() -> PrimerPair {
         "AACCGGTTAACCGGTTAACC".parse().unwrap(),
         "AAGGCCTTAAGGCCTTAAGG".parse().unwrap(),
     )
+}
+
+/// Builds a valid patch from raw generator values by clamping offsets into
+/// the legal envelope (`del_start + del_len <= BLOCK_SIZE`,
+/// `ins_pos <= BLOCK_SIZE - del_len`, insertion fits the wire format).
+fn make_patch(del_start: u8, del_len_raw: u8, ins_pos_raw: u8, ins: Vec<u8>) -> UpdatePatch {
+    let del_len = usize::from(del_len_raw).min(BLOCK_SIZE - usize::from(del_start)) as u8;
+    let ins_pos = usize::from(ins_pos_raw)
+        .min(BLOCK_SIZE - usize::from(del_len))
+        .min(255) as u8;
+    UpdatePatch::new(del_start, del_len, ins_pos, ins).expect("clamped patch is valid")
 }
 
 proptest! {
@@ -38,6 +49,52 @@ proptest! {
             let back = UpdatePatch::from_block(&wire).unwrap();
             prop_assert_eq!(back, patch);
         }
+    }
+
+    /// Applying any valid patch to a full-size block always succeeds and
+    /// yields exactly BLOCK_SIZE bytes — and so does applying a second
+    /// patch on top: apply-then-apply composition never escapes the
+    /// fixed-size envelope, no matter how the two patches interact.
+    #[test]
+    fn patch_composition_stays_within_block_size(
+        content in prop::collection::vec(any::<u8>(), BLOCK_SIZE),
+        ds1 in any::<u8>(), dl1 in any::<u8>(), ip1 in any::<u8>(),
+        ins1 in prop::collection::vec(any::<u8>(), 0..UpdatePatch::MAX_INSERT),
+        ds2 in any::<u8>(), dl2 in any::<u8>(), ip2 in any::<u8>(),
+        ins2 in prop::collection::vec(any::<u8>(), 0..UpdatePatch::MAX_INSERT),
+    ) {
+        let block = Block::from_bytes(&content).unwrap();
+        let p1 = make_patch(ds1, dl1, ip1, ins1);
+        let p2 = make_patch(ds2, dl2, ip2, ins2);
+        let once = p1.apply(&block).expect("first application");
+        prop_assert_eq!(once.data.len(), BLOCK_SIZE);
+        let twice = p2.apply(&once).expect("second application");
+        prop_assert_eq!(twice.data.len(), BLOCK_SIZE);
+    }
+
+    /// The §6.4 wire format round-trips every valid patch, and a
+    /// serialized patch is never mistaken for an overflow pointer by the
+    /// pointer-block parser in `partition.rs` — the two encodings share
+    /// the version-slot address space and must never be confused.
+    #[test]
+    fn patch_wire_round_trips_and_never_parses_as_pointer(
+        ds in any::<u8>(), dl in any::<u8>(), ip in any::<u8>(),
+        ins in prop::collection::vec(any::<u8>(), 0..UpdatePatch::MAX_INSERT),
+    ) {
+        let patch = make_patch(ds, dl, ip, ins);
+        let wire = patch.to_block();
+        prop_assert_eq!(wire.data.len(), BLOCK_SIZE);
+        prop_assert_eq!(UpdatePatch::from_block(&wire).unwrap(), patch);
+        prop_assert_eq!(parse_pointer_block(&wire), None);
+    }
+
+    /// Pointer blocks round-trip every target leaf and are always rejected
+    /// by the patch parser.
+    #[test]
+    fn pointer_blocks_round_trip_and_reject_patch_parse(target in any::<u64>()) {
+        let wire = pointer_block(target);
+        prop_assert_eq!(parse_pointer_block(&wire), Some(target));
+        prop_assert!(UpdatePatch::from_block(&wire).is_err());
     }
 
     /// Unit serialization always verifies; any single corruption is caught.

@@ -13,7 +13,10 @@
 //!    encoding-unit matrices by their (version, intra-unit) address, discard
 //!    duplicate addresses, Reed-Solomon-decode each version, and — when
 //!    mispriming poisons an address (§8.1) — retry with alternate candidate
-//!    strands in descending cluster-size order.
+//!    strands in descending cluster-size order;
+//! 5. **Fan out** ([`decode_jobs_parallel`]): demultiplex a multiplexed
+//!    round's shared read pool into per-block [`DecodeJob`]s and decode them
+//!    on parallel OS threads.
 //!
 //! # Examples
 //!
@@ -27,6 +30,7 @@ mod bma;
 mod cluster;
 mod decode;
 mod filter;
+mod parallel;
 
 pub use bma::{bma, double_sided_bma};
 pub use cluster::{cluster_reads, Cluster, ClusterConfig};
@@ -34,3 +38,4 @@ pub use decode::{
     decode_block, decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome, RecoveredVersion,
 };
 pub use filter::ReadFilter;
+pub use parallel::{decode_jobs_parallel, DecodeJob};

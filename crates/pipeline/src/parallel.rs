@@ -1,0 +1,218 @@
+//! Parallel block decoding: fan the per-block cluster/BMA/RS pipeline out
+//! over OS threads.
+//!
+//! A multiplexed retrieval round sequences *one* read pool containing many
+//! blocks' strands; demultiplexing happens in software by primer prefix
+//! (each [`DecodeJob`] carries its own elongated prefix and decode
+//! configuration). The jobs are independent pure functions over the shared
+//! read slice, so they parallelize embarrassingly well with
+//! `std::thread::scope` — no `unsafe`, no shared mutable state, and the
+//! output order is the input job order regardless of scheduling.
+
+use crate::decode::{decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome};
+use dna_seq::DnaSeq;
+use dna_sim::Read;
+
+/// One block's worth of demultiplex + decode work against a shared read
+/// pool.
+#[derive(Debug, Clone)]
+pub struct DecodeJob {
+    /// The elongated forward prefix addressing the block (demultiplex key).
+    pub prefix: DnaSeq,
+    /// The partition's reverse primer.
+    pub reverse: DnaSeq,
+    /// Decode configuration (geometry, RS dimensions, clustering, §8.1
+    /// search budget).
+    pub config: BlockDecodeConfig,
+}
+
+/// Decodes every job against the shared `reads`, fanning out over at most
+/// `max_threads` OS threads (clamped to the job count; `0` means "use
+/// [`std::thread::available_parallelism`]"). Results are returned in job
+/// order and are identical to running [`decode_block_validated`]
+/// sequentially per job.
+///
+/// `validator` is the unit-integrity check shared by all jobs (the block
+/// store passes its checksum test).
+pub fn decode_jobs_parallel<F>(
+    reads: &[Read],
+    jobs: &[DecodeJob],
+    validator: F,
+    max_threads: usize,
+) -> Vec<BlockDecodeOutcome>
+where
+    F: Fn(&[u8]) -> bool + Sync,
+{
+    let threads = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        max_threads
+    }
+    .min(jobs.len())
+    .max(1);
+    if threads == 1 || jobs.len() <= 1 {
+        return jobs
+            .iter()
+            .map(|j| decode_block_validated(reads, &j.prefix, &j.reverse, &j.config, &validator))
+            .collect();
+    }
+    let validator = &validator;
+    let mut results: Vec<Option<BlockDecodeOutcome>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            // Stripe the jobs: thread t takes indices t, t+threads, ...
+            handles.push(scope.spawn(move || {
+                jobs.iter()
+                    .enumerate()
+                    .skip(t)
+                    .step_by(threads)
+                    .map(|(i, j)| {
+                        (
+                            i,
+                            decode_block_validated(
+                                reads, &j.prefix, &j.reverse, &j.config, validator,
+                            ),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("decode worker panicked") {
+                results[i] = Some(outcome);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job striped to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_codec::{intra, PayloadCodec, StrandGeometry};
+    use dna_ecc::{EncodingUnit, UnitConfig};
+    use dna_seq::rng::DetRng;
+    use dna_seq::Base;
+    use dna_sim::{IdsChannel, Pool, Sequencer};
+
+    fn fwd() -> DnaSeq {
+        "AACCGGTTAACCGGTTAACC".parse().unwrap()
+    }
+
+    fn rev() -> DnaSeq {
+        "AAGGCCTTAAGGCCTTAAGG".parse().unwrap()
+    }
+
+    fn indexes() -> Vec<DnaSeq> {
+        vec![
+            "ACAGTCTGAC".parse().unwrap(),
+            "TGTCAGACTG".parse().unwrap(),
+            "CATGCATGCA".parse().unwrap(),
+        ]
+    }
+
+    fn prefix_for(index: &DnaSeq) -> DnaSeq {
+        let mut p = fwd();
+        p.push(Base::A);
+        p.extend(index.iter());
+        p
+    }
+
+    fn unit_bytes(tag: u8) -> [u8; 264] {
+        let mut d = [0u8; 264];
+        for (i, b) in d.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(29).wrapping_add(tag);
+        }
+        d
+    }
+
+    /// Encodes one unit's 15 strands under the given index.
+    fn encode_unit(data: &[u8; 264], index: &DnaSeq, seed: u64, unit_id: u64) -> Vec<DnaSeq> {
+        let geometry = StrandGeometry::paper_default();
+        let unit = EncodingUnit::new(UnitConfig::paper_default());
+        unit.encode(data)
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(col, bytes)| {
+                let codec = PayloadCodec::for_column(seed, unit_id, Base::A.code(), col as u8);
+                geometry
+                    .assemble(
+                        &fwd(),
+                        index,
+                        Base::A,
+                        &intra::encode(col, 2).unwrap(),
+                        &codec.encode(bytes),
+                        &rev(),
+                    )
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_in_job_order() {
+        // Three blocks multiplexed into one read pool.
+        let mut pool = Pool::new();
+        let mut jobs = Vec::new();
+        let mut expected = Vec::new();
+        for (u, index) in indexes().iter().enumerate() {
+            let data = unit_bytes(u as u8);
+            for s in encode_unit(&data, index, 5, u as u64) {
+                pool.add(s, 100.0, None);
+            }
+            jobs.push(DecodeJob {
+                prefix: prefix_for(index),
+                reverse: rev(),
+                config: BlockDecodeConfig::paper_default(5, u as u64),
+            });
+            expected.push(data.to_vec());
+        }
+        let mut rng = DetRng::seed_from_u64(21);
+        let reads = Sequencer::new(IdsChannel::illumina()).sequence(&pool, 45 * 10, &mut rng);
+
+        let parallel = decode_jobs_parallel(&reads, &jobs, |_| true, 0);
+        let sequential: Vec<BlockDecodeOutcome> = jobs
+            .iter()
+            .map(|j| decode_block_validated(&reads, &j.prefix, &j.reverse, &j.config, |_| true))
+            .collect();
+        assert_eq!(parallel.len(), 3);
+        for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                p.versions[&Base::A].unit_bytes,
+                expected[i],
+                "job {i} decoded wrong bytes"
+            );
+            assert_eq!(p.versions, s.versions, "job {i} parallel != sequential");
+            assert_eq!(p.reads_matched, s.reads_matched);
+        }
+    }
+
+    #[test]
+    fn thread_cap_and_empty_jobs_are_safe() {
+        assert!(decode_jobs_parallel(&[], &[], |_| true, 4).is_empty());
+        // One job, absurd thread cap: must still work.
+        let index = &indexes()[0];
+        let data = unit_bytes(9);
+        let mut pool = Pool::new();
+        for s in encode_unit(&data, index, 7, 0) {
+            pool.add(s, 100.0, None);
+        }
+        let mut rng = DetRng::seed_from_u64(3);
+        let reads = Sequencer::new(IdsChannel::noiseless()).sequence(&pool, 60, &mut rng);
+        let jobs = vec![DecodeJob {
+            prefix: prefix_for(index),
+            reverse: rev(),
+            config: BlockDecodeConfig::paper_default(7, 0),
+        }];
+        let out = decode_jobs_parallel(&reads, &jobs, |_| true, 64);
+        assert_eq!(out[0].versions[&Base::A].unit_bytes, data.to_vec());
+    }
+}

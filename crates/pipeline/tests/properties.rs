@@ -71,6 +71,83 @@ proptest! {
         prop_assert_eq!(f.extract(&bad), None);
     }
 
+    /// Reconstruction from k noisy traces of a known strand recovers the
+    /// original when the IDS rates sit at or below the paper's operating
+    /// point (the Illumina profile its wetlab used, §6.6). Reconstruction
+    /// is stochastic at the margin, so each case aggregates independent
+    /// trials and requires a 3/4 supermajority of exact recoveries — a
+    /// regression here means the operating point itself moved.
+    #[test]
+    fn noisy_traces_reconstruct_below_operating_point(
+        seed in any::<u64>(),
+        k in 8usize..16,
+        rate_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let base = IdsChannel::illumina();
+        let ch = IdsChannel {
+            sub_rate: base.sub_rate * rate_frac,
+            ins_rate: base.ins_rate * rate_frac,
+            del_rate: base.del_rate * rate_frac,
+        };
+        let trials = 12;
+        let mut exact = 0;
+        for _ in 0..trials {
+            let orig = random_seq(99, &mut rng);
+            let traces: Vec<DnaSeq> = (0..k).map(|_| ch.corrupt(&orig, &mut rng)).collect();
+            if double_sided_bma(&traces, 99) == Some(orig) {
+                exact += 1;
+            }
+        }
+        prop_assert!(
+            exact * 4 >= trials * 3,
+            "only {exact}/{trials} exact at k={k}, rate_frac={rate_frac:.2}"
+        );
+    }
+
+    /// The full cluster-then-reconstruct path: noisy copies of several
+    /// distinct strands are clustered and each well-covered cluster's BMA
+    /// reconstruction equals one of the originals (no chimeras), with at
+    /// most one original lost per case.
+    #[test]
+    fn clustered_reconstruction_recovers_originals(
+        seed in any::<u64>(),
+        n_orig in 2usize..6,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let base = IdsChannel::illumina();
+        let ch = IdsChannel {
+            sub_rate: base.sub_rate * 0.5,
+            ins_rate: base.ins_rate * 0.5,
+            del_rate: base.del_rate * 0.5,
+        };
+        let origs: Vec<DnaSeq> = (0..n_orig).map(|_| random_seq(99, &mut rng)).collect();
+        let coverage = 10;
+        let reads: Vec<DnaSeq> = origs
+            .iter()
+            .flat_map(|o| (0..coverage).map(|_| ch.corrupt(o, &mut rng)).collect::<Vec<_>>())
+            .collect();
+        let clusters = cluster_reads(&reads, &ClusterConfig::default());
+        let mut recovered = std::collections::HashSet::new();
+        for c in &clusters {
+            if c.size() < 5 {
+                continue;
+            }
+            let members: Vec<DnaSeq> = c.members.iter().map(|&i| reads[i].clone()).collect();
+            let Some(strand) = double_sided_bma(&members, 99) else { continue };
+            // Every reconstruction from a real cluster must be one of the
+            // originals — never a chimera of two.
+            if let Some(pos) = origs.iter().position(|o| *o == strand) {
+                recovered.insert(pos);
+            }
+        }
+        prop_assert!(
+            recovered.len() + 1 >= n_orig,
+            "recovered only {}/{n_orig} originals",
+            recovered.len()
+        );
+    }
+
     /// The tail-checked filter never accepts a strand whose final ten bases
     /// differ from the expected index by more than the tolerance (clean
     /// reads — the sibling-discrimination property).

@@ -16,7 +16,9 @@
 //! - [`ElongatedPrimer`] — a main primer extended with a sync base and a
 //!   (possibly partial) sparse index prefix (§4 / Fig. 4), with validation
 //!   that *every* elongation point stays PCR-compatible (§4.2),
-//! - [`PrimerPair`] — the forward/reverse pair tagging one partition.
+//! - [`PrimerPair`] — the forward/reverse pair tagging one partition,
+//! - [`MultiplexCompat`] — cross-dimer and Tm-window checks deciding which
+//!   primer pairs may share one multiplex PCR tube (batched retrieval).
 //!
 //! # Examples
 //!
@@ -37,9 +39,11 @@
 mod constraints;
 mod elongation;
 mod library;
+mod multiplex;
 mod pair;
 
 pub use constraints::{PrimerConstraints, PrimerViolation};
 pub use elongation::ElongatedPrimer;
 pub use library::PrimerLibrary;
+pub use multiplex::{cross_dimer_score, MultiplexCompat};
 pub use pair::PrimerPair;

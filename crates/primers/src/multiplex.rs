@@ -1,0 +1,194 @@
+//! Multiplex-PCR compatibility checks.
+//!
+//! Batching several primer pairs into one PCR tube (one *multiplex round*)
+//! is the paper's key cost lever: the wetlab work of a reaction is amortized
+//! across every target it amplifies. But primers only coexist safely when
+//! they cannot prime *each other* (cross-dimers — a primer's 3' end
+//! annealing to another primer and being extended by the polymerase wastes
+//! budget and spawns artifact species) and when their melting temperatures
+//! are close enough that one annealing schedule serves all of them (a pair
+//! whose Tm sits far below the tube's annealing temperature simply never
+//! binds; far above, it binds promiscuously).
+//!
+//! [`MultiplexCompat`] packages both checks so a batch planner can ask
+//! "may these partitions share a tube?" without knowing any chemistry.
+
+use crate::pair::PrimerPair;
+use dna_seq::tm::melting_temperature;
+use dna_seq::DnaSeq;
+
+/// Length of the longest run at `a`'s 3' terminus whose reverse complement
+/// occurs anywhere in `b` — the classic primer-dimer geometry: `a`'s 3' end
+/// anneals to `b` and the polymerase extends it.
+///
+/// Symmetric use (`max(score(a,b), score(b,a))`) is provided by
+/// [`cross_dimer_score`].
+fn three_prime_overlap(a: &DnaSeq, b: &DnaSeq) -> usize {
+    let n = a.len();
+    let mut best = 0;
+    for k in (1..=n).rev() {
+        let tail = a.subseq(n - k..n);
+        let rc = tail.reverse_complement();
+        if b.find(&rc, 0).is_some() {
+            best = k;
+            break;
+        }
+    }
+    best
+}
+
+/// Cross-dimer propensity of two primers: the longest 3'-terminal run of
+/// either primer that can anneal (reverse-complement match) anywhere on the
+/// other.
+///
+/// # Examples
+///
+/// ```
+/// use dna_primers::cross_dimer_score;
+/// use dna_seq::DnaSeq;
+///
+/// let a: DnaSeq = "AACCGGTTAACCGGTTAACC".parse().unwrap();
+/// // b ends with the reverse complement of a's 3' tail "GGTTAACC".
+/// let b: DnaSeq = "ACACACACACACGGTTAACC".parse().unwrap();
+/// assert!(cross_dimer_score(&a, &b) >= 8);
+/// ```
+pub fn cross_dimer_score(a: &DnaSeq, b: &DnaSeq) -> usize {
+    three_prime_overlap(a, b).max(three_prime_overlap(b, a))
+}
+
+/// Compatibility constraints for primers sharing one multiplex tube.
+///
+/// The defaults mirror the single-primer design constraints: the same
+/// hairpin-scale cutoff (5 bases) for cross-dimers, and a Tm window wide
+/// enough to admit the library's design range (§2.1.4 anneals all main
+/// primers with one touchdown schedule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplexCompat {
+    /// Maximum tolerated cross-dimer score between any two primers in the
+    /// tube.
+    pub max_cross_dimer: usize,
+    /// Maximum spread (°C) between the lowest and highest primer Tm in the
+    /// tube.
+    pub tm_window: f64,
+}
+
+impl MultiplexCompat {
+    /// Paper-grade defaults: cross-dimer overlap capped at 5 (the hairpin
+    /// threshold of [`crate::PrimerConstraints::paper_default`]) and a
+    /// 10 °C Tm window (the §6.5 touchdown schedule sweeps 65→55 °C, so
+    /// primers within ~10 °C of each other all get cycles near their
+    /// optimum).
+    pub fn paper_default() -> MultiplexCompat {
+        MultiplexCompat {
+            max_cross_dimer: 5,
+            tm_window: 10.0,
+        }
+    }
+
+    /// `true` when the two primers may share a tube: no long cross-dimer
+    /// and Tm within the window.
+    pub fn primers_compatible(&self, a: &DnaSeq, b: &DnaSeq) -> bool {
+        if cross_dimer_score(a, b) > self.max_cross_dimer {
+            return false;
+        }
+        (melting_temperature(a) - melting_temperature(b)).abs() <= self.tm_window
+    }
+
+    /// `true` when every primer of `a` may coexist with every primer of `b`
+    /// (all four forward/reverse combinations checked).
+    pub fn pairs_compatible(&self, a: &PrimerPair, b: &PrimerPair) -> bool {
+        let pa = [a.forward(), a.reverse()];
+        let pb = [b.forward(), b.reverse()];
+        pa.iter()
+            .all(|x| pb.iter().all(|y| self.primers_compatible(x, y)))
+    }
+
+    /// `true` when `candidate` may join a tube already holding `tube`.
+    /// A pair identical to a tube member is trivially admissible (it is
+    /// already co-resident with itself — e.g. a shared log partition's
+    /// pair appearing via two different batch items).
+    pub fn compatible_with_all<'a>(
+        &self,
+        candidate: &PrimerPair,
+        tube: impl IntoIterator<Item = &'a PrimerPair>,
+    ) -> bool {
+        tube.into_iter()
+            .all(|member| member == candidate || self.pairs_compatible(candidate, member))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn disjoint_primers_have_low_dimer_score() {
+        // Alternating weak/strong with different phases: no long
+        // complementary runs.
+        let a = s("AACCGGTTAACCGGTTAACC");
+        let b = s("CAGTCAGTCAGTCAGTCAGT");
+        assert!(
+            cross_dimer_score(&a, &b) <= 5,
+            "{}",
+            cross_dimer_score(&a, &b)
+        );
+    }
+
+    #[test]
+    fn engineered_dimer_is_detected() {
+        let a = s("AACCGGTTAACCGGTTAACC");
+        // Embed the reverse complement of a's last 8 bases mid-sequence.
+        let tail_rc = a.subseq(12..20).reverse_complement();
+        let mut b = s("CAGTCAGTCAGT");
+        b.extend_from_slice(tail_rc.as_slice());
+        assert!(cross_dimer_score(&a, &b) >= 8);
+        assert!(!MultiplexCompat::paper_default().primers_compatible(&a, &b));
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = s("AACCGGTTAACCGGTTAACC");
+        let b = s("CATGCATGCATGCATGGTTA");
+        assert_eq!(cross_dimer_score(&a, &b), cross_dimer_score(&b, &a));
+    }
+
+    #[test]
+    fn tm_window_enforced() {
+        // AT-rich vs GC-rich 20-mers: Tm differs by ~20 °C (Marmur–Doty
+        // moves ~2 °C per GC base at this length).
+        let cold = s("ATTATATAGCATTATATAGC"); // 4 GC
+        let hot = s("GGCGCGCGTAGGCGCGCGTA"); // 16 GC
+        let compat = MultiplexCompat::paper_default();
+        assert!(!compat.primers_compatible(&cold, &hot));
+        assert!((melting_temperature(&cold) - melting_temperature(&hot)).abs() > 10.0);
+        // Tm never separates a sequence from itself: self-compatibility is
+        // decided purely by the cross-dimer score.
+        let mild = s("AACCGGTTAACCGGTTAACC");
+        assert_eq!(
+            compat.primers_compatible(&mild, &mild),
+            cross_dimer_score(&mild, &mild) <= compat.max_cross_dimer
+        );
+    }
+
+    #[test]
+    fn pair_and_set_checks_compose() {
+        let a = PrimerPair::new(s("AACCGGTTAACCGGTTAACC"), s("AAGGCCTTAAGGCCTTAAGG"));
+        let b = PrimerPair::new(s("CAGTGACTCAGTGACTCAGT"), s("GTCAGTCAGTCAGTCAGTCA"));
+        let compat = MultiplexCompat {
+            max_cross_dimer: 19,
+            tm_window: 30.0,
+        };
+        assert!(compat.pairs_compatible(&a, &b));
+        assert!(compat.compatible_with_all(&a, [&b]));
+        assert!(compat.compatible_with_all(&a, std::iter::empty()));
+        let strict = MultiplexCompat {
+            max_cross_dimer: 0,
+            tm_window: 30.0,
+        };
+        assert!(!strict.pairs_compatible(&a, &b));
+    }
+}

@@ -51,7 +51,10 @@ pub mod mixing;
 pub use anneal::{AnnealModel, BindingSite};
 pub use molecule::{Molecule, StrandTag};
 pub use nanodrop::Nanodrop;
-pub use pcr::{PcrOutcome, PcrPrimer, PcrProtocol, PcrReaction};
+pub use pcr::{
+    MultiplexOutcome, MultiplexPcrReaction, PcrOutcome, PcrPrimer, PcrProtocol, PcrReaction,
+    PrimerChannel,
+};
 pub use pool::{Pool, Species};
 pub use sequencing::{IdsChannel, NanoporeModel, NgsRunModel, Read, Sequencer};
 pub use synthesis::SynthesisVendor;

@@ -113,6 +113,45 @@ pub struct PcrReaction {
     pub protocol: PcrProtocol,
 }
 
+/// One primer pair's worth of reagents inside a multiplex tube: any number
+/// of (possibly elongated) forward primers plus the pair's reverse primer,
+/// each with its own molecule budget.
+#[derive(Debug, Clone)]
+pub struct PrimerChannel {
+    /// Forward primers of this pair (elongated per targeted leaf).
+    pub forward_primers: Vec<PcrPrimer>,
+    /// The pair's reverse primer.
+    pub reverse_primer: PcrPrimer,
+}
+
+/// A multiplexed reaction: several primer *pairs* share one tube (Yazdi et
+/// al.'s multiplexed primer pools; §6.5's three-primer mix is the
+/// single-pair special case). Every forward primer can act on every
+/// template and every reverse primer competes for 3' sites, so
+/// cross-amplification between channels is modeled by the same
+/// [`AnnealModel`] that drives mispriming in simple reactions.
+#[derive(Debug, Clone)]
+pub struct MultiplexPcrReaction {
+    /// The primer pairs sharing the tube.
+    pub channels: Vec<PrimerChannel>,
+    /// Thermal protocol (one schedule for the whole tube — which is why
+    /// multiplexed pairs must sit in one Tm window).
+    pub protocol: PcrProtocol,
+}
+
+/// Result of running a multiplex reaction.
+#[derive(Debug, Clone)]
+pub struct MultiplexOutcome {
+    /// The amplified pool (input species plus any mispriming products).
+    pub pool: Pool,
+    /// Forward-primer molecules consumed, per channel, per primer.
+    pub fwd_consumed: Vec<Vec<f64>>,
+    /// Reverse-primer molecules consumed, per channel.
+    pub rev_consumed: Vec<f64>,
+    /// Number of distinct mispriming product species created.
+    pub misprime_species: usize,
+}
+
 /// Result of running a reaction.
 #[derive(Debug, Clone)]
 pub struct PcrOutcome {
@@ -126,58 +165,109 @@ pub struct PcrOutcome {
     pub misprime_species: usize,
 }
 
-/// Per-species cached binding geometry.
+/// Per-species cached binding geometry (multiplex form: one slot per
+/// flattened forward primer and one per channel's reverse primer).
 struct BindingInfo {
     /// Binding geometry of each forward primer at this species' 5' site.
     fwd_site: Vec<Option<BindingSite>>,
-    /// Binding geometry of the reverse primer at the 3' site (via reverse
-    /// complement).
-    rev_site: Option<BindingSite>,
+    /// Binding geometry of each channel's reverse primer at the 3' site
+    /// (via reverse complement).
+    rev_site: Vec<Option<BindingSite>>,
 }
 
 impl PcrReaction {
     /// Runs the reaction on `input`, returning the amplified pool and
     /// consumption statistics. Deterministic (expected-value dynamics).
+    ///
+    /// Implemented as a single-channel [`MultiplexPcrReaction`] — the
+    /// multiplex engine with one primer pair reproduces the simple-PCR
+    /// dynamics exactly.
     pub fn run(&self, input: &Pool) -> PcrOutcome {
+        let multiplex = MultiplexPcrReaction {
+            channels: vec![PrimerChannel {
+                forward_primers: self.forward_primers.clone(),
+                reverse_primer: self.reverse_primer.clone(),
+            }],
+            protocol: self.protocol.clone(),
+        };
+        let out = multiplex.run(input);
+        PcrOutcome {
+            pool: out.pool,
+            fwd_consumed: out.fwd_consumed.into_iter().next().unwrap_or_default(),
+            rev_consumed: out.rev_consumed.first().copied().unwrap_or(0.0),
+            misprime_species: out.misprime_species,
+        }
+    }
+}
+
+impl MultiplexPcrReaction {
+    /// Runs the multiplexed reaction on `input`. Deterministic
+    /// (expected-value dynamics, like [`PcrReaction::run`]).
+    ///
+    /// Every cycle, each template is primed at its 3' site by the *best
+    /// binding* reverse primer in the tube (mutually distant pairs mean at
+    /// most one binds in practice) and at its 5' site by every forward
+    /// primer whose annealing probability is non-zero — including other
+    /// channels' primers, which is exactly the cross-amplification risk
+    /// multiplexing introduces. Budgets are tracked per primer, so one
+    /// channel plateauing never silently throttles another.
+    pub fn run(&self, input: &Pool) -> MultiplexOutcome {
         let anneal = &self.protocol.anneal;
+        // Flatten forwards, remembering each primer's channel.
+        let forwards: Vec<(usize, &PcrPrimer)> = self
+            .channels
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, ch)| ch.forward_primers.iter().map(move |p| (ci, p)))
+            .collect();
+        let reverses: Vec<&PcrPrimer> = self.channels.iter().map(|ch| &ch.reverse_primer).collect();
+
         let mut pool = input.clone();
         let mut info: BTreeMap<DnaSeq, BindingInfo> = BTreeMap::new();
-        let mut fwd_left: Vec<f64> = self.forward_primers.iter().map(|p| p.budget).collect();
-        let mut rev_left = self.reverse_primer.budget;
-        let mut fwd_consumed = vec![0.0; self.forward_primers.len()];
-        let mut rev_consumed = 0.0;
+        let mut fwd_left: Vec<f64> = forwards.iter().map(|(_, p)| p.budget).collect();
+        let mut rev_left: Vec<f64> = reverses.iter().map(|p| p.budget).collect();
+        let mut fwd_used = vec![0.0; forwards.len()];
+        let mut rev_used = vec![0.0; reverses.len()];
         let mut misprime_species = 0usize;
 
         for &temp in &self.protocol.temps {
             // Pass 1: compute desired contributions.
-            // (species_seq, primer_idx, copies, product_seq_if_misprimed)
-            let mut contributions: Vec<(DnaSeq, usize, f64, Option<DnaSeq>)> = Vec::new();
-            let mut fwd_demand = vec![0.0; self.forward_primers.len()];
-            let mut rev_demand = 0.0;
+            // (species_seq, fwd_idx, rev_idx, copies, product_seq_if_misprimed)
+            let mut contributions: Vec<(DnaSeq, usize, usize, f64, Option<DnaSeq>)> = Vec::new();
+            let mut fwd_demand = vec![0.0; forwards.len()];
+            let mut rev_demand = vec![0.0; reverses.len()];
             for (seq, species) in pool.iter() {
                 if species.abundance <= 0.0 {
                     continue;
                 }
                 let entry = info.entry(seq.clone()).or_insert_with(|| BindingInfo {
-                    fwd_site: self
-                        .forward_primers
+                    fwd_site: forwards
                         .iter()
-                        .map(|p| anneal.binding_site(&p.seq, seq))
+                        .map(|(_, p)| anneal.binding_site(&p.seq, seq))
                         .collect(),
                     rev_site: {
                         let rc = seq.reverse_complement();
-                        anneal.binding_site(&self.reverse_primer.seq, &rc)
+                        reverses
+                            .iter()
+                            .map(|p| anneal.binding_site(&p.seq, &rc))
+                            .collect()
                     },
                 });
-                let p_rev = match entry.rev_site {
-                    Some(s) => anneal.binding_probability(&self.reverse_primer.seq, s, temp),
-                    None => 0.0,
-                };
-                if p_rev <= 0.0 {
-                    continue;
+                // The template's 3' site goes to the best-binding reverse
+                // primer this cycle (ties → lowest channel, deterministic).
+                let mut best_rev: Option<(usize, f64)> = None;
+                for (ri, site) in entry.rev_site.iter().enumerate() {
+                    let Some(s) = site else { continue };
+                    let p = anneal.binding_probability(&reverses[ri].seq, *s, temp);
+                    if p > 0.0 && best_rev.is_none_or(|(_, bp)| p > bp) {
+                        best_rev = Some((ri, p));
+                    }
                 }
-                for (pi, primer) in self.forward_primers.iter().enumerate() {
-                    let Some(site) = entry.fwd_site[pi] else {
+                let Some((ri, p_rev)) = best_rev else {
+                    continue;
+                };
+                for (fi, (_, primer)) in forwards.iter().enumerate() {
+                    let Some(site) = entry.fwd_site[fi] else {
                         continue;
                     };
                     let d = site.dist;
@@ -205,35 +295,35 @@ impl PcrReaction {
                         }
                         Some(ns)
                     };
-                    fwd_demand[pi] += copies;
-                    rev_demand += copies;
-                    contributions.push((seq.clone(), pi, copies, product));
+                    fwd_demand[fi] += copies;
+                    rev_demand[ri] += copies;
+                    contributions.push((seq.clone(), fi, ri, copies, product));
                 }
             }
             if contributions.is_empty() {
                 continue;
             }
             // Pass 2: scale by primer budgets and apply.
-            let rev_factor = if rev_demand > rev_left {
-                rev_left / rev_demand
-            } else {
-                1.0
-            };
+            let rev_factor: Vec<f64> = rev_demand
+                .iter()
+                .zip(&rev_left)
+                .map(|(&d, &left)| if d > left { left / d } else { 1.0 })
+                .collect();
             let fwd_factor: Vec<f64> = fwd_demand
                 .iter()
                 .zip(&fwd_left)
                 .map(|(&d, &left)| if d > left { left / d } else { 1.0 })
                 .collect();
             let mut additions: Vec<(DnaSeq, f64, Option<crate::StrandTag>)> = Vec::new();
-            for (seq, pi, copies, product) in contributions {
-                let actual = copies * fwd_factor[pi].min(rev_factor);
+            for (seq, fi, ri, copies, product) in contributions {
+                let actual = copies * fwd_factor[fi].min(rev_factor[ri]);
                 if actual <= 0.0 {
                     continue;
                 }
-                fwd_consumed[pi] += actual;
-                fwd_left[pi] -= actual;
-                rev_consumed += actual;
-                rev_left -= actual;
+                fwd_used[fi] += actual;
+                fwd_left[fi] -= actual;
+                rev_used[ri] += actual;
+                rev_left[ri] -= actual;
                 match product {
                     None => additions.push((seq, actual, None)),
                     Some(product_seq) => {
@@ -259,14 +349,24 @@ impl PcrReaction {
                     }
                 }
             }
-            fwd_left = fwd_left.iter().map(|&x| x.max(0.0)).collect();
-            rev_left = rev_left.max(0.0);
+            for left in fwd_left.iter_mut().chain(rev_left.iter_mut()) {
+                *left = left.max(0.0);
+            }
         }
 
-        PcrOutcome {
+        // Un-flatten per-channel consumption.
+        let mut fwd_consumed: Vec<Vec<f64>> = self
+            .channels
+            .iter()
+            .map(|ch| Vec::with_capacity(ch.forward_primers.len()))
+            .collect();
+        for ((ci, _), used) in forwards.iter().zip(&fwd_used) {
+            fwd_consumed[*ci].push(*used);
+        }
+        MultiplexOutcome {
             pool,
             fwd_consumed,
-            rev_consumed,
+            rev_consumed: rev_used,
             misprime_species,
         }
     }
@@ -498,6 +598,113 @@ mod tests {
             let t = out.pool.get(s).unwrap().abundance;
             assert!(t / o > 100.0, "multiplex target {i} too weak: {t} vs {o}");
         }
+    }
+
+    #[test]
+    fn multiplex_pairs_amplify_their_own_partitions() {
+        // Two partitions with mutually distant primer pairs in one tube:
+        // each pair's target grows; a third partition with no primers in
+        // the tube stays flat.
+        let fwd_b: DnaSeq = "CAGTGACTCAGTGACTCAGT".parse().unwrap();
+        let rev_b: DnaSeq = "GTCAGTCAGTCAGTCAGTCA".parse().unwrap();
+        let fwd_c: DnaSeq = "TGACTGACTGACTGACTGAC".parse().unwrap();
+        let rev_c: DnaSeq = "ACTGACTGACTGACTGACTG".parse().unwrap();
+        let sa = strand(&fwd(), &balanced(60, 0), &rev());
+        let sb = fwd_b
+            .concat(&balanced(60, 1))
+            .concat(&rev_b.reverse_complement());
+        let sc = fwd_c
+            .concat(&balanced(60, 2))
+            .concat(&rev_c.reverse_complement());
+        let mut pool = Pool::new();
+        pool.add(sa.clone(), 100.0, Some(StrandTag::new(0, 1, 0, 0)));
+        pool.add(sb.clone(), 100.0, Some(StrandTag::new(1, 2, 0, 0)));
+        pool.add(sc.clone(), 100.0, Some(StrandTag::new(2, 3, 0, 0)));
+        let rxn = MultiplexPcrReaction {
+            channels: vec![
+                PrimerChannel {
+                    forward_primers: vec![PcrPrimer::unlimited(fwd())],
+                    reverse_primer: PcrPrimer::unlimited(rev()),
+                },
+                PrimerChannel {
+                    forward_primers: vec![PcrPrimer::unlimited(fwd_b.clone())],
+                    reverse_primer: PcrPrimer::unlimited(rev_b.clone()),
+                },
+            ],
+            protocol: PcrProtocol::standard(12, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let a = out.pool.get(&sa).unwrap().abundance;
+        let b = out.pool.get(&sb).unwrap().abundance;
+        let c = out.pool.get(&sc).unwrap().abundance;
+        assert!(a > 100.0 * 50.0, "channel A target too weak: {a}");
+        assert!(b > 100.0 * 50.0, "channel B target too weak: {b}");
+        assert_eq!(c, 100.0, "untargeted partition must not grow");
+        // Per-channel accounting: both channels consumed primers.
+        assert!(out.fwd_consumed[0][0] > 0.0);
+        assert!(out.fwd_consumed[1][0] > 0.0);
+        assert!(out.rev_consumed[0] > 0.0);
+        assert!(out.rev_consumed[1] > 0.0);
+    }
+
+    #[test]
+    fn per_channel_budget_caps_only_its_own_pair() {
+        let fwd_b: DnaSeq = "CAGTGACTCAGTGACTCAGT".parse().unwrap();
+        let rev_b: DnaSeq = "GTCAGTCAGTCAGTCAGTCA".parse().unwrap();
+        let sa = strand(&fwd(), &balanced(60, 0), &rev());
+        let sb = fwd_b
+            .concat(&balanced(60, 1))
+            .concat(&rev_b.reverse_complement());
+        let mut pool = Pool::new();
+        pool.add(sa.clone(), 100.0, None);
+        pool.add(sb.clone(), 100.0, None);
+        let rxn = MultiplexPcrReaction {
+            channels: vec![
+                PrimerChannel {
+                    forward_primers: vec![PcrPrimer::with_budget(fwd(), 2_000.0)],
+                    reverse_primer: PcrPrimer::unlimited(rev()),
+                },
+                PrimerChannel {
+                    forward_primers: vec![PcrPrimer::unlimited(fwd_b.clone())],
+                    reverse_primer: PcrPrimer::unlimited(rev_b.clone()),
+                },
+            ],
+            protocol: PcrProtocol::standard(20, 55.0),
+        };
+        let out = rxn.run(&pool);
+        let a = out.pool.get(&sa).unwrap().abundance;
+        let b = out.pool.get(&sb).unwrap().abundance;
+        assert!(a <= 100.0 + 2_000.0 + 1e-6, "budget violated: {a}");
+        assert!(
+            b > 100.0 * 1000.0,
+            "unbudgeted channel should keep growing: {b}"
+        );
+    }
+
+    #[test]
+    fn single_channel_multiplex_matches_simple_reaction() {
+        // The multiplex engine with one pair must reproduce PcrReaction
+        // exactly (PcrReaction::run delegates, so this guards the mapping).
+        let mut pool = Pool::new();
+        let s = strand(&fwd(), &balanced(60, 0), &rev());
+        pool.add(s.clone(), 100.0, None);
+        let simple = PcrReaction {
+            forward_primers: vec![PcrPrimer::with_budget(fwd(), 50_000.0)],
+            reverse_primer: PcrPrimer::with_budget(rev(), 60_000.0),
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let multi = MultiplexPcrReaction {
+            channels: vec![PrimerChannel {
+                forward_primers: simple.forward_primers.clone(),
+                reverse_primer: simple.reverse_primer.clone(),
+            }],
+            protocol: simple.protocol.clone(),
+        };
+        let a = simple.run(&pool);
+        let b = multi.run(&pool);
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.fwd_consumed, b.fwd_consumed[0]);
+        assert_eq!(a.rev_consumed, b.rev_consumed[0]);
     }
 
     #[test]

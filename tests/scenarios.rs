@@ -1,0 +1,228 @@
+//! End-to-end scenario suite: the store driven the way real workloads
+//! drive it — noise sweeps, starved coverage, and mixed read/update/batch
+//! traffic over multiple partitions — asserting byte-exact round-trips
+//! throughout.
+
+use dna_storage::block_store::{
+    batch::BatchPlanner, workload, BlockStore, PartitionConfig, PartitionId, StoreError,
+    UpdateLayout, BLOCK_SIZE,
+};
+use dna_storage::sim::{IdsChannel, Sequencer};
+
+/// Scales the Illumina error profile by an integer factor.
+fn illumina_scaled(factor: u32) -> IdsChannel {
+    let base = IdsChannel::illumina();
+    IdsChannel {
+        sub_rate: base.sub_rate * f64::from(factor),
+        ins_rate: base.ins_rate * f64::from(factor),
+        del_rate: base.del_rate * f64::from(factor),
+    }
+}
+
+#[test]
+fn noisy_sequencer_sweep_round_trips() {
+    // IDS error sweep: noiseless, Illumina (the paper's wetlab, §6.6),
+    // and 2x/4x Illumina failure injection. Coverage grows with the noise
+    // level, as a real operator would provision it.
+    for (factor, coverage) in [(0u32, 8usize), (1, 12), (2, 16), (4, 24)] {
+        let mut store = BlockStore::new(200 + u64::from(factor));
+        store.set_sequencer(Sequencer::new(illumina_scaled(factor)));
+        store.set_coverage(coverage);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(60 + u64::from(factor)))
+            .unwrap();
+        let data = workload::deterministic_text(3 * BLOCK_SIZE, 90 + u64::from(factor));
+        store.write_file(pid, &data).unwrap();
+        for b in 0..3u64 {
+            let out = store
+                .read_block(pid, b)
+                .unwrap_or_else(|e| panic!("factor {factor} block {b}: {e}"));
+            assert_eq!(
+                out.block.data,
+                &data[b as usize * BLOCK_SIZE..(b as usize + 1) * BLOCK_SIZE],
+                "factor {factor} block {b} not byte-exact"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_starvation_fails_then_recovers() {
+    // Starve the sequencer: heavy noise at coverage 1 cannot support
+    // trace reconstruction. Reads are non-destructive (PCR amplifies a
+    // sample of the archival tube), so re-provisioning coverage on the
+    // SAME store recovers the data byte-exactly.
+    let mut store = BlockStore::new(205);
+    store.set_sequencer(Sequencer::new(illumina_scaled(4)));
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(61))
+        .unwrap();
+    let data = workload::deterministic_text(2 * BLOCK_SIZE, 95);
+    store.write_file(pid, &data).unwrap();
+
+    store.set_coverage(1);
+    let starved = store.read_block(pid, 0);
+    assert!(
+        matches!(starved, Err(StoreError::DecodeFailed { .. })),
+        "starved read should fail cleanly, got {starved:?}"
+    );
+
+    store.set_coverage(24);
+    let recovered = store.read_block(pid, 0).expect("recovery read");
+    assert_eq!(recovered.block.data, &data[..BLOCK_SIZE]);
+    // The failed attempt burned a round but corrupted nothing.
+    let other = store.read_block(pid, 1).expect("sibling block intact");
+    assert_eq!(other.block.data, &data[BLOCK_SIZE..]);
+}
+
+#[test]
+fn batch_read_beats_sequential_rounds_with_identical_bytes() {
+    // The batching acceptance bar, end to end: 8 blocks in one partition
+    // in strictly fewer PCR rounds than 8 sequential reads.
+    let mut store = BlockStore::new(206);
+    let pid = store
+        .create_partition(PartitionConfig::paper_default(62))
+        .unwrap();
+    let data = workload::deterministic_text(8 * BLOCK_SIZE, 96);
+    store.write_file(pid, &data).unwrap();
+    let mut sequential_rounds = 0usize;
+    let mut sequential = Vec::new();
+    for b in 0..8u64 {
+        let out = store.read_block(pid, b).unwrap();
+        sequential_rounds += out.stats.pcr_rounds;
+        sequential.push(out.block);
+    }
+    let requests: Vec<(PartitionId, u64)> = (0..8u64).map(|b| (pid, b)).collect();
+    let batch = store.read_blocks_batch(&requests).unwrap();
+    assert!(
+        batch.stats.rounds < sequential_rounds,
+        "batch {} rounds vs sequential {sequential_rounds}",
+        batch.stats.rounds
+    );
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        assert_eq!(outcome.as_ref().unwrap().block, sequential[i], "block {i}");
+    }
+}
+
+#[test]
+fn mixed_read_update_batch_interleaving_over_partitions() {
+    // Three partitions under three different update layouts, driven by an
+    // interleaved stream of writes, updates, single reads, range reads and
+    // cross-partition batch reads. Every observation is checked against a
+    // shadow model of the logical contents.
+    let mut store = BlockStore::new(207);
+    let layouts = [
+        UpdateLayout::paper_default(),
+        UpdateLayout::TwoStacks,
+        UpdateLayout::DedicatedLog,
+    ];
+    let mut pids = Vec::new();
+    let mut shadow: Vec<Vec<u8>> = Vec::new();
+    for (i, layout) in layouts.iter().enumerate() {
+        let mut cfg = PartitionConfig::paper_default(70 + i as u64);
+        cfg.layout = *layout;
+        let pid = store.create_partition(cfg).unwrap();
+        let data = workload::deterministic_text(3 * BLOCK_SIZE, 100 + i as u64);
+        store.write_file(pid, &data).unwrap();
+        pids.push(pid);
+        shadow.push(data);
+    }
+
+    // Update block 1 of each partition (different edit per layout).
+    for (i, &pid) in pids.iter().enumerate() {
+        let tag = [b'a' + i as u8; 4];
+        shadow[i][BLOCK_SIZE + 7..BLOCK_SIZE + 11].copy_from_slice(&tag);
+        store
+            .update_block(pid, 1, &shadow[i][BLOCK_SIZE..2 * BLOCK_SIZE])
+            .unwrap();
+    }
+
+    // Single reads observe the updates.
+    for (i, &pid) in pids.iter().enumerate() {
+        let out = store.read_block(pid, 1).unwrap();
+        assert_eq!(
+            out.block.data,
+            &shadow[i][BLOCK_SIZE..2 * BLOCK_SIZE],
+            "layout {i} single read"
+        );
+        assert_eq!(out.patches_applied, 1);
+    }
+
+    // Second round of updates on block 0 of the first partition.
+    shadow[0][0..6].copy_from_slice(b"MIXED!");
+    store
+        .update_block(pids[0], 0, &shadow[0][..BLOCK_SIZE])
+        .unwrap();
+
+    // A cross-partition batch read sees every layout's updates at once.
+    let requests: Vec<(PartitionId, u64)> = pids
+        .iter()
+        .flat_map(|&pid| (0..3u64).map(move |b| (pid, b)))
+        .collect();
+    let batch = store.read_blocks_batch(&requests).unwrap();
+    assert!(batch.stats.rounds <= pids.len(), "{:?}", batch.stats);
+    for (r, outcome) in batch.outcomes.iter().enumerate() {
+        let (p, b) = (r / 3, r % 3);
+        let got = outcome.as_ref().unwrap_or_else(|e| panic!("req {r}: {e}"));
+        assert_eq!(
+            got.block.data,
+            &shadow[p][b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE],
+            "partition {p} block {b} in batch"
+        );
+    }
+
+    // Range reads agree with the shadow afterwards (reads perturb nothing).
+    for (i, &pid) in pids.iter().enumerate() {
+        let blocks = store.read_range(pid, 0, 2).unwrap();
+        for (b, block) in blocks.iter().enumerate() {
+            assert_eq!(
+                block.data,
+                &shadow[i][b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE],
+                "layout {i} range block {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_single_pair_rounds_still_round_trip() {
+    // A planner restricted to one primer pair per tube degenerates to
+    // per-partition rounds; contents must not change, only the round count.
+    let mut store = BlockStore::new(208);
+    let a = store
+        .create_partition(PartitionConfig::paper_default(80))
+        .unwrap();
+    let b = store
+        .create_partition(PartitionConfig::paper_default(81))
+        .unwrap();
+    let data_a = workload::deterministic_text(2 * BLOCK_SIZE, 110);
+    let data_b = workload::deterministic_text(2 * BLOCK_SIZE, 111);
+    store.write_file(a, &data_a).unwrap();
+    store.write_file(b, &data_b).unwrap();
+    let planner = BatchPlanner {
+        max_pairs_per_round: 1,
+        ..BatchPlanner::paper_default()
+    };
+    let requests = [(a, 0u64), (a, 1), (b, 0), (b, 1)];
+    let strict = store
+        .read_blocks_batch_planned(&requests, &planner)
+        .unwrap();
+    assert_eq!(strict.stats.rounds, 2);
+    let relaxed = store.read_blocks_batch(&requests).unwrap();
+    assert!(relaxed.stats.rounds <= strict.stats.rounds);
+    for (s, r) in strict.outcomes.iter().zip(&relaxed.outcomes) {
+        assert_eq!(
+            s.as_ref().unwrap().block,
+            r.as_ref().unwrap().block,
+            "round packing must not change contents"
+        );
+    }
+    assert_eq!(
+        strict.outcomes[0].as_ref().unwrap().block.data,
+        &data_a[..BLOCK_SIZE]
+    );
+    assert_eq!(
+        strict.outcomes[3].as_ref().unwrap().block.data,
+        &data_b[BLOCK_SIZE..]
+    );
+}
