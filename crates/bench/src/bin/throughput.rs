@@ -1,0 +1,142 @@
+//! Serving-layer throughput: requests/sec and wetlab rounds per request
+//! for 1..=32 client threads against one shared [`StoreServer`], cold vs
+//! warm cache.
+//!
+//! Two effects compose here:
+//!
+//! - **Coalescing**: concurrent cold reads arriving within the batching
+//!   window share multiplex PCR rounds, so wetlab rounds per request
+//!   *falls* as client concurrency rises.
+//! - **Caching**: a warm re-read of a decoded block costs zero wetlab
+//!   rounds and never waits behind an executing wetlab batch, so warm
+//!   throughput is bounded by lock handoff, not chemistry.
+
+use dna_bench::report;
+use dna_block_store::{
+    BatchWindow, BlockStore, PartitionConfig, PartitionId, ServerConfig, ServerStats, StoreServer,
+    BLOCK_SIZE,
+};
+use dna_seq::rng::DetRng;
+use std::time::{Duration, Instant};
+
+const PARTITIONS: usize = 4;
+const BLOCKS_PER: u64 = 4;
+const READS_PER_THREAD: usize = 8;
+
+fn build_server(seed: u64) -> (StoreServer, Vec<PartitionId>) {
+    let config = ServerConfig {
+        cache_capacity: (PARTITIONS * BLOCKS_PER as usize) * 2,
+        window: BatchWindow::Window(Duration::from_micros(500)),
+        ..ServerConfig::paper_default()
+    };
+    let server = StoreServer::new(BlockStore::new(seed), config);
+    let mut pids = Vec::new();
+    for p in 0..PARTITIONS {
+        let pid = server
+            .create_partition(PartitionConfig::paper_default(0x400 + p as u64))
+            .expect("primer library has room");
+        let data = dna_block_store::workload::deterministic_text(
+            BLOCKS_PER as usize * BLOCK_SIZE,
+            50 + p as u64,
+        );
+        server.write_file(pid, &data).expect("write");
+        pids.push(pid);
+    }
+    (server, pids)
+}
+
+/// Fires `READS_PER_THREAD` seeded block reads from each of `threads`
+/// client threads; returns the wall-clock time of the storm.
+fn drive(server: &StoreServer, pids: &[PartitionId], threads: usize, phase: u64) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut rng = DetRng::seed_from_u64(0x7900 + phase).derive(t as u64);
+                for _ in 0..READS_PER_THREAD {
+                    let p = rng.gen_range(PARTITIONS);
+                    let b = rng.gen_range(BLOCKS_PER as usize) as u64;
+                    server.read_block(pids[p], b).expect("read");
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn per_request(value: u64, requests: u64) -> f64 {
+    value as f64 / requests.max(1) as f64
+}
+
+fn req_per_sec(requests: u64, wall: Duration) -> f64 {
+    requests as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn run_config(threads: usize) {
+    let (server, pids) = build_server(21);
+    let requests = (threads * READS_PER_THREAD) as u64;
+
+    // Cold: empty cache, every distinct block pays wetlab work once.
+    let cold_wall = drive(&server, &pids, threads, 0);
+    let cold: ServerStats = server.stats();
+
+    // Warm: the identical storm again — the working set is cached.
+    let warm_wall = drive(&server, &pids, threads, 0);
+    let warm = server.stats();
+    let warm_rounds = warm.rounds_executed - cold.rounds_executed;
+    let warm_hits = warm.cache_hits - cold.cache_hits;
+
+    report::section(&format!(
+        "{threads} client thread(s), {requests} reads per phase"
+    ));
+    report::row(
+        "requests/sec (cold -> warm)",
+        format!(
+            "{:.0} -> {:.0}",
+            req_per_sec(requests, cold_wall),
+            req_per_sec(requests, warm_wall)
+        ),
+    );
+    report::row(
+        "wetlab rounds per request (cold -> warm)",
+        format!(
+            "{:.2} -> {:.2}",
+            per_request(cold.rounds_executed, requests),
+            per_request(warm_rounds, requests)
+        ),
+    );
+    report::row(
+        "cold misses / coalesced / rounds",
+        format!(
+            "{} / {} / {}",
+            cold.cache_misses, cold.reads_coalesced, cold.rounds_executed
+        ),
+    );
+    report::row(
+        "warm hit rate",
+        format!("{:.0}%", 100.0 * per_request(warm_hits, requests)),
+    );
+    report::row("stale serves", warm.stale_serves);
+    assert_eq!(warm.stale_serves, 0, "coherence contract");
+    assert_eq!(
+        warm_rounds, 0,
+        "a fully warm working set must execute 0 wetlab rounds"
+    );
+}
+
+fn main() {
+    report::section("serving-layer throughput: coalescing + caching");
+    report::row(
+        "model",
+        "N client threads -> one StoreServer (500us batching window, LRU cache)",
+    );
+    report::row(
+        "workload",
+        format!(
+            "{PARTITIONS} partitions x {BLOCKS_PER} blocks, {READS_PER_THREAD} seeded reads/thread"
+        ),
+    );
+    for threads in [1usize, 2, 4, 8, 16, 32] {
+        run_config(threads);
+    }
+}

@@ -149,6 +149,12 @@ pub struct BatchStats {
     /// Reads sequenced that matched no requested target — the wasted
     /// amplification a multiplexed round pays for sharing a tube.
     pub wasted_reads: usize,
+    /// Per-leaf software decode jobs executed across all rounds. A leaf is
+    /// decoded at most once per batch call: duplicate requests collapse,
+    /// and the shared DedicatedLog partition's entries — which several
+    /// rounds may need — are amplified and decoded only in the first round
+    /// that covers them.
+    pub decode_jobs: usize,
 }
 
 #[cfg(test)]

@@ -22,6 +22,14 @@
 //! multiplex PCR rounds and each round's reads are demultiplexed and
 //! decoded in parallel.
 //!
+//! Concurrent traffic goes through the serving layer
+//! ([`service::StoreServer`]): many client threads issue
+//! `read_block`/`read_range`/`update_block` against one shared server,
+//! which coalesces reads arriving within a bounded batching window into
+//! multiplex rounds *across requests* and serves repeated hot-block reads
+//! from an update-aware decoded-block cache ([`cache::BlockCache`]) at
+//! zero wetlab cost.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,16 +54,20 @@ mod store;
 mod update;
 
 pub mod batch;
+pub mod cache;
 pub mod capacity;
 pub mod cost;
 pub mod layout;
 pub mod planner;
+pub mod service;
 pub mod workload;
 
 pub use batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem, PlannedRound};
 pub use block::{checksum64, unit_checksum_ok, Block, BLOCK_SIZE, UNIT_BYTES};
+pub use cache::BlockCache;
 pub use error::StoreError;
 pub use layout::UpdateLayout;
 pub use partition::{parse_pointer_block, pointer_block, Partition, PartitionConfig, VersionSlot};
+pub use service::{BatchWindow, CachePolicy, ServedRead, ServerConfig, ServerStats, StoreServer};
 pub use store::{BatchReadOutcome, BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
 pub use update::UpdatePatch;

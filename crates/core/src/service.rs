@@ -1,0 +1,814 @@
+//! The concurrent store frontend: a thread-safe server over
+//! [`BlockStore`] with cross-request read coalescing and an update-aware
+//! decoded-block cache.
+//!
+//! The paper's cost model wins by *amortizing* wetlab work (§7): one
+//! multiplex PCR round serves many primer-addressed targets.
+//! [`BlockStore::read_blocks_batch`] realizes that for a single caller;
+//! [`StoreServer`] realizes it *across callers*. Read requests arriving
+//! from many client threads are held in a bounded batching window
+//! ([`BatchWindow`]) and coalesced into one batched retrieval — the
+//! [`crate::batch::BatchPlanner`] packs the touched partitions into
+//! primer-compatible multiplex rounds, and each round's read pool is
+//! demultiplexed and decoded in parallel
+//! ([`dna_pipeline::decode_jobs_parallel`]). On top of that, a
+//! [`BlockCache`] serves repeated reads of hot blocks with **zero**
+//! simulated wetlab cost (the read-mostly access pattern of rewritable
+//! DNA systems, Yazdi et al. 2015), and
+//! [`StoreServer::update_block`] keeps it coherent — invalidating or
+//! refreshing the updated key under the same store lock that commits the
+//! update, so a read issued after an update returns never observes the
+//! pre-update image.
+//!
+//! # Concurrency protocol
+//!
+//! Three locks, always taken in this order (never the reverse):
+//!
+//! 1. **store** — owns the wetlab; all pool/rng mutations (batch
+//!    execution, updates, writes) serialize here, which is what makes
+//!    concurrent runs *linearizable at block granularity*: every read
+//!    observes either the pre- or post-image of any concurrent update,
+//!    never a torn mix.
+//! 2. **front end** (cache + staleness oracle + stats) — cache *writes*
+//!    happen only while the store lock is held, so cache contents always
+//!    reflect store commit order; cache *hits* take only this lock, which
+//!    is why a warm read never waits behind an executing wetlab round.
+//! 3. **scheduler** (pending queue + tickets) — the first thread to queue
+//!    a miss becomes the *leader*: it waits out the batching window,
+//!    drains every read queued meanwhile, executes them as one batch, and
+//!    publishes per-ticket results. Followers just block on their ticket.
+//!
+//! The observable contract is [`ServerStats`]: `stale_serves` (cache hits
+//! that disagreed with the store's §5.4 digital front-end oracle) must be
+//! zero under any interleaving, `cache_hits + cache_misses` always equals
+//! `reads_served`, and `reads_coalesced` counts the requests that shared
+//! another request's round-trip. The stress suite (`tests/stress.rs`)
+//! pins all three under seeded multi-threaded read/update mixes.
+
+use crate::batch::BatchPlanner;
+use crate::block::{checksum64, Block};
+use crate::cache::{BlockCache, CacheKey};
+use crate::partition::PartitionConfig;
+use crate::store::{BlockReadOutcome, BlockStore, PartitionId};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the scheduler leader holds a round open for co-arriving reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchWindow {
+    /// Execute immediately with whatever is queued — lowest latency, no
+    /// cross-request coalescing beyond requests already waiting.
+    Immediate,
+    /// Wait up to this long (or until `max_batch` reads are pending) before
+    /// executing — the bounded batching window that trades a little
+    /// latency for fewer wetlab rounds.
+    Window(Duration),
+    /// Wait until [`StoreServer::release_batch`] is called. Deterministic
+    /// coalescing for tests: queue exactly the requests you want in one
+    /// round, then open the gate.
+    Gate,
+}
+
+/// What [`StoreServer::update_block`] does to the cached copy of the
+/// updated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Drop exactly the updated key; the next read re-pays one wetlab
+    /// round and re-populates the cache.
+    Invalidate,
+    /// Replace the cached copy with the post-update image (known digitally
+    /// at update time), so even the first re-read after an update is a
+    /// zero-wetlab hit.
+    Refresh,
+}
+
+/// Configuration for a [`StoreServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Decoded-block cache capacity in blocks (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Cache coherence policy on updates.
+    pub cache_policy: CachePolicy,
+    /// The read-coalescing batching window.
+    pub window: BatchWindow,
+    /// Execute early once this many reads are pending (`0` = no early
+    /// trigger). Only meaningful for [`BatchWindow::Window`].
+    pub max_batch: usize,
+    /// Round planner used for coalesced batches (primer-compatibility
+    /// grouping and per-tube pair caps).
+    pub planner: BatchPlanner,
+}
+
+impl ServerConfig {
+    /// Serving defaults: a 1024-block cache with invalidate-on-update, a
+    /// 2 ms batching window triggered early at 64 pending reads, and the
+    /// paper-grade batch planner.
+    pub fn paper_default() -> ServerConfig {
+        ServerConfig {
+            cache_capacity: 1024,
+            cache_policy: CachePolicy::Invalidate,
+            window: BatchWindow::Window(Duration::from_millis(2)),
+            max_batch: 64,
+            planner: BatchPlanner::paper_default(),
+        }
+    }
+}
+
+/// Aggregate serving statistics — the observable contract the stress and
+/// scenario suites assert on. All counters are cumulative since server
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Client calls accepted (each `read_block`, `read_range`, and
+    /// `update_block` counts once, successful or not).
+    pub requests: u64,
+    /// Block reads served (a range read counts once per block). Always
+    /// equals `cache_hits + cache_misses`.
+    pub reads_served: u64,
+    /// Reads answered from the decoded-block cache — zero wetlab cost.
+    pub cache_hits: u64,
+    /// Reads that had to go to the wetlab.
+    pub cache_misses: u64,
+    /// Coalesced batches executed against the store.
+    pub batches_executed: u64,
+    /// Multiplex PCR + sequencing rounds executed — the paper's unit of
+    /// wetlab cost.
+    pub rounds_executed: u64,
+    /// Reads that shared a wetlab round with a read from a *different*
+    /// client call — the cross-request amortization the scheduler exists
+    /// for. A multi-block `read_range` batching with itself does not
+    /// count.
+    pub reads_coalesced: u64,
+    /// Updates committed.
+    pub updates_applied: u64,
+    /// Cache hits whose bytes disagreed with the store's digital
+    /// front-end oracle (§5.4). The coherence protocol makes this
+    /// impossible: it must be 0 under any interleaving.
+    pub stale_serves: u64,
+}
+
+/// One served block read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedRead {
+    /// The block content, updates applied.
+    pub block: Block,
+    /// Whether the read was a cache hit (zero wetlab work).
+    pub from_cache: bool,
+    /// Update patches applied during decode (0 for cache hits — patches
+    /// were already folded in when the cached copy was produced).
+    pub patches_applied: usize,
+}
+
+/// Front-end state: the decoded-block cache, the staleness oracle, and
+/// the stats. Mutated only under the store lock (except recency bumps and
+/// counter increments on the hit path), so contents follow store commit
+/// order.
+struct FrontEnd {
+    cache: BlockCache,
+    /// `(partition, block)` → checksum of the current logical content —
+    /// the §5.4 digital front-end oracle cache hits are audited against.
+    shadow: BTreeMap<CacheKey, u64>,
+    stats: ServerStats,
+}
+
+/// A read waiting for (or holding) its batch result.
+type Ticket = u64;
+
+/// A queued block read: its ticket, the client call it came from, and
+/// its address. The call id distinguishes cross-request coalescing (two
+/// calls sharing a round) from intra-call batching (one `read_range`
+/// spanning several blocks).
+struct PendingRead {
+    ticket: Ticket,
+    call: u64,
+    pid: PartitionId,
+    block: u64,
+}
+
+/// Scheduler state: the pending-read queue and published results.
+struct SchedState {
+    next_ticket: Ticket,
+    /// Client calls that have queued reads (one id per `serve_reads` call).
+    next_call: u64,
+    /// Reads queued for the next coalesced batch.
+    pending: Vec<PendingRead>,
+    /// Results published by a leader, keyed by ticket; each waiter removes
+    /// its own.
+    results: BTreeMap<Ticket, Result<BlockReadOutcome, StoreError>>,
+    /// Whether a leader is currently collecting (windowing) the queue.
+    leader_active: bool,
+    /// [`BatchWindow::Gate`] latch, consumed by the leader per release.
+    gate_open: bool,
+}
+
+/// A thread-safe serving frontend over one [`BlockStore`]: concurrent
+/// `read_block` / `read_range` / `update_block` from any number of client
+/// threads, with cross-request read coalescing and an update-aware
+/// decoded-block cache.
+///
+/// Construct it around a store (pre-loaded or empty), share it via
+/// [`std::sync::Arc`] (or `std::thread::scope` borrows), and drive it from
+/// many threads.
+///
+/// # Examples
+///
+/// ```
+/// use dna_block_store::service::{ServerConfig, StoreServer};
+/// use dna_block_store::{BlockStore, PartitionConfig, BLOCK_SIZE};
+///
+/// let server = StoreServer::new(BlockStore::new(42), ServerConfig::paper_default());
+/// let pid = server.create_partition(PartitionConfig::paper_default(7)).unwrap();
+/// server.write_file(pid, &vec![7u8; BLOCK_SIZE]).unwrap();
+///
+/// let cold = server.read_block(pid, 0).unwrap();   // pays a wetlab round
+/// let warm = server.read_block(pid, 0).unwrap();   // served from cache
+/// assert!(!cold.from_cache);
+/// assert!(warm.from_cache);
+/// assert_eq!(warm.block, cold.block);
+/// let stats = server.stats();
+/// assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+/// assert_eq!(stats.stale_serves, 0);
+/// ```
+pub struct StoreServer {
+    store: Mutex<BlockStore>,
+    front: Mutex<FrontEnd>,
+    sched: Mutex<SchedState>,
+    /// Wakes a windowing leader (new arrival, or gate release).
+    arrivals: Condvar,
+    /// Wakes ticket holders when results are published.
+    done: Condvar,
+    config: ServerConfig,
+}
+
+impl StoreServer {
+    /// Wraps `store` in a server. The staleness oracle is seeded from the
+    /// store's current logical contents, so pre-loaded stores serve
+    /// correctly from the first request.
+    pub fn new(store: BlockStore, config: ServerConfig) -> StoreServer {
+        let shadow = store
+            .logical_contents()
+            .map(|(key, block)| (key, checksum64(&block.data)))
+            .collect();
+        StoreServer {
+            front: Mutex::new(FrontEnd {
+                cache: BlockCache::new(config.cache_capacity),
+                shadow,
+                stats: ServerStats::default(),
+            }),
+            store: Mutex::new(store),
+            sched: Mutex::new(SchedState {
+                next_ticket: 0,
+                next_call: 0,
+                pending: Vec::new(),
+                results: BTreeMap::new(),
+                leader_active: false,
+                gate_open: false,
+            }),
+            arrivals: Condvar::new(),
+            done: Condvar::new(),
+            config,
+        }
+    }
+
+    /// Unwraps the server, returning the inner store.
+    pub fn into_store(self) -> BlockStore {
+        self.store.into_inner().expect("store lock poisoned")
+    }
+
+    /// A snapshot of the cumulative serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.front.lock().expect("front lock").stats
+    }
+
+    /// Blocks currently held by the decoded-block cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.front.lock().expect("front lock").cache.len()
+    }
+
+    /// Reads currently queued for the next coalesced batch (tests use this
+    /// with [`BatchWindow::Gate`] to release a round deterministically).
+    pub fn pending_reads(&self) -> usize {
+        self.sched.lock().expect("sched lock").pending.len()
+    }
+
+    /// Opens the [`BatchWindow::Gate`]: the waiting leader (if any) drains
+    /// everything pending and executes it as one batch. No-op latch in the
+    /// other window modes.
+    pub fn release_batch(&self) {
+        let mut sched = self.sched.lock().expect("sched lock");
+        sched.gate_open = true;
+        drop(sched);
+        self.arrivals.notify_all();
+    }
+
+    /// Creates a partition (serialized through the store lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockStore::create_partition`] errors.
+    pub fn create_partition(&self, config: PartitionConfig) -> Result<PartitionId, StoreError> {
+        self.store
+            .lock()
+            .expect("store lock")
+            .create_partition(config)
+    }
+
+    /// Writes `data` as consecutive blocks starting at block 0 and seeds
+    /// the staleness oracle for the written range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockStore::write_file`] errors.
+    pub fn write_file(&self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
+        let mut store = self.store.lock().expect("store lock");
+        let written = store.write_file(pid, data)?;
+        let mut front = self.front.lock().expect("front lock");
+        for block in 0..written {
+            let content = store.logical_block(pid, block).expect("just written");
+            front.shadow.insert((pid, block), checksum64(&content.data));
+        }
+        Ok(written)
+    }
+
+    /// Updates a block and keeps the cache coherent: the staleness oracle
+    /// and the cached copy are adjusted *under the same store lock that
+    /// commits the update*, so a read issued after this call returns can
+    /// never observe the pre-update image ([`ServerStats::stale_serves`]
+    /// stays 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockStore::update_block`] errors; on error the cache
+    /// is untouched.
+    pub fn update_block(
+        &self,
+        pid: PartitionId,
+        block: u64,
+        new_content: &[u8],
+    ) -> Result<(), StoreError> {
+        {
+            let mut front = self.front.lock().expect("front lock");
+            front.stats.requests += 1;
+        }
+        let mut store = self.store.lock().expect("store lock");
+        store.update_block(pid, block, new_content)?;
+        let committed = store
+            .logical_block(pid, block)
+            .expect("block just updated")
+            .clone();
+        let mut front = self.front.lock().expect("front lock");
+        front
+            .shadow
+            .insert((pid, block), checksum64(&committed.data));
+        match self.config.cache_policy {
+            CachePolicy::Invalidate => {
+                front.cache.invalidate(&(pid, block));
+            }
+            CachePolicy::Refresh => {
+                front.cache.insert((pid, block), committed);
+            }
+        }
+        front.stats.updates_applied += 1;
+        Ok(())
+    }
+
+    /// Reads one block: from the cache when warm (zero wetlab work),
+    /// otherwise queued into the batching window and served by a coalesced
+    /// multiplex round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-block read errors ([`StoreError::DecodeFailed`],
+    /// range and unknown-partition errors). A failing request never
+    /// poisons reads coalesced into the same round.
+    pub fn read_block(&self, pid: PartitionId, block: u64) -> Result<ServedRead, StoreError> {
+        self.serve_reads(&[(pid, block)])
+            .pop()
+            .expect("one result per request")
+    }
+
+    /// Reads a contiguous block range. Cached blocks are served from the
+    /// cache; the misses ride one coalesced batch (together with any other
+    /// pending reads).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first per-block error in the range.
+    pub fn read_range(
+        &self,
+        pid: PartitionId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<ServedRead>, StoreError> {
+        let wants: Vec<(PartitionId, u64)> = (lo..=hi).map(|b| (pid, b)).collect();
+        self.serve_reads(&wants).into_iter().collect()
+    }
+
+    /// The shared read path: cache lookups, then ticketed scheduling for
+    /// the misses. Returns one result per requested block, in request
+    /// order.
+    fn serve_reads(&self, wants: &[(PartitionId, u64)]) -> Vec<Result<ServedRead, StoreError>> {
+        let mut results: Vec<Option<Result<ServedRead, StoreError>>> = vec![None; wants.len()];
+        let mut misses: Vec<(usize, PartitionId, u64)> = Vec::new();
+        {
+            let mut front = self.front.lock().expect("front lock");
+            front.stats.requests += 1;
+            front.stats.reads_served += wants.len() as u64;
+            for (i, &(pid, block)) in wants.iter().enumerate() {
+                if let Some(cached) = front.cache.get(&(pid, block)) {
+                    let served = ServedRead {
+                        block: cached.clone(),
+                        from_cache: true,
+                        patches_applied: 0,
+                    };
+                    front.stats.cache_hits += 1;
+                    // Audit against the §5.4 oracle: a coherent cache can
+                    // never disagree with the committed logical content.
+                    let fresh = front.shadow.get(&(pid, block)).copied();
+                    if fresh != Some(checksum64(&served.block.data)) {
+                        front.stats.stale_serves += 1;
+                    }
+                    results[i] = Some(Ok(served));
+                } else {
+                    front.stats.cache_misses += 1;
+                    misses.push((i, pid, block));
+                }
+            }
+        }
+        if !misses.is_empty() {
+            // Queue tickets; the first queued miss elects this thread
+            // leader of the next batch.
+            let mut tickets: Vec<(Ticket, usize)> = Vec::with_capacity(misses.len());
+            let lead = {
+                let mut sched = self.sched.lock().expect("sched lock");
+                let call = sched.next_call;
+                sched.next_call += 1;
+                for &(slot, pid, block) in &misses {
+                    let ticket = sched.next_ticket;
+                    sched.next_ticket += 1;
+                    sched.pending.push(PendingRead {
+                        ticket,
+                        call,
+                        pid,
+                        block,
+                    });
+                    tickets.push((ticket, slot));
+                }
+                let lead = !sched.leader_active;
+                sched.leader_active = true;
+                lead
+            };
+            // Wake a windowing leader so an early `max_batch` trigger can
+            // fire.
+            self.arrivals.notify_all();
+            if lead {
+                self.lead_batch();
+            }
+            // Collect this call's tickets (the leader published its own
+            // along with everyone else's).
+            let mut sched = self.sched.lock().expect("sched lock");
+            loop {
+                let mut missing = false;
+                for &(ticket, slot) in &tickets {
+                    if results[slot].is_none() {
+                        match sched.results.remove(&ticket) {
+                            Some(outcome) => {
+                                results[slot] = Some(outcome.map(|o| ServedRead {
+                                    block: o.block,
+                                    from_cache: false,
+                                    patches_applied: o.patches_applied,
+                                }));
+                            }
+                            None => missing = true,
+                        }
+                    }
+                }
+                if !missing {
+                    break;
+                }
+                sched = self.done.wait(sched).expect("sched lock");
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    /// Leader duty: wait out the batching window, drain the queue, execute
+    /// the batch under the store lock, install fresh blocks into the
+    /// cache, and publish per-ticket results.
+    fn lead_batch(&self) {
+        let mut sched = self.sched.lock().expect("sched lock");
+        match self.config.window {
+            BatchWindow::Immediate => {}
+            BatchWindow::Window(window) => {
+                let deadline = Instant::now() + window;
+                while self.config.max_batch == 0 || sched.pending.len() < self.config.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = self
+                        .arrivals
+                        .wait_timeout(sched, deadline - now)
+                        .expect("sched lock");
+                    sched = guard;
+                }
+            }
+            BatchWindow::Gate => {
+                while !sched.gate_open {
+                    sched = self.arrivals.wait(sched).expect("sched lock");
+                }
+                sched.gate_open = false;
+            }
+        }
+        let batch = std::mem::take(&mut sched.pending);
+        // Handing leadership back in the same critical section as the
+        // drain guarantees every queued read is owned by exactly one
+        // leader.
+        sched.leader_active = false;
+        drop(sched);
+        if batch.is_empty() {
+            return;
+        }
+
+        let requests: Vec<(PartitionId, u64)> =
+            batch.iter().map(|read| (read.pid, read.block)).collect();
+        // Reads from a call other than the leader's shared a round-trip
+        // they would not have had alone — that is the cross-request
+        // amortization `reads_coalesced` measures (a multi-block
+        // `read_range` batching with itself does not count).
+        let leader_call = batch[0].call;
+        let mut piggybacked = batch.iter().filter(|r| r.call != leader_call).count() as u64;
+        let mut store = self.store.lock().expect("store lock");
+        let mut rounds = 0u64;
+        let published: Vec<(Ticket, Result<BlockReadOutcome, StoreError>)> = match store
+            .read_blocks_batch_planned(&requests, &self.config.planner)
+        {
+            Ok(executed) => {
+                rounds += executed.stats.rounds as u64;
+                let mut front = self.front.lock().expect("front lock");
+                batch
+                    .iter()
+                    .zip(executed.outcomes)
+                    .map(|(read, outcome)| {
+                        if let Ok(ok) = &outcome {
+                            // Still under the store lock: cache writes
+                            // follow store commit order, so a
+                            // concurrent update can never be undone by
+                            // a slow insert of its pre-image.
+                            front.cache.insert((read.pid, read.block), ok.block.clone());
+                        }
+                        (read.ticket, outcome)
+                    })
+                    .collect()
+            }
+            // A whole-batch error (unknown partition) must not poison
+            // innocent coalesced requests: fall back to per-request
+            // execution so each ticket gets its own verdict. Rounds
+            // are counted whether or not the block decodes — and since
+            // every request now pays its own round, nothing actually
+            // coalesced.
+            Err(_) => {
+                piggybacked = 0;
+                batch
+                    .iter()
+                    .map(|read| {
+                        let key = (read.pid, read.block);
+                        let outcome =
+                            match store.read_blocks_batch_planned(&[key], &self.config.planner) {
+                                Ok(mut one) => {
+                                    rounds += one.stats.rounds as u64;
+                                    one.outcomes.pop().expect("one outcome").inspect(|ok| {
+                                        let mut front = self.front.lock().expect("front lock");
+                                        front.cache.insert(key, ok.block.clone());
+                                    })
+                                }
+                                Err(e) => Err(e),
+                            };
+                        (read.ticket, outcome)
+                    })
+                    .collect()
+            }
+        };
+        {
+            // One logical coalesced batch regardless of execution path.
+            let mut front = self.front.lock().expect("front lock");
+            front.stats.batches_executed += 1;
+            front.stats.rounds_executed += rounds;
+            front.stats.reads_coalesced += piggybacked;
+        }
+        drop(store);
+
+        let mut sched = self.sched.lock().expect("sched lock");
+        sched.results.extend(published);
+        drop(sched);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BLOCK_SIZE;
+    use crate::workload::deterministic_text;
+
+    fn immediate_config(cache_capacity: usize) -> ServerConfig {
+        ServerConfig {
+            cache_capacity,
+            window: BatchWindow::Immediate,
+            ..ServerConfig::paper_default()
+        }
+    }
+
+    fn server_with_blocks(
+        seed: u64,
+        blocks: usize,
+        config: ServerConfig,
+    ) -> (StoreServer, PartitionId, Vec<u8>) {
+        let server = StoreServer::new(BlockStore::new(seed), config);
+        let pid = server
+            .create_partition(PartitionConfig::paper_default(seed ^ 0x51))
+            .unwrap();
+        let data = deterministic_text(blocks * BLOCK_SIZE, seed ^ 0x52);
+        server.write_file(pid, &data).unwrap();
+        (server, pid, data)
+    }
+
+    #[test]
+    fn warm_cache_reread_executes_zero_wetlab_rounds() {
+        let (server, pid, data) = server_with_blocks(300, 2, immediate_config(8));
+        let cold = server.read_block(pid, 0).unwrap();
+        assert!(!cold.from_cache);
+        assert_eq!(cold.block.data, &data[..BLOCK_SIZE]);
+        let rounds_after_cold = server.stats().rounds_executed;
+        assert!(rounds_after_cold > 0);
+
+        let warm = server.read_block(pid, 0).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.block, cold.block);
+        let stats = server.stats();
+        assert_eq!(
+            stats.rounds_executed, rounds_after_cold,
+            "warm re-read must execute 0 wetlab rounds"
+        );
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.stale_serves, 0);
+        assert_eq!(stats.reads_served, stats.cache_hits + stats.cache_misses);
+    }
+
+    #[test]
+    fn update_invalidates_cached_block() {
+        let (server, pid, mut data) = server_with_blocks(301, 2, immediate_config(8));
+        let before = server.read_block(pid, 0).unwrap();
+        assert_eq!(before.block.data, &data[..BLOCK_SIZE]);
+        assert!(server.read_block(pid, 0).unwrap().from_cache);
+
+        data[10..14].copy_from_slice(b"EDIT");
+        server.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        let after = server.read_block(pid, 0).unwrap();
+        assert!(!after.from_cache, "invalidate policy forces a re-read");
+        assert_eq!(after.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(after.patches_applied, 1);
+        // And the re-read repopulated the cache with the new image.
+        let warm = server.read_block(pid, 0).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(server.stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn refresh_policy_serves_post_update_image_from_cache() {
+        let config = ServerConfig {
+            cache_policy: CachePolicy::Refresh,
+            ..immediate_config(8)
+        };
+        let (server, pid, mut data) = server_with_blocks(302, 1, config);
+        server.read_block(pid, 0).unwrap();
+        let rounds_before = server.stats().rounds_executed;
+        data[0..4].copy_from_slice(b"NEW!");
+        server.update_block(pid, 0, &data).unwrap();
+        let read = server.read_block(pid, 0).unwrap();
+        assert!(read.from_cache, "refresh keeps the cache warm");
+        assert_eq!(read.block.data, data);
+        assert_eq!(
+            server.stats().rounds_executed,
+            rounds_before,
+            "refreshed hit costs no wetlab round"
+        );
+        assert_eq!(server.stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn read_range_mixes_cache_hits_and_wetlab_misses() {
+        let (server, pid, data) = server_with_blocks(303, 3, immediate_config(8));
+        assert!(!server.read_block(pid, 1).unwrap().from_cache);
+        let range = server.read_range(pid, 0, 2).unwrap();
+        assert_eq!(range.len(), 3);
+        for (b, read) in range.iter().enumerate() {
+            assert_eq!(
+                read.block.data,
+                &data[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE],
+                "range block {b}"
+            );
+        }
+        assert!(!range[0].from_cache);
+        assert!(range[1].from_cache, "block 1 was already decoded");
+        assert!(!range[2].from_cache);
+        let stats = server.stats();
+        assert_eq!(stats.reads_served, 4);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 3);
+    }
+
+    #[test]
+    fn gate_window_coalesces_concurrent_reads_into_one_batch() {
+        let config = ServerConfig {
+            window: BatchWindow::Gate,
+            ..immediate_config(8)
+        };
+        let (server, pid, data) = server_with_blocks(304, 3, config);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|b| {
+                    let server = &server;
+                    scope.spawn(move || server.read_block(pid, b).unwrap())
+                })
+                .collect();
+            // Deterministic: wait until all three reads are queued, then
+            // release them as one batch.
+            while server.pending_reads() < 3 {
+                std::thread::yield_now();
+            }
+            server.release_batch();
+            for (b, handle) in handles.into_iter().enumerate() {
+                let read = handle.join().unwrap();
+                assert_eq!(
+                    read.block.data,
+                    &data[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE],
+                    "thread {b}"
+                );
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.batches_executed, 1, "one coalesced batch");
+        assert_eq!(stats.rounds_executed, 1, "one partition, one tube");
+        assert_eq!(
+            stats.reads_coalesced, 2,
+            "two reads rode the leader's round"
+        );
+    }
+
+    #[test]
+    fn bad_request_does_not_poison_coalesced_neighbors() {
+        let config = ServerConfig {
+            window: BatchWindow::Gate,
+            ..immediate_config(8)
+        };
+        let (server, pid, data) = server_with_blocks(305, 1, config);
+        std::thread::scope(|scope| {
+            let good = scope.spawn(|| server.read_block(pid, 0));
+            let bad = scope.spawn(|| server.read_block(PartitionId(99), 0));
+            while server.pending_reads() < 2 {
+                std::thread::yield_now();
+            }
+            server.release_batch();
+            let good = good.join().unwrap().expect("good read survives");
+            assert_eq!(good.block.data, &data[..BLOCK_SIZE]);
+            assert!(matches!(
+                bad.join().unwrap(),
+                Err(StoreError::UnknownPartition(99))
+            ));
+        });
+        let stats = server.stats();
+        assert_eq!(stats.stale_serves, 0);
+        // The fallback executed each request in its own round, so no read
+        // actually shared another call's round-trip.
+        assert_eq!(stats.reads_coalesced, 0);
+        assert_eq!(stats.batches_executed, 1, "one logical coalesced batch");
+    }
+
+    #[test]
+    fn stats_account_requests_and_updates() {
+        let (server, pid, data) = server_with_blocks(306, 2, immediate_config(0));
+        // Cache disabled: every read is a miss and nothing is ever cached.
+        server.read_block(pid, 0).unwrap();
+        server.read_block(pid, 0).unwrap();
+        server.update_block(pid, 1, &data[BLOCK_SIZE..]).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.reads_served, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(server.cached_blocks(), 0);
+        let store = server.into_store();
+        assert_eq!(
+            store.logical_block(pid, 1).unwrap().data,
+            &data[BLOCK_SIZE..]
+        );
+    }
+}

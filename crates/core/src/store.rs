@@ -1,12 +1,14 @@
 //! The end-to-end block store over the simulated wetlab.
 
-use crate::batch::{BatchPlanner, BatchStats, PlanItem};
+use crate::batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem};
 use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
 use crate::layout::UpdateLayout;
 use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
 use crate::update::UpdatePatch;
 use crate::StoreError;
-use dna_pipeline::{decode_block_validated, decode_jobs_parallel, BlockDecodeOutcome, DecodeJob};
+use dna_pipeline::{
+    decode_block_validated, decode_jobs_parallel_into, BlockDecodeOutcome, DecodeJob,
+};
 use dna_primers::{PrimerConstraints, PrimerLibrary, PrimerPair};
 use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
@@ -51,6 +53,22 @@ struct ChannelSpec {
     scope: Vec<(DnaSeq, f64)>,
     reverse: DnaSeq,
     units: usize,
+}
+
+/// Decode state accumulated across the rounds of one batch call. A leaf
+/// decoded in an earlier round (notably the shared DedicatedLog
+/// partition's entries, which every DedicatedLog round would otherwise
+/// re-amplify and re-decode) is reused by index instead of being decoded
+/// again.
+#[derive(Default)]
+struct BatchDecodeCtx {
+    /// `(partition, leaf)` → index into `decoded`.
+    job_index: BTreeMap<(usize, u64), usize>,
+    /// Outcomes in submission order, appended round by round.
+    decoded: Vec<BlockDecodeOutcome>,
+    /// Whether the shared log partition's entries were already amplified
+    /// and decoded by an earlier round of this batch.
+    log_decoded: bool,
 }
 
 /// Result of a batched multi-block retrieval
@@ -138,6 +156,24 @@ impl BlockStore {
     /// Mutable pool access for custom bench protocols.
     pub fn pool_mut(&mut self) -> &mut Pool {
         &mut self.pool
+    }
+
+    /// The digital front-end's view of a block's current logical content
+    /// (§5.4: the original plus every applied update), or `None` if the
+    /// block was never written through this store. No wetlab work is
+    /// performed — this is the oracle a serving layer checks cached reads
+    /// against.
+    pub fn logical_block(&self, pid: PartitionId, block: u64) -> Option<&Block> {
+        self.logical.get(&(pid.0, block))
+    }
+
+    /// Iterates the digital front-end's logical contents in
+    /// `(partition, block)` order — the snapshot a serving layer seeds its
+    /// staleness oracle from when wrapping an already-loaded store.
+    pub fn logical_contents(&self) -> impl Iterator<Item = ((PartitionId, u64), &Block)> {
+        self.logical
+            .iter()
+            .map(|(&(p, b), blk)| ((PartitionId(p), b), blk))
     }
 
     /// Borrow a partition.
@@ -406,10 +442,66 @@ impl BlockStore {
         requests: &[(PartitionId, u64)],
         planner: &BatchPlanner,
     ) -> Result<BatchReadOutcome, StoreError> {
+        let (mut outcomes, by_partition) = self.group_batch(requests)?;
+        let plan = planner.plan(&self.batch_plan_items(&by_partition));
+        let mut stats = BatchStats {
+            rounds: plan.num_rounds(),
+            ..BatchStats::default()
+        };
+        let mut ctx = BatchDecodeCtx::default();
+        for round in &plan.rounds {
+            self.run_batch_round(
+                &round.items,
+                &by_partition,
+                &mut ctx,
+                &mut outcomes,
+                &mut stats,
+            );
+        }
+        stats.wasted_reads = stats.reads_sequenced.saturating_sub(stats.reads_matched);
+        Ok(BatchReadOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolved"))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Plans — without executing — the multiplex rounds a batch of
+    /// requests would take under `planner`. A serving layer uses this to
+    /// predict wetlab cost (e.g. rounds per coalesced batch) before
+    /// committing a tube.
+    ///
+    /// # Errors
+    ///
+    /// Fails for requests naming an unknown partition (out-of-range block
+    /// ids are simply absent from the plan, matching
+    /// [`BlockStore::read_blocks_batch`]'s per-request error reporting).
+    pub fn plan_batch(
+        &self,
+        requests: &[(PartitionId, u64)],
+        planner: &BatchPlanner,
+    ) -> Result<BatchPlan, StoreError> {
+        let (_, by_partition) = self.group_batch(requests)?;
+        Ok(planner.plan(&self.batch_plan_items(&by_partition)))
+    }
+
+    /// Groups in-range requests by partition; out-of-range requests get
+    /// their error outcome immediately.
+    #[allow(clippy::type_complexity)]
+    fn group_batch(
+        &self,
+        requests: &[(PartitionId, u64)],
+    ) -> Result<
+        (
+            Vec<Option<Result<BlockReadOutcome, StoreError>>>,
+            BTreeMap<usize, Vec<(usize, u64)>>,
+        ),
+        StoreError,
+    > {
         let mut outcomes: Vec<Option<Result<BlockReadOutcome, StoreError>>> =
             vec![None; requests.len()];
-        // Group in-range requests by partition; out-of-range ones get their
-        // error outcome immediately.
         let mut by_partition: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
         for (i, &(pid, block)) in requests.iter().enumerate() {
             let partition = self.partition(pid)?;
@@ -422,7 +514,13 @@ impl BlockStore {
                 by_partition.entry(pid.0).or_default().push((i, block));
             }
         }
-        let items: Vec<PlanItem> = by_partition
+        Ok((outcomes, by_partition))
+    }
+
+    /// One [`PlanItem`] per touched partition (a DedicatedLog partition
+    /// drags the shared log pair into its item).
+    fn batch_plan_items(&self, by_partition: &BTreeMap<usize, Vec<(usize, u64)>>) -> Vec<PlanItem> {
+        by_partition
             .keys()
             .map(|&p| {
                 let mut pairs = vec![self.partitions[p].primers().clone()];
@@ -433,32 +531,18 @@ impl BlockStore {
                 }
                 PlanItem { id: p, pairs }
             })
-            .collect();
-        let plan = planner.plan(&items);
-        let mut stats = BatchStats {
-            rounds: plan.num_rounds(),
-            ..BatchStats::default()
-        };
-        for round in &plan.rounds {
-            self.run_batch_round(&round.items, &by_partition, &mut outcomes, &mut stats);
-        }
-        stats.wasted_reads = stats.reads_sequenced.saturating_sub(stats.reads_matched);
-        Ok(BatchReadOutcome {
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("every request resolved"))
-                .collect(),
-            stats,
-        })
+            .collect()
     }
 
     /// Runs one multiplex round: amplify every target of `round_partitions`
-    /// in a single tube, sequence once, decode all leaves in parallel, and
-    /// assemble per-request outcomes.
+    /// in a single tube, sequence once, decode all *new* leaves in parallel
+    /// (leaves already decoded by an earlier round of this batch are
+    /// reused), and assemble per-request outcomes.
     fn run_batch_round(
         &mut self,
         round_partitions: &[usize],
         by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
+        ctx: &mut BatchDecodeCtx,
         outcomes: &mut [Option<Result<BlockReadOutcome, StoreError>>],
         stats: &mut BatchStats,
     ) {
@@ -469,7 +553,13 @@ impl BlockStore {
         let mut pending: Vec<ChannelSpec> = Vec::new();
         let mut expected_units = 0usize;
         let mut jobs: Vec<DecodeJob> = Vec::new();
-        let mut job_index: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+        let BatchDecodeCtx {
+            job_index,
+            decoded,
+            log_decoded,
+        } = ctx;
+        // New jobs append after everything decoded by earlier rounds.
+        let base = decoded.len();
         let mut log_in_round = false;
 
         for &p in round_partitions {
@@ -498,7 +588,7 @@ impl BlockStore {
                         reverse: rev.clone(),
                         config: partition.decode_config(leaf),
                     });
-                    jobs.len() - 1
+                    base + jobs.len() - 1
                 });
             };
             for &b in &blocks {
@@ -566,7 +656,10 @@ impl BlockStore {
                 units: channel_units,
             });
         }
-        if log_in_round {
+        // The shared log rides in at most one tube per batch call: later
+        // rounds reuse the first round's decoded entries instead of
+        // re-amplifying and re-decoding the whole log.
+        if log_in_round && !*log_decoded {
             if let Some(log_pid) = self.log_partition {
                 let log = &self.partitions[log_pid];
                 let log_fwd = log.scope_primer();
@@ -578,7 +671,7 @@ impl BlockStore {
                             reverse: log_rev.clone(),
                             config: log.decode_config(leaf),
                         });
-                        jobs.len() - 1
+                        base + jobs.len() - 1
                     });
                 }
                 let units = self.log_head as usize + 1;
@@ -588,6 +681,7 @@ impl BlockStore {
                     reverse: log_rev,
                     units,
                 });
+                *log_decoded = true;
             }
         }
 
@@ -621,21 +715,34 @@ impl BlockStore {
             .sequence(&amplified.pool, n_reads, &mut self.rng);
         stats.reads_sequenced += reads.len();
 
-        let decoded = decode_jobs_parallel(&reads, &jobs, unit_checksum_ok, 0);
-        for outcome in &decoded {
+        decode_jobs_parallel_into(&reads, &jobs, unit_checksum_ok, 0, decoded);
+        stats.decode_jobs += jobs.len();
+        for outcome in &decoded[base..] {
             stats.reads_matched += outcome.reads_matched;
         }
 
         for &p in round_partitions {
             for &(req_idx, block) in &by_partition[&p] {
-                outcomes[req_idx] =
-                    Some(self.assemble_batch_outcome(p, block, &job_index, &decoded, reads.len()));
+                outcomes[req_idx] = Some(self.assemble_batch_outcome(
+                    p,
+                    block,
+                    job_index,
+                    decoded,
+                    reads.len(),
+                    base,
+                ));
             }
         }
     }
 
     /// Reconstructs one requested block from a round's decoded leaves,
-    /// mirroring the layout-specific single-read paths.
+    /// mirroring the layout-specific single-read paths. `round_start` is
+    /// the index of this round's first decode outcome: per-request read
+    /// statistics count only this round's wetlab work, so leaves reused
+    /// from an earlier round (the shared log) contribute their patches but
+    /// not their matched-read counts — `reads_matched` stays consistent
+    /// with `reads_sequenced`.
+    #[allow(clippy::too_many_arguments)]
     fn assemble_batch_outcome(
         &self,
         p: usize,
@@ -643,6 +750,7 @@ impl BlockStore {
         job_index: &BTreeMap<(usize, u64), usize>,
         decoded: &[BlockDecodeOutcome],
         round_reads: usize,
+        round_start: usize,
     ) -> Result<BlockReadOutcome, StoreError> {
         let partition = &self.partitions[p];
         let origin = &decoded[job_index[&(p, block)]];
@@ -719,7 +827,9 @@ impl BlockStore {
                             continue;
                         };
                         let outcome = &decoded[job];
-                        stats.reads_matched += outcome.reads_matched;
+                        if job >= round_start {
+                            stats.reads_matched += outcome.reads_matched;
+                        }
                         if let Some(v) = outcome.versions.get(&Base::A) {
                             if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
                                 found.extend(log_patch_for(&content, p as u32, block));
@@ -1318,6 +1428,139 @@ mod tests {
             batch.outcomes[1].as_ref().unwrap().block.data,
             &data_b[..BLOCK_SIZE]
         );
+    }
+
+    #[test]
+    fn overlapping_requests_decode_each_leaf_once() {
+        // Regression: duplicate / overlapping requests (the shape produced
+        // by overlapping read_range windows) must not re-decode a block
+        // already fetched earlier in the same call.
+        let mut store = BlockStore::new(12);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(27))
+            .unwrap();
+        let data = crate::workload::deterministic_text(4 * BLOCK_SIZE, 34);
+        store.write_file(pid, &data).unwrap();
+        // Ranges 0..=2 and 1..=3 overlap on blocks 1 and 2.
+        let requests = [
+            (pid, 0u64),
+            (pid, 1),
+            (pid, 2),
+            (pid, 1),
+            (pid, 2),
+            (pid, 3),
+        ];
+        let batch = store.read_blocks_batch(&requests).unwrap();
+        assert_eq!(batch.stats.decode_jobs, 4, "4 distinct leaves, 6 requests");
+        assert_eq!(batch.stats.rounds, 1);
+        for (i, &(_, b)) in requests.iter().enumerate() {
+            let got = batch.outcomes[i].as_ref().unwrap();
+            let off = b as usize * BLOCK_SIZE;
+            assert_eq!(got.block.data, &data[off..off + BLOCK_SIZE], "request {i}");
+        }
+    }
+
+    #[test]
+    fn shared_log_decoded_once_across_rounds() {
+        // Two DedicatedLog partitions forced into separate rounds both
+        // need the shared log; it must be amplified and decoded in the
+        // first round only, with the second round reusing the outcomes.
+        let mut store = BlockStore::new(13);
+        let mut cfg_a = PartitionConfig::paper_default(28);
+        cfg_a.layout = UpdateLayout::DedicatedLog;
+        let mut cfg_b = PartitionConfig::paper_default(29);
+        cfg_b.layout = UpdateLayout::DedicatedLog;
+        let a = store.create_partition(cfg_a).unwrap();
+        let b = store.create_partition(cfg_b).unwrap();
+        let mut data_a = crate::workload::deterministic_text(BLOCK_SIZE, 35);
+        let mut data_b = crate::workload::deterministic_text(BLOCK_SIZE, 36);
+        store.write_file(a, &data_a).unwrap();
+        store.write_file(b, &data_b).unwrap();
+        data_a[3..7].copy_from_slice(b"EDTA");
+        store.update_block(a, 0, &data_a).unwrap();
+        data_b[9..13].copy_from_slice(b"EDTB");
+        store.update_block(b, 0, &data_b).unwrap();
+        // Cap rounds at 2 pairs: partition + log fill a tube, so the two
+        // partitions split into two rounds, both dragging the log pair.
+        let planner = BatchPlanner {
+            max_pairs_per_round: 2,
+            ..BatchPlanner::paper_default()
+        };
+        let plan = store.plan_batch(&[(a, 0), (b, 0)], &planner).unwrap();
+        assert_eq!(plan.num_rounds(), 2, "forced split: {plan:?}");
+        let batch = store
+            .read_blocks_batch_planned(&[(a, 0), (b, 0)], &planner)
+            .unwrap();
+        assert_eq!(batch.stats.rounds, 2);
+        // 1 leaf per partition + 2 log entries decoded exactly once.
+        assert_eq!(batch.stats.decode_jobs, 4, "{:?}", batch.stats);
+        let got_a = batch.outcomes[0].as_ref().unwrap();
+        assert_eq!(got_a.block.data, data_a);
+        assert_eq!(got_a.patches_applied, 1);
+        // The second round's partition still sees its log patch even
+        // though its tube never amplified the log — and its per-request
+        // stats stay self-consistent: matched reads never exceed the
+        // reads its own round sequenced.
+        let got_b = batch.outcomes[1].as_ref().unwrap();
+        assert_eq!(got_b.block.data, data_b);
+        assert_eq!(got_b.patches_applied, 1);
+        for outcome in batch.outcomes.iter().map(|o| o.as_ref().unwrap()) {
+            assert!(
+                outcome.stats.reads_matched <= outcome.stats.reads_sequenced,
+                "matched {} > sequenced {}",
+                outcome.stats.reads_matched,
+                outcome.stats.reads_sequenced
+            );
+        }
+    }
+
+    #[test]
+    fn plan_batch_matches_executed_rounds() {
+        let mut store = BlockStore::new(14);
+        let a = store
+            .create_partition(PartitionConfig::paper_default(37))
+            .unwrap();
+        let b = store
+            .create_partition(PartitionConfig::paper_default(38))
+            .unwrap();
+        let data = crate::workload::deterministic_text(BLOCK_SIZE, 39);
+        store.write_file(a, &data).unwrap();
+        store.write_file(b, &data).unwrap();
+        let planner = BatchPlanner::paper_default();
+        let requests = [(a, 0u64), (b, 0u64)];
+        let plan = store.plan_batch(&requests, &planner).unwrap();
+        let batch = store
+            .read_blocks_batch_planned(&requests, &planner)
+            .unwrap();
+        assert_eq!(plan.num_rounds(), batch.stats.rounds);
+        // Planning performs no wetlab work: the store is immutable-borrow
+        // only, and planning twice gives the same rounds.
+        assert_eq!(plan, store.plan_batch(&requests, &planner).unwrap());
+    }
+
+    #[test]
+    fn logical_contents_mirror_writes_and_updates() {
+        let mut store = BlockStore::new(15);
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(40))
+            .unwrap();
+        assert!(store.logical_block(pid, 0).is_none());
+        let mut data = crate::workload::deterministic_text(2 * BLOCK_SIZE, 41);
+        store.write_file(pid, &data).unwrap();
+        assert_eq!(
+            store.logical_block(pid, 0).unwrap().data,
+            &data[..BLOCK_SIZE]
+        );
+        data[5..8].copy_from_slice(b"new");
+        store.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        assert_eq!(
+            store.logical_block(pid, 0).unwrap().data,
+            &data[..BLOCK_SIZE]
+        );
+        let all: Vec<_> = store.logical_contents().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, (pid, 0));
+        assert_eq!(all[1].0, (pid, 1));
     }
 
     #[test]

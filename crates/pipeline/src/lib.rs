@@ -38,4 +38,4 @@ pub use decode::{
     decode_block, decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome, RecoveredVersion,
 };
 pub use filter::ReadFilter;
-pub use parallel::{decode_jobs_parallel, DecodeJob};
+pub use parallel::{decode_jobs_parallel, decode_jobs_parallel_into, DecodeJob};

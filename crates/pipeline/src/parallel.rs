@@ -43,6 +43,28 @@ pub fn decode_jobs_parallel<F>(
 where
     F: Fn(&[u8]) -> bool + Sync,
 {
+    let mut out = Vec::with_capacity(jobs.len());
+    decode_jobs_parallel_into(reads, jobs, validator, max_threads, &mut out);
+    out
+}
+
+/// As [`decode_jobs_parallel`], but *appends* the outcomes (still in job
+/// order) to a caller-owned vector instead of allocating a fresh one.
+///
+/// This is the entry point for scheduler-driven decoding: a multi-round
+/// batch accumulates one outcome vector across rounds so that a leaf
+/// decoded in an earlier round (e.g. the shared update-log partition) is
+/// never decoded again — callers index outcomes by the position recorded
+/// when the job was first submitted.
+pub fn decode_jobs_parallel_into<F>(
+    reads: &[Read],
+    jobs: &[DecodeJob],
+    validator: F,
+    max_threads: usize,
+    out: &mut Vec<BlockDecodeOutcome>,
+) where
+    F: Fn(&[u8]) -> bool + Sync,
+{
     let threads = if max_threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -53,10 +75,12 @@ where
     .min(jobs.len())
     .max(1);
     if threads == 1 || jobs.len() <= 1 {
-        return jobs
-            .iter()
-            .map(|j| decode_block_validated(reads, &j.prefix, &j.reverse, &j.config, &validator))
-            .collect();
+        out.extend(
+            jobs.iter().map(|j| {
+                decode_block_validated(reads, &j.prefix, &j.reverse, &j.config, &validator)
+            }),
+        );
+        return;
     }
     let validator = &validator;
     let mut results: Vec<Option<BlockDecodeOutcome>> = Vec::new();
@@ -87,10 +111,11 @@ where
             }
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every job striped to exactly one worker"))
-        .collect()
+    out.extend(
+        results
+            .into_iter()
+            .map(|r| r.expect("every job striped to exactly one worker")),
+    );
 }
 
 #[cfg(test)]
@@ -192,6 +217,50 @@ mod tests {
             );
             assert_eq!(p.versions, s.versions, "job {i} parallel != sequential");
             assert_eq!(p.reads_matched, s.reads_matched);
+        }
+    }
+
+    #[test]
+    fn append_into_preserves_existing_outcomes_and_job_order() {
+        // Two "rounds": the second round's outcomes append after the
+        // first's without disturbing them — the accumulation contract the
+        // block store's cross-round decode dedupe relies on.
+        let mut pool = Pool::new();
+        let mut jobs = Vec::new();
+        let mut expected = Vec::new();
+        for (u, index) in indexes().iter().enumerate() {
+            let data = unit_bytes(40 + u as u8);
+            for s in encode_unit(&data, index, 13, u as u64) {
+                pool.add(s, 100.0, None);
+            }
+            jobs.push(DecodeJob {
+                prefix: prefix_for(index),
+                reverse: rev(),
+                config: BlockDecodeConfig::paper_default(13, u as u64),
+            });
+            expected.push(data.to_vec());
+        }
+        let mut rng = DetRng::seed_from_u64(8);
+        let reads = Sequencer::new(IdsChannel::illumina()).sequence(&pool, 45 * 10, &mut rng);
+
+        let mut acc = Vec::new();
+        decode_jobs_parallel_into(&reads, &jobs[..1], |_| true, 0, &mut acc);
+        assert_eq!(acc.len(), 1);
+        let first = acc[0].clone();
+        decode_jobs_parallel_into(&reads, &jobs[1..], |_| true, 0, &mut acc);
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc[0].versions, first.versions, "round 1 outcome untouched");
+        for (i, outcome) in acc.iter().enumerate() {
+            assert_eq!(
+                outcome.versions[&Base::A].unit_bytes,
+                expected[i],
+                "job {i} decoded wrong bytes"
+            );
+        }
+        // The append path agrees with the one-shot path.
+        let oneshot = decode_jobs_parallel(&reads, &jobs, |_| true, 0);
+        for (a, b) in acc.iter().zip(&oneshot) {
+            assert_eq!(a.versions, b.versions);
         }
     }
 

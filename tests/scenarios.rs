@@ -4,8 +4,8 @@
 //! throughout.
 
 use dna_storage::block_store::{
-    batch::BatchPlanner, workload, BlockStore, PartitionConfig, PartitionId, StoreError,
-    UpdateLayout, BLOCK_SIZE,
+    batch::BatchPlanner, workload, BatchWindow, BlockStore, PartitionConfig, PartitionId,
+    ServerConfig, StoreError, StoreServer, UpdateLayout, BLOCK_SIZE,
 };
 use dna_storage::sim::{IdsChannel, Sequencer};
 
@@ -182,6 +182,83 @@ fn mixed_read_update_batch_interleaving_over_partitions() {
             );
         }
     }
+}
+
+#[test]
+fn concurrent_coalescing_beats_sequential_rounds() {
+    // PR 2's batch acceptance check, lifted to the serving layer: K
+    // concurrent single-block reads from K client threads — spread across
+    // primer-compatible partitions — must execute in strictly fewer
+    // multiplex rounds than the same K reads issued sequentially, with
+    // byte-identical results. The Gate window makes the coalescing
+    // deterministic: all K reads are queued before the round is released.
+    const K: usize = 6;
+    let partitions = 3usize;
+    let blocks_per = (K / partitions) as u64;
+
+    // Sequential baseline on a plain store.
+    let mut store = BlockStore::new(209);
+    let mut pids = Vec::new();
+    let mut shadow = Vec::new();
+    for p in 0..partitions {
+        let pid = store
+            .create_partition(PartitionConfig::paper_default(82 + p as u64))
+            .unwrap();
+        let data = workload::deterministic_text(blocks_per as usize * BLOCK_SIZE, 120 + p as u64);
+        store.write_file(pid, &data).unwrap();
+        pids.push(pid);
+        shadow.push(data);
+    }
+    let mut sequential_rounds = 0usize;
+    let mut sequential = Vec::new();
+    for &pid in &pids {
+        for b in 0..blocks_per {
+            let out = store.read_block(pid, b).unwrap();
+            sequential_rounds += out.stats.pcr_rounds;
+            sequential.push(out.block);
+        }
+    }
+    assert_eq!(sequential_rounds, K, "baseline: one round per read");
+
+    // The same store, served concurrently with a gated batching window.
+    let server = StoreServer::new(
+        store,
+        ServerConfig {
+            window: BatchWindow::Gate,
+            ..ServerConfig::paper_default()
+        },
+    );
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|i| {
+                let (server, pids) = (&server, &pids);
+                scope.spawn(move || {
+                    let (p, b) = (i / blocks_per as usize, (i % blocks_per as usize) as u64);
+                    (i, server.read_block(pids[p], b).unwrap())
+                })
+            })
+            .collect();
+        // Deterministic coalescing: release the round only once all K
+        // reads are queued.
+        while server.pending_reads() < K {
+            std::thread::yield_now();
+        }
+        server.release_batch();
+        for handle in handles {
+            let (i, read) = handle.join().unwrap();
+            assert!(!read.from_cache, "first read of each block pays wetlab");
+            assert_eq!(read.block, sequential[i], "request {i} content differs");
+        }
+    });
+    let stats = server.stats();
+    assert!(
+        (stats.rounds_executed as usize) < sequential_rounds,
+        "coalesced {} rounds vs sequential {sequential_rounds}",
+        stats.rounds_executed
+    );
+    assert_eq!(stats.batches_executed, 1, "one gated batch");
+    assert_eq!(stats.reads_coalesced as usize, K - 1);
+    assert_eq!(stats.stale_serves, 0);
 }
 
 #[test]
