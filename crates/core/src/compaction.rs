@@ -1,0 +1,337 @@
+//! Compaction: reclaiming update capacity by folding patch chains.
+//!
+//! Every update layout in §5.3 degrades monotonically as updates
+//! accumulate: [`crate::UpdateLayout::retrieval_scope_units`] grows with
+//! the chain / stack / log length, and once overflow leaves collide with
+//! data (or the TwoStacks region fills, or the shared log runs out of
+//! leaves) the partition becomes read-only —
+//! [`crate::StoreError::UpdateSlotsExhausted`]. The paper's versioned
+//! design assumes stale versions can eventually be *consolidated* by
+//! re-synthesizing merged blocks, and the rewritable random-access line of
+//! work (Yazdi et al. 2015) demonstrates block rewrite as the recovery
+//! primitive. This module is that missing lifecycle step:
+//!
+//! 1. **Fold** — each updated block's patch chain is folded into its
+//!    current logical image (the §5.4 digital front-end already maintains
+//!    it; no wetlab read is needed).
+//! 2. **Retire** — the stale version, overflow-chain, pointer and log
+//!    molecules are withdrawn from the simulated pool
+//!    ([`dna_sim::Pool::retire_where`]).
+//! 3. **Rebase** — a fresh base unit is re-synthesized at `VersionSlot(0)`
+//!    (IDT small-batch vendor, §6.4.2 concentration-matched mixing) and the
+//!    partition's placement bookkeeping is reset through
+//!    [`crate::Partition::reclaim_updates`].
+//!
+//! The result: full update headroom is restored and the block's retrieval
+//! scope collapses back to one unit, so reads of previously hot blocks
+//! sequence fewer reads than before. The price is synthesis — one full
+//! encoding unit per rebased block — which
+//! [`crate::cost::compaction_break_even_reads`] weighs against the
+//! per-read sequencing savings.
+//!
+//! [`CompactionPolicy`] decides *when*: thresholds on chain length, stack
+//! occupancy, log size, projected retrieval scope and remaining update
+//! headroom. [`Compactor`] applies the policy across a whole
+//! [`BlockStore`]; the serving layer
+//! ([`crate::service::StoreServer`]) runs it between coalesced batches and
+//! before updates that would otherwise exhaust their slots.
+
+use crate::layout::UpdateLayout;
+use crate::store::{BlockStore, PartitionId};
+use crate::StoreError;
+
+/// Thresholds deciding when a partition (or the shared log) is worth
+/// compacting. A threshold of `0` disables that trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact a partition once any block's overflow chain reaches this
+    /// many leaves (Interleaved: every chain hop is an extra PCR
+    /// round-trip on the sequential path).
+    pub max_chain_len: usize,
+    /// Compact a partition once its TwoStacks update region holds this
+    /// many units (every read of the partition amplifies the whole
+    /// region).
+    pub max_stack_updates: u64,
+    /// Compact the shared DedicatedLog partition at this many entries
+    /// (every read of *any* DedicatedLog block sequences the whole log).
+    pub max_log_entries: u64,
+    /// Compact once any updated block's projected
+    /// [`crate::UpdateLayout::retrieval_scope_units`] reaches this many
+    /// units.
+    pub max_scope_units: u64,
+    /// Compact once predicted update headroom
+    /// ([`crate::BlockStore::update_headroom`]) falls below this many
+    /// updates. With any value `>= 1`, a store that compacts before
+    /// committing each update can never hit
+    /// [`crate::StoreError::UpdateSlotsExhausted`].
+    pub min_headroom: u64,
+}
+
+impl CompactionPolicy {
+    /// Serving defaults: fold a chain at 2 hops, a stack or log at 24
+    /// units, any block whose scope reaches 12 units, and always keep at
+    /// least 2 updates of headroom.
+    pub fn paper_default() -> CompactionPolicy {
+        CompactionPolicy {
+            max_chain_len: 2,
+            max_stack_updates: 24,
+            max_log_entries: 24,
+            max_scope_units: 12,
+            min_headroom: 2,
+        }
+    }
+
+    /// Headroom-only policy: compact exactly when the next few updates
+    /// would exhaust, never for read-cost reasons.
+    pub fn headroom_only(min_headroom: u64) -> CompactionPolicy {
+        CompactionPolicy {
+            max_chain_len: 0,
+            max_stack_updates: 0,
+            max_log_entries: 0,
+            max_scope_units: 0,
+            min_headroom,
+        }
+    }
+}
+
+/// What one compaction pass did — the observable the scenario suite and
+/// [`crate::ServerStats`] counters are built on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompactionReport {
+    /// Partitions whose bookkeeping was reset (the shared log counts as
+    /// one).
+    pub partitions_compacted: usize,
+    /// Blocks whose patch chains were folded into a fresh base unit.
+    pub blocks_rebased: usize,
+    /// Stale encoding units removed from the addressable scope: patches,
+    /// chain pointers, log entries and superseded base units.
+    pub units_reclaimed: u64,
+    /// Distinct molecular species retired from the simulated pool.
+    pub species_retired: usize,
+    /// Fresh base units synthesized (one per rebased block).
+    pub rewrites_synthesized: u64,
+    /// Dollar cost of the re-synthesis (IDT small-batch vendor, charged
+    /// per designed base — §7.5's cost axis).
+    pub synthesis_cost: f64,
+    /// Every rebased block address, for cache refresh / invalidation in
+    /// the serving layer.
+    pub rebased: Vec<(PartitionId, u64)>,
+}
+
+impl CompactionReport {
+    /// Whether the pass did nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.partitions_compacted == 0 && self.units_reclaimed == 0
+    }
+
+    /// Folds another report into this one (a store-wide pass is the merge
+    /// of its per-partition passes).
+    pub fn merge(&mut self, other: CompactionReport) {
+        self.partitions_compacted += other.partitions_compacted;
+        self.blocks_rebased += other.blocks_rebased;
+        self.units_reclaimed += other.units_reclaimed;
+        self.species_retired += other.species_retired;
+        self.rewrites_synthesized += other.rewrites_synthesized;
+        self.synthesis_cost += other.synthesis_cost;
+        self.rebased.extend(other.rebased);
+    }
+}
+
+/// Applies a [`CompactionPolicy`] across a whole store: scans every data
+/// partition and the shared log, compacting the ones over threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Compactor {
+    /// The thresholds this compactor enforces.
+    pub policy: CompactionPolicy,
+}
+
+impl Compactor {
+    /// A compactor enforcing `policy`.
+    pub fn new(policy: CompactionPolicy) -> Compactor {
+        Compactor { policy }
+    }
+
+    /// Whether `pid` is over any partition threshold. Partitions with no
+    /// recorded updates are never worth compacting; DedicatedLog
+    /// partitions defer to [`Compactor::should_compact_log`] (their
+    /// patches live in the shared log).
+    pub fn should_compact_partition(&self, store: &BlockStore, pid: PartitionId) -> bool {
+        let Ok(partition) = store.partition(pid) else {
+            return false;
+        };
+        if partition.total_updates() == 0 {
+            return false;
+        }
+        let layout = partition.config().layout;
+        if layout == UpdateLayout::DedicatedLog {
+            return false;
+        }
+        let p = &self.policy;
+        // Chain length is an Interleaved signal: each hop is an extra PCR
+        // round-trip there. (TwoStacks tracks per-block stack leaves in the
+        // same structure, but its read cost is the region size, thresholded
+        // separately below.)
+        if matches!(layout, UpdateLayout::Interleaved { .. })
+            && p.max_chain_len > 0
+            && partition.max_chain_len() >= p.max_chain_len
+        {
+            return true;
+        }
+        if layout == UpdateLayout::TwoStacks
+            && p.max_stack_updates > 0
+            && partition.stack_update_count() >= p.max_stack_updates
+        {
+            return true;
+        }
+        partition.updated_blocks().iter().any(|&(block, _)| {
+            let over_scope = p.max_scope_units > 0
+                && store
+                    .retrieval_scope_units(pid, block)
+                    .is_ok_and(|units| units >= p.max_scope_units);
+            let starved = p.min_headroom > 0
+                && store
+                    .update_headroom(pid, block)
+                    .is_ok_and(|headroom| headroom < p.min_headroom);
+            over_scope || starved
+        })
+    }
+
+    /// Whether the shared log is over its entry threshold or out of
+    /// headroom.
+    pub fn should_compact_log(&self, store: &BlockStore) -> bool {
+        let entries = store.log_entries();
+        if entries == 0 {
+            return false;
+        }
+        (self.policy.max_log_entries > 0 && entries >= self.policy.max_log_entries)
+            || (self.policy.min_headroom > 0 && store.log_headroom() < self.policy.min_headroom)
+    }
+
+    /// One maintenance pass: compacts every partition over threshold, then
+    /// the shared log if it is over threshold. Returns the merged report
+    /// (empty when nothing crossed a threshold).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockStore::compact_partition`] /
+    /// [`BlockStore::compact_log`] errors.
+    pub fn run(&self, store: &mut BlockStore) -> Result<CompactionReport, StoreError> {
+        let mut report = CompactionReport::default();
+        for pid in store.partition_ids() {
+            if self.should_compact_partition(store, pid) {
+                report.merge(store.compact_partition(pid)?);
+            }
+        }
+        if self.should_compact_log(store) {
+            report.merge(store.compact_log()?);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BLOCK_SIZE;
+    use crate::partition::PartitionConfig;
+    use crate::workload::deterministic_text;
+
+    fn small_store(seed: u64, layout: UpdateLayout) -> (BlockStore, PartitionId, Vec<u8>) {
+        let mut store = BlockStore::new(seed);
+        store
+            .set_log_partition_config(PartitionConfig::small(
+                seed ^ 0x106,
+                2,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let pid = store
+            .create_partition(PartitionConfig::small(seed ^ 0x55, 2, layout))
+            .unwrap();
+        let data = deterministic_text(4 * BLOCK_SIZE, seed ^ 0x56);
+        store.write_file(pid, &data).unwrap();
+        (store, pid, data)
+    }
+
+    fn update(store: &mut BlockStore, pid: PartitionId, data: &mut [u8], block: u64, round: u8) {
+        let off = block as usize * BLOCK_SIZE;
+        data[off + usize::from(round % 8)] = b'a' + (round % 26);
+        store
+            .update_block(pid, block, &data[off..off + BLOCK_SIZE])
+            .unwrap();
+    }
+
+    #[test]
+    fn policy_triggers_on_chain_stack_and_log_growth() {
+        let compactor = Compactor::new(CompactionPolicy {
+            max_chain_len: 1,
+            max_stack_updates: 3,
+            max_log_entries: 3,
+            max_scope_units: 0,
+            min_headroom: 0,
+        });
+        // Interleaved: triggers once a chain forms (update 3 overflows).
+        let (mut store, pid, mut data) = small_store(0xC0, UpdateLayout::paper_default());
+        for round in 0..2 {
+            update(&mut store, pid, &mut data, 0, round);
+            assert!(!compactor.should_compact_partition(&store, pid));
+        }
+        update(&mut store, pid, &mut data, 0, 2);
+        assert!(compactor.should_compact_partition(&store, pid));
+        // TwoStacks: triggers at 3 stacked updates.
+        let (mut store, pid, mut data) = small_store(0xC1, UpdateLayout::TwoStacks);
+        for round in 0..3 {
+            update(&mut store, pid, &mut data, 0, round);
+        }
+        assert!(compactor.should_compact_partition(&store, pid));
+        // DedicatedLog: the partition never triggers, the log does.
+        let (mut store, pid, mut data) = small_store(0xC2, UpdateLayout::DedicatedLog);
+        for round in 0..3 {
+            update(&mut store, pid, &mut data, 0, round);
+        }
+        assert!(!compactor.should_compact_partition(&store, pid));
+        assert!(compactor.should_compact_log(&store));
+    }
+
+    #[test]
+    fn run_compacts_over_threshold_and_reports_reclaims() {
+        let (mut store, pid, mut data) = small_store(0xC3, UpdateLayout::paper_default());
+        for round in 0..6 {
+            update(&mut store, pid, &mut data, 0, round);
+        }
+        update(&mut store, pid, &mut data, 1, 0);
+        let compactor = Compactor::new(CompactionPolicy::paper_default());
+        assert!(compactor.should_compact_partition(&store, pid));
+        let report = compactor.run(&mut store).unwrap();
+        assert!(!report.is_empty());
+        assert_eq!(report.partitions_compacted, 1);
+        assert_eq!(report.blocks_rebased, 2);
+        assert_eq!(report.rewrites_synthesized, 2);
+        // Block 0: 6 patches + 2 pointers + 1 old base; block 1: 1 patch +
+        // 1 old base.
+        assert_eq!(report.units_reclaimed, 11);
+        assert!(report.species_retired > 0);
+        assert!(report.synthesis_cost > 0.0);
+        assert_eq!(report.rebased, vec![(pid, 0), (pid, 1)]);
+        // Idempotent: a second pass finds nothing over threshold.
+        let again = compactor.run(&mut store).unwrap();
+        assert!(again.is_empty(), "{again:?}");
+        // Full headroom is back.
+        assert_eq!(store.update_headroom(pid, 0).unwrap(), 2 + 12 * 3);
+    }
+
+    #[test]
+    fn headroom_only_policy_ignores_read_cost_signals() {
+        let (mut store, pid, mut data) = small_store(0xC4, UpdateLayout::paper_default());
+        for round in 0..6 {
+            update(&mut store, pid, &mut data, 0, round);
+        }
+        let lazy = Compactor::new(CompactionPolicy::headroom_only(2));
+        assert!(
+            !lazy.should_compact_partition(&store, pid),
+            "plenty of headroom left"
+        );
+        let eager = Compactor::new(CompactionPolicy::headroom_only(u64::MAX));
+        assert!(eager.should_compact_partition(&store, pid));
+    }
+}

@@ -40,6 +40,40 @@ pub fn updated_read_reduction(
     ours_useful * partition_molecules as f64 / block_plus_update_molecules as f64
 }
 
+/// Synthesis cost of a compaction pass: every rebased block re-synthesizes
+/// one full encoding unit (the §7.5 15-molecule unit), charged per
+/// designed base like any other small-batch synthesis.
+pub fn compaction_synthesis_cost(
+    rewritten_units: u64,
+    strands_per_unit: u64,
+    strand_len: u64,
+    cost_per_base: f64,
+) -> f64 {
+    cost_per_base * (rewritten_units * strands_per_unit * strand_len) as f64
+}
+
+/// Hot-block reads needed to amortize a compaction's synthesis cost.
+///
+/// Compaction collapses a block's retrieval scope from
+/// `scope_units_before` to 1 unit, so each subsequent read sequences
+/// `(scope_units_before - 1) · strands_per_unit · coverage` fewer reads;
+/// at `cost_per_read` dollars of sequencing each, the rewrite pays for
+/// itself after this many reads. Returns `f64::INFINITY` when the scope
+/// was already minimal (nothing to save).
+pub fn compaction_break_even_reads(
+    synthesis_cost: f64,
+    scope_units_before: u64,
+    strands_per_unit: u64,
+    coverage: u64,
+    cost_per_read: f64,
+) -> f64 {
+    let reads_saved_per_access = scope_units_before.saturating_sub(1) * strands_per_unit * coverage;
+    if reads_saved_per_access == 0 {
+        return f64::INFINITY;
+    }
+    synthesis_cost / (reads_saved_per_access as f64 * cost_per_read)
+}
+
 /// §7.4 latency comparison for one retrieval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyComparison {
@@ -147,5 +181,22 @@ mod tests {
     #[should_panic]
     fn zero_useful_fraction_panics() {
         waste_factor(0.0);
+    }
+
+    #[test]
+    fn compaction_costs_scale_and_break_even() {
+        // One rebased block = 15 molecules of 150 bases at IDT's $0.05/base.
+        let one = compaction_synthesis_cost(1, 15, 150, 0.05);
+        assert!((one - 112.5).abs() < 1e-9);
+        assert_eq!(compaction_synthesis_cost(4, 15, 150, 0.05), 4.0 * one);
+        // A block whose scope grew to 7 units saves 6*15*12 reads per
+        // access; at $0.01/read the rewrite amortizes in ~10 reads.
+        let be = compaction_break_even_reads(one, 7, 15, 12, 0.01);
+        assert!((be - 112.5 / 10.8).abs() < 1e-9, "{be}");
+        // Already-minimal scope: compaction can never pay for itself.
+        assert_eq!(
+            compaction_break_even_reads(one, 1, 15, 12, 0.01),
+            f64::INFINITY
+        );
     }
 }

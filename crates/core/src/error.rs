@@ -1,5 +1,6 @@
 //! Block-store error types.
 
+use crate::layout::UpdateLayout;
 use std::error::Error;
 use std::fmt;
 
@@ -25,7 +26,24 @@ pub enum StoreError {
         available: u64,
     },
     /// All version slots (and overflow space) for this block are exhausted.
-    UpdateSlotsExhausted(u64),
+    /// Carries enough context to diagnose the failure — and to decide
+    /// whether compaction ([`crate::BlockStore::compact_partition`]) can
+    /// reclaim capacity — without re-probing the partition.
+    UpdateSlotsExhausted {
+        /// The block whose update could not be placed.
+        block: u64,
+        /// The layout that ran out of space.
+        layout: UpdateLayout,
+        /// Length of the block's overflow chain (Interleaved), the number
+        /// of this block's stacked updates (TwoStacks), or the number of
+        /// shared-log entries (DedicatedLog) at the point of failure.
+        chain_len: usize,
+        /// Updates that could still be placed — 0 when the write that
+        /// produced this error was rejected, but callers propagating a
+        /// prediction (see [`crate::Partition::update_headroom`]) may
+        /// carry a nonzero remainder.
+        headroom: u64,
+    },
     /// A patch description is malformed (e.g. offsets beyond block size).
     InvalidPatch(String),
     /// Wetlab retrieval ran but decoding failed (insufficient coverage,
@@ -51,8 +69,18 @@ impl fmt::Display for StoreError {
             StoreError::FileTooLarge { needed, available } => {
                 write!(f, "file needs {needed} blocks, only {available} available")
             }
-            StoreError::UpdateSlotsExhausted(b) => {
-                write!(f, "update slots exhausted for block {b}")
+            StoreError::UpdateSlotsExhausted {
+                block,
+                layout,
+                chain_len,
+                headroom,
+            } => {
+                write!(
+                    f,
+                    "update slots exhausted for block {block} ({layout} layout, \
+                     chain length {chain_len}, headroom {headroom}); \
+                     compaction can reclaim capacity"
+                )
             }
             StoreError::InvalidPatch(msg) => write!(f, "invalid patch: {msg}"),
             StoreError::DecodeFailed { block, reason } => {

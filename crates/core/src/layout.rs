@@ -25,6 +25,18 @@ pub enum UpdateLayout {
     },
 }
 
+impl std::fmt::Display for UpdateLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateLayout::DedicatedLog => write!(f, "DedicatedLog"),
+            UpdateLayout::TwoStacks => write!(f, "TwoStacks"),
+            UpdateLayout::Interleaved { update_slots } => {
+                write!(f, "Interleaved({update_slots})")
+            }
+        }
+    }
+}
+
 impl UpdateLayout {
     /// The paper's layout: 3 update slots per block via one version base.
     pub fn paper_default() -> UpdateLayout {

@@ -30,6 +30,12 @@
 //! from an update-aware decoded-block cache ([`cache::BlockCache`]) at
 //! zero wetlab cost.
 //!
+//! Long-lived stores stay writable through the [`compaction`] subsystem:
+//! a [`compaction::Compactor`] folds accumulated patch chains back into
+//! fresh base units — retiring the stale molecules from the pool and
+//! re-synthesizing merged blocks — so update capacity and single-unit
+//! read scopes are both reclaimed instead of degrading monotonically.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,6 +62,7 @@ mod update;
 pub mod batch;
 pub mod cache;
 pub mod capacity;
+pub mod compaction;
 pub mod cost;
 pub mod layout;
 pub mod planner;
@@ -65,9 +72,12 @@ pub mod workload;
 pub use batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem, PlannedRound};
 pub use block::{checksum64, unit_checksum_ok, Block, BLOCK_SIZE, UNIT_BYTES};
 pub use cache::BlockCache;
+pub use compaction::{CompactionPolicy, CompactionReport, Compactor};
 pub use error::StoreError;
 pub use layout::UpdateLayout;
-pub use partition::{parse_pointer_block, pointer_block, Partition, PartitionConfig, VersionSlot};
+pub use partition::{
+    parse_pointer_block, pointer_block, Partition, PartitionConfig, ReclaimedUpdates, VersionSlot,
+};
 pub use service::{BatchWindow, CachePolicy, ServedRead, ServerConfig, ServerStats, StoreServer};
 pub use store::{BatchReadOutcome, BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
 pub use update::UpdatePatch;

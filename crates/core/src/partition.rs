@@ -62,6 +62,19 @@ impl PartitionConfig {
             partition_tag: 0,
         }
     }
+
+    /// A reduced address space: `tree_depth` levels (`4^depth` leaves) with
+    /// a matching sparse unit index (2 bases per level); everything else as
+    /// the paper wetlab. Small partitions reach update-slot exhaustion
+    /// within a test budget, which is what the compaction scenarios, bench
+    /// and example drive.
+    pub fn small(master_seed: u64, tree_depth: usize, layout: UpdateLayout) -> PartitionConfig {
+        let mut config = PartitionConfig::paper_default(master_seed);
+        config.geometry.unit_index_len = 2 * tree_depth;
+        config.tree_depth = tree_depth;
+        config.layout = layout;
+        config
+    }
 }
 
 /// Where one write (original or update) lands in the address space.
@@ -74,6 +87,19 @@ pub struct UpdatePlacement {
     /// Pointer units that must be synthesized alongside:
     /// `(leaf, slot, target_leaf)`.
     pub pointers: Vec<(u64, VersionSlot, u64)>,
+}
+
+/// Summary of a partition-wide update reclaim
+/// ([`Partition::reclaim_updates`]): everything the store needs to retire
+/// stale molecules and re-synthesize fresh base units.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReclaimedUpdates {
+    /// Blocks whose patch chains were folded, with the write count each
+    /// carried before the reclaim (`writes >= 2`).
+    pub rebased_blocks: Vec<(u64, u32)>,
+    /// Overflow / stack leaves returned to the free region, in ascending
+    /// order. Every molecule addressed at these leaves is now stale.
+    pub freed_leaves: Vec<u64>,
 }
 
 /// A storage partition: primer pair + PCR-navigable index tree + versioned
@@ -329,7 +355,12 @@ impl Partition {
                     // previous tail.
                     let new_leaf = self.overflow_next;
                     if new_leaf <= self.max_block_written {
-                        return Err(StoreError::UpdateSlotsExhausted(block));
+                        return Err(StoreError::UpdateSlotsExhausted {
+                            block,
+                            layout: self.config.layout,
+                            chain_len: chain.len(),
+                            headroom: 0,
+                        });
                     }
                     let pointer_slot = VersionSlot(update_slots);
                     let pointer_from = if chain_idx == 0 {
@@ -351,7 +382,12 @@ impl Partition {
                     .num_leaves()
                     .checked_sub(1 + self.stack_updates)
                     .filter(|&l| l > self.max_block_written)
-                    .ok_or(StoreError::UpdateSlotsExhausted(block))?;
+                    .ok_or(StoreError::UpdateSlotsExhausted {
+                        block,
+                        layout: self.config.layout,
+                        chain_len: self.chain_of(block).len(),
+                        headroom: 0,
+                    })?;
                 Ok(UpdatePlacement {
                     leaf,
                     slot: VersionSlot(0),
@@ -385,7 +421,17 @@ impl Partition {
             let ptr_block = pointer_block(target);
             molecules.extend(self.encode_unit(ptr_leaf, ptr_slot, &ptr_block));
         }
-        // Commit.
+        self.commit_placement(block, &placement);
+        Ok((placement, molecules))
+    }
+
+    /// Commits a placement produced by [`Partition::plan_update`]: records
+    /// the write, extends the overflow chain, and advances the allocator
+    /// state the layout uses. This is the *single* mutation point for
+    /// update bookkeeping — [`Partition::encode_update`] goes through it,
+    /// and [`Partition::reclaim_updates`] is its inverse — so no caller
+    /// ever re-derives the commit by re-matching on the layout.
+    pub fn commit_placement(&mut self, block: u64, placement: &UpdatePlacement) {
         match self.config.layout {
             UpdateLayout::Interleaved { .. } => {
                 if !placement.pointers.is_empty() {
@@ -397,16 +443,120 @@ impl Partition {
                 self.stack_updates += 1;
                 self.chains.entry(block).or_default().push(placement.leaf);
             }
-            UpdateLayout::DedicatedLog => unreachable!("plan_update rejected"),
+            UpdateLayout::DedicatedLog => {
+                unreachable!("DedicatedLog updates are placed in the shared log partition")
+            }
         }
         *self.write_counts.entry(block).or_insert(0) += 1;
-        Ok((placement, molecules))
     }
 
     /// Registers an externally placed update (used by the store for the
     /// DedicatedLog layout, where patches live in the log partition).
     pub fn note_external_update(&mut self, block: u64) {
         *self.write_counts.entry(block).or_insert(0) += 1;
+    }
+
+    // ----- maintenance / compaction ----------------------------------------
+
+    /// Predicts how many more updates can be placed before
+    /// [`crate::StoreError::UpdateSlotsExhausted`], assuming no other block
+    /// consumes shared overflow space in the meantime. Callers use this to
+    /// schedule compaction *before* a write fails instead of probing with
+    /// writes. Returns 0 for blocks that were never written;
+    /// [`u64::MAX`] for the DedicatedLog layout, whose updates live in the
+    /// shared log partition (see `BlockStore::update_headroom` for the
+    /// store-level prediction that accounts for log capacity).
+    pub fn update_headroom(&self, block: u64) -> u64 {
+        let writes = self.writes_of(block);
+        if writes == 0 {
+            return 0;
+        }
+        let updates = u64::from(writes - 1);
+        match self.config.layout {
+            UpdateLayout::Interleaved { update_slots } => {
+                let direct = u64::from(update_slots) - 1;
+                let per_leaf = u64::from(update_slots);
+                let direct_free = direct.saturating_sub(updates);
+                let overflow_used = updates.saturating_sub(direct);
+                let chain_cap = self.chain_of(block).len() as u64 * per_leaf;
+                let in_chain_free = chain_cap.saturating_sub(overflow_used);
+                let free_leaves = self.overflow_next.saturating_sub(self.max_block_written);
+                direct_free + in_chain_free + free_leaves * per_leaf
+            }
+            UpdateLayout::TwoStacks => self
+                .num_leaves()
+                .saturating_sub(self.stack_updates)
+                .saturating_sub(self.max_block_written + 1),
+            UpdateLayout::DedicatedLog => u64::MAX,
+        }
+    }
+
+    /// Length of the longest committed overflow chain (0 when no block has
+    /// chained) — one of the signals a `CompactionPolicy` thresholds on.
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total updates recorded across all blocks (externally placed
+    /// DedicatedLog updates included).
+    pub fn total_updates(&self) -> u64 {
+        self.write_counts
+            .values()
+            .map(|&w| u64::from(w.saturating_sub(1)))
+            .sum()
+    }
+
+    /// Blocks carrying at least one update, with their write counts — the
+    /// candidates a compaction pass will fold and rebase.
+    pub fn updated_blocks(&self) -> Vec<(u64, u32)> {
+        self.write_counts
+            .iter()
+            .filter(|&(_, &w)| w > 1)
+            .map(|(&b, &w)| (b, w))
+            .collect()
+    }
+
+    /// Folds all update bookkeeping back to the freshly-written state: every
+    /// committed overflow chain is released, the overflow allocator returns
+    /// to the top of the address space, the TwoStacks update region empties,
+    /// and each written block's write count resets to 1 (original only).
+    ///
+    /// This is the partition half of compaction. The caller (the store's
+    /// `compact_partition`) is responsible for the pool half: retiring the
+    /// stale molecules at the returned leaves and re-synthesizing a fresh
+    /// base unit — [`Partition::encode_unit`] at `VersionSlot(0)` — for
+    /// every rebased block from its current logical image, so the DNA and
+    /// the metadata agree again.
+    pub fn reclaim_updates(&mut self) -> ReclaimedUpdates {
+        let rebased_blocks = self.updated_blocks();
+        let mut freed_leaves: Vec<u64> = self.chains.values().flatten().copied().collect();
+        freed_leaves.sort_unstable();
+        freed_leaves.dedup();
+        self.chains.clear();
+        self.overflow_next = self.tree.num_leaves() - 1;
+        self.stack_updates = 0;
+        for w in self.write_counts.values_mut() {
+            *w = 1;
+        }
+        ReclaimedUpdates {
+            rebased_blocks,
+            freed_leaves,
+        }
+    }
+
+    /// Erases *all* write state — every block becomes writable again. Only
+    /// meaningful for the shared DedicatedLog partition, whose entries are
+    /// wholesale superseded when the log is folded into rebased data blocks;
+    /// the caller must retire the corresponding molecules from the pool.
+    /// Returns the number of blocks cleared.
+    pub fn reclaim_all(&mut self) -> usize {
+        let cleared = self.write_counts.len();
+        self.write_counts.clear();
+        self.chains.clear();
+        self.overflow_next = self.tree.num_leaves() - 1;
+        self.max_block_written = 0;
+        self.stack_updates = 0;
+        cleared
     }
 
     /// The PCR prefixes needed to read `block` with all its updates in one
@@ -442,10 +592,73 @@ impl Partition {
             cluster: dna_pipeline::ClusterConfig::default(),
             filter_max_edit: 3,
             max_clusters: 0,
-            max_alternates: 2,
-            max_decode_attempts: 8192,
+            // Deep enough that the true strand stays in the candidate list
+            // even when chimera products from several misprimed foreign
+            // units out-cluster it on the same address (the flood regime
+            // of partial-prefix range PCR); the decoder's uniform-rank
+            // passes then recover it without a combinatorial search.
+            max_alternates: 4,
+            // Room for the decoder's popcount-ordered flip search to cover
+            // an equal-abundance impostor on every column (~2^15 for the
+            // paper's 15-column units); clean decodes still exit on the
+            // first attempt.
+            max_decode_attempts: 65536,
             index_tail_tolerance: Some(1),
+            version_allowlist: None,
         }
+    }
+
+    /// As [`Partition::decode_config`], restricted to the version slots the
+    /// caller knows are live at `leaf`. The store uses this wherever its
+    /// metadata is exact — freshly rebased base units, TwoStacks /
+    /// DedicatedLog data blocks, stack leaves and log entries all hold only
+    /// `VersionSlot(0)` — so wetlab noise claiming another version base can
+    /// never be decoded into a phantom patch.
+    pub fn decode_config_versions(&self, leaf: u64, slots: &[VersionSlot]) -> BlockDecodeConfig {
+        let mut cfg = self.decode_config(leaf);
+        cfg.version_allowlist = Some(slots.iter().map(|s| s.base()).collect());
+        cfg
+    }
+
+    /// The version slots live at `leaf` according to the partition's
+    /// update metadata — exactly the slots a decode of that leaf must
+    /// recover, no more. Pinning decodes to this set makes the read paths
+    /// sound in both directions: noise claiming a dead version base is
+    /// never decoded into a phantom patch, and a live slot that fails to
+    /// decode is a *hole in the patch chain* the read can refuse to paper
+    /// over.
+    pub fn live_version_slots(&self, leaf: u64) -> Vec<VersionSlot> {
+        let UpdateLayout::Interleaved { update_slots } = self.config.layout else {
+            // TwoStacks and DedicatedLog place everything at slot 0.
+            return vec![VersionSlot(0)];
+        };
+        let direct = u32::from(update_slots) - 1;
+        let per_leaf = u32::from(update_slots);
+        // Committed chain leaf: patches fill slots 0.. in allocation
+        // order; the pointer slot is live when a later chain leaf exists.
+        for (&block, chain) in &self.chains {
+            if let Some(i) = chain.iter().position(|&l| l == leaf) {
+                let updates = self.writes_of(block).saturating_sub(1);
+                let overflow_used = updates.saturating_sub(direct);
+                let here = overflow_used
+                    .saturating_sub(i as u32 * per_leaf)
+                    .min(per_leaf);
+                let mut slots: Vec<VersionSlot> = (0..here as u8).map(VersionSlot).collect();
+                if i + 1 < chain.len() {
+                    slots.push(VersionSlot(update_slots));
+                }
+                return slots;
+            }
+        }
+        // Data leaf: the base, the direct update slots in use, and the
+        // pointer slot once the block has overflowed.
+        let updates = self.writes_of(leaf).saturating_sub(1);
+        let mut slots = vec![VersionSlot(0)];
+        slots.extend((1..=updates.min(direct)).map(|s| VersionSlot(s as u8)));
+        if !self.chain_of(leaf).is_empty() {
+            slots.push(VersionSlot(update_slots));
+        }
+        slots
     }
 }
 
@@ -604,6 +817,107 @@ mod tests {
             p.encode_update(5, &UpdatePatch::identity()),
             Err(StoreError::BlockNotWritten(5))
         );
+    }
+
+    fn small(layout: UpdateLayout) -> Partition {
+        // 16 leaves: exhaustion within test budget.
+        Partition::new(PartitionConfig::small(9, 2, layout), primers())
+    }
+
+    #[test]
+    fn headroom_counts_down_to_exhaustion_interleaved() {
+        let mut p = small(UpdateLayout::paper_default());
+        assert_eq!(p.update_headroom(0), 0, "never written");
+        for b in 0..4u64 {
+            p.encode_block(b, &Block::zeroed()).unwrap();
+        }
+        // 2 direct slots + 12 free overflow leaves x 3 slots each.
+        assert_eq!(p.update_headroom(0), 2 + 12 * 3);
+        let patch = UpdatePatch::identity();
+        let mut predicted = p.update_headroom(0);
+        while predicted > 0 {
+            p.encode_update(0, &patch).unwrap();
+            let next = p.update_headroom(0);
+            assert!(next < predicted, "headroom must strictly decrease");
+            predicted = next;
+        }
+        let err = p.encode_update(0, &patch).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::UpdateSlotsExhausted {
+                    block: 0,
+                    layout: UpdateLayout::Interleaved { .. },
+                    chain_len: 12,
+                    headroom: 0,
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn headroom_counts_down_to_exhaustion_two_stacks() {
+        let mut p = small(UpdateLayout::TwoStacks);
+        for b in 0..4u64 {
+            p.encode_block(b, &Block::zeroed()).unwrap();
+        }
+        // Leaves 15 down to 4 are above the data high-water mark.
+        assert_eq!(p.update_headroom(0), 12);
+        let patch = UpdatePatch::identity();
+        for expected in (0..12u64).rev() {
+            p.encode_update(0, &patch).unwrap();
+            assert_eq!(p.update_headroom(1), expected, "shared stack headroom");
+        }
+        assert!(matches!(
+            p.encode_update(0, &patch),
+            Err(StoreError::UpdateSlotsExhausted {
+                block: 0,
+                layout: UpdateLayout::TwoStacks,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn reclaim_updates_restores_fresh_capacity_and_read_scope() {
+        let mut p = small(UpdateLayout::paper_default());
+        for b in 0..4u64 {
+            p.encode_block(b, &Block::zeroed()).unwrap();
+        }
+        let patch = UpdatePatch::identity();
+        for _ in 0..8 {
+            p.encode_update(0, &patch).unwrap();
+        }
+        p.encode_update(1, &patch).unwrap();
+        assert_eq!(p.max_chain_len(), 2);
+        assert_eq!(p.total_updates(), 9);
+        assert_eq!(p.updated_blocks(), vec![(0, 9), (1, 2)]);
+
+        let reclaimed = p.reclaim_updates();
+        assert_eq!(reclaimed.rebased_blocks, vec![(0, 9), (1, 2)]);
+        assert_eq!(reclaimed.freed_leaves, vec![14, 15]);
+        // Bookkeeping is back to the freshly-written state...
+        assert_eq!(p.writes_of(0), 1);
+        assert_eq!(p.chain_of(0), &[] as &[u64]);
+        assert_eq!(p.total_updates(), 0);
+        assert_eq!(p.read_scope(0).len(), 1, "no chain leaves in scope");
+        // ...and the full update capacity is available again.
+        assert_eq!(p.update_headroom(0), 2 + 12 * 3);
+        let (pl, _) = p.encode_update(0, &patch).unwrap();
+        assert_eq!((pl.leaf, pl.slot), (0, VersionSlot(1)));
+    }
+
+    #[test]
+    fn reclaim_all_resets_the_log_partition() {
+        let mut p = small(UpdateLayout::paper_default());
+        for b in 0..5u64 {
+            p.encode_block(b, &Block::zeroed()).unwrap();
+        }
+        assert_eq!(p.reclaim_all(), 5);
+        assert_eq!(p.writes_of(0), 0);
+        // Every leaf is writable again, from the bottom.
+        p.encode_block(0, &Block::zeroed()).unwrap();
     }
 
     #[test]

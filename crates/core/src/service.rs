@@ -48,6 +48,7 @@
 use crate::batch::BatchPlanner;
 use crate::block::{checksum64, Block};
 use crate::cache::{BlockCache, CacheKey};
+use crate::compaction::{CompactionPolicy, CompactionReport, Compactor};
 use crate::partition::PartitionConfig;
 use crate::store::{BlockReadOutcome, BlockStore, PartitionId};
 use crate::StoreError;
@@ -99,6 +100,19 @@ pub struct ServerConfig {
     /// Round planner used for coalesced batches (primer-compatibility
     /// grouping and per-tube pair caps).
     pub planner: BatchPlanner,
+    /// Compaction policy for the maintenance path (`None` disables
+    /// maintenance). With a policy set, the server compacts a partition
+    /// *before* committing an update that would leave it under
+    /// [`CompactionPolicy::min_headroom`] — so sustained update traffic
+    /// whose exhaustion pressure comes from *accumulated updates* never
+    /// hits [`StoreError::UpdateSlotsExhausted`]. (Compaction reclaims
+    /// only previously-consumed update capacity: a partition whose address
+    /// space is packed solid with data has nothing to fold and still
+    /// exhausts — that is a provisioning problem, not a maintenance one.)
+    /// The server also runs a threshold-driven [`Compactor`] pass between
+    /// coalesced batches, under the same store lock, to fold hot blocks'
+    /// patch chains back into cheap single-unit reads.
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl ServerConfig {
@@ -112,6 +126,15 @@ impl ServerConfig {
             window: BatchWindow::Window(Duration::from_millis(2)),
             max_batch: 64,
             planner: BatchPlanner::paper_default(),
+            compaction: None,
+        }
+    }
+
+    /// The serving defaults with a compaction policy enabled.
+    pub fn with_compaction(policy: CompactionPolicy) -> ServerConfig {
+        ServerConfig {
+            compaction: Some(policy),
+            ..ServerConfig::paper_default()
         }
     }
 }
@@ -147,6 +170,13 @@ pub struct ServerStats {
     /// front-end oracle (§5.4). The coherence protocol makes this
     /// impossible: it must be 0 under any interleaving.
     pub stale_serves: u64,
+    /// Maintenance compaction passes that reclaimed anything.
+    pub compactions: u64,
+    /// Stale encoding units (patches, pointers, log entries, superseded
+    /// bases) reclaimed by maintenance compaction.
+    pub units_reclaimed: u64,
+    /// Fresh base units re-synthesized by maintenance compaction.
+    pub rewrites_synthesized: u64,
 }
 
 /// One served block read.
@@ -353,6 +383,27 @@ impl StoreServer {
             front.stats.requests += 1;
         }
         let mut store = self.store.lock().expect("store lock");
+        // Maintenance, first half: an update that would leave the block
+        // under the configured headroom floor compacts its partition
+        // *before* committing — so with `min_headroom >= 1`, exhaustion
+        // from accumulated updates is unreachable on this path (a
+        // partition with nothing to fold — e.g. packed solid with data —
+        // still surfaces `UpdateSlotsExhausted`: that is under-provisioned
+        // capacity, which no amount of folding can recover).
+        if let Some(policy) = &self.config.compaction {
+            // Only a valid update target can be starving: an unwritten
+            // block also reports 0 headroom, but compacting for it would
+            // pay real synthesis cost before the request fails anyway.
+            let starving = policy.min_headroom > 0
+                && store.partition(pid).is_ok_and(|p| p.writes_of(block) > 0)
+                && store
+                    .update_headroom(pid, block)
+                    .is_ok_and(|headroom| headroom < policy.min_headroom);
+            if starving {
+                let report = store.compact_partition(pid)?;
+                self.apply_compaction(&store, &report);
+            }
+        }
         store.update_block(pid, block, new_content)?;
         let committed = store
             .logical_block(pid, block)
@@ -497,6 +548,55 @@ impl StoreServer {
             .collect()
     }
 
+    /// Runs one policy-driven compaction pass immediately — the same pass
+    /// the serving loop runs between coalesced batches — and returns its
+    /// report. Uses the configured policy, or
+    /// [`CompactionPolicy::paper_default`] when the server was built
+    /// without one (manual maintenance on an otherwise unmanaged store).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockStore::compact_partition`] /
+    /// [`BlockStore::compact_log`] errors.
+    pub fn run_maintenance(&self) -> Result<CompactionReport, StoreError> {
+        let policy = self
+            .config
+            .compaction
+            .unwrap_or_else(CompactionPolicy::paper_default);
+        let mut store = self.store.lock().expect("store lock");
+        let report = Compactor::new(policy).run(&mut store)?;
+        self.apply_compaction(&store, &report);
+        Ok(report)
+    }
+
+    /// Publishes a compaction's effects to the front end, under the store
+    /// lock that ran it: bumps the compaction counters and applies the
+    /// configured [`CachePolicy`] to every rebased block. Compaction never
+    /// changes logical bytes — cached entries stay *correct* — but
+    /// refresh/invalidate keeps cache behavior uniform with updates, and
+    /// the staleness oracle needs no adjustment at all.
+    fn apply_compaction(&self, store: &BlockStore, report: &CompactionReport) {
+        if report.is_empty() {
+            return;
+        }
+        let mut front = self.front.lock().expect("front lock");
+        front.stats.compactions += 1;
+        front.stats.units_reclaimed += report.units_reclaimed;
+        front.stats.rewrites_synthesized += report.rewrites_synthesized;
+        for &(pid, block) in &report.rebased {
+            match self.config.cache_policy {
+                CachePolicy::Invalidate => {
+                    front.cache.invalidate(&(pid, block));
+                }
+                CachePolicy::Refresh => {
+                    if let Some(image) = store.logical_block(pid, block) {
+                        front.cache.insert((pid, block), image.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Leader duty: wait out the batching window, drain the queue, execute
     /// the batch under the store lock, install fresh blocks into the
     /// cache, and publish per-ticket results.
@@ -600,6 +700,17 @@ impl StoreServer {
             front.stats.batches_executed += 1;
             front.stats.rounds_executed += rounds;
             front.stats.reads_coalesced += piggybacked;
+        }
+        // Maintenance, second half: between coalesced batches — while the
+        // store lock is still held, so no read or update can interleave
+        // with the rebase — fold whatever crossed the policy's thresholds.
+        // Compaction re-encodes every rewrite before touching partition or
+        // pool state, so a maintenance error here leaves the store exactly
+        // as the batch left it; skipping the pass is safe.
+        if let Some(policy) = &self.config.compaction {
+            if let Ok(report) = Compactor::new(*policy).run(&mut store) {
+                self.apply_compaction(&store, &report);
+            }
         }
         drop(store);
 
@@ -789,6 +900,128 @@ mod tests {
         // actually shared another call's round-trip.
         assert_eq!(stats.reads_coalesced, 0);
         assert_eq!(stats.batches_executed, 1, "one logical coalesced batch");
+    }
+
+    #[test]
+    fn update_path_compacts_before_exhaustion() {
+        // A nearly-full Interleaved partition: 52 data blocks in 64 leaves
+        // leave 12 overflow leaves, so ~38 updates of one block exhaust
+        // it. With a headroom policy the server compacts just-in-time and
+        // the same workload keeps going well past that bound.
+        use crate::compaction::CompactionPolicy;
+        use crate::UpdateLayout;
+        let config = ServerConfig {
+            compaction: Some(CompactionPolicy::headroom_only(2)),
+            ..immediate_config(8)
+        };
+        let server = StoreServer::new(BlockStore::new(310), config);
+        let pid = server
+            .create_partition(PartitionConfig::small(
+                0x61,
+                3,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let mut data = deterministic_text(52 * BLOCK_SIZE, 0x62);
+        server.write_file(pid, &data).unwrap();
+        // 45 updates: past the 38-update exhaustion bound, with a few
+        // post-compaction patches left to read back through the wetlab.
+        for round in 0..45u8 {
+            data[usize::from(round % 8)] = b'a' + (round % 26);
+            server
+                .update_block(pid, 0, &data[..BLOCK_SIZE])
+                .unwrap_or_else(|e| panic!("update {round}: {e}"));
+        }
+        let stats = server.stats();
+        assert!(stats.compactions >= 1, "{stats:?}");
+        assert!(stats.units_reclaimed > 0);
+        assert!(stats.rewrites_synthesized >= 1);
+        assert_eq!(stats.updates_applied, 45);
+        let read = server.read_block(pid, 0).unwrap();
+        assert_eq!(read.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(server.stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn batch_maintenance_folds_hot_chains_and_keeps_cache_coherent() {
+        use crate::compaction::CompactionPolicy;
+        use crate::UpdateLayout;
+        let policy = CompactionPolicy {
+            max_chain_len: 1,
+            max_stack_updates: 0,
+            max_log_entries: 0,
+            max_scope_units: 0,
+            min_headroom: 0,
+        };
+        let config = ServerConfig {
+            compaction: Some(policy),
+            ..immediate_config(8)
+        };
+        let server = StoreServer::new(BlockStore::new(311), config);
+        let pid = server
+            .create_partition(PartitionConfig::small(
+                0x63,
+                3,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let mut data = deterministic_text(2 * BLOCK_SIZE, 0x64);
+        server.write_file(pid, &data).unwrap();
+        // 4 updates: 2 direct slots + a chain leaf → over max_chain_len 1.
+        for i in 0..4u8 {
+            data[usize::from(i)] = b'A' + i;
+            server.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        }
+        assert_eq!(server.stats().compactions, 0, "no batch has run yet");
+        // This miss executes a batch; the maintenance pass after it folds
+        // the chain — and (Invalidate policy) drops the rebased key that
+        // the batch had just cached.
+        let read = server.read_block(pid, 0).unwrap();
+        assert!(!read.from_cache);
+        assert_eq!(read.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(read.patches_applied, 4, "read preceded the fold");
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 1, "{stats:?}");
+        assert!(stats.units_reclaimed >= 6, "{stats:?}");
+        // The invalidated key re-reads cold — now from the rebased base
+        // unit, zero patches — then stays warm.
+        let rebased = server.read_block(pid, 0).unwrap();
+        assert!(!rebased.from_cache, "compaction invalidated the key");
+        assert_eq!(rebased.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(rebased.patches_applied, 0);
+        let warm = server.read_block(pid, 0).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(server.stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn run_maintenance_reports_reclaims_on_demand() {
+        use crate::UpdateLayout;
+        // No policy configured: manual maintenance uses the paper default.
+        let (server, _, _) = server_with_blocks(312, 1, immediate_config(8));
+        let pid = server
+            .create_partition(PartitionConfig::small(0x65, 3, UpdateLayout::TwoStacks))
+            .unwrap();
+        let mut data = deterministic_text(BLOCK_SIZE, 0x66);
+        server.write_file(pid, &data).unwrap();
+        for i in 0..3u8 {
+            data[usize::from(i)] = b'0' + i;
+            server.update_block(pid, 0, &data).unwrap();
+        }
+        // Below every threshold: nothing to do.
+        assert!(server.run_maintenance().unwrap().is_empty());
+        for i in 3..12u8 {
+            data[usize::from(i % 8)] = b'0' + i;
+            server.update_block(pid, 0, &data).unwrap();
+        }
+        // 12 stacked updates → projected scope 13 ≥ the default 12.
+        let report = server.run_maintenance().unwrap();
+        assert_eq!(report.blocks_rebased, 1);
+        assert_eq!(report.units_reclaimed, 13, "12 patches + 1 old base");
+        let read = server.read_block(pid, 0).unwrap();
+        assert_eq!(read.block.data, data);
+        assert_eq!(read.patches_applied, 0);
     }
 
     #[test]

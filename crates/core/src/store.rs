@@ -2,6 +2,7 @@
 
 use crate::batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem};
 use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
+use crate::compaction::CompactionReport;
 use crate::layout::UpdateLayout;
 use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
 use crate::update::UpdatePatch;
@@ -105,11 +106,17 @@ pub struct BlockStore {
     /// The shared update-log partition (created on demand for
     /// [`UpdateLayout::DedicatedLog`]).
     log_partition: Option<usize>,
+    /// Configuration template for the log partition (its tag is forced to
+    /// [`LOG_PARTITION_TAG`] at creation).
+    log_config: PartitionConfig,
     /// Monotonic sequence number for log-layout updates.
     log_seq: u32,
     /// Next free leaf in the log partition.
     log_head: u64,
 }
+
+/// Ground-truth tag distinguishing shared-log strands in the simulator.
+const LOG_PARTITION_TAG: u32 = 1000;
 
 impl BlockStore {
     /// Creates a store with a deterministic seed. The seed drives primer
@@ -132,9 +139,27 @@ impl BlockStore {
             primers_handed_out: 0,
             coverage: 12,
             log_partition: None,
+            log_config: PartitionConfig::paper_default(0x106),
             log_seq: 0,
             log_head: 0,
         }
+    }
+
+    /// Replaces the configuration template for the shared DedicatedLog
+    /// partition (e.g. a smaller address space for exhaustion tests).
+    ///
+    /// # Errors
+    ///
+    /// Rejected once the log partition exists — its geometry is baked into
+    /// every synthesized entry.
+    pub fn set_log_partition_config(&mut self, config: PartitionConfig) -> Result<(), StoreError> {
+        if self.log_partition.is_some() {
+            return Err(StoreError::InvalidPatch(
+                "log partition already created; configure before the first log update".to_string(),
+            ));
+        }
+        self.log_config = config;
+        Ok(())
     }
 
     /// Sets the sequencing coverage (reads per expected strand).
@@ -290,18 +315,9 @@ impl BlockStore {
             }
         };
         // Synthesize with the small-batch vendor and mix at matched
-        // per-oligo concentration.
-        let update_pool = self.idt.synthesize(&designs, &mut self.rng);
-        let data_per_oligo =
-            self.nanodrop
-                .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
-        let update_per_oligo = self.nanodrop.measure_per_oligo(
-            &update_pool,
-            update_pool.distinct().max(1),
-            &mut self.rng,
-        );
-        let dilution = (data_per_oligo / update_per_oligo).min(1.0);
-        self.pool = self.pool.mixed_with(&update_pool, 1.0, dilution);
+        // per-oligo concentration (shared with the compaction rewrite
+        // path).
+        self.mix_rewrites(&designs);
         self.logical.insert((pid.0, block), new);
         Ok(())
     }
@@ -317,14 +333,22 @@ impl BlockStore {
             Some(p) => p,
             None => {
                 let pair = self.next_primer_pair()?;
-                let mut cfg = PartitionConfig::paper_default(0x106);
-                cfg.partition_tag = 1000; // distinguish log strands in tags
+                let mut cfg = self.log_config;
+                cfg.partition_tag = LOG_PARTITION_TAG; // distinguish log strands in tags
                 self.partitions.push(Partition::new(cfg, pair));
                 let p = self.partitions.len() - 1;
                 self.log_partition = Some(p);
                 p
             }
         };
+        if self.log_head >= self.log_capacity() {
+            return Err(StoreError::UpdateSlotsExhausted {
+                block,
+                layout: UpdateLayout::DedicatedLog,
+                chain_len: self.log_head as usize,
+                headroom: 0,
+            });
+        }
         let entry = log_entry_block(pid.0 as u32, block, self.log_seq, patch);
         self.log_seq += 1;
         let leaf = self.log_head;
@@ -333,6 +357,254 @@ impl BlockStore {
         let molecules = log_partition.encode_block(leaf, &entry)?;
         self.partitions[pid.0].note_external_update(block);
         Ok(molecules)
+    }
+
+    // ----- maintenance / compaction -----------------------------------------
+
+    /// Every partition handle, the shared log partition included (it
+    /// reports [`UpdateLayout`]-independent zero update state, so policy
+    /// scans skip it naturally).
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        (0..self.partitions.len()).map(PartitionId).collect()
+    }
+
+    /// The shared DedicatedLog partition, if any log update was committed.
+    pub fn log_partition_id(&self) -> Option<PartitionId> {
+        self.log_partition.map(PartitionId)
+    }
+
+    /// Entries currently in the shared update log.
+    pub fn log_entries(&self) -> u64 {
+        self.log_head
+    }
+
+    /// Entries the shared log can still accept before
+    /// [`StoreError::UpdateSlotsExhausted`].
+    pub fn log_headroom(&self) -> u64 {
+        self.log_capacity().saturating_sub(self.log_head)
+    }
+
+    /// Total entries the log partition can hold (its address space minus
+    /// the overflow guard leaf).
+    fn log_capacity(&self) -> u64 {
+        match self.log_partition {
+            Some(p) => self.partitions[p].num_leaves() - 1,
+            None => (1u64 << (2 * self.log_config.tree_depth)) - 1,
+        }
+    }
+
+    /// Predicts how many more updates of `block` can be committed before
+    /// [`StoreError::UpdateSlotsExhausted`] — [`Partition::update_headroom`]
+    /// for in-partition layouts, remaining shared-log capacity for
+    /// [`UpdateLayout::DedicatedLog`]. Callers (notably the serving layer's
+    /// maintenance path) compact when this runs low instead of probing with
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown partitions are rejected.
+    pub fn update_headroom(&self, pid: PartitionId, block: u64) -> Result<u64, StoreError> {
+        let partition = self.partition(pid)?;
+        match partition.config().layout {
+            UpdateLayout::DedicatedLog => {
+                if partition.writes_of(block) == 0 {
+                    return Ok(0);
+                }
+                Ok(self.log_headroom())
+            }
+            _ => Ok(partition.update_headroom(block)),
+        }
+    }
+
+    /// Projects the §5.3 analytical retrieval scope of one block from the
+    /// store's current update metadata: how many encoding units a read of
+    /// `block` must amplify and sequence right now. Compaction policies
+    /// threshold on this; compaction itself collapses it back to 1.
+    ///
+    /// # Errors
+    ///
+    /// Unknown partitions are rejected.
+    pub fn retrieval_scope_units(&self, pid: PartitionId, block: u64) -> Result<u64, StoreError> {
+        let partition = self.partition(pid)?;
+        let layout = partition.config().layout;
+        let block_updates = u64::from(partition.writes_of(block).saturating_sub(1));
+        let partition_updates = match layout {
+            UpdateLayout::TwoStacks => partition.stack_update_count(),
+            _ => partition.total_updates(),
+        };
+        Ok(layout.retrieval_scope_units(block_updates, partition_updates, self.log_head))
+    }
+
+    /// Compacts one partition: folds every updated block's patch chain into
+    /// its current logical image (the §5.4 digital front-end maintains it —
+    /// no wetlab read is needed), retires the stale version / overflow /
+    /// pointer molecules from the pool, re-synthesizes a fresh base unit at
+    /// [`VersionSlot`] 0 per rebased block (IDT vendor, §6.4.2
+    /// concentration-matched mixing), and resets the partition's placement
+    /// bookkeeping through [`Partition::reclaim_updates`]. Afterwards the
+    /// partition has full update headroom again and every rebased block
+    /// reads back in a single-unit scope.
+    ///
+    /// A [`UpdateLayout::DedicatedLog`] partition keeps its patches in the
+    /// shared log, whose entries cannot be retired per partition — so
+    /// compacting one delegates to [`BlockStore::compact_log`], folding the
+    /// whole log.
+    ///
+    /// # Errors
+    ///
+    /// Unknown partitions are rejected; a rebased block missing its logical
+    /// image (impossible through the store's own write paths) surfaces as
+    /// [`StoreError::BlockNotWritten`].
+    pub fn compact_partition(&mut self, pid: PartitionId) -> Result<CompactionReport, StoreError> {
+        let layout = self.partition(pid)?.config().layout;
+        if layout == UpdateLayout::DedicatedLog {
+            return self.compact_log();
+        }
+        let partition = &self.partitions[pid.0];
+        let tag = partition.config().partition_tag;
+        // Stale units, counted from metadata before the reclaim: every
+        // patch, every chain pointer, and the superseded base unit of each
+        // rebased block. Re-encode every fresh base unit FIRST — the only
+        // fallible step — so an error leaves partition and pool untouched
+        // (retiring molecules before knowing all rewrites exist would turn
+        // a lookup failure into permanent data loss).
+        let mut units_reclaimed = 0u64;
+        let mut designs = Vec::new();
+        let mut rebased = Vec::new();
+        for (block, writes) in partition.updated_blocks() {
+            let pointers = match layout {
+                UpdateLayout::Interleaved { .. } => partition.chain_of(block).len() as u64,
+                _ => 0,
+            };
+            units_reclaimed += u64::from(writes - 1) + pointers + 1;
+            let image = self
+                .logical
+                .get(&(pid.0, block))
+                .ok_or(StoreError::BlockNotWritten(block))?;
+            designs.extend(partition.encode_unit(block, VersionSlot(0), image));
+            rebased.push((pid, block));
+        }
+        let reclaimed = self.partitions[pid.0].reclaim_updates();
+        if reclaimed.rebased_blocks.is_empty() {
+            return Ok(CompactionReport::default());
+        }
+        let stale: std::collections::BTreeSet<u64> = reclaimed
+            .rebased_blocks
+            .iter()
+            .map(|&(b, _)| b)
+            .chain(reclaimed.freed_leaves.iter().copied())
+            .collect();
+        let species_retired = self
+            .pool
+            .retire_where(|t| t.partition == tag && stale.contains(&t.unit));
+        let synthesis_cost = self.mix_rewrites(&designs);
+        Ok(CompactionReport {
+            partitions_compacted: 1,
+            blocks_rebased: reclaimed.rebased_blocks.len(),
+            units_reclaimed,
+            species_retired,
+            rewrites_synthesized: reclaimed.rebased_blocks.len() as u64,
+            synthesis_cost,
+            rebased,
+        })
+    }
+
+    /// Compacts the shared DedicatedLog partition: folds every logged patch
+    /// into its target block's logical image across *all* DedicatedLog
+    /// partitions, rebases those blocks with fresh base units, retires the
+    /// entire log (plus the superseded base units) from the pool, and
+    /// resets the log to empty. Reads of any DedicatedLog block afterwards
+    /// skip the whole-log round entirely.
+    ///
+    /// No-op (empty report) when no log exists or it has no entries.
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockStore::compact_partition`].
+    pub fn compact_log(&mut self) -> Result<CompactionReport, StoreError> {
+        let Some(log_pid) = self.log_partition else {
+            return Ok(CompactionReport::default());
+        };
+        if self.log_head == 0 {
+            return Ok(CompactionReport::default());
+        }
+        let log_tag = self.partitions[log_pid].config().partition_tag;
+        let mut report = CompactionReport {
+            partitions_compacted: 1, // the log itself
+            units_reclaimed: self.log_head,
+            ..CompactionReport::default()
+        };
+        // Phase 1 — re-encode every fresh base unit first, the only
+        // fallible step, so an error leaves every partition and the pool
+        // untouched (no data is destroyed before its replacement exists).
+        let mut designs = Vec::new();
+        for p in 0..self.partitions.len() {
+            if p == log_pid || self.partitions[p].config().layout != UpdateLayout::DedicatedLog {
+                continue;
+            }
+            for (block, _) in self.partitions[p].updated_blocks() {
+                let image = self
+                    .logical
+                    .get(&(p, block))
+                    .ok_or(StoreError::BlockNotWritten(block))?;
+                designs.extend(self.partitions[p].encode_unit(block, VersionSlot(0), image));
+                report.rebased.push((PartitionId(p), block));
+            }
+        }
+        // Phase 2 — infallible from here: fold bookkeeping and retire the
+        // superseded molecules.
+        for p in 0..self.partitions.len() {
+            if p == log_pid || self.partitions[p].config().layout != UpdateLayout::DedicatedLog {
+                continue;
+            }
+            let tag = self.partitions[p].config().partition_tag;
+            let reclaimed = self.partitions[p].reclaim_updates();
+            if reclaimed.rebased_blocks.is_empty() {
+                continue;
+            }
+            report.partitions_compacted += 1;
+            let stale: std::collections::BTreeSet<u64> =
+                reclaimed.rebased_blocks.iter().map(|&(b, _)| b).collect();
+            report.species_retired += self
+                .pool
+                .retire_where(|t| t.partition == tag && stale.contains(&t.unit));
+            report.units_reclaimed += stale.len() as u64; // superseded bases
+            report.blocks_rebased += reclaimed.rebased_blocks.len();
+        }
+        report.species_retired += self.pool.retire_where(|t| t.partition == log_tag);
+        self.partitions[log_pid].reclaim_all();
+        self.log_head = 0;
+        self.log_seq = 0;
+        report.rewrites_synthesized = report.blocks_rebased as u64;
+        report.synthesis_cost = self.mix_rewrites(&designs);
+        Ok(report)
+    }
+
+    /// Synthesizes small-batch designs (IDT vendor) and mixes them into
+    /// the pool at matched per-oligo concentration — the §6.4.2 protocol,
+    /// shared by the update and compaction-rewrite paths. Returns the
+    /// synthesis cost in dollars.
+    fn mix_rewrites(&mut self, designs: &[dna_sim::Molecule]) -> f64 {
+        if designs.is_empty() {
+            return 0.0;
+        }
+        let rewrite_pool = self.idt.synthesize(designs, &mut self.rng);
+        let data_per_oligo =
+            self.nanodrop
+                .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
+        let rewrite_per_oligo = self.nanodrop.measure_per_oligo(
+            &rewrite_pool,
+            rewrite_pool.distinct().max(1),
+            &mut self.rng,
+        );
+        let dilution = if data_per_oligo > 0.0 {
+            (data_per_oligo / rewrite_per_oligo).min(1.0)
+        } else {
+            // Everything in the tube was retired: the rewrites ARE the pool.
+            1.0
+        };
+        self.pool = self.pool.mixed_with(&rewrite_pool, 1.0, dilution);
+        self.idt.synthesis_cost(designs.len(), designs[0].seq.len())
     }
 
     /// Reads one block through the full wetlab path: precise PCR with the
@@ -581,12 +853,18 @@ impl BlockStore {
                 prev = b;
             }
             scope.extend(partition.range_prefixes_weighted(run_start, prev));
+            // Every decode is pinned to the version slots the metadata
+            // says are live at that leaf (see
+            // [`Partition::live_version_slots`]): noise claiming a dead
+            // version base never decodes into a phantom patch, and a live
+            // slot that fails to decode is a reportable hole.
             let mut add_job = |jobs: &mut Vec<DecodeJob>, leaf: u64| {
                 job_index.entry((p, leaf)).or_insert_with(|| {
                     jobs.push(DecodeJob {
                         prefix: partition.elongated_primer(leaf),
                         reverse: rev.clone(),
-                        config: partition.decode_config(leaf),
+                        config: partition
+                            .decode_config_versions(leaf, &partition.live_version_slots(leaf)),
                     });
                     base + jobs.len() - 1
                 });
@@ -658,8 +936,9 @@ impl BlockStore {
         }
         // The shared log rides in at most one tube per batch call: later
         // rounds reuse the first round's decoded entries instead of
-        // re-amplifying and re-decoding the whole log.
-        if log_in_round && !*log_decoded {
+        // re-amplifying and re-decoding the whole log. A log that
+        // compaction folded back to empty never enters the tube at all.
+        if log_in_round && !*log_decoded && self.log_head > 0 {
             if let Some(log_pid) = self.log_partition {
                 let log = &self.partitions[log_pid];
                 let log_fwd = log.scope_primer();
@@ -669,7 +948,7 @@ impl BlockStore {
                         jobs.push(DecodeJob {
                             prefix: log.elongated_primer(leaf),
                             reverse: log_rev.clone(),
-                            config: log.decode_config(leaf),
+                            config: log.decode_config_versions(leaf, &[VersionSlot(0)]),
                         });
                         base + jobs.len() - 1
                     });
@@ -771,6 +1050,14 @@ impl BlockStore {
                     if hop > 0 {
                         stats.reads_matched += outcome.reads_matched;
                     }
+                    // Every slot the metadata says is live here must have
+                    // decoded — a missing one is a hole in the patch chain.
+                    require_live_versions(
+                        outcome,
+                        &partition.live_version_slots(leaf),
+                        block,
+                        leaf,
+                    )?;
                     for (base, v) in &outcome.versions {
                         let slot = VersionSlot::from_base(*base);
                         let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
@@ -830,10 +1117,18 @@ impl BlockStore {
                         if job >= round_start {
                             stats.reads_matched += outcome.reads_matched;
                         }
-                        if let Some(v) = outcome.versions.get(&Base::A) {
-                            if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
-                                found.extend(log_patch_for(&content, p as u32, block));
-                            }
+                        // An unrecovered log entry could hold a patch for
+                        // this very block: failing is the only answer that
+                        // never serves stale bytes.
+                        let v = outcome
+                            .versions
+                            .get(&Base::A)
+                            .ok_or(StoreError::DecodeFailed {
+                                block,
+                                reason: format!("log entry {leaf} unrecovered"),
+                            })?;
+                        if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                            found.extend(log_patch_for(&content, p as u32, block));
                         }
                     }
                 }
@@ -873,13 +1168,18 @@ impl BlockStore {
             let partition = self.partition(pid)?;
             let prefix = partition.elongated_primer(leaf);
             let rev = partition.primers().reverse().clone();
-            let cfg = partition.decode_config(leaf);
+            let live = partition.live_version_slots(leaf);
+            let cfg = partition.decode_config_versions(leaf, &live);
             let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 4);
             stats.pcr_rounds += 1;
             stats.reads_sequenced += reads.len();
             let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
             stats.reads_matched += outcome.reads_matched;
             stats.clusters_used = outcome.clusters_used;
+            // Every metadata-live slot must have decoded; a missing one is
+            // a hole in the patch chain and returning the block without it
+            // would serve stale bytes.
+            require_live_versions(&outcome, &live, block, leaf)?;
             let mut next_leaf = None;
             for (base, v) in &outcome.versions {
                 let slot = VersionSlot::from_base(*base);
@@ -949,10 +1249,12 @@ impl BlockStore {
         let reads = self.run_retrieval(&scope, &rev, expected_units);
         stats.pcr_rounds += 1;
         stats.reads_sequenced += reads.len();
-        // Decode the block itself.
+        // Decode the block itself. TwoStacks data leaves only ever hold the
+        // base version, so the decode is pinned to it — noise claiming a
+        // retired or foreign version base can never become a phantom patch.
         let partition = self.partition(pid)?;
         let prefix = partition.elongated_primer(block);
-        let cfg = partition.decode_config(block);
+        let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
         let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
         stats.reads_matched += outcome.reads_matched;
         let (original, _) = interpret_interleaved(&outcome, block)?;
@@ -962,7 +1264,7 @@ impl BlockStore {
         for &leaf in &update_leaves {
             let partition = self.partition(pid)?;
             let prefix = partition.elongated_primer(leaf);
-            let cfg = partition.decode_config(leaf);
+            let cfg = partition.decode_config_versions(leaf, &[VersionSlot(0)]);
             let o = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
             stats.reads_matched += o.reads_matched;
             if let Some(v) = o.versions.get(&Base::A) {
@@ -989,20 +1291,21 @@ impl BlockStore {
         block: u64,
         stats: &mut ReadProtocolStats,
     ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
-        // Round 1: the data block.
+        // Round 1: the data block (base version only under this layout).
         let partition = self.partition(pid)?;
         let prefix = partition.elongated_primer(block);
         let rev = partition.primers().reverse().clone();
-        let cfg = partition.decode_config(block);
+        let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
         let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 2);
         stats.pcr_rounds += 1;
         stats.reads_sequenced += reads.len();
         let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
         stats.reads_matched += outcome.reads_matched;
         let (original, _) = interpret_interleaved(&outcome, block)?;
-        // Round 2: the ENTIRE shared log (the §5.3 Fig. 6 cost).
+        // Round 2: the ENTIRE shared log (the §5.3 Fig. 6 cost) — skipped
+        // outright when compaction has folded the log back to empty.
         let mut patches = Vec::new();
-        if let Some(log_pid) = self.log_partition {
+        if let (Some(log_pid), true) = (self.log_partition, self.log_head > 0) {
             let log = &self.partitions[log_pid];
             let log_fwd = log.scope_primer();
             let log_rev = log.primers().reverse().clone();
@@ -1015,13 +1318,17 @@ impl BlockStore {
             for leaf in 0..entries {
                 let log = &self.partitions[log_pid];
                 let prefix = log.elongated_primer(leaf);
-                let cfg = log.decode_config(leaf);
+                let cfg = log.decode_config_versions(leaf, &[VersionSlot(0)]);
                 let o = decode_block_validated(&reads, &prefix, &log_rev, &cfg, unit_checksum_ok);
                 stats.reads_matched += o.reads_matched;
-                if let Some(v) = o.versions.get(&Base::A) {
-                    if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
-                        found.extend(log_patch_for(&content, pid.0 as u32, block));
-                    }
+                // As in the batch path: an unrecovered entry might target
+                // this block, so the read must fail rather than skip it.
+                let v = o.versions.get(&Base::A).ok_or(StoreError::DecodeFailed {
+                    block,
+                    reason: format!("log entry {leaf} unrecovered"),
+                })?;
+                if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                    found.extend(log_patch_for(&content, pid.0 as u32, block));
                 }
             }
             found.sort_by_key(|&(seq, _)| seq);
@@ -1081,6 +1388,28 @@ fn weighted_forward_primers(scope: &[(DnaSeq, f64)], budget: f64) -> Vec<PcrPrim
 fn log_patch_for(content: &Block, pid: u32, block: u64) -> Option<(u32, UpdatePatch)> {
     let (epid, eblock, seq, patch) = parse_log_entry(content)?;
     (epid == pid && eblock == block).then_some((seq, patch))
+}
+
+/// Fails a read when any version slot the partition metadata says is live
+/// at `leaf` was not decoded — whether it was observed-but-unrecoverable
+/// (also reported in `failed_versions`) or never observed at all (e.g.
+/// coverage starvation sampled zero surviving reads for that slot).
+/// Serving the block without it would silently return stale bytes.
+fn require_live_versions(
+    outcome: &BlockDecodeOutcome,
+    live: &[VersionSlot],
+    block: u64,
+    leaf: u64,
+) -> Result<(), StoreError> {
+    for slot in live {
+        if !outcome.versions.contains_key(&slot.base()) {
+            return Err(StoreError::DecodeFailed {
+                block,
+                reason: format!("version slot {} at leaf {leaf} unrecovered", slot.0),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the original block and its in-leaf patches from a decode
@@ -1561,6 +1890,152 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].0, (pid, 0));
         assert_eq!(all[1].0, (pid, 1));
+    }
+
+    #[test]
+    fn compaction_round_trips_and_restores_headroom() {
+        // Exhaust a small Interleaved partition's chain space, compact,
+        // and verify the wetlab read path returns byte-identical content
+        // from the rebased base unit — with the chain gone from the scope.
+        let mut store = BlockStore::new(21);
+        let pid = store
+            .create_partition(PartitionConfig::small(
+                0x91,
+                3,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let mut data = crate::workload::deterministic_text(2 * BLOCK_SIZE, 51);
+        store.write_file(pid, &data).unwrap();
+        for i in 0..6u8 {
+            data[usize::from(i)] = b'A' + i;
+            store.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        }
+        assert_eq!(store.retrieval_scope_units(pid, 0).unwrap(), 7);
+        let before = store.read_block(pid, 0).unwrap();
+        assert_eq!(before.block.data, &data[..BLOCK_SIZE]);
+        assert!(before.stats.pcr_rounds > 1, "chain hops cost round-trips");
+
+        let report = store.compact_partition(pid).unwrap();
+        assert_eq!(report.blocks_rebased, 1);
+        assert!(report.species_retired > 0);
+        assert_eq!(store.retrieval_scope_units(pid, 0).unwrap(), 1);
+        assert_eq!(
+            store.update_headroom(pid, 0).unwrap(),
+            2 + 62 * 3,
+            "only blocks 0..=1 written: leaves 63..=2 are free again"
+        );
+        let after = store.read_block(pid, 0).unwrap();
+        assert_eq!(after.block.data, &data[..BLOCK_SIZE], "rebased bytes");
+        assert_eq!(after.patches_applied, 0);
+        assert_eq!(after.stats.pcr_rounds, 1, "no chain to follow");
+        assert!(after.stats.reads_sequenced < before.stats.reads_sequenced);
+        // The untouched sibling block is unaffected.
+        let sibling = store.read_block(pid, 1).unwrap();
+        assert_eq!(sibling.block.data, &data[BLOCK_SIZE..]);
+        // And updates flow again after the reclaim.
+        data[9] = b'!';
+        store.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        let again = store.read_block(pid, 0).unwrap();
+        assert_eq!(again.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(again.patches_applied, 1);
+    }
+
+    #[test]
+    fn compact_log_folds_all_dedicated_log_partitions() {
+        let mut store = BlockStore::new(22);
+        store
+            .set_log_partition_config(PartitionConfig::small(
+                0x92,
+                2,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let a = store
+            .create_partition(PartitionConfig::small(0x93, 2, UpdateLayout::DedicatedLog))
+            .unwrap();
+        let b = store
+            .create_partition(PartitionConfig::small(0x94, 2, UpdateLayout::DedicatedLog))
+            .unwrap();
+        let mut data_a = crate::workload::deterministic_text(BLOCK_SIZE, 52);
+        let mut data_b = crate::workload::deterministic_text(BLOCK_SIZE, 53);
+        store.write_file(a, &data_a).unwrap();
+        store.write_file(b, &data_b).unwrap();
+        for i in 0..3u8 {
+            data_a[usize::from(i)] = b'a' + i;
+            store.update_block(a, 0, &data_a).unwrap();
+            data_b[usize::from(i)] = b'x' + i;
+            store.update_block(b, 0, &data_b).unwrap();
+        }
+        assert_eq!(store.log_entries(), 6);
+        assert_eq!(store.log_headroom(), 15 - 6);
+        let before = store.read_block(a, 0).unwrap();
+        assert_eq!(before.block.data, data_a);
+        assert_eq!(before.stats.pcr_rounds, 2, "whole-log round");
+
+        let report = store.compact_log().unwrap();
+        assert_eq!(report.blocks_rebased, 2);
+        assert_eq!(report.partitions_compacted, 3, "log + both partitions");
+        // 6 log entries + 2 superseded base units.
+        assert_eq!(report.units_reclaimed, 8);
+        assert_eq!(store.log_entries(), 0);
+        assert_eq!(store.log_headroom(), 15);
+
+        let after_a = store.read_block(a, 0).unwrap();
+        assert_eq!(after_a.block.data, data_a);
+        assert_eq!(after_a.patches_applied, 0);
+        assert_eq!(after_a.stats.pcr_rounds, 1, "empty log round skipped");
+        assert!(after_a.stats.reads_sequenced < before.stats.reads_sequenced);
+        let after_b = store.read_block(b, 0).unwrap();
+        assert_eq!(after_b.block.data, data_b);
+        // The log accepts fresh entries from leaf 0 again.
+        data_a[9] = b'!';
+        store.update_block(a, 0, &data_a).unwrap();
+        assert_eq!(store.log_entries(), 1);
+        let read = store.read_block(a, 0).unwrap();
+        assert_eq!(read.block.data, data_a);
+        assert_eq!(read.patches_applied, 1);
+    }
+
+    #[test]
+    fn log_exhaustion_carries_context_and_headroom_predicts_it() {
+        let mut store = BlockStore::new(23);
+        store
+            .set_log_partition_config(PartitionConfig::small(
+                0x95,
+                2,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let pid = store
+            .create_partition(PartitionConfig::small(0x96, 2, UpdateLayout::DedicatedLog))
+            .unwrap();
+        let mut data = crate::workload::deterministic_text(BLOCK_SIZE, 54);
+        store.write_file(pid, &data).unwrap();
+        for i in 0..15u8 {
+            assert_eq!(store.update_headroom(pid, 0).unwrap(), u64::from(15 - i));
+            data[usize::from(i)] = b'a' + i;
+            store.update_block(pid, 0, &data).unwrap();
+        }
+        assert_eq!(store.update_headroom(pid, 0).unwrap(), 0);
+        data[20] = b'!';
+        let err = store.update_block(pid, 0, &data).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::UpdateSlotsExhausted {
+                    block: 0,
+                    layout: UpdateLayout::DedicatedLog,
+                    chain_len: 15,
+                    headroom: 0,
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+        // set_log_partition_config is rejected once the log exists.
+        assert!(store
+            .set_log_partition_config(PartitionConfig::paper_default(1))
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property tests for the compaction lifecycle: for arbitrary update
+//! sequences over all three layouts, folding a partition (and the shared
+//! log) must preserve every block's logical bytes through the full wetlab
+//! read path and must never *increase* any block's analytical retrieval
+//! scope.
+//!
+//! Wetlab reads are expensive, so the case count is small (the seeded
+//! inputs still vary the layout, the update targets and the edit bytes);
+//! the deterministic scenario suite covers the fixed acceptance
+//! workloads.
+
+use dna_block_store::{
+    BlockStore, CompactionPolicy, Compactor, PartitionConfig, PartitionId, UpdateLayout, BLOCK_SIZE,
+};
+use proptest::prelude::*;
+
+const LAYOUTS: [UpdateLayout; 3] = [
+    UpdateLayout::Interleaved { update_slots: 3 },
+    UpdateLayout::TwoStacks,
+    UpdateLayout::DedicatedLog,
+];
+
+fn build_store(seed: u64, layout: UpdateLayout) -> (BlockStore, PartitionId, Vec<u8>) {
+    let mut store = BlockStore::new(seed);
+    store
+        .set_log_partition_config(PartitionConfig::small(
+            seed ^ 0x21,
+            2,
+            UpdateLayout::paper_default(),
+        ))
+        .unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::small(seed ^ 0x22, 3, layout))
+        .unwrap();
+    let data = dna_block_store::workload::deterministic_text(4 * BLOCK_SIZE, seed ^ 0x23);
+    store.write_file(pid, &data).unwrap();
+    (store, pid, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn compact_preserves_bytes_and_never_raises_scope(
+        seed in 0u64..1_000,
+        // (target block, edit position, edit byte) per update; short enough
+        // that no layout exhausts (the small shared log holds 15).
+        ops in prop::collection::vec((0u64..4, 0usize..BLOCK_SIZE, any::<u8>()), 1..10),
+    ) {
+        for layout in LAYOUTS {
+            let (mut store, pid, mut data) = build_store(seed, layout);
+            for &(block, pos, byte) in &ops {
+                let off = block as usize * BLOCK_SIZE;
+                data[off + pos] = byte;
+                store.update_block(pid, block, &data[off..off + BLOCK_SIZE]).unwrap();
+            }
+            let scope_before: Vec<u64> = (0..4u64)
+                .map(|b| store.retrieval_scope_units(pid, b).unwrap())
+                .collect();
+            let oracle: Vec<Vec<u8>> = (0..4u64)
+                .map(|b| store.logical_block(pid, b).unwrap().data.clone())
+                .collect();
+
+            // An always-fires compactor: every partition with updates and
+            // the log (if populated) fold.
+            let report = Compactor::new(CompactionPolicy::headroom_only(u64::MAX))
+                .run(&mut store)
+                .unwrap();
+            prop_assert!(!report.is_empty(), "{}: at least one update folded", layout);
+            prop_assert!(report.units_reclaimed >= ops.len() as u64);
+
+            for b in 0..4u64 {
+                let scope_after = store.retrieval_scope_units(pid, b).unwrap();
+                prop_assert!(
+                    scope_after <= scope_before[b as usize],
+                    "{}: block {} scope grew {} -> {}",
+                    layout, b, scope_before[b as usize], scope_after
+                );
+                // Updated blocks collapse to the minimal single-unit scope.
+                prop_assert_eq!(scope_after, 1);
+                let read = store.read_block(pid, b).unwrap();
+                prop_assert_eq!(
+                    &read.block.data, &oracle[b as usize],
+                    "{}: block {} bytes changed across compaction", layout, b
+                );
+                prop_assert_eq!(read.patches_applied, 0);
+            }
+            // The digital oracle itself is untouched by compaction.
+            for b in 0..4u64 {
+                prop_assert_eq!(&store.logical_block(pid, b).unwrap().data, &oracle[b as usize]);
+            }
+        }
+    }
+}

@@ -35,6 +35,13 @@ pub struct BlockDecodeConfig {
     /// `geometry.unit_index_len` bases): discriminates sibling blocks whose
     /// indexes are only 2 edits apart. `None` disables the check.
     pub index_tail_tolerance: Option<usize>,
+    /// Version bases the caller knows are live at this address (`None` =
+    /// decode every observed version). A store whose metadata is exact —
+    /// e.g. a freshly compacted/rebased unit holds only the base version —
+    /// passes the live set so that noise or mispriming products claiming a
+    /// retired version base are never RS-decoded into a phantom version:
+    /// they are skipped outright, not even reported as failed.
+    pub version_allowlist: Option<Vec<Base>>,
 }
 
 impl BlockDecodeConfig {
@@ -51,6 +58,7 @@ impl BlockDecodeConfig {
             max_alternates: 2,
             max_decode_attempts: 8192,
             index_tail_tolerance: Some(1),
+            version_allowlist: None,
         }
     }
 
@@ -196,6 +204,9 @@ pub fn decode_block_validated(
         let mut v: Vec<Base> = slots.keys().map(|&(b, _)| b).collect();
         v.sort();
         v.dedup();
+        if let Some(allow) = &config.version_allowlist {
+            v.retain(|b| allow.contains(b));
+        }
         v
     };
     for version in observed {
@@ -206,17 +217,18 @@ pub fn decode_block_validated(
         let candidates: Vec<ColumnCandidates> = (0..config.unit.total_cols)
             .map(|col| {
                 let cands = slots.get(&(version, col));
-                let bytes: Vec<Vec<u8>> = cands
+                let bytes: Vec<(Vec<u8>, usize)> = cands
                     .map(|list| {
                         list.iter()
-                            .map(|(payload, _)| {
-                                PayloadCodec::for_column(
+                            .map(|(payload, size)| {
+                                let decoded = PayloadCodec::for_column(
                                     config.payload_seed,
                                     config.unit_id,
                                     version.code(),
                                     col as u8,
                                 )
-                                .decode(payload)
+                                .decode(payload);
+                                (decoded, *size)
                             })
                             .collect()
                     })
@@ -261,8 +273,9 @@ pub fn decode_block_validated(
 /// first, then swap in alternates, within an attempt budget.
 /// Candidate payloads for one unit column, with an optional erasure escape.
 struct ColumnCandidates {
-    /// Decoded byte candidates, cluster-size order (primary first).
-    bytes: Vec<Vec<u8>>,
+    /// Decoded byte candidates with their supporting cluster sizes, in
+    /// cluster-size order (primary first).
+    bytes: Vec<(Vec<u8>, usize)>,
     /// Whether the DFS may also *drop* this column (treat as erasure).
     allow_erase: bool,
 }
@@ -293,7 +306,7 @@ fn search_decode(
         candidates
             .iter()
             .zip(choice)
-            .map(|(cands, &c)| cands.bytes.get(c).cloned())
+            .map(|(cands, &c)| cands.bytes.get(c).map(|(b, _)| b.clone()))
             .collect()
     }
     fn try_decode(
@@ -341,7 +354,233 @@ fn search_decode(
     if let Some((bytes, corrected)) = try_decode(unit, &primary, validator) {
         return Some((bytes, corrected, false));
     }
+    // §8.1 flood path: a misprimed foreign unit whose chimera products
+    // carry this unit's full address can out-cluster the true strands on
+    // MANY columns at once (the regime partial-prefix range PCR produces
+    // when a foreign index collides). The per-column DFS below would need
+    // ~2^cols attempts to flip every poisoned column, so two families of
+    // cheap global hypotheses run first.
+    //
+    // (1) Uniform rank: "the true strand is the k-th biggest cluster
+    // everywhere" — columns with shorter candidate lists clamp to their
+    // deepest candidate, covering columns that only ever saw the truth.
+    let max_rank = candidates.iter().map(|c| c.bytes.len()).max().unwrap_or(0);
+    for k in 1..max_rank {
+        if *attempts == 0 {
+            return None;
+        }
+        *attempts -= 1;
+        let columns: Vec<Option<Vec<u8>>> = candidates
+            .iter()
+            .map(|c| match c.bytes.len() {
+                0 => None,
+                len => c.bytes.get(k.min(len - 1)).map(|(b, _)| b.clone()),
+            })
+            .collect();
+        if let Some((bytes, corrected)) = try_decode(unit, &columns, validator) {
+            return Some((bytes, corrected, true));
+        }
+    }
+    // (2) Abundance bands: one unit's strands were synthesized and
+    // amplified together, so its clusters share a size band, and a chimera
+    // impostor's clusters share a *different* band — but per column the
+    // rank between the two bands is a coin flip, which defeats both the
+    // rank passes and the DFS. For each observed cluster size, hypothesize
+    // it as the true band's center and pick per column the candidate
+    // closest to it.
+    let mut band_centers: Vec<usize> = candidates
+        .iter()
+        .flat_map(|c| c.bytes.iter().map(|&(_, size)| size))
+        .collect();
+    band_centers.sort_unstable();
+    band_centers.dedup();
+    for center in band_centers {
+        if *attempts == 0 {
+            return None;
+        }
+        *attempts -= 1;
+        let columns: Vec<Option<Vec<u8>>> = candidates
+            .iter()
+            .map(|c| {
+                c.bytes
+                    .iter()
+                    .min_by_key(|&&(_, size)| size.abs_diff(center))
+                    .map(|(b, _)| b.clone())
+            })
+            .collect();
+        if let Some((bytes, corrected)) = try_decode(unit, &columns, validator) {
+            return Some((bytes, corrected, true));
+        }
+    }
+    // (3) Few-flips search, shallowest first: with p poisoned primaries
+    // and RS able to correct 2 errors, flipping just p-2 columns suffices
+    // — so explore flip sets of size 1, then 2, then 3, ... instead of
+    // the lexicographic DFS order (which buries a col-2 flip behind the
+    // full product of cols 3..n). Depth 1 tries every alternate and the
+    // erasure; depth 2 the first alternate and the erasure; deeper levels
+    // the first alternate only, so depth d costs just C(cols, d) attempts
+    // and an equal-abundance impostor (a per-column coin flip between two
+    // candidates) is still found within ~2^cols total.
+    for depth in 1..=candidates.len() {
+        if let Some(hit) = flip_search(unit, candidates, depth, attempts, validator) {
+            return Some((hit.0, hit.1, true));
+        }
+        if *attempts == 0 {
+            return None;
+        }
+    }
     dfs(unit, candidates, &mut choice, 0, attempts, validator).map(|(b, c)| (b, c, true))
+}
+
+/// Tries every assignment that flips exactly `depth` columns off their
+/// primary candidate (see `search_decode` pass 3).
+fn flip_search(
+    unit: &EncodingUnit,
+    candidates: &[ColumnCandidates],
+    depth: usize,
+    attempts: &mut usize,
+    validator: &dyn Fn(&[u8]) -> bool,
+) -> Option<(Vec<u8>, usize)> {
+    // Columns that actually have an alternative to their primary.
+    let flippable: Vec<usize> = (0..candidates.len())
+        .filter(|&i| candidates[i].options() > 1)
+        .collect();
+    if flippable.len() < depth {
+        return None;
+    }
+    let mut picked: Vec<usize> = Vec::with_capacity(depth);
+    flip_combos(
+        unit,
+        candidates,
+        &flippable,
+        0,
+        depth,
+        &mut picked,
+        attempts,
+        validator,
+    )
+}
+
+/// Recursively enumerates `depth`-column combinations and their flip
+/// options.
+#[allow(clippy::too_many_arguments)]
+fn flip_combos(
+    unit: &EncodingUnit,
+    candidates: &[ColumnCandidates],
+    flippable: &[usize],
+    from: usize,
+    depth: usize,
+    picked: &mut Vec<usize>,
+    attempts: &mut usize,
+    validator: &dyn Fn(&[u8]) -> bool,
+) -> Option<(Vec<u8>, usize)> {
+    if picked.len() == depth {
+        // Option sets per flipped column: all alternates at depth 1,
+        // {first alternate, erasure} deeper.
+        let mut choice = vec![0usize; candidates.len()];
+        return flip_options(
+            unit,
+            candidates,
+            picked,
+            0,
+            depth,
+            &mut choice,
+            attempts,
+            validator,
+        );
+    }
+    for (i, &col) in flippable.iter().enumerate().skip(from) {
+        picked.push(col);
+        let hit = flip_combos(
+            unit,
+            candidates,
+            flippable,
+            i + 1,
+            depth,
+            picked,
+            attempts,
+            validator,
+        );
+        picked.pop();
+        if hit.is_some() || *attempts == 0 {
+            return hit;
+        }
+    }
+    None
+}
+
+/// Enumerates the option assignments for one picked flip set.
+#[allow(clippy::too_many_arguments)]
+fn flip_options(
+    unit: &EncodingUnit,
+    candidates: &[ColumnCandidates],
+    picked: &[usize],
+    pos: usize,
+    depth: usize,
+    choice: &mut Vec<usize>,
+    attempts: &mut usize,
+    validator: &dyn Fn(&[u8]) -> bool,
+) -> Option<(Vec<u8>, usize)> {
+    if pos == picked.len() {
+        if *attempts == 0 {
+            return None;
+        }
+        *attempts -= 1;
+        let columns: Vec<Option<Vec<u8>>> = candidates
+            .iter()
+            .zip(choice.iter())
+            .map(|(cands, &c)| cands.bytes.get(c).map(|(b, _)| b.clone()))
+            .collect();
+        return match unit.decode(&columns) {
+            Ok((bytes, corrected)) if validator(&bytes) => Some((bytes, corrected)),
+            _ => None,
+        };
+    }
+    let col = picked[pos];
+    let options: Vec<usize> = match depth {
+        1 => (1..candidates[col].options()).collect(),
+        2 => {
+            // First alternate, plus an erasure when permitted.
+            let mut v = Vec::with_capacity(2);
+            if candidates[col].bytes.len() > 1 {
+                v.push(1);
+            }
+            if candidates[col].allow_erase {
+                v.push(candidates[col].bytes.len());
+            }
+            v
+        }
+        // Deeper flips: first alternate only (columns with no second
+        // candidate fall back to the erasure, when permitted).
+        _ => {
+            if candidates[col].bytes.len() > 1 {
+                vec![1]
+            } else if candidates[col].allow_erase {
+                vec![candidates[col].bytes.len()]
+            } else {
+                Vec::new()
+            }
+        }
+    };
+    for opt in options {
+        choice[col] = opt;
+        let hit = flip_options(
+            unit,
+            candidates,
+            picked,
+            pos + 1,
+            depth,
+            choice,
+            attempts,
+            validator,
+        );
+        if hit.is_some() || *attempts == 0 {
+            choice[col] = 0;
+            return hit;
+        }
+    }
+    choice[col] = 0;
+    None
 }
 
 #[cfg(test)]
@@ -576,6 +815,39 @@ mod tests {
             "matched {} of {true_reads}",
             out.reads_matched
         );
+    }
+
+    #[test]
+    fn version_allowlist_skips_retired_versions() {
+        // A tube holding a rebased base unit plus stale reads claiming a
+        // retired version base: with the allowlist the stale version is
+        // neither decoded nor reported failed; without it, it decodes.
+        let data = sample_unit_bytes(7);
+        let stale = sample_unit_bytes(8);
+        let mut strands: Vec<(DnaSeq, StrandTag)> = encode_version(&data, Base::A, 29, 531)
+            .into_iter()
+            .map(|s| (s, StrandTag::new(13, 531, 0, 0)))
+            .collect();
+        strands.extend(
+            encode_version(&stale, Base::C, 29, 531)
+                .into_iter()
+                .map(|s| (s, StrandTag::new(13, 531, 1, 0))),
+        );
+        let reads = reads_for(&strands, 8, IdsChannel::illumina(), 41);
+        let mut cfg = BlockDecodeConfig::paper_default(29, 531);
+        let open = decode_block(&reads, &elongated_prefix(), &rev(), &cfg);
+        assert_eq!(open.versions.len(), 2, "both versions decode when open");
+        cfg.version_allowlist = Some(vec![Base::A]);
+        let restricted = decode_block(&reads, &elongated_prefix(), &rev(), &cfg);
+        assert_eq!(restricted.versions.len(), 1);
+        assert_eq!(restricted.versions[&Base::A].unit_bytes, data.to_vec());
+        assert!(
+            restricted.failed_versions.is_empty(),
+            "skipped versions are not failures"
+        );
+        // Matching statistics are unchanged: the filter still counts the
+        // stale reads, only the RS stage skips them.
+        assert_eq!(restricted.reads_matched, open.reads_matched);
     }
 
     #[test]

@@ -126,6 +126,20 @@ impl Pool {
         }
     }
 
+    /// Removes every species whose ground-truth tag satisfies `pred` —
+    /// the degradation-style retirement hook used by compaction: stale
+    /// version/overflow/log molecules are withdrawn from the archival tube
+    /// (selective degradation of superseded strands, as in rewritable
+    /// DNA-storage systems) before their re-synthesized replacements are
+    /// mixed in. Untagged species are never retired (their provenance is
+    /// unknown). Returns the number of distinct species removed.
+    pub fn retire_where(&mut self, mut pred: impl FnMut(&StrandTag) -> bool) -> usize {
+        let before = self.species.len();
+        self.species
+            .retain(|_, s| !s.tag.as_ref().is_some_and(&mut pred));
+        before - self.species.len()
+    }
+
     /// Sums abundance per block unit (tag-based ground truth): the Fig. 9
     /// histograms before sequencing.
     pub fn abundance_by_unit(&self) -> BTreeMap<u64, f64> {
@@ -225,5 +239,26 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_abundance_panics() {
         Pool::new().add(seq("AAAA"), -1.0, None);
+    }
+
+    #[test]
+    fn retire_where_removes_matching_tagged_species_only() {
+        let mut pool = Pool::new();
+        pool.add(seq("AAAA"), 10.0, Some(StrandTag::new(3, 531, 1, 0)));
+        pool.add(seq("CCCC"), 20.0, Some(StrandTag::new(3, 531, 0, 0)));
+        pool.add(seq("GGGG"), 5.0, Some(StrandTag::new(4, 531, 1, 0)));
+        pool.add(seq("TTTT"), 1.0, None);
+        // Retire partition 3's stale version-1 molecules.
+        let removed = pool.retire_where(|t| t.partition == 3 && t.version > 0);
+        assert_eq!(removed, 1);
+        assert!(pool.get(&seq("AAAA")).is_none());
+        // Same unit, version 0: untouched. Other partition: untouched.
+        assert!(pool.get(&seq("CCCC")).is_some());
+        assert!(pool.get(&seq("GGGG")).is_some());
+        // Untagged species survive any predicate.
+        let removed = pool.retire_where(|_| true);
+        assert_eq!(removed, 2);
+        assert_eq!(pool.distinct(), 1);
+        assert!(pool.get(&seq("TTTT")).is_some());
     }
 }

@@ -1,0 +1,89 @@
+//! The consolidation lifecycle of a long-lived store, end to end:
+//! sustained updates → predicted exhaustion (`update_headroom`) →
+//! compaction (fold patch chains, retire stale molecules, re-synthesize
+//! fresh base units) → restored headroom and a cheaper hot-block read.
+//!
+//! ```text
+//! cargo run --release --example compaction_workflow
+//! ```
+
+use dna_storage::block_store::{
+    BlockStore, CompactionPolicy, Compactor, PartitionConfig, UpdateLayout, BLOCK_SIZE,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately small partition (64 leaves, 20 data blocks) so update
+    // pressure is visible within a demo's budget.
+    let mut store = BlockStore::new(2025);
+    store.set_coverage(24);
+    let pid =
+        store.create_partition(PartitionConfig::small(7, 3, UpdateLayout::paper_default()))?;
+    let data = dna_storage::block_store::workload::deterministic_text(20 * BLOCK_SIZE, 99);
+    store.write_file(pid, &data)?;
+
+    // Hammer block 0: 12 updates fill the 2 direct version slots and grow
+    // a 4-leaf overflow chain. `update_headroom` predicts the eventual
+    // refusal without ever probing with a write.
+    let mut current = data[..BLOCK_SIZE].to_vec();
+    let initial_headroom = store.update_headroom(pid, 0)?;
+    println!("headroom before any update: {initial_headroom}");
+    for round in 0..12u32 {
+        current[(round % 8) as usize] = b'a' + (round % 26) as u8;
+        store.update_block(pid, 0, &current)?;
+    }
+    println!(
+        "after 12 updates: headroom {}, retrieval scope {} units, chain {:?}",
+        store.update_headroom(pid, 0)?,
+        store.retrieval_scope_units(pid, 0)?,
+        store.partition(pid)?.chain_of(0),
+    );
+    println!(
+        "at this rate the partition goes read-only after {} more updates — compact instead",
+        store.update_headroom(pid, 0)?
+    );
+    let before = store.read_block(pid, 0)?;
+    assert_eq!(before.block.data, current);
+    println!(
+        "pre-compaction read: {} patches applied, {} PCR rounds, {} reads sequenced",
+        before.patches_applied, before.stats.pcr_rounds, before.stats.reads_sequenced
+    );
+
+    // Consolidate: fold every patch chain into its current logical image,
+    // retire the stale molecules, re-synthesize fresh base units.
+    let compactor = Compactor::new(CompactionPolicy::paper_default());
+    assert!(compactor.should_compact_partition(&store, pid));
+    let report = compactor.run(&mut store)?;
+    println!(
+        "compaction: {} blocks rebased, {} stale units reclaimed, \
+         {} species retired, {} rewrites (${:.2} synthesis)",
+        report.blocks_rebased,
+        report.units_reclaimed,
+        report.species_retired,
+        report.rewrites_synthesized,
+        report.synthesis_cost
+    );
+    assert_eq!(store.update_headroom(pid, 0)?, initial_headroom);
+    println!(
+        "headroom after compaction: {} (fully restored); scope of block 0: {} unit(s)",
+        store.update_headroom(pid, 0)?,
+        store.retrieval_scope_units(pid, 0)?
+    );
+
+    // The rebased block reads byte-identically — cheaper, with no patches.
+    let after = store.read_block(pid, 0)?;
+    assert_eq!(after.block.data, current);
+    assert_eq!(after.patches_applied, 0);
+    assert!(after.stats.reads_sequenced < before.stats.reads_sequenced);
+    println!(
+        "post-compaction read: {} patches applied, {} PCR rounds, {} reads sequenced",
+        after.patches_applied, after.stats.pcr_rounds, after.stats.reads_sequenced
+    );
+
+    // And the write path flows again.
+    current[9] = b'!';
+    store.update_block(pid, 0, &current)?;
+    let again = store.read_block(pid, 0)?;
+    assert_eq!(again.block.data, current);
+    println!("update after compaction applied cleanly; store lives on");
+    Ok(())
+}

@@ -4,8 +4,8 @@
 //! throughout.
 
 use dna_storage::block_store::{
-    batch::BatchPlanner, workload, BatchWindow, BlockStore, PartitionConfig, PartitionId,
-    ServerConfig, StoreError, StoreServer, UpdateLayout, BLOCK_SIZE,
+    batch::BatchPlanner, workload, BatchWindow, BlockStore, CompactionPolicy, PartitionConfig,
+    PartitionId, ServerConfig, StoreError, StoreServer, UpdateLayout, BLOCK_SIZE,
 };
 use dna_storage::sim::{IdsChannel, Sequencer};
 
@@ -302,4 +302,200 @@ fn forced_single_pair_rounds_still_round_trip() {
         strict.outcomes[3].as_ref().unwrap().block.data,
         &data_b[BLOCK_SIZE..]
     );
+}
+
+// ----- compaction & consolidation lifecycle --------------------------------
+
+/// The three layouts under sustained-update pressure, small enough to
+/// exhaust within a test budget: 64-leaf partitions with a 16-leaf shared
+/// log. Depth 3 keeps the 6-base leaf indexes discriminating — at depth 2
+/// the 4-base indexes alias across subtrees under sequencing indels — and
+/// the data population is kept moderate (20 of 64 leaves), matching the
+/// sparse occupancy real deployments provision: a densely packed address
+/// space multiplies the §8.1 chimera families a precise read must defeat.
+const COMPACTION_LAYOUTS: [UpdateLayout; 3] = [
+    UpdateLayout::Interleaved { update_slots: 3 },
+    UpdateLayout::TwoStacks,
+    UpdateLayout::DedicatedLog,
+];
+
+/// Data blocks written into each compaction-scenario partition.
+const DATA_BLOCKS: usize = 20;
+
+fn small_update_store(seed: u64, layout: UpdateLayout) -> (BlockStore, PartitionId, Vec<u8>) {
+    let mut store = BlockStore::new(seed);
+    // A fully-saturated update region (the exhaustion scenarios read at
+    // max patch depth) needs real-operator coverage provisioning.
+    store.set_coverage(24);
+    store
+        .set_log_partition_config(PartitionConfig::small(
+            seed ^ 0x10,
+            2,
+            UpdateLayout::paper_default(),
+        ))
+        .unwrap();
+    let pid = store
+        .create_partition(PartitionConfig::small(seed ^ 0x11, 3, layout))
+        .unwrap();
+    let data = workload::deterministic_text(DATA_BLOCKS * BLOCK_SIZE, seed ^ 0x12);
+    store.write_file(pid, &data).unwrap();
+    (store, pid, data)
+}
+
+/// Mutates one byte of `data`'s block 0 per round so every update carries a
+/// real (non-identity) patch.
+fn next_edit(data: &mut [u8], round: u32) {
+    data[(round % 8) as usize] = b'a' + (round % 26) as u8;
+}
+
+/// Drives updates of block 0 until the store refuses, returning how many
+/// committed.
+fn updates_until_exhaustion(
+    store: &mut BlockStore,
+    pid: PartitionId,
+    data: &mut [u8],
+) -> (u32, StoreError) {
+    for round in 0..200u32 {
+        next_edit(data, round);
+        if let Err(err) = store.update_block(pid, 0, &data[..BLOCK_SIZE]) {
+            return (round, err);
+        }
+    }
+    panic!("no exhaustion within 200 updates");
+}
+
+#[test]
+fn sustained_updates_exhaust_every_layout_without_compaction() {
+    // ISSUE acceptance (a): without compaction, a sustained update workload
+    // hits UpdateSlotsExhausted on all three layouts — and the error now
+    // says which layout, how long the chain grew, and that headroom is 0.
+    for (i, layout) in COMPACTION_LAYOUTS.into_iter().enumerate() {
+        let (mut store, pid, mut data) = small_update_store(0x300 + i as u64, layout);
+        let predicted = store.update_headroom(pid, 0).unwrap();
+        let (committed, err) = updates_until_exhaustion(&mut store, pid, &mut data);
+        assert_eq!(
+            u64::from(committed),
+            predicted,
+            "{layout}: update_headroom must predict exhaustion exactly"
+        );
+        match err {
+            StoreError::UpdateSlotsExhausted {
+                block: 0,
+                layout: err_layout,
+                chain_len,
+                headroom: 0,
+            } => {
+                assert_eq!(err_layout, layout);
+                assert!(chain_len > 0, "{layout}: some chain/stack/log context");
+            }
+            other => panic!("{layout}: expected UpdateSlotsExhausted, got {other}"),
+        }
+        // The store is read-only for updates but still serves correct bytes.
+        let out = store.read_block(pid, 0).unwrap();
+        assert_eq!(out.block.data, store.logical_block(pid, 0).unwrap().data);
+    }
+}
+
+#[test]
+fn compaction_policy_keeps_the_same_workload_alive_through_the_server() {
+    // ISSUE acceptance (b), serving layer: the workload that exhausted
+    // every layout above now runs past that bound — the server compacts
+    // before any update would starve — and every read stays byte-identical
+    // to the digital oracle (stale_serves == 0).
+    for (i, layout) in COMPACTION_LAYOUTS.into_iter().enumerate() {
+        let seed = 0x310 + i as u64;
+        // Measure the no-compaction exhaustion bound on a twin store.
+        let (mut twin, twin_pid, mut twin_data) = small_update_store(seed, layout);
+        let (exhausted_at, _) = updates_until_exhaustion(&mut twin, twin_pid, &mut twin_data);
+
+        let (store, pid, mut data) = small_update_store(seed, layout);
+        let config = ServerConfig {
+            window: BatchWindow::Immediate,
+            compaction: Some(CompactionPolicy::headroom_only(2)),
+            ..ServerConfig::paper_default()
+        };
+        let server = StoreServer::new(store, config);
+        for round in 0..exhausted_at + 5 {
+            next_edit(&mut data, round);
+            server
+                .update_block(pid, 0, &data[..BLOCK_SIZE])
+                .unwrap_or_else(|e| panic!("{layout}: update {round} failed: {e}"));
+        }
+        let stats = server.stats();
+        assert!(
+            stats.compactions >= 1,
+            "{layout}: the workload must have forced maintenance: {stats:?}"
+        );
+        assert!(stats.units_reclaimed > 0, "{layout}: {stats:?}");
+        assert_eq!(
+            stats.updates_applied,
+            u64::from(exhausted_at + 5),
+            "{layout}: every update past the exhaustion bound must commit"
+        );
+        // Cold read, then warm read, of every block: byte-identical to the
+        // oracle, never stale.
+        let store_oracle: Vec<Vec<u8>> = {
+            let mut expected = workload::deterministic_text(DATA_BLOCKS * BLOCK_SIZE, seed ^ 0x12);
+            expected[..BLOCK_SIZE].copy_from_slice(&data[..BLOCK_SIZE]);
+            expected.chunks(BLOCK_SIZE).map(<[u8]>::to_vec).collect()
+        };
+        for pass in 0..2 {
+            for b in 0..4u64 {
+                let read = server
+                    .read_block(pid, b)
+                    .unwrap_or_else(|e| panic!("{layout}: pass {pass} block {b}: {e}"));
+                assert_eq!(
+                    read.block.data, store_oracle[b as usize],
+                    "{layout}: pass {pass} block {b} differs from the oracle"
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.stale_serves, 0, "{layout}: {stats:?}");
+        assert_eq!(stats.reads_served, stats.cache_hits + stats.cache_misses);
+    }
+}
+
+#[test]
+fn compaction_lowers_hot_block_batch_read_cost() {
+    // ISSUE acceptance (b), cost half: immediately before compaction a hot
+    // block's batched read pays for its accumulated update scope; right
+    // after compaction the same read sequences strictly fewer reads, with
+    // identical bytes.
+    for (i, layout) in COMPACTION_LAYOUTS.into_iter().enumerate() {
+        let (mut store, pid, mut data) = small_update_store(0x320 + i as u64, layout);
+        for round in 0..8u32 {
+            next_edit(&mut data, round);
+            store.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
+        }
+        let requests = [(pid, 0u64)];
+        let pre = store.read_blocks_batch(&requests).unwrap();
+        let pre_block = pre.outcomes[0].as_ref().unwrap();
+        assert_eq!(pre_block.block.data, &data[..BLOCK_SIZE]);
+        assert_eq!(pre_block.patches_applied, 8, "{layout}");
+
+        let report = store.compact_partition(pid).unwrap();
+        assert!(report.units_reclaimed >= 8, "{layout}: {report:?}");
+        assert!(report.rewrites_synthesized >= 1, "{layout}");
+
+        let post = store.read_blocks_batch(&requests).unwrap();
+        let post_block = post.outcomes[0].as_ref().unwrap();
+        assert_eq!(
+            post_block.block.data,
+            &data[..BLOCK_SIZE],
+            "{layout}: rebased bytes must match"
+        );
+        assert_eq!(post_block.patches_applied, 0, "{layout}: chain folded");
+        assert!(
+            post.stats.reads_sequenced < pre.stats.reads_sequenced,
+            "{layout}: post-compaction read must sequence fewer reads \
+             ({} vs {})",
+            post.stats.reads_sequenced,
+            pre.stats.reads_sequenced
+        );
+        assert!(
+            post.stats.rounds <= pre.stats.rounds,
+            "{layout}: never more rounds after compaction"
+        );
+    }
 }

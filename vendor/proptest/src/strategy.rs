@@ -108,6 +108,25 @@ impl Strategy for Range<f32> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($S:ident),*) => {
+        impl<$($S: Strategy),*> Strategy for ($($S,)*) {
+            type Value = ($($S::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($S,)*) = self;
+                ($($S.generate(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0, S1);
+tuple_strategy!(S0, S1, S2);
+tuple_strategy!(S0, S1, S2, S3);
+tuple_strategy!(S0, S1, S2, S3, S4);
+
 /// Always produces a clone of the same value (mirror of `proptest::strategy::Just`).
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);

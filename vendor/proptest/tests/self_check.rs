@@ -43,6 +43,20 @@ proptest! {
     }
 
     #[test]
+    fn tuple_strategies_draw_componentwise(
+        (a, b) in (0u64..8, 10i32..20),
+        triples in prop::collection::vec((0u8..4, 0usize..16, any::<u8>()), 1..6),
+    ) {
+        prop_assert!(a < 8);
+        prop_assert!((10..20).contains(&b));
+        prop_assert!((1..6).contains(&triples.len()));
+        for &(x, y, _) in &triples {
+            prop_assert!(x < 4);
+            prop_assert!(y < 16);
+        }
+    }
+
+    #[test]
     fn assume_filters_cases(n in any::<u64>()) {
         prop_assume!(n % 2 == 0);
         prop_assert_eq!(n % 2, 0);
