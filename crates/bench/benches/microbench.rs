@@ -113,6 +113,32 @@ fn bench_patches(c: &mut Criterion) {
     });
 }
 
+fn bench_pool_mixing(c: &mut Criterion) {
+    // The write-path fix behind the sharded store: `mixed_with` clones the
+    // whole archival tube per synthesis batch (O(pool)), `mix_in` lands
+    // the batch in place (O(batch · log pool)).
+    use dna_sim::Pool;
+    let mut rng = DetRng::seed_from_u64(77);
+    let mut pool = Pool::new();
+    for _ in 0..2_000 {
+        pool.add(random_seq(150, &mut rng), 1.0e6, None);
+    }
+    let mut batch = Pool::new();
+    for _ in 0..4 {
+        batch.add(random_seq(150, &mut rng), 5.0e10, None);
+    }
+    c.bench_function("pool2000_mixed_with_batch4 (clone per write)", |b| {
+        b.iter(|| black_box(pool.mixed_with(&batch, 1.0, 2.0e-5)));
+    });
+    c.bench_function("pool2000_mix_in_batch4 (in place)", |b| {
+        let mut live = pool.clone();
+        b.iter(|| {
+            live.mix_in(&batch, 1.0, 2.0e-5);
+            black_box(live.distinct())
+        });
+    });
+}
+
 criterion_group!(
     micro,
     bench_distances,
@@ -120,6 +146,7 @@ criterion_group!(
     bench_unit,
     bench_tree,
     bench_pipeline,
-    bench_patches
+    bench_patches,
+    bench_pool_mixing
 );
 criterion_main!(micro);

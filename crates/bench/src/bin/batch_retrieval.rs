@@ -12,7 +12,7 @@ use std::time::Instant;
 
 /// Builds a store with `partitions` partitions × `blocks_per` blocks each.
 fn build_store(seed: u64, partitions: usize, blocks_per: usize) -> (BlockStore, Vec<PartitionId>) {
-    let mut store = BlockStore::new(seed);
+    let store = BlockStore::new(seed);
     let mut pids = Vec::new();
     for p in 0..partitions {
         let pid = store
@@ -32,7 +32,7 @@ fn run_comparison(partitions: usize, blocks_per: usize) {
         .collect();
 
     // Sequential: one read_block (one PCR round) per request.
-    let (mut store, _) = build_store(11, partitions, blocks_per);
+    let (store, _) = build_store(11, partitions, blocks_per);
     let t0 = Instant::now();
     let mut seq_rounds = 0usize;
     let mut seq_reads = 0usize;
@@ -46,7 +46,7 @@ fn run_comparison(partitions: usize, blocks_per: usize) {
     let seq_wall = t0.elapsed();
 
     // Batched: identical fresh store, one multiplexed call.
-    let (mut store, _) = build_store(11, partitions, blocks_per);
+    let (store, _) = build_store(11, partitions, blocks_per);
     let t0 = Instant::now();
     let batch = store.read_blocks_batch(&requests).expect("batched read");
     let batch_wall = t0.elapsed();

@@ -55,7 +55,7 @@ fn main() {
     for (i, layout) in layouts.into_iter().enumerate() {
         let seed = 0x7C0 + i as u64;
         // Baseline: drive updates until the layout refuses.
-        let (mut bare, bare_pid, mut bare_data) = build(seed, layout);
+        let (bare, bare_pid, mut bare_data) = build(seed, layout);
         let mut exhausted_at = 0u32;
         for round in 0..400u32 {
             edit(&mut bare_data, round);
@@ -71,7 +71,7 @@ fn main() {
         // Policy run: the same workload driven 20 updates PAST the bound
         // that just went read-only, kept alive by maintenance.
         let policy_updates = exhausted_at + 20;
-        let (mut store, pid, mut data) = build(seed, layout);
+        let (store, pid, mut data) = build(seed, layout);
         let compactor = Compactor::new(CompactionPolicy::headroom_only(2));
         let mut compactions = 0u32;
         let mut reclaimed = 0u64;
@@ -86,7 +86,7 @@ fn main() {
                 // Hot-block read cost immediately before the fold...
                 let pre = store.read_blocks_batch(&[(pid, 0)]).expect("pre read");
                 pre_reads = pre.stats.reads_sequenced;
-                let report = compactor.run(&mut store).expect("maintenance pass");
+                let report = compactor.run(&store).expect("maintenance pass");
                 assert!(!report.is_empty(), "thresholds fired, pass must fold");
                 compactions += 1;
                 reclaimed += report.units_reclaimed;

@@ -175,7 +175,7 @@ pub fn layout_comparison(seed: u64) -> Vec<LayoutRow> {
     scenarios
         .into_iter()
         .map(|(name, layout)| {
-            let mut store = BlockStore::new(seed);
+            let store = BlockStore::new(seed);
             let mut cfg = PartitionConfig::paper_default(seed ^ 0x1A1);
             cfg.layout = layout;
             let pid = store.create_partition(cfg).unwrap();

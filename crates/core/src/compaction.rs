@@ -215,7 +215,7 @@ impl Compactor {
     ///
     /// Propagates [`BlockStore::compact_partition`] /
     /// [`BlockStore::compact_log`] errors.
-    pub fn run(&self, store: &mut BlockStore) -> Result<CompactionReport, StoreError> {
+    pub fn run(&self, store: &BlockStore) -> Result<CompactionReport, StoreError> {
         let mut report = CompactionReport::default();
         for pid in store.partition_ids() {
             if self.should_compact_partition(store, pid) {
@@ -302,7 +302,7 @@ mod tests {
         update(&mut store, pid, &mut data, 1, 0);
         let compactor = Compactor::new(CompactionPolicy::paper_default());
         assert!(compactor.should_compact_partition(&store, pid));
-        let report = compactor.run(&mut store).unwrap();
+        let report = compactor.run(&store).unwrap();
         assert!(!report.is_empty());
         assert_eq!(report.partitions_compacted, 1);
         assert_eq!(report.blocks_rebased, 2);
@@ -314,7 +314,7 @@ mod tests {
         assert!(report.synthesis_cost > 0.0);
         assert_eq!(report.rebased, vec![(pid, 0), (pid, 1)]);
         // Idempotent: a second pass finds nothing over threshold.
-        let again = compactor.run(&mut store).unwrap();
+        let again = compactor.run(&store).unwrap();
         assert!(again.is_empty(), "{again:?}");
         // Full headroom is back.
         assert_eq!(store.update_headroom(pid, 0).unwrap(), 2 + 12 * 3);

@@ -56,6 +56,11 @@ pub enum StoreError {
     },
     /// The primer-pair library was exhausted (no compatible pair left).
     NoPrimerPairAvailable,
+    /// A serving-layer worker (the batch leader executing on behalf of
+    /// coalesced requests) panicked before publishing this request's
+    /// result. The request can simply be retried — the panic was contained
+    /// to the leader and the server remains serviceable.
+    ServerPanicked,
 }
 
 impl fmt::Display for StoreError {
@@ -87,6 +92,9 @@ impl fmt::Display for StoreError {
                 write!(f, "decoding block {block} failed: {reason}")
             }
             StoreError::NoPrimerPairAvailable => write!(f, "no compatible primer pair available"),
+            StoreError::ServerPanicked => {
+                write!(f, "the batch leader panicked before publishing this result")
+            }
         }
     }
 }

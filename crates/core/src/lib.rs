@@ -22,6 +22,12 @@
 //! multiplex PCR rounds and each round's reads are demultiplexed and
 //! decoded in parallel.
 //!
+//! The store is **sharded** (see the `store` module docs): each partition
+//! keeps its own tube behind its own lock, every serving operation takes
+//! `&self`, the expensive wetlab/decode phases run against shard
+//! snapshots with no locks held, and the multiplex rounds of one batch
+//! execute concurrently on scoped threads.
+//!
 //! Concurrent traffic goes through the serving layer
 //! ([`service::StoreServer`]): many client threads issue
 //! `read_block`/`read_range`/`update_block` against one shared server,
@@ -79,5 +85,8 @@ pub use partition::{
     parse_pointer_block, pointer_block, Partition, PartitionConfig, ReclaimedUpdates, VersionSlot,
 };
 pub use service::{BatchWindow, CachePolicy, ServedRead, ServerConfig, ServerStats, StoreServer};
-pub use store::{BatchReadOutcome, BlockReadOutcome, BlockStore, PartitionId, ReadProtocolStats};
+pub use store::{
+    BatchReadOutcome, BlockReadOutcome, BlockStore, CommittedUpdate, PartitionId, PartitionShard,
+    ReadProtocolStats,
+};
 pub use update::UpdatePatch;

@@ -294,6 +294,22 @@ impl Partition {
         block: u64,
         content: &Block,
     ) -> Result<Vec<Molecule>, StoreError> {
+        self.record_block_write(block)?;
+        Ok(self.encode_unit(block, VersionSlot(0), content))
+    }
+
+    /// Commits the bookkeeping half of [`Partition::encode_block`] —
+    /// validates the write and records it — without producing the strands.
+    /// A sharded store uses this to *encode* a unit from an immutable
+    /// partition snapshot (via [`Partition::encode_unit`], outside any
+    /// lock) and then commit the write separately once the snapshot
+    /// validates.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range blocks, blocks colliding with the overflow
+    /// region, and double writes.
+    pub fn record_block_write(&mut self, block: u64) -> Result<(), StoreError> {
         if block >= self.num_leaves() {
             return Err(StoreError::BlockOutOfRange {
                 block,
@@ -313,7 +329,7 @@ impl Partition {
         }
         self.write_counts.insert(block, 1);
         self.max_block_written = self.max_block_written.max(block);
-        Ok(self.encode_unit(block, VersionSlot(0), content))
+        Ok(())
     }
 
     /// Plans where the next update of `block` goes (see
@@ -416,13 +432,27 @@ impl Partition {
         patch: &UpdatePatch,
     ) -> Result<(UpdatePlacement, Vec<Molecule>), StoreError> {
         let placement = self.plan_update(block)?;
+        let molecules = self.encode_placement(&placement, patch);
+        self.commit_placement(block, &placement);
+        Ok((placement, molecules))
+    }
+
+    /// Encodes the strands a planned update placement will synthesize —
+    /// the patch unit plus any pointer units — without committing
+    /// anything. Pure with respect to the partition: a sharded store
+    /// encodes from a snapshot while holding no locks, then commits via
+    /// [`Partition::commit_placement`] once the snapshot validates.
+    pub fn encode_placement(
+        &self,
+        placement: &UpdatePlacement,
+        patch: &UpdatePatch,
+    ) -> Vec<Molecule> {
         let mut molecules = self.encode_unit(placement.leaf, placement.slot, &patch.to_block());
         for &(ptr_leaf, ptr_slot, target) in &placement.pointers {
             let ptr_block = pointer_block(target);
             molecules.extend(self.encode_unit(ptr_leaf, ptr_slot, &ptr_block));
         }
-        self.commit_placement(block, &placement);
-        Ok((placement, molecules))
+        molecules
     }
 
     /// Commits a placement produced by [`Partition::plan_update`]: records

@@ -1,4 +1,4 @@
-//! The concurrent store frontend: a thread-safe server over
+//! The concurrent store frontend: a thread-safe server over the sharded
 //! [`BlockStore`] with cross-request read coalescing and an update-aware
 //! decoded-block cache.
 //!
@@ -9,34 +9,54 @@
 //! from many client threads are held in a bounded batching window
 //! ([`BatchWindow`]) and coalesced into one batched retrieval — the
 //! [`crate::batch::BatchPlanner`] packs the touched partitions into
-//! primer-compatible multiplex rounds, and each round's read pool is
-//! demultiplexed and decoded in parallel
+//! primer-compatible multiplex rounds, the store dispatches those rounds
+//! (disjoint shard sets) concurrently on scoped threads, and each round's
+//! read pool is demultiplexed and decoded in parallel
 //! ([`dna_pipeline::decode_jobs_parallel`]). On top of that, a
 //! [`BlockCache`] serves repeated reads of hot blocks with **zero**
 //! simulated wetlab cost (the read-mostly access pattern of rewritable
-//! DNA systems, Yazdi et al. 2015), and
-//! [`StoreServer::update_block`] keeps it coherent — invalidating or
-//! refreshing the updated key under the same store lock that commits the
-//! update, so a read issued after an update returns never observes the
-//! pre-update image.
+//! DNA systems, Yazdi et al. 2015), and [`StoreServer::update_block`]
+//! keeps it coherent through shard **epochs** rather than a store-wide
+//! lock.
 //!
 //! # Concurrency protocol
 //!
-//! Three locks, always taken in this order (never the reverse):
+//! The store is internally sharded (see [`crate::store`] for its lock
+//! order); the server never holds a store lock — store operations take
+//! `&self` and synchronize internally. On top of the store sit two
+//! service locks and a bank of counters:
 //!
-//! 1. **store** — owns the wetlab; all pool/rng mutations (batch
-//!    execution, updates, writes) serialize here, which is what makes
-//!    concurrent runs *linearizable at block granularity*: every read
-//!    observes either the pre- or post-image of any concurrent update,
-//!    never a torn mix.
-//! 2. **front end** (cache + staleness oracle + stats) — cache *writes*
-//!    happen only while the store lock is held, so cache contents always
-//!    reflect store commit order; cache *hits* take only this lock, which
-//!    is why a warm read never waits behind an executing wetlab round.
-//! 3. **scheduler** (pending queue + tickets) — the first thread to queue
+//! 1. **front end** (cache + staleness oracle) — every entry carries the
+//!    shard epoch of the commit that produced it. A mutation with an
+//!    older epoch than the entry's is discarded, so cache and oracle
+//!    converge to store commit order no matter how threads interleave
+//!    between a store commit and its front-end publication. Cache *hits*
+//!    take only this lock, which is why a warm read never waits behind an
+//!    executing wetlab round — and with the store unlocked too, a cold
+//!    read of shard A never waits behind an update writing shard B.
+//! 2. **scheduler** (pending queue + tickets) — the first thread to queue
 //!    a miss becomes the *leader*: it waits out the batching window,
 //!    drains every read queued meanwhile, executes them as one batch, and
 //!    publishes per-ticket results. Followers just block on their ticket.
+//! 3. **stats** — lock-free atomics ([`ServerStats`] is a consistent
+//!    snapshot: each counter is a point-in-time atomic load, and
+//!    `reads_served` is *derived* as `cache_hits + cache_misses` so that
+//!    invariant holds exactly in every snapshot).
+//!
+//! Service locks never nest with store locks (neither is held while the
+//! other layer is called), so the global lock order is simply the store's
+//! own, followed by front end, followed by scheduler.
+//!
+//! # Panic containment
+//!
+//! A panicking client thread must not brick the server. Three layers
+//! enforce that: the store runs its fallible wetlab/decode phases outside
+//! all locks (a panic there poisons nothing); the service locks recover
+//! from poisoning (their critical sections are pure map/counter updates,
+//! so a poisoned guard still holds consistent state); and a leader that
+//! panicks mid-batch publishes [`StoreError::ServerPanicked`] to every
+//! ticket it had drained (via a drop guard), so followers fail fast
+//! instead of hanging.
 //!
 //! The observable contract is [`ServerStats`]: `stale_serves` (cache hits
 //! that disagreed with the store's §5.4 digital front-end oracle) must be
@@ -53,7 +73,8 @@ use crate::partition::PartitionConfig;
 use crate::store::{BlockReadOutcome, BlockStore, PartitionId};
 use crate::StoreError;
 use std::collections::BTreeMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How long the scheduler leader holds a round open for co-arriving reads.
@@ -110,8 +131,8 @@ pub struct ServerConfig {
     /// space is packed solid with data has nothing to fold and still
     /// exhausts — that is a provisioning problem, not a maintenance one.)
     /// The server also runs a threshold-driven [`Compactor`] pass between
-    /// coalesced batches, under the same store lock, to fold hot blocks'
-    /// patch chains back into cheap single-unit reads.
+    /// coalesced batches to fold hot blocks' patch chains back into cheap
+    /// single-unit reads.
     pub compaction: Option<CompactionPolicy>,
 }
 
@@ -142,6 +163,12 @@ impl ServerConfig {
 /// Aggregate serving statistics — the observable contract the stress and
 /// scenario suites assert on. All counters are cumulative since server
 /// construction.
+///
+/// Produced by [`StoreServer::stats`] as a consistent snapshot of the
+/// server's lock-free counters: every field is a point-in-time atomic
+/// load, every counter is monotonic, and `reads_served` is derived as
+/// `cache_hits + cache_misses` at snapshot time so that identity holds
+/// exactly in every snapshot (not just at quiescence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Client calls accepted (each `read_block`, `read_range`, and
@@ -179,6 +206,50 @@ pub struct ServerStats {
     pub rewrites_synthesized: u64,
 }
 
+/// The server's lock-free counter bank. `Relaxed` ordering throughout:
+/// each counter is independently monotonic, and no control flow depends
+/// on cross-counter ordering (the one exact invariant, `reads_served ==
+/// cache_hits + cache_misses`, is derived at snapshot time).
+#[derive(Default)]
+struct AtomicStats {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches_executed: AtomicU64,
+    rounds_executed: AtomicU64,
+    reads_coalesced: AtomicU64,
+    updates_applied: AtomicU64,
+    stale_serves: AtomicU64,
+    compactions: AtomicU64,
+    units_reclaimed: AtomicU64,
+    rewrites_synthesized: AtomicU64,
+}
+
+impl AtomicStats {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            reads_served: cache_hits + cache_misses,
+            cache_hits,
+            cache_misses,
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            rounds_executed: self.rounds_executed.load(Ordering::Relaxed),
+            reads_coalesced: self.reads_coalesced.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            units_reclaimed: self.units_reclaimed.load(Ordering::Relaxed),
+            rewrites_synthesized: self.rewrites_synthesized.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One served block read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServedRead {
@@ -191,16 +262,81 @@ pub struct ServedRead {
     pub patches_applied: usize,
 }
 
-/// Front-end state: the decoded-block cache, the staleness oracle, and
-/// the stats. Mutated only under the store lock (except recency bumps and
-/// counter increments on the hit path), so contents follow store commit
-/// order.
+/// What the staleness oracle remembers per block: the checksum of the
+/// committed logical content and the shard epoch of the commit that
+/// produced it. Epochs order front-end writes against each other without
+/// a store-wide lock: a publication carrying an older epoch than the
+/// entry's is a late-arriving loser of a commit race and is discarded.
+#[derive(Debug, Clone, Copy)]
+struct ShadowEntry {
+    epoch: u64,
+    checksum: u64,
+}
+
+/// Front-end state: the decoded-block cache and the staleness oracle,
+/// both epoch-ordered. Per-shard coherence: entries for shard A are only
+/// ever ordered against commits to shard A.
 struct FrontEnd {
     cache: BlockCache,
-    /// `(partition, block)` → checksum of the current logical content —
-    /// the §5.4 digital front-end oracle cache hits are audited against.
-    shadow: BTreeMap<CacheKey, u64>,
-    stats: ServerStats,
+    /// `(partition, block)` → the §5.4 digital front-end oracle entry that
+    /// cache hits are audited against.
+    shadow: BTreeMap<CacheKey, ShadowEntry>,
+}
+
+impl FrontEnd {
+    /// Publishes a committed update (or write) for `key`: refreshes the
+    /// oracle and applies the cache policy — unless a newer commit for the
+    /// same key already published.
+    fn publish_commit(&mut self, key: CacheKey, epoch: u64, image: &Block, policy: CachePolicy) {
+        if self.shadow.get(&key).is_some_and(|e| e.epoch > epoch) {
+            return; // a newer commit already published
+        }
+        self.shadow.insert(
+            key,
+            ShadowEntry {
+                epoch,
+                checksum: checksum64(&image.data),
+            },
+        );
+        match policy {
+            CachePolicy::Invalidate => {
+                self.cache.invalidate(&key);
+            }
+            CachePolicy::Refresh => {
+                self.cache.insert(key, image.clone());
+            }
+        }
+    }
+
+    /// Installs a wetlab-decoded block into the cache, unless an update
+    /// newer than the read's shard snapshot has been published for the
+    /// key (in which case the decoded image is already superseded).
+    fn fill_cache(&mut self, key: CacheKey, snapshot_epoch: u64, image: &Block) {
+        if self
+            .shadow
+            .get(&key)
+            .is_some_and(|e| e.epoch > snapshot_epoch)
+        {
+            return;
+        }
+        self.cache.insert(key, image.clone());
+    }
+
+    /// Applies the cache policy to a compaction-rebased key. Compaction
+    /// never changes logical bytes — the oracle checksum stays valid — but
+    /// refresh/invalidate keeps cache behavior uniform with updates.
+    fn publish_rebase(&mut self, key: CacheKey, epoch: u64, image: &Block, policy: CachePolicy) {
+        match policy {
+            CachePolicy::Invalidate => {
+                self.cache.invalidate(&key);
+            }
+            CachePolicy::Refresh => {
+                if self.shadow.get(&key).is_none_or(|e| e.epoch <= epoch) {
+                    self.cache.insert(key, image.clone());
+                }
+            }
+        }
+    }
 }
 
 /// A read waiting for (or holding) its batch result.
@@ -233,10 +369,10 @@ struct SchedState {
     gate_open: bool,
 }
 
-/// A thread-safe serving frontend over one [`BlockStore`]: concurrent
-/// `read_block` / `read_range` / `update_block` from any number of client
-/// threads, with cross-request read coalescing and an update-aware
-/// decoded-block cache.
+/// A thread-safe serving frontend over one sharded [`BlockStore`]:
+/// concurrent `read_block` / `read_range` / `update_block` from any number
+/// of client threads, with cross-request read coalescing and an
+/// update-aware decoded-block cache.
 ///
 /// Construct it around a store (pre-loaded or empty), share it via
 /// [`std::sync::Arc`] (or `std::thread::scope` borrows), and drive it from
@@ -262,9 +398,10 @@ struct SchedState {
 /// assert_eq!(stats.stale_serves, 0);
 /// ```
 pub struct StoreServer {
-    store: Mutex<BlockStore>,
+    store: BlockStore,
     front: Mutex<FrontEnd>,
     sched: Mutex<SchedState>,
+    stats: AtomicStats,
     /// Wakes a windowing leader (new arrival, or gate release).
     arrivals: Condvar,
     /// Wakes ticket holders when results are published.
@@ -279,15 +416,26 @@ impl StoreServer {
     pub fn new(store: BlockStore, config: ServerConfig) -> StoreServer {
         let shadow = store
             .logical_contents()
-            .map(|(key, block)| (key, checksum64(&block.data)))
+            .into_iter()
+            .map(|(key, block)| {
+                (
+                    key,
+                    ShadowEntry {
+                        // Pre-load epoch 0: every server-side commit gets a
+                        // strictly positive epoch, so the first update of a
+                        // pre-loaded key always supersedes this seed.
+                        epoch: 0,
+                        checksum: checksum64(&block.data),
+                    },
+                )
+            })
             .collect();
         StoreServer {
             front: Mutex::new(FrontEnd {
                 cache: BlockCache::new(config.cache_capacity),
                 shadow,
-                stats: ServerStats::default(),
             }),
-            store: Mutex::new(store),
+            store,
             sched: Mutex::new(SchedState {
                 next_ticket: 0,
                 next_call: 0,
@@ -296,53 +444,74 @@ impl StoreServer {
                 leader_active: false,
                 gate_open: false,
             }),
+            stats: AtomicStats::default(),
             arrivals: Condvar::new(),
             done: Condvar::new(),
             config,
         }
     }
 
-    /// Unwraps the server, returning the inner store.
-    pub fn into_store(self) -> BlockStore {
-        self.store.into_inner().expect("store lock poisoned")
+    // ----- poison-recovering lock helpers ----------------------------------
+    //
+    // A client thread that panicks while holding a service lock poisons
+    // it; recovering is safe because every critical section on these locks
+    // is a sequence of individually consistent map/queue operations (no
+    // multi-step invariant is ever left half-applied at a panic point —
+    // the fallible store work happens outside the locks). The regression
+    // test `poisoned_locks_recover` pins this.
+
+    fn lock_front(&self) -> MutexGuard<'_, FrontEnd> {
+        self.front.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// A snapshot of the cumulative serving statistics.
+    fn lock_sched(&self) -> MutexGuard<'_, SchedState> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Unwraps the server, returning the inner store.
+    pub fn into_store(self) -> BlockStore {
+        self.store
+    }
+
+    /// Read-only access to the underlying sharded store (safe to use
+    /// concurrently with serving: the store synchronizes internally).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// A consistent snapshot of the cumulative serving statistics.
     pub fn stats(&self) -> ServerStats {
-        self.front.lock().expect("front lock").stats
+        self.stats.snapshot()
     }
 
     /// Blocks currently held by the decoded-block cache.
     pub fn cached_blocks(&self) -> usize {
-        self.front.lock().expect("front lock").cache.len()
+        self.lock_front().cache.len()
     }
 
     /// Reads currently queued for the next coalesced batch (tests use this
     /// with [`BatchWindow::Gate`] to release a round deterministically).
     pub fn pending_reads(&self) -> usize {
-        self.sched.lock().expect("sched lock").pending.len()
+        self.lock_sched().pending.len()
     }
 
     /// Opens the [`BatchWindow::Gate`]: the waiting leader (if any) drains
     /// everything pending and executes it as one batch. No-op latch in the
     /// other window modes.
     pub fn release_batch(&self) {
-        let mut sched = self.sched.lock().expect("sched lock");
+        let mut sched = self.lock_sched();
         sched.gate_open = true;
         drop(sched);
         self.arrivals.notify_all();
     }
 
-    /// Creates a partition (serialized through the store lock).
+    /// Creates a partition (the store serializes creation internally).
     ///
     /// # Errors
     ///
     /// Propagates [`BlockStore::create_partition`] errors.
     pub fn create_partition(&self, config: PartitionConfig) -> Result<PartitionId, StoreError> {
-        self.store
-            .lock()
-            .expect("store lock")
-            .create_partition(config)
+        self.store.create_partition(config)
     }
 
     /// Writes `data` as consecutive blocks starting at block 0 and seeds
@@ -352,21 +521,25 @@ impl StoreServer {
     ///
     /// Propagates [`BlockStore::write_file`] errors.
     pub fn write_file(&self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
-        let mut store = self.store.lock().expect("store lock");
-        let written = store.write_file(pid, data)?;
-        let mut front = self.front.lock().expect("front lock");
+        let written = self.store.write_file(pid, data)?;
+        let mut front = self.lock_front();
         for block in 0..written {
-            let content = store.logical_block(pid, block).expect("just written");
-            front.shadow.insert((pid, block), checksum64(&content.data));
+            let (image, epoch) = self
+                .store
+                .logical_versioned(pid, block)
+                .expect("just written");
+            // Seed the oracle; the cache policy is irrelevant for a fresh
+            // write (nothing cached yet), so publish with Invalidate.
+            front.publish_commit((pid, block), epoch, &image, CachePolicy::Invalidate);
         }
         Ok(written)
     }
 
-    /// Updates a block and keeps the cache coherent: the staleness oracle
-    /// and the cached copy are adjusted *under the same store lock that
-    /// commits the update*, so a read issued after this call returns can
-    /// never observe the pre-update image ([`ServerStats::stale_serves`]
-    /// stays 0).
+    /// Updates a block and keeps the cache coherent: the commit receipt's
+    /// shard epoch orders the oracle/cache publication against every other
+    /// publication for the same key, so a read issued after this call
+    /// returns can never observe the pre-update image
+    /// ([`ServerStats::stale_serves`] stays 0).
     ///
     /// # Errors
     ///
@@ -378,11 +551,7 @@ impl StoreServer {
         block: u64,
         new_content: &[u8],
     ) -> Result<(), StoreError> {
-        {
-            let mut front = self.front.lock().expect("front lock");
-            front.stats.requests += 1;
-        }
-        let mut store = self.store.lock().expect("store lock");
+        AtomicStats::bump(&self.stats.requests, 1);
         // Maintenance, first half: an update that would leave the block
         // under the configured headroom floor compacts its partition
         // *before* committing — so with `min_headroom >= 1`, exhaustion
@@ -395,33 +564,29 @@ impl StoreServer {
             // block also reports 0 headroom, but compacting for it would
             // pay real synthesis cost before the request fails anyway.
             let starving = policy.min_headroom > 0
-                && store.partition(pid).is_ok_and(|p| p.writes_of(block) > 0)
-                && store
+                && self
+                    .store
+                    .partition(pid)
+                    .is_ok_and(|p| p.writes_of(block) > 0)
+                && self
+                    .store
                     .update_headroom(pid, block)
                     .is_ok_and(|headroom| headroom < policy.min_headroom);
             if starving {
-                let report = store.compact_partition(pid)?;
-                self.apply_compaction(&store, &report);
+                let report = self.store.compact_partition(pid)?;
+                self.apply_compaction(&report);
             }
         }
-        store.update_block(pid, block, new_content)?;
-        let committed = store
-            .logical_block(pid, block)
-            .expect("block just updated")
-            .clone();
-        let mut front = self.front.lock().expect("front lock");
-        front
-            .shadow
-            .insert((pid, block), checksum64(&committed.data));
-        match self.config.cache_policy {
-            CachePolicy::Invalidate => {
-                front.cache.invalidate(&(pid, block));
-            }
-            CachePolicy::Refresh => {
-                front.cache.insert((pid, block), committed);
-            }
-        }
-        front.stats.updates_applied += 1;
+        let receipt = self.store.update_block_committed(pid, block, new_content)?;
+        let mut front = self.lock_front();
+        front.publish_commit(
+            (pid, block),
+            receipt.epoch,
+            &receipt.image,
+            self.config.cache_policy,
+        );
+        drop(front);
+        AtomicStats::bump(&self.stats.updates_applied, 1);
         Ok(())
     }
 
@@ -461,12 +626,11 @@ impl StoreServer {
     /// the misses. Returns one result per requested block, in request
     /// order.
     fn serve_reads(&self, wants: &[(PartitionId, u64)]) -> Vec<Result<ServedRead, StoreError>> {
+        AtomicStats::bump(&self.stats.requests, 1);
         let mut results: Vec<Option<Result<ServedRead, StoreError>>> = vec![None; wants.len()];
         let mut misses: Vec<(usize, PartitionId, u64)> = Vec::new();
         {
-            let mut front = self.front.lock().expect("front lock");
-            front.stats.requests += 1;
-            front.stats.reads_served += wants.len() as u64;
+            let mut front = self.lock_front();
             for (i, &(pid, block)) in wants.iter().enumerate() {
                 if let Some(cached) = front.cache.get(&(pid, block)) {
                     let served = ServedRead {
@@ -474,16 +638,16 @@ impl StoreServer {
                         from_cache: true,
                         patches_applied: 0,
                     };
-                    front.stats.cache_hits += 1;
+                    AtomicStats::bump(&self.stats.cache_hits, 1);
                     // Audit against the §5.4 oracle: a coherent cache can
                     // never disagree with the committed logical content.
-                    let fresh = front.shadow.get(&(pid, block)).copied();
+                    let fresh = front.shadow.get(&(pid, block)).map(|e| e.checksum);
                     if fresh != Some(checksum64(&served.block.data)) {
-                        front.stats.stale_serves += 1;
+                        AtomicStats::bump(&self.stats.stale_serves, 1);
                     }
                     results[i] = Some(Ok(served));
                 } else {
-                    front.stats.cache_misses += 1;
+                    AtomicStats::bump(&self.stats.cache_misses, 1);
                     misses.push((i, pid, block));
                 }
             }
@@ -493,7 +657,7 @@ impl StoreServer {
             // leader of the next batch.
             let mut tickets: Vec<(Ticket, usize)> = Vec::with_capacity(misses.len());
             let lead = {
-                let mut sched = self.sched.lock().expect("sched lock");
+                let mut sched = self.lock_sched();
                 let call = sched.next_call;
                 sched.next_call += 1;
                 for &(slot, pid, block) in &misses {
@@ -519,7 +683,7 @@ impl StoreServer {
             }
             // Collect this call's tickets (the leader published its own
             // along with everyone else's).
-            let mut sched = self.sched.lock().expect("sched lock");
+            let mut sched = self.lock_sched();
             loop {
                 let mut missing = false;
                 for &(ticket, slot) in &tickets {
@@ -539,7 +703,10 @@ impl StoreServer {
                 if !missing {
                     break;
                 }
-                sched = self.done.wait(sched).expect("sched lock");
+                sched = self
+                    .done
+                    .wait(sched)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         results
@@ -563,45 +730,45 @@ impl StoreServer {
             .config
             .compaction
             .unwrap_or_else(CompactionPolicy::paper_default);
-        let mut store = self.store.lock().expect("store lock");
-        let report = Compactor::new(policy).run(&mut store)?;
-        self.apply_compaction(&store, &report);
+        let report = Compactor::new(policy).run(&self.store)?;
+        self.apply_compaction(&report);
         Ok(report)
     }
 
-    /// Publishes a compaction's effects to the front end, under the store
-    /// lock that ran it: bumps the compaction counters and applies the
-    /// configured [`CachePolicy`] to every rebased block. Compaction never
-    /// changes logical bytes — cached entries stay *correct* — but
-    /// refresh/invalidate keeps cache behavior uniform with updates, and
-    /// the staleness oracle needs no adjustment at all.
-    fn apply_compaction(&self, store: &BlockStore, report: &CompactionReport) {
+    /// Publishes a compaction's effects to the front end: bumps the
+    /// compaction counters and applies the configured [`CachePolicy`] to
+    /// every rebased block. Compaction never changes logical bytes —
+    /// cached entries stay *correct* and the staleness oracle needs no
+    /// adjustment — but refresh/invalidate keeps cache behavior uniform
+    /// with updates. Rebased images are re-read with their shard epoch so
+    /// a refresh racing a concurrent update can never resurrect a
+    /// pre-update image.
+    fn apply_compaction(&self, report: &CompactionReport) {
         if report.is_empty() {
             return;
         }
-        let mut front = self.front.lock().expect("front lock");
-        front.stats.compactions += 1;
-        front.stats.units_reclaimed += report.units_reclaimed;
-        front.stats.rewrites_synthesized += report.rewrites_synthesized;
+        AtomicStats::bump(&self.stats.compactions, 1);
+        AtomicStats::bump(&self.stats.units_reclaimed, report.units_reclaimed);
+        AtomicStats::bump(
+            &self.stats.rewrites_synthesized,
+            report.rewrites_synthesized,
+        );
+        let mut front = self.lock_front();
         for &(pid, block) in &report.rebased {
-            match self.config.cache_policy {
-                CachePolicy::Invalidate => {
-                    front.cache.invalidate(&(pid, block));
-                }
-                CachePolicy::Refresh => {
-                    if let Some(image) = store.logical_block(pid, block) {
-                        front.cache.insert((pid, block), image.clone());
-                    }
-                }
+            if let Some((image, epoch)) = self.store.logical_versioned(pid, block) {
+                front.publish_rebase((pid, block), epoch, &image, self.config.cache_policy);
             }
         }
     }
 
     /// Leader duty: wait out the batching window, drain the queue, execute
-    /// the batch under the store lock, install fresh blocks into the
-    /// cache, and publish per-ticket results.
+    /// the batch against the sharded store (no service lock held), install
+    /// fresh blocks into the cache epoch-guarded, and publish per-ticket
+    /// results. If the leader panicks after draining, its drop guard
+    /// publishes [`StoreError::ServerPanicked`] to every drained ticket so
+    /// followers never hang.
     fn lead_batch(&self) {
-        let mut sched = self.sched.lock().expect("sched lock");
+        let mut sched = self.lock_sched();
         match self.config.window {
             BatchWindow::Immediate => {}
             BatchWindow::Window(window) => {
@@ -614,13 +781,16 @@ impl StoreServer {
                     let (guard, _) = self
                         .arrivals
                         .wait_timeout(sched, deadline - now)
-                        .expect("sched lock");
+                        .unwrap_or_else(PoisonError::into_inner);
                     sched = guard;
                 }
             }
             BatchWindow::Gate => {
                 while !sched.gate_open {
-                    sched = self.arrivals.wait(sched).expect("sched lock");
+                    sched = self
+                        .arrivals
+                        .wait(sched)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 sched.gate_open = false;
             }
@@ -634,6 +804,12 @@ impl StoreServer {
         if batch.is_empty() {
             return;
         }
+        // From here on this thread owes every drained ticket a result —
+        // even if the store panicks under it.
+        let guard = TicketGuard {
+            server: self,
+            tickets: batch.iter().map(|read| read.ticket).collect(),
+        };
 
         let requests: Vec<(PartitionId, u64)> =
             batch.iter().map(|read| (read.pid, read.block)).collect();
@@ -643,24 +819,28 @@ impl StoreServer {
         // `read_range` batching with itself does not count).
         let leader_call = batch[0].call;
         let mut piggybacked = batch.iter().filter(|r| r.call != leader_call).count() as u64;
-        let mut store = self.store.lock().expect("store lock");
         let mut rounds = 0u64;
-        let published: Vec<(Ticket, Result<BlockReadOutcome, StoreError>)> = match store
+        let published: Vec<(Ticket, Result<BlockReadOutcome, StoreError>)> = match self
+            .store
             .read_blocks_batch_planned(&requests, &self.config.planner)
         {
             Ok(executed) => {
                 rounds += executed.stats.rounds as u64;
-                let mut front = self.front.lock().expect("front lock");
+                let mut front = self.lock_front();
                 batch
                     .iter()
                     .zip(executed.outcomes)
                     .map(|(read, outcome)| {
                         if let Ok(ok) = &outcome {
-                            // Still under the store lock: cache writes
-                            // follow store commit order, so a
-                            // concurrent update can never be undone by
-                            // a slow insert of its pre-image.
-                            front.cache.insert((read.pid, read.block), ok.block.clone());
+                            // Epoch-guarded: the fill is dropped if an
+                            // update newer than the read's shard snapshot
+                            // has already published for this key.
+                            let epoch = executed
+                                .shard_epochs
+                                .get(&read.pid)
+                                .copied()
+                                .unwrap_or_default();
+                            front.fill_cache((read.pid, read.block), epoch, &ok.block);
                         }
                         (read.ticket, outcome)
                     })
@@ -678,49 +858,80 @@ impl StoreServer {
                     .iter()
                     .map(|read| {
                         let key = (read.pid, read.block);
-                        let outcome =
-                            match store.read_blocks_batch_planned(&[key], &self.config.planner) {
-                                Ok(mut one) => {
-                                    rounds += one.stats.rounds as u64;
-                                    one.outcomes.pop().expect("one outcome").inspect(|ok| {
-                                        let mut front = self.front.lock().expect("front lock");
-                                        front.cache.insert(key, ok.block.clone());
-                                    })
-                                }
-                                Err(e) => Err(e),
-                            };
+                        let outcome = match self
+                            .store
+                            .read_blocks_batch_planned(&[key], &self.config.planner)
+                        {
+                            Ok(mut one) => {
+                                rounds += one.stats.rounds as u64;
+                                let epoch =
+                                    one.shard_epochs.get(&read.pid).copied().unwrap_or_default();
+                                one.outcomes.pop().expect("one outcome").inspect(|ok| {
+                                    self.lock_front().fill_cache(key, epoch, &ok.block);
+                                })
+                            }
+                            Err(e) => Err(e),
+                        };
                         (read.ticket, outcome)
                     })
                     .collect()
             }
         };
-        {
-            // One logical coalesced batch regardless of execution path.
-            let mut front = self.front.lock().expect("front lock");
-            front.stats.batches_executed += 1;
-            front.stats.rounds_executed += rounds;
-            front.stats.reads_coalesced += piggybacked;
-        }
-        // Maintenance, second half: between coalesced batches — while the
-        // store lock is still held, so no read or update can interleave
-        // with the rebase — fold whatever crossed the policy's thresholds.
-        // Compaction re-encodes every rewrite before touching partition or
-        // pool state, so a maintenance error here leaves the store exactly
-        // as the batch left it; skipping the pass is safe.
+        // One logical coalesced batch regardless of execution path.
+        AtomicStats::bump(&self.stats.batches_executed, 1);
+        AtomicStats::bump(&self.stats.rounds_executed, rounds);
+        AtomicStats::bump(&self.stats.reads_coalesced, piggybacked);
+        // Maintenance, second half: between coalesced batches, fold
+        // whatever crossed the policy's thresholds. Compaction re-encodes
+        // every rewrite before retiring anything and commits per shard
+        // under the shard's own lock, so an error here simply skips the
+        // pass.
         if let Some(policy) = &self.config.compaction {
-            if let Ok(report) = Compactor::new(*policy).run(&mut store) {
-                self.apply_compaction(&store, &report);
+            if let Ok(report) = Compactor::new(*policy).run(&self.store) {
+                self.apply_compaction(&report);
             }
         }
-        drop(store);
-
-        let mut sched = self.sched.lock().expect("sched lock");
-        sched.results.extend(published);
-        drop(sched);
-        self.done.notify_all();
+        guard.publish(published);
     }
 }
 
+/// Owes the drained tickets a published result. Normal path:
+/// [`TicketGuard::publish`] hands every ticket its real outcome. Unwind
+/// path (the leader panicked executing the batch): `Drop` publishes
+/// [`StoreError::ServerPanicked`] to all of them, so followers error out
+/// instead of waiting forever — and the panic stays contained to the
+/// leader's own request.
+struct TicketGuard<'a> {
+    server: &'a StoreServer,
+    tickets: Vec<Ticket>,
+}
+
+impl TicketGuard<'_> {
+    fn publish(mut self, results: Vec<(Ticket, Result<BlockReadOutcome, StoreError>)>) {
+        let mut sched = self.server.lock_sched();
+        sched.results.extend(results);
+        drop(sched);
+        self.tickets.clear();
+        self.server.done.notify_all();
+    }
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        if self.tickets.is_empty() {
+            return;
+        }
+        let mut sched = self.server.lock_sched();
+        for &ticket in &self.tickets {
+            sched
+                .results
+                .entry(ticket)
+                .or_insert(Err(StoreError::ServerPanicked));
+        }
+        drop(sched);
+        self.server.done.notify_all();
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,5 +1254,80 @@ mod tests {
             store.logical_block(pid, 1).unwrap().data,
             &data[BLOCK_SIZE..]
         );
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_serve() {
+        // Regression for the lock-poisoning fragility: a client thread
+        // that panicks while holding a service lock must not brick the
+        // server. Poison both service locks from a doomed thread, then
+        // verify every serving path still works.
+        let (server, pid, data) = server_with_blocks(313, 2, immediate_config(8));
+        server.read_block(pid, 0).unwrap(); // warm one key
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let handle = scope.spawn(|| {
+                    let _front = server.front.lock().unwrap();
+                    panic!("poison the front lock");
+                });
+                assert!(handle.join().is_err());
+                let handle = scope.spawn(|| {
+                    let _sched = server.sched.lock().unwrap();
+                    panic!("poison the sched lock");
+                });
+                assert!(handle.join().is_err());
+            }
+        });
+        assert!(server.front.is_poisoned());
+        assert!(server.sched.is_poisoned());
+        // Every path recovers: warm hit, cold miss, update, stats.
+        let warm = server.read_block(pid, 0).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.block.data, &data[..BLOCK_SIZE]);
+        let cold = server.read_block(pid, 1).unwrap();
+        assert_eq!(cold.block.data, &data[BLOCK_SIZE..]);
+        let mut edited = data[..BLOCK_SIZE].to_vec();
+        edited[0] ^= 0xFF;
+        server.update_block(pid, 0, &edited).unwrap();
+        let after = server.read_block(pid, 0).unwrap();
+        assert_eq!(after.block.data, edited);
+        let stats = server.stats();
+        assert_eq!(stats.stale_serves, 0);
+        assert_eq!(stats.reads_served, stats.cache_hits + stats.cache_misses);
+    }
+
+    #[test]
+    fn panicking_leader_fails_its_tickets_without_hanging_followers() {
+        // The TicketGuard containment story: if the leader dies after
+        // draining the queue, every drained ticket gets ServerPanicked
+        // instead of hanging forever. Simulate the drained state directly:
+        // queue tickets, steal them like a crashing leader would, and let
+        // the guard's drop path publish.
+        let (server, pid, _) = server_with_blocks(314, 1, immediate_config(8));
+        let t = std::thread::scope(|scope| {
+            let reader = scope.spawn(|| server.read_block(pid, 0));
+            // The reader elects itself leader and executes normally; a
+            // second reader coalesced behind a leader that panicks is
+            // exercised via the guard directly:
+            reader.join().unwrap()
+        });
+        t.unwrap();
+        // Drive the guard's unwind path explicitly.
+        let ticket = {
+            let mut sched = server.lock_sched();
+            let ticket = sched.next_ticket;
+            sched.next_ticket += 1;
+            ticket
+        };
+        let guard = TicketGuard {
+            server: &server,
+            tickets: vec![ticket],
+        };
+        drop(guard); // unwind path: publishes ServerPanicked
+        let mut sched = server.lock_sched();
+        assert!(matches!(
+            sched.results.remove(&ticket),
+            Some(Err(StoreError::ServerPanicked))
+        ));
     }
 }

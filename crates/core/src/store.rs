@@ -1,4 +1,64 @@
-//! The end-to-end block store over the simulated wetlab.
+//! The end-to-end block store over the simulated wetlab — sharded.
+//!
+//! # Shard model
+//!
+//! The paper's core premise (§4–§6) is that each partition is an
+//! *independently addressable unit* with its own primer pair; physically,
+//! per-address reactions are independent (Yazdi et al. 2015). The store
+//! mirrors that: instead of one monolithic pool behind one lock, state is
+//! split into
+//!
+//! - **shared immutable instruments** ([`Instruments`]: vendors, sequencer,
+//!   nanodrop, coverage) — read freely by every operation; mutated only by
+//!   `&mut self` setup methods, which the borrow checker makes exclusive;
+//! - **per-partition shards** ([`PartitionShard`]): the partition's
+//!   placement bookkeeping, its own tube ([`dna_sim::Pool`]; the store's
+//!   tubes together form the [`dna_sim::TubeRack`] view returned by
+//!   [`BlockStore::tube_rack`]), the digital front-end image of its
+//!   blocks, a commit **epoch**, and a deterministic per-shard RNG — each
+//!   behind its own mutex;
+//! - the **shared DedicatedLog shard** — one partition/tube like any
+//!   other, but explicitly cross-shard: every DedicatedLog read scopes the
+//!   whole log (§5.3), and every DedicatedLog update appends to it.
+//!
+//! # Lock order
+//!
+//! Deadlock freedom comes from one global order. Locks are always taken
+//! in this sequence (any prefix may be skipped, never reordered):
+//!
+//! 1. the **directory** `RwLock` (shard list + log registry);
+//! 2. the **primer allocator** mutex;
+//! 3. **data-shard** mutexes in ascending partition id;
+//! 4. the **log shard** mutex (always last among shards, whatever its id).
+//!
+//! Most operations hold exactly one shard lock at a time. The exceptions:
+//! a DedicatedLog update commit holds its target shard, then the log
+//! shard; [`BlockStore::compact_log`] holds every DedicatedLog shard
+//! (ascending), then the log shard.
+//!
+//! # Snapshot → wetlab → validate-and-commit
+//!
+//! No lock is ever held across amplification, sequencing, synthesis
+//! skew simulation, or decoding:
+//!
+//! 1. **snapshot** — briefly lock the shard(s); clone the `Arc`s for the
+//!    partition metadata and the tube, record the epoch, split a
+//!    deterministic RNG stream;
+//! 2. **wetlab** — run PCR + sequencing + cluster/BMA/RS decode (reads),
+//!    or vendor synthesis (updates, compaction rewrites) against the
+//!    snapshot, lock-free — so the expensive phase for shard A runs
+//!    concurrently with commits to shard B, and a panic inside the
+//!    fallible wetlab/decode code can never poison a shard lock;
+//! 3. **validate and commit** — re-lock, compare the epoch; if unchanged,
+//!    apply the in-place mutations ([`dna_sim::Pool::mix_in`],
+//!    `commit_placement`, epoch bump); if another writer won, retry from a
+//!    fresh snapshot (every failed validation implies another commit
+//!    landed, so the system as a whole always makes progress).
+//!
+//! Reads need no commit: their result is linearized at snapshot time, and
+//! the snapshot epoch travels with the outcome
+//! ([`BatchReadOutcome::shard_epochs`]) so a serving layer can order cache
+//! fills against concurrent updates without holding store locks.
 
 use crate::batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem};
 use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
@@ -8,16 +68,18 @@ use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionS
 use crate::update::UpdatePatch;
 use crate::StoreError;
 use dna_pipeline::{
-    decode_block_validated, decode_jobs_parallel_into, BlockDecodeOutcome, DecodeJob,
+    decode_block_validated, decode_jobs_parallel_into, demux_reads, thread_share,
+    BlockDecodeOutcome, ChannelPrimer, DecodeJob,
 };
 use dna_primers::{PrimerConstraints, PrimerLibrary, PrimerPair};
 use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
 use dna_sim::{
-    IdsChannel, MultiplexPcrReaction, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction, Pool,
-    PrimerChannel, Read, Sequencer, SynthesisVendor,
+    IdsChannel, Molecule, MultiplexPcrReaction, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction,
+    Pool, PrimerChannel, Read, Sequencer, SynthesisVendor, TubeRack,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Handle to a partition within a [`BlockStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -48,28 +110,24 @@ pub struct BlockReadOutcome {
     pub stats: ReadProtocolStats,
 }
 
+/// Receipt of one committed update: the post-update logical image and the
+/// shard epoch the commit was assigned. Epochs are strictly monotonic per
+/// shard, so a serving layer can order its cache / staleness-oracle writes
+/// by them instead of holding a store-wide lock across the commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedUpdate {
+    /// The block's logical content after the update.
+    pub image: Block,
+    /// The target shard's epoch after the commit.
+    pub epoch: u64,
+}
+
 /// One channel of a multiplex round before budget assignment: the weighted
 /// forward scope, the reverse primer, and the encoding units it covers.
 struct ChannelSpec {
     scope: Vec<(DnaSeq, f64)>,
     reverse: DnaSeq,
     units: usize,
-}
-
-/// Decode state accumulated across the rounds of one batch call. A leaf
-/// decoded in an earlier round (notably the shared DedicatedLog
-/// partition's entries, which every DedicatedLog round would otherwise
-/// re-amplify and re-decode) is reused by index instead of being decoded
-/// again.
-#[derive(Default)]
-struct BatchDecodeCtx {
-    /// `(partition, leaf)` → index into `decoded`.
-    job_index: BTreeMap<(usize, u64), usize>,
-    /// Outcomes in submission order, appended round by round.
-    decoded: Vec<BlockDecodeOutcome>,
-    /// Whether the shared log partition's entries were already amplified
-    /// and decoded by an earlier round of this batch.
-    log_decoded: bool,
 }
 
 /// Result of a batched multi-block retrieval
@@ -81,38 +139,157 @@ pub struct BatchReadOutcome {
     pub outcomes: Vec<Result<BlockReadOutcome, StoreError>>,
     /// Aggregate wetlab statistics across all multiplex rounds.
     pub stats: BatchStats,
+    /// Each touched shard's epoch at snapshot time. A cache layer may
+    /// install an outcome for `(pid, block)` only if no update with a
+    /// higher epoch has been recorded for that key since — the
+    /// validate-half of the snapshot protocol, exported to the caller.
+    pub shard_epochs: BTreeMap<PartitionId, u64>,
 }
 
-/// The full system: partitions, the archival DNA pool, and the simulated
-/// instruments.
-///
-/// The store also keeps a *digital front-end cache* of logical block
-/// contents (§5.4: "Most DNA-storage systems will have digital front-ends")
-/// — used to compute update diffs; all read paths go through the wetlab.
+/// The shared wetlab instruments and knobs: synthesis vendors, the
+/// sequencer, the nanodrop, and the coverage setting. Immutable during
+/// serving (`&self` operations only read them); the `&mut self` setters on
+/// [`BlockStore`] are exclusive by construction.
 #[derive(Debug, Clone)]
-pub struct BlockStore {
-    partitions: Vec<Partition>,
-    logical: BTreeMap<(usize, u64), Block>,
-    pool: Pool,
-    rng: DetRng,
+struct Instruments {
     twist: SynthesisVendor,
     idt: SynthesisVendor,
     sequencer: Sequencer,
     nanodrop: Nanodrop,
-    primer_library: PrimerLibrary,
-    primers_handed_out: usize,
     /// Reads sampled per expected strand during retrieval.
     coverage: usize,
-    /// The shared update-log partition (created on demand for
+}
+
+/// One shard of the store: a partition's bookkeeping, its own tube in the
+/// rack, the digital front-end image of its blocks, and the state that
+/// makes lock-free wetlab execution safe — a commit **epoch** (bumped by
+/// every content mutation; snapshot validation compares it) and a
+/// deterministic per-shard RNG (split per operation, so wetlab draws are
+/// reproducible from the shard's operation order alone, independent of
+/// cross-shard interleaving).
+///
+/// Shards are held behind per-shard mutexes in the store's directory; the
+/// lock-order and snapshot protocol are documented at the
+/// [module level](self).
+#[derive(Debug)]
+pub struct PartitionShard {
+    /// Placement bookkeeping and encode/decode metadata. `Arc` so
+    /// snapshots are O(1); mutators go through `Arc::make_mut`.
+    partition: Arc<Partition>,
+    /// This shard's tube. `Arc` so snapshots are O(1): writers mutate in
+    /// place via `Arc::make_mut` + [`Pool::mix_in`] when no snapshot is
+    /// outstanding, and copy-on-write only when one is.
+    tube: Arc<Pool>,
+    /// §5.4 digital front-end: the current logical content per block.
+    logical: BTreeMap<u64, Block>,
+    /// Commit epoch: strictly monotonic, bumped by every mutation that
+    /// changes logical content or placement state.
+    epoch: u64,
+    /// Per-shard deterministic RNG; operations split private streams off
+    /// it under the shard lock.
+    rng: DetRng,
+    /// Next free leaf in the shared update log (log shard only).
+    log_head: u64,
+    /// Monotonic sequence number for log entries (log shard only).
+    log_seq: u32,
+}
+
+impl PartitionShard {
+    fn new(partition: Partition, rng: DetRng) -> PartitionShard {
+        PartitionShard {
+            partition: Arc::new(partition),
+            tube: Arc::new(Pool::new()),
+            logical: BTreeMap::new(),
+            epoch: 0,
+            rng,
+            log_head: 0,
+            log_seq: 0,
+        }
+    }
+
+    /// Splits a private RNG stream for one operation's wetlab draws.
+    fn split_rng(&mut self) -> DetRng {
+        DetRng::seed_from_u64(self.rng.next_u64())
+    }
+
+    /// A consistent point-in-time view of this shard (see
+    /// [`ShardSnapshot`]), splitting an RNG stream for the operation.
+    fn snapshot_state(&mut self, pid: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            pid,
+            partition: Arc::clone(&self.partition),
+            tube: Arc::clone(&self.tube),
+            epoch: self.epoch,
+            rng: self.split_rng(),
+        }
+    }
+
+    /// A read-only view of this shard in its shared-log role.
+    fn log_state(&self, pid: usize) -> LogSnapshot {
+        LogSnapshot {
+            pid,
+            partition: Arc::clone(&self.partition),
+            tube: Arc::clone(&self.tube),
+            head: self.log_head,
+        }
+    }
+}
+
+/// A consistent point-in-time view of one shard, taken under its lock and
+/// used lock-free afterwards.
+struct ShardSnapshot {
+    pid: usize,
+    partition: Arc<Partition>,
+    tube: Arc<Pool>,
+    epoch: u64,
+    rng: DetRng,
+}
+
+/// A read-only view of the shared log shard (no RNG split: reads do not
+/// disturb the log shard's stream).
+struct LogSnapshot {
+    pid: usize,
+    partition: Arc<Partition>,
+    tube: Arc<Pool>,
+    head: u64,
+}
+
+/// The partition directory: the shard list plus the shared-log registry.
+/// Write-locked only by partition creation; everything else takes brief
+/// read locks to clone shard handles.
+#[derive(Debug)]
+struct Directory {
+    shards: Vec<Arc<Mutex<PartitionShard>>>,
+    /// The shared update-log shard (created on demand for
     /// [`UpdateLayout::DedicatedLog`]).
-    log_partition: Option<usize>,
+    log_pid: Option<usize>,
     /// Configuration template for the log partition (its tag is forced to
     /// [`LOG_PARTITION_TAG`] at creation).
     log_config: PartitionConfig,
-    /// Monotonic sequence number for log-layout updates.
-    log_seq: u32,
-    /// Next free leaf in the log partition.
-    log_head: u64,
+    /// Store seed; shard RNGs derive from it by partition id.
+    seed: u64,
+}
+
+/// Primer-pair allocation state.
+#[derive(Debug)]
+struct PrimerAlloc {
+    library: PrimerLibrary,
+    handed_out: usize,
+}
+
+/// The full system: partitions, the per-partition archival tubes, and the
+/// simulated instruments — sharded for concurrency as documented at the
+/// [module level](self).
+///
+/// Every serving operation takes `&self`: the store is `Sync`, and callers
+/// share it across threads directly (no external mutex). The digital
+/// front-end cache of logical block contents (§5.4) lives inside each
+/// shard; all read paths go through the wetlab.
+#[derive(Debug)]
+pub struct BlockStore {
+    instruments: Instruments,
+    directory: RwLock<Directory>,
+    alloc: Mutex<PrimerAlloc>,
 }
 
 /// Ground-truth tag distinguishing shared-log strands in the simulator.
@@ -121,29 +298,99 @@ const LOG_PARTITION_TAG: u32 = 1000;
 impl BlockStore {
     /// Creates a store with a deterministic seed. The seed drives primer
     /// library generation, synthesis skew and read sampling — two stores
-    /// with the same seed and call sequence behave identically.
+    /// with the same seed and per-shard call sequence behave identically.
     pub fn new(seed: u64) -> BlockStore {
         let constraints = PrimerConstraints::paper_default(20);
-        let primer_library =
+        let library =
             PrimerLibrary::generate_with_distance(&constraints, 8, 64, 400_000, seed ^ 0x9121);
         BlockStore {
-            partitions: Vec::new(),
-            logical: BTreeMap::new(),
-            pool: Pool::new(),
-            rng: DetRng::seed_from_u64(seed),
-            twist: SynthesisVendor::twist(),
-            idt: SynthesisVendor::idt(),
-            sequencer: Sequencer::new(IdsChannel::illumina()),
-            nanodrop: Nanodrop::benchtop(),
-            primer_library,
-            primers_handed_out: 0,
-            coverage: 12,
-            log_partition: None,
-            log_config: PartitionConfig::paper_default(0x106),
-            log_seq: 0,
-            log_head: 0,
+            instruments: Instruments {
+                twist: SynthesisVendor::twist(),
+                idt: SynthesisVendor::idt(),
+                sequencer: Sequencer::new(IdsChannel::illumina()),
+                nanodrop: Nanodrop::benchtop(),
+                coverage: 12,
+            },
+            directory: RwLock::new(Directory {
+                shards: Vec::new(),
+                log_pid: None,
+                log_config: PartitionConfig::paper_default(0x106),
+                seed,
+            }),
+            alloc: Mutex::new(PrimerAlloc {
+                library,
+                handed_out: 0,
+            }),
         }
     }
+
+    // ----- locking primitives ----------------------------------------------
+    //
+    // Shard critical sections contain no panic sources (pure map/arithmetic
+    // mutations; the fallible wetlab/decode phases run outside all locks by
+    // construction), so a poisoned store lock indicates a store bug and we
+    // fail fast. The serving layer's own locks recover from poisoning —
+    // see `service`.
+
+    fn dir_read(&self) -> std::sync::RwLockReadGuard<'_, Directory> {
+        self.directory.read().expect("directory lock")
+    }
+
+    fn shard_cell(&self, pid: usize) -> Result<Arc<Mutex<PartitionShard>>, StoreError> {
+        self.dir_read()
+            .shards
+            .get(pid)
+            .cloned()
+            .ok_or(StoreError::UnknownPartition(pid))
+    }
+
+    fn log_cell(&self) -> Option<(usize, Arc<Mutex<PartitionShard>>)> {
+        let dir = self.dir_read();
+        dir.log_pid.map(|pid| (pid, Arc::clone(&dir.shards[pid])))
+    }
+
+    fn lock_shard(cell: &Arc<Mutex<PartitionShard>>) -> MutexGuard<'_, PartitionShard> {
+        cell.lock().expect("shard lock")
+    }
+
+    /// Read-only snapshot of the shared log shard, if it exists.
+    fn log_snapshot(&self) -> Option<LogSnapshot> {
+        let (pid, cell) = self.log_cell()?;
+        let shard = Self::lock_shard(&cell);
+        Some(shard.log_state(pid))
+    }
+
+    /// Snapshot of one shard for a read, paired — *atomically* — with the
+    /// shared-log snapshot when the shard's layout needs it. The log is
+    /// snapshotted while the shard lock is still held (shard → log, the
+    /// documented order): a DedicatedLog update holds its target shard
+    /// across its entire log append + epoch bump, so holding the shard
+    /// here means the pair is either entirely pre-update or entirely
+    /// post-update — a torn pair could otherwise return post-update bytes
+    /// stamped with the pre-update epoch and confuse the serving layer's
+    /// epoch-ordered cache coherence.
+    fn snapshot_for_read(
+        &self,
+        pid: usize,
+    ) -> Result<(ShardSnapshot, Option<LogSnapshot>), StoreError> {
+        let cell = self.shard_cell(pid)?;
+        // Resolve the log cell before taking any shard lock (the
+        // directory always comes first in the lock order). A log created
+        // concurrently with this resolution holds only entries from
+        // updates concurrent with this read — returning the pre-update
+        // image is linearizable.
+        let log = self.log_cell().filter(|&(log_pid, _)| log_pid != pid);
+        let mut shard = Self::lock_shard(&cell);
+        let snap = shard.snapshot_state(pid);
+        let log_snap = if shard.partition.config().layout == UpdateLayout::DedicatedLog {
+            log.map(|(log_pid, log_cell)| Self::lock_shard(&log_cell).log_state(log_pid))
+        } else {
+            None
+        };
+        Ok((snap, log_snap))
+    }
+
+    // ----- setup (&mut self: exclusive by construction) --------------------
 
     /// Replaces the configuration template for the shared DedicatedLog
     /// partition (e.g. a smaller address space for exhaustion tests).
@@ -153,34 +400,55 @@ impl BlockStore {
     /// Rejected once the log partition exists — its geometry is baked into
     /// every synthesized entry.
     pub fn set_log_partition_config(&mut self, config: PartitionConfig) -> Result<(), StoreError> {
-        if self.log_partition.is_some() {
+        let dir = self.directory.get_mut().expect("directory lock");
+        if dir.log_pid.is_some() {
             return Err(StoreError::InvalidPatch(
                 "log partition already created; configure before the first log update".to_string(),
             ));
         }
-        self.log_config = config;
+        dir.log_config = config;
         Ok(())
     }
 
     /// Sets the sequencing coverage (reads per expected strand).
     pub fn set_coverage(&mut self, coverage: usize) {
         assert!(coverage > 0, "coverage must be positive");
-        self.coverage = coverage;
+        self.instruments.coverage = coverage;
     }
 
     /// Replaces the sequencer (e.g. to inject nanopore-grade noise).
     pub fn set_sequencer(&mut self, sequencer: Sequencer) {
-        self.sequencer = sequencer;
+        self.instruments.sequencer = sequencer;
     }
 
-    /// The archival pool (inspection/benches).
-    pub fn pool(&self) -> &Pool {
-        &self.pool
+    // ----- inspection ------------------------------------------------------
+
+    /// A snapshot of every shard's tube, keyed by partition tag — the
+    /// monolithic [`TubeRack`] view of the sharded archive, for benches
+    /// and inspection.
+    pub fn tube_rack(&self) -> TubeRack {
+        let cells: Vec<Arc<Mutex<PartitionShard>>> = self.dir_read().shards.to_vec();
+        cells
+            .iter()
+            .map(|cell| {
+                let shard = Self::lock_shard(cell);
+                (
+                    shard.partition.config().partition_tag,
+                    (*shard.tube).clone(),
+                )
+            })
+            .collect()
     }
 
-    /// Mutable pool access for custom bench protocols.
-    pub fn pool_mut(&mut self) -> &mut Pool {
-        &mut self.pool
+    /// This partition's tube (a cheap `Arc` snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids are rejected.
+    pub fn tube(&self, pid: PartitionId) -> Result<Arc<Pool>, StoreError> {
+        let cell = self.shard_cell(pid.0)?;
+        let shard = Self::lock_shard(&cell);
+        Ok(Arc::clone(&shard.tube))
     }
 
     /// The digital front-end's view of a block's current logical content
@@ -188,29 +456,63 @@ impl BlockStore {
     /// block was never written through this store. No wetlab work is
     /// performed — this is the oracle a serving layer checks cached reads
     /// against.
-    pub fn logical_block(&self, pid: PartitionId, block: u64) -> Option<&Block> {
-        self.logical.get(&(pid.0, block))
+    pub fn logical_block(&self, pid: PartitionId, block: u64) -> Option<Block> {
+        self.logical_versioned(pid, block).map(|(image, _)| image)
     }
 
-    /// Iterates the digital front-end's logical contents in
-    /// `(partition, block)` order — the snapshot a serving layer seeds its
-    /// staleness oracle from when wrapping an already-loaded store.
-    pub fn logical_contents(&self) -> impl Iterator<Item = ((PartitionId, u64), &Block)> {
-        self.logical
-            .iter()
-            .map(|(&(p, b), blk)| ((PartitionId(p), b), blk))
+    /// As [`BlockStore::logical_block`], additionally returning the
+    /// shard's current epoch — read atomically under the shard lock, so a
+    /// serving layer can order the pair against concurrent commits.
+    pub fn logical_versioned(&self, pid: PartitionId, block: u64) -> Option<(Block, u64)> {
+        let cell = self.shard_cell(pid.0).ok()?;
+        let shard = Self::lock_shard(&cell);
+        shard
+            .logical
+            .get(&block)
+            .cloned()
+            .map(|image| (image, shard.epoch))
     }
 
-    /// Borrow a partition.
+    /// The digital front-end's logical contents in `(partition, block)`
+    /// order — the snapshot a serving layer seeds its staleness oracle
+    /// from when wrapping an already-loaded store.
+    pub fn logical_contents(&self) -> Vec<((PartitionId, u64), Block)> {
+        let cells: Vec<Arc<Mutex<PartitionShard>>> = self.dir_read().shards.to_vec();
+        let mut out = Vec::new();
+        for (pid, cell) in cells.iter().enumerate() {
+            let shard = Self::lock_shard(cell);
+            for (&block, image) in &shard.logical {
+                out.push(((PartitionId(pid), block), image.clone()));
+            }
+        }
+        out
+    }
+
+    /// This shard's current commit epoch.
     ///
     /// # Errors
     ///
     /// Unknown ids are rejected.
-    pub fn partition(&self, pid: PartitionId) -> Result<&Partition, StoreError> {
-        self.partitions
-            .get(pid.0)
-            .ok_or(StoreError::UnknownPartition(pid.0))
+    pub fn shard_epoch(&self, pid: PartitionId) -> Result<u64, StoreError> {
+        let cell = self.shard_cell(pid.0)?;
+        let epoch = Self::lock_shard(&cell).epoch;
+        Ok(epoch)
     }
+
+    /// A snapshot of a partition's metadata (config, primers, placement
+    /// bookkeeping). Cheap: the metadata is `Arc`-shared with the shard
+    /// and copied only when a writer commits concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids are rejected.
+    pub fn partition(&self, pid: PartitionId) -> Result<Arc<Partition>, StoreError> {
+        let cell = self.shard_cell(pid.0)?;
+        let shard = Self::lock_shard(&cell);
+        Ok(Arc::clone(&shard.partition))
+    }
+
+    // ----- partition creation ----------------------------------------------
 
     /// Creates a partition, assigning the next compatible primer pair.
     ///
@@ -219,177 +521,295 @@ impl BlockStore {
     /// [`StoreError::NoPrimerPairAvailable`] when the primer library is
     /// exhausted (§1: only ~1000–3000 compatible primers exist at length
     /// 20 — the scarcity that motivates this whole design).
-    pub fn create_partition(&mut self, config: PartitionConfig) -> Result<PartitionId, StoreError> {
+    pub fn create_partition(&self, config: PartitionConfig) -> Result<PartitionId, StoreError> {
+        let mut dir = self.directory.write().expect("directory lock");
         let pair = self.next_primer_pair()?;
         let mut config = config;
-        config.partition_tag = self.partitions.len() as u32;
-        self.partitions.push(Partition::new(config, pair));
-        Ok(PartitionId(self.partitions.len() - 1))
+        let pid = dir.shards.len();
+        config.partition_tag = pid as u32;
+        let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
+        dir.shards.push(Arc::new(Mutex::new(PartitionShard::new(
+            Partition::new(config, pair),
+            rng,
+        ))));
+        Ok(PartitionId(pid))
     }
 
-    fn next_primer_pair(&mut self) -> Result<PrimerPair, StoreError> {
-        if self.primers_handed_out + 2 > self.primer_library.len() {
+    /// The shared log shard's id, creating it (with the configured
+    /// template) on first use.
+    fn ensure_log_partition(&self) -> Result<usize, StoreError> {
+        if let Some(pid) = self.dir_read().log_pid {
+            return Ok(pid);
+        }
+        let mut dir = self.directory.write().expect("directory lock");
+        if let Some(pid) = dir.log_pid {
+            return Ok(pid); // raced another creator
+        }
+        let pair = self.next_primer_pair()?;
+        let mut cfg = dir.log_config;
+        cfg.partition_tag = LOG_PARTITION_TAG; // distinguish log strands in tags
+        let pid = dir.shards.len();
+        let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
+        dir.shards.push(Arc::new(Mutex::new(PartitionShard::new(
+            Partition::new(cfg, pair),
+            rng,
+        ))));
+        dir.log_pid = Some(pid);
+        Ok(pid)
+    }
+
+    fn next_primer_pair(&self) -> Result<PrimerPair, StoreError> {
+        let mut alloc = self.alloc.lock().expect("primer alloc lock");
+        if alloc.handed_out + 2 > alloc.library.len() {
             return Err(StoreError::NoPrimerPairAvailable);
         }
-        let fwd = self.primer_library.primer(self.primers_handed_out).clone();
-        let rev = self
-            .primer_library
-            .primer(self.primers_handed_out + 1)
-            .clone();
-        self.primers_handed_out += 2;
+        let fwd = alloc.library.primer(alloc.handed_out).clone();
+        let rev = alloc.library.primer(alloc.handed_out + 1).clone();
+        alloc.handed_out += 2;
         Ok(PrimerPair::new(fwd, rev))
     }
 
+    // ----- writes ----------------------------------------------------------
+
     /// Writes `data` as consecutive blocks starting at block 0, synthesizes
-    /// the strands (Twist vendor model) and adds them to the pool. Returns
-    /// the number of blocks written.
+    /// the strands (Twist vendor model) and adds them to the partition's
+    /// tube. Returns the number of blocks written.
     ///
     /// # Errors
     ///
     /// Propagates partition errors (range, double write).
-    pub fn write_file(&mut self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
+    pub fn write_file(&self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
         self.write_file_at(pid, 0, data)
     }
 
     /// Writes `data` as consecutive blocks starting at `first_block`.
     ///
+    /// Held under the shard lock end to end: bulk loading is a setup-time
+    /// operation, and only this shard is blocked.
+    ///
     /// # Errors
     ///
     /// Propagates partition errors (range, double write).
     pub fn write_file_at(
-        &mut self,
+        &self,
         pid: PartitionId,
         first_block: u64,
         data: &[u8],
     ) -> Result<u64, StoreError> {
-        let partition = self
-            .partitions
-            .get_mut(pid.0)
-            .ok_or(StoreError::UnknownPartition(pid.0))?;
+        let cell = self.shard_cell(pid.0)?;
+        let mut shard = Self::lock_shard(&cell);
         let blocks = data.chunks(BLOCK_SIZE).collect::<Vec<_>>();
         let mut designs = Vec::new();
+        let partition = Arc::make_mut(&mut shard.partition);
+        let mut images = Vec::new();
         for (i, chunk) in blocks.iter().enumerate() {
             let block_id = first_block + i as u64;
             let block = Block::from_bytes(chunk)?;
             designs.extend(partition.encode_block(block_id, &block)?);
-            self.logical.insert((pid.0, block_id), block);
+            images.push((block_id, block));
         }
-        let synthesized = self.twist.synthesize(&designs, &mut self.rng);
-        self.pool = self.pool.mixed_with(&synthesized, 1.0, 1.0);
+        for (block_id, block) in images {
+            shard.logical.insert(block_id, block);
+        }
+        let mut rng = shard.split_rng();
+        let synthesized = self.instruments.twist.synthesize(&designs, &mut rng);
+        Arc::make_mut(&mut shard.tube).mix_in(&synthesized, 1.0, 1.0);
+        shard.epoch += 1;
         Ok(blocks.len() as u64)
     }
 
     /// Updates a block to `new_content`: computes a §6.4 diff patch against
     /// the logical cache, synthesizes it (IDT vendor model, 50000× more
-    /// concentrated), and mixes it into the pool at matched per-oligo
-    /// concentration (§6.4.2).
+    /// concentrated), and mixes it into the target tube at matched
+    /// per-oligo concentration (§6.4.2).
+    ///
+    /// Runs the snapshot → synthesize → validate-and-commit protocol: the
+    /// synthesis happens with no locks held, and the commit retries from a
+    /// fresh snapshot if a concurrent writer won the shard meanwhile.
     ///
     /// # Errors
     ///
     /// Fails when the block was never written, the change cannot fit one
     /// patch, or the address space is exhausted.
     pub fn update_block(
-        &mut self,
+        &self,
         pid: PartitionId,
         block: u64,
         new_content: &[u8],
     ) -> Result<(), StoreError> {
-        let old = self
-            .logical
-            .get(&(pid.0, block))
-            .cloned()
-            .ok_or(StoreError::BlockNotWritten(block))?;
-        let new = Block::from_bytes(new_content)?;
-        let patch = UpdatePatch::diff(&old, &new).ok_or_else(|| {
-            StoreError::InvalidPatch("change too large for one patch".to_string())
-        })?;
-        let layout = self.partition(pid)?.config().layout;
-        let designs = match layout {
-            UpdateLayout::DedicatedLog => self.encode_log_update(pid, block, &patch)?,
-            _ => {
-                let partition = self
-                    .partitions
-                    .get_mut(pid.0)
-                    .ok_or(StoreError::UnknownPartition(pid.0))?;
-                partition.encode_update(block, &patch)?.1
-            }
-        };
-        // Synthesize with the small-batch vendor and mix at matched
-        // per-oligo concentration (shared with the compaction rewrite
-        // path).
-        self.mix_rewrites(&designs);
-        self.logical.insert((pid.0, block), new);
-        Ok(())
+        self.update_block_committed(pid, block, new_content)
+            .map(|_| ())
     }
 
-    /// Routes a DedicatedLog-layout update into the shared log partition.
-    fn encode_log_update(
-        &mut self,
+    /// As [`BlockStore::update_block`], returning the commit receipt
+    /// (post-update image + shard epoch) a serving layer orders its cache
+    /// coherence by.
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockStore::update_block`].
+    pub fn update_block_committed(
+        &self,
         pid: PartitionId,
         block: u64,
-        patch: &UpdatePatch,
-    ) -> Result<Vec<dna_sim::Molecule>, StoreError> {
-        let log_pid = match self.log_partition {
-            Some(p) => p,
-            None => {
-                let pair = self.next_primer_pair()?;
-                let mut cfg = self.log_config;
-                cfg.partition_tag = LOG_PARTITION_TAG; // distinguish log strands in tags
-                self.partitions.push(Partition::new(cfg, pair));
-                let p = self.partitions.len() - 1;
-                self.log_partition = Some(p);
-                p
+        new_content: &[u8],
+    ) -> Result<CommittedUpdate, StoreError> {
+        let new = Block::from_bytes(new_content)?;
+        loop {
+            // Snapshot: shard state + the target block's current image.
+            let cell = self.shard_cell(pid.0)?;
+            let (snap, old) = {
+                let mut shard = Self::lock_shard(&cell);
+                let old = shard.logical.get(&block).cloned();
+                (
+                    ShardSnapshot {
+                        pid: pid.0,
+                        partition: Arc::clone(&shard.partition),
+                        tube: Arc::clone(&shard.tube),
+                        epoch: shard.epoch,
+                        rng: shard.split_rng(),
+                    },
+                    old,
+                )
+            };
+            let old = old.ok_or(StoreError::BlockNotWritten(block))?;
+            let patch = UpdatePatch::diff(&old, &new).ok_or_else(|| {
+                StoreError::InvalidPatch("change too large for one patch".to_string())
+            })?;
+            if snap.partition.config().layout == UpdateLayout::DedicatedLog {
+                match self.try_log_update(&cell, &snap, block, &new, &patch)? {
+                    Some(receipt) => return Ok(receipt),
+                    None => continue, // lost a race; retry from a fresh snapshot
+                }
             }
+            // Plan + encode + synthesize against the snapshot, lock-free.
+            let mut rng = snap.rng;
+            let placement = snap.partition.plan_update(block)?;
+            let designs = snap.partition.encode_placement(&placement, &patch);
+            let (rewrites, cost) = self.instruments.synthesize_rewrites(&designs, &mut rng);
+            debug_assert!(cost >= 0.0);
+            // Validate and commit.
+            let mut shard = Self::lock_shard(&cell);
+            if shard.epoch != snap.epoch {
+                continue; // another writer committed; re-plan
+            }
+            Arc::make_mut(&mut shard.partition).commit_placement(block, &placement);
+            // §6.4.2: the patch lands at the data tube's own per-oligo
+            // concentration.
+            let dilution = self
+                .instruments
+                .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+            Arc::make_mut(&mut shard.tube).mix_in(&rewrites, 1.0, dilution);
+            shard.logical.insert(block, new.clone());
+            shard.epoch += 1;
+            return Ok(CommittedUpdate {
+                image: new,
+                epoch: shard.epoch,
+            });
+        }
+    }
+
+    /// One attempt at a DedicatedLog-layout update: append a log entry for
+    /// `(pid, block)`. Returns `Ok(None)` when a concurrent commit
+    /// invalidated the snapshot (caller retries).
+    fn try_log_update(
+        &self,
+        target_cell: &Arc<Mutex<PartitionShard>>,
+        target: &ShardSnapshot,
+        block: u64,
+        new: &Block,
+        patch: &UpdatePatch,
+    ) -> Result<Option<CommittedUpdate>, StoreError> {
+        let log_pid = self.ensure_log_partition()?;
+        let log_cell = self.shard_cell(log_pid)?;
+        // Snapshot the log shard: head/seq reservation candidates, the
+        // entry geometry, and a synthesis RNG stream.
+        let (log_partition, log_epoch, head, seq, mut rng) = {
+            let mut log = Self::lock_shard(&log_cell);
+            (
+                Arc::clone(&log.partition),
+                log.epoch,
+                log.log_head,
+                log.log_seq,
+                log.split_rng(),
+            )
         };
-        if self.log_head >= self.log_capacity() {
+        let capacity = log_partition.num_leaves() - 1;
+        if head >= capacity {
             return Err(StoreError::UpdateSlotsExhausted {
                 block,
                 layout: UpdateLayout::DedicatedLog,
-                chain_len: self.log_head as usize,
+                chain_len: head as usize,
                 headroom: 0,
             });
         }
-        let entry = log_entry_block(pid.0 as u32, block, self.log_seq, patch);
-        self.log_seq += 1;
-        let leaf = self.log_head;
-        self.log_head += 1;
-        let log_partition = &mut self.partitions[log_pid];
-        let molecules = log_partition.encode_block(leaf, &entry)?;
-        self.partitions[pid.0].note_external_update(block);
-        Ok(molecules)
+        // Encode + synthesize the entry with no locks held.
+        let entry = log_entry_block(target.pid as u32, block, seq, patch);
+        let designs = log_partition.encode_unit(head, VersionSlot(0), &entry);
+        let (rewrites, cost) = self.instruments.synthesize_rewrites(&designs, &mut rng);
+        debug_assert!(cost >= 0.0);
+        // Validate and commit, target shard first, log shard last (the
+        // global lock order: data shards before the log shard).
+        let mut shard = Self::lock_shard(target_cell);
+        if shard.epoch != target.epoch {
+            return Ok(None);
+        }
+        let mut log = Self::lock_shard(&log_cell);
+        if log.epoch != log_epoch {
+            return Ok(None);
+        }
+        // Epoch validated ⇒ head/seq unchanged ⇒ the reserved leaf is
+        // still free. Record first (the only fallible step), then mutate.
+        Arc::make_mut(&mut log.partition).record_block_write(head)?;
+        // §6.4.2 with a sharded rack: the log tube starts *empty*, so the
+        // dilution reference is the updated block's own data tube — the
+        // log must operate at the archive's per-oligo concentration, or
+        // its entries would swamp every multiplexed round they ride in.
+        let dilution = self
+            .instruments
+            .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+        Arc::make_mut(&mut log.tube).mix_in(&rewrites, 1.0, dilution);
+        log.log_head += 1;
+        log.log_seq += 1;
+        log.epoch += 1;
+        drop(log);
+        Arc::make_mut(&mut shard.partition).note_external_update(block);
+        shard.logical.insert(block, new.clone());
+        shard.epoch += 1;
+        Ok(Some(CommittedUpdate {
+            image: new.clone(),
+            epoch: shard.epoch,
+        }))
     }
 
-    // ----- maintenance / compaction -----------------------------------------
+    // ----- maintenance / compaction ----------------------------------------
 
     /// Every partition handle, the shared log partition included (it
     /// reports [`UpdateLayout`]-independent zero update state, so policy
     /// scans skip it naturally).
     pub fn partition_ids(&self) -> Vec<PartitionId> {
-        (0..self.partitions.len()).map(PartitionId).collect()
+        (0..self.dir_read().shards.len()).map(PartitionId).collect()
     }
 
     /// The shared DedicatedLog partition, if any log update was committed.
     pub fn log_partition_id(&self) -> Option<PartitionId> {
-        self.log_partition.map(PartitionId)
+        self.dir_read().log_pid.map(PartitionId)
     }
 
     /// Entries currently in the shared update log.
     pub fn log_entries(&self) -> u64 {
-        self.log_head
+        self.log_snapshot().map_or(0, |log| log.head)
     }
 
     /// Entries the shared log can still accept before
     /// [`StoreError::UpdateSlotsExhausted`].
     pub fn log_headroom(&self) -> u64 {
-        self.log_capacity().saturating_sub(self.log_head)
-    }
-
-    /// Total entries the log partition can hold (its address space minus
-    /// the overflow guard leaf).
-    fn log_capacity(&self) -> u64 {
-        match self.log_partition {
-            Some(p) => self.partitions[p].num_leaves() - 1,
-            None => (1u64 << (2 * self.log_config.tree_depth)) - 1,
+        match self.log_snapshot() {
+            Some(log) => (log.partition.num_leaves() - 1).saturating_sub(log.head),
+            None => {
+                let dir = self.dir_read();
+                (1u64 << (2 * dir.log_config.tree_depth)) - 1
+            }
         }
     }
 
@@ -432,18 +852,25 @@ impl BlockStore {
             UpdateLayout::TwoStacks => partition.stack_update_count(),
             _ => partition.total_updates(),
         };
-        Ok(layout.retrieval_scope_units(block_updates, partition_updates, self.log_head))
+        Ok(layout.retrieval_scope_units(block_updates, partition_updates, self.log_entries()))
     }
 
     /// Compacts one partition: folds every updated block's patch chain into
     /// its current logical image (the §5.4 digital front-end maintains it —
     /// no wetlab read is needed), retires the stale version / overflow /
-    /// pointer molecules from the pool, re-synthesizes a fresh base unit at
-    /// [`VersionSlot`] 0 per rebased block (IDT vendor, §6.4.2
+    /// pointer molecules from the shard's tube, re-synthesizes a fresh base
+    /// unit at [`VersionSlot`] 0 per rebased block (IDT vendor, §6.4.2
     /// concentration-matched mixing), and resets the partition's placement
     /// bookkeeping through [`Partition::reclaim_updates`]. Afterwards the
     /// partition has full update headroom again and every rebased block
     /// reads back in a single-unit scope.
+    ///
+    /// Follows the snapshot → synthesize → validate-and-commit protocol:
+    /// re-encoding and synthesis run with no locks held (so serving other
+    /// shards is never blocked), and the commit retries if an update
+    /// committed to this shard meanwhile. Since every fresh base unit is
+    /// synthesized *before* anything is retired, a failure at any point
+    /// leaves partition and tube untouched.
     ///
     /// A [`UpdateLayout::DedicatedLog`] partition keeps its patches in the
     /// shared log, whose entries cannot be retired per partition — so
@@ -455,157 +882,193 @@ impl BlockStore {
     /// Unknown partitions are rejected; a rebased block missing its logical
     /// image (impossible through the store's own write paths) surfaces as
     /// [`StoreError::BlockNotWritten`].
-    pub fn compact_partition(&mut self, pid: PartitionId) -> Result<CompactionReport, StoreError> {
-        let layout = self.partition(pid)?.config().layout;
-        if layout == UpdateLayout::DedicatedLog {
-            return self.compact_log();
-        }
-        let partition = &self.partitions[pid.0];
-        let tag = partition.config().partition_tag;
-        // Stale units, counted from metadata before the reclaim: every
-        // patch, every chain pointer, and the superseded base unit of each
-        // rebased block. Re-encode every fresh base unit FIRST — the only
-        // fallible step — so an error leaves partition and pool untouched
-        // (retiring molecules before knowing all rewrites exist would turn
-        // a lookup failure into permanent data loss).
-        let mut units_reclaimed = 0u64;
-        let mut designs = Vec::new();
-        let mut rebased = Vec::new();
-        for (block, writes) in partition.updated_blocks() {
-            let pointers = match layout {
-                UpdateLayout::Interleaved { .. } => partition.chain_of(block).len() as u64,
-                _ => 0,
+    pub fn compact_partition(&self, pid: PartitionId) -> Result<CompactionReport, StoreError> {
+        let cell = self.shard_cell(pid.0)?;
+        loop {
+            // Snapshot: metadata + the images of every updated block.
+            let (snap, images) = {
+                let mut shard = Self::lock_shard(&cell);
+                let images: BTreeMap<u64, Block> = shard
+                    .partition
+                    .updated_blocks()
+                    .iter()
+                    .filter_map(|&(b, _)| shard.logical.get(&b).map(|img| (b, img.clone())))
+                    .collect();
+                (
+                    ShardSnapshot {
+                        pid: pid.0,
+                        partition: Arc::clone(&shard.partition),
+                        tube: Arc::clone(&shard.tube),
+                        epoch: shard.epoch,
+                        rng: shard.split_rng(),
+                    },
+                    images,
+                )
             };
-            units_reclaimed += u64::from(writes - 1) + pointers + 1;
-            let image = self
-                .logical
-                .get(&(pid.0, block))
-                .ok_or(StoreError::BlockNotWritten(block))?;
-            designs.extend(partition.encode_unit(block, VersionSlot(0), image));
-            rebased.push((pid, block));
+            let layout = snap.partition.config().layout;
+            if layout == UpdateLayout::DedicatedLog {
+                return self.compact_log();
+            }
+            let updated = snap.partition.updated_blocks();
+            if updated.is_empty() {
+                return Ok(CompactionReport::default());
+            }
+            // Stale units, counted from metadata before the reclaim: every
+            // patch, every chain pointer, and the superseded base unit of
+            // each rebased block. Re-encode every fresh base unit FIRST —
+            // the only fallible step — so an error leaves partition and
+            // tube untouched.
+            let mut units_reclaimed = 0u64;
+            let mut designs = Vec::new();
+            let mut rebased = Vec::new();
+            for &(block, writes) in &updated {
+                let pointers = match layout {
+                    UpdateLayout::Interleaved { .. } => snap.partition.chain_of(block).len() as u64,
+                    _ => 0,
+                };
+                units_reclaimed += u64::from(writes - 1) + pointers + 1;
+                let image = images
+                    .get(&block)
+                    .ok_or(StoreError::BlockNotWritten(block))?;
+                designs.extend(snap.partition.encode_unit(block, VersionSlot(0), image));
+                rebased.push((pid, block));
+            }
+            let mut rng = snap.rng;
+            let (rewrites, synthesis_cost) =
+                self.instruments.synthesize_rewrites(&designs, &mut rng);
+            // Validate and commit.
+            let mut shard = Self::lock_shard(&cell);
+            if shard.epoch != snap.epoch {
+                continue; // an update landed; fold it in on the next pass
+            }
+            let reclaimed = Arc::make_mut(&mut shard.partition).reclaim_updates();
+            let stale: BTreeSet<u64> = reclaimed
+                .rebased_blocks
+                .iter()
+                .map(|&(b, _)| b)
+                .chain(reclaimed.freed_leaves.iter().copied())
+                .collect();
+            let tag = shard.partition.config().partition_tag;
+            // Dilution reference is the tube *before* retirement: the
+            // rewrites must land at the archive's concentration even when
+            // every live species of this shard is about to be retired.
+            let dilution = self
+                .instruments
+                .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+            let tube = Arc::make_mut(&mut shard.tube);
+            let species_retired =
+                tube.retire_where(|t| t.partition == tag && stale.contains(&t.unit));
+            tube.mix_in(&rewrites, 1.0, dilution);
+            shard.epoch += 1;
+            return Ok(CompactionReport {
+                partitions_compacted: 1,
+                blocks_rebased: reclaimed.rebased_blocks.len(),
+                units_reclaimed,
+                species_retired,
+                rewrites_synthesized: reclaimed.rebased_blocks.len() as u64,
+                synthesis_cost,
+                rebased,
+            });
         }
-        let reclaimed = self.partitions[pid.0].reclaim_updates();
-        if reclaimed.rebased_blocks.is_empty() {
-            return Ok(CompactionReport::default());
-        }
-        let stale: std::collections::BTreeSet<u64> = reclaimed
-            .rebased_blocks
-            .iter()
-            .map(|&(b, _)| b)
-            .chain(reclaimed.freed_leaves.iter().copied())
-            .collect();
-        let species_retired = self
-            .pool
-            .retire_where(|t| t.partition == tag && stale.contains(&t.unit));
-        let synthesis_cost = self.mix_rewrites(&designs);
-        Ok(CompactionReport {
-            partitions_compacted: 1,
-            blocks_rebased: reclaimed.rebased_blocks.len(),
-            units_reclaimed,
-            species_retired,
-            rewrites_synthesized: reclaimed.rebased_blocks.len() as u64,
-            synthesis_cost,
-            rebased,
-        })
     }
 
     /// Compacts the shared DedicatedLog partition: folds every logged patch
     /// into its target block's logical image across *all* DedicatedLog
     /// partitions, rebases those blocks with fresh base units, retires the
-    /// entire log (plus the superseded base units) from the pool, and
+    /// entire log (plus the superseded base units) from the tubes, and
     /// resets the log to empty. Reads of any DedicatedLog block afterwards
     /// skip the whole-log round entirely.
+    ///
+    /// This is the one deliberately cross-shard operation: it locks every
+    /// DedicatedLog shard (ascending id) and then the log shard — the
+    /// documented global lock order — and holds them for the duration, so
+    /// the fold is atomic with respect to every reader and writer it
+    /// affects. Shards on other layouts are never touched.
     ///
     /// No-op (empty report) when no log exists or it has no entries.
     ///
     /// # Errors
     ///
     /// See [`BlockStore::compact_partition`].
-    pub fn compact_log(&mut self) -> Result<CompactionReport, StoreError> {
-        let Some(log_pid) = self.log_partition else {
+    pub fn compact_log(&self) -> Result<CompactionReport, StoreError> {
+        let dir = self.dir_read();
+        let Some(log_pid) = dir.log_pid else {
             return Ok(CompactionReport::default());
         };
-        if self.log_head == 0 {
+        // Lock order: DedicatedLog data shards ascending, log shard last.
+        let mut guards: Vec<(usize, MutexGuard<'_, PartitionShard>)> = Vec::new();
+        for (pid, cell) in dir.shards.iter().enumerate() {
+            if pid == log_pid {
+                continue;
+            }
+            let shard = cell.lock().expect("shard lock");
+            if shard.partition.config().layout == UpdateLayout::DedicatedLog {
+                guards.push((pid, shard));
+            }
+        }
+        let mut log = dir.shards[log_pid].lock().expect("shard lock");
+        if log.log_head == 0 {
             return Ok(CompactionReport::default());
         }
-        let log_tag = self.partitions[log_pid].config().partition_tag;
+        let log_tag = log.partition.config().partition_tag;
         let mut report = CompactionReport {
             partitions_compacted: 1, // the log itself
-            units_reclaimed: self.log_head,
+            units_reclaimed: log.log_head,
             ..CompactionReport::default()
         };
         // Phase 1 — re-encode every fresh base unit first, the only
-        // fallible step, so an error leaves every partition and the pool
-        // untouched (no data is destroyed before its replacement exists).
-        let mut designs = Vec::new();
-        for p in 0..self.partitions.len() {
-            if p == log_pid || self.partitions[p].config().layout != UpdateLayout::DedicatedLog {
-                continue;
-            }
-            for (block, _) in self.partitions[p].updated_blocks() {
-                let image = self
+        // fallible step, so an error leaves every shard untouched (no data
+        // is destroyed before its replacement exists).
+        let mut designs_per_shard: Vec<Vec<Molecule>> = Vec::with_capacity(guards.len());
+        for (pid, shard) in &guards {
+            let mut designs = Vec::new();
+            for (block, _) in shard.partition.updated_blocks() {
+                let image = shard
                     .logical
-                    .get(&(p, block))
+                    .get(&block)
                     .ok_or(StoreError::BlockNotWritten(block))?;
-                designs.extend(self.partitions[p].encode_unit(block, VersionSlot(0), image));
-                report.rebased.push((PartitionId(p), block));
+                designs.extend(shard.partition.encode_unit(block, VersionSlot(0), image));
+                report.rebased.push((PartitionId(*pid), block));
             }
+            designs_per_shard.push(designs);
         }
-        // Phase 2 — infallible from here: fold bookkeeping and retire the
-        // superseded molecules.
-        for p in 0..self.partitions.len() {
-            if p == log_pid || self.partitions[p].config().layout != UpdateLayout::DedicatedLog {
-                continue;
-            }
-            let tag = self.partitions[p].config().partition_tag;
-            let reclaimed = self.partitions[p].reclaim_updates();
+        // Phase 2 — infallible from here: fold bookkeeping, retire the
+        // superseded molecules from each shard's tube, and mix the fresh
+        // base units into their home tubes.
+        for ((_, shard), designs) in guards.iter_mut().zip(&designs_per_shard) {
+            let tag = shard.partition.config().partition_tag;
+            let reclaimed = Arc::make_mut(&mut shard.partition).reclaim_updates();
             if reclaimed.rebased_blocks.is_empty() {
                 continue;
             }
             report.partitions_compacted += 1;
-            let stale: std::collections::BTreeSet<u64> =
-                reclaimed.rebased_blocks.iter().map(|&(b, _)| b).collect();
-            report.species_retired += self
-                .pool
-                .retire_where(|t| t.partition == tag && stale.contains(&t.unit));
+            let stale: BTreeSet<u64> = reclaimed.rebased_blocks.iter().map(|&(b, _)| b).collect();
+            let mut rng = shard.split_rng();
+            let (rewrites, cost) = self.instruments.synthesize_rewrites(designs, &mut rng);
+            // Dilution reference: this shard's tube before retirement.
+            let dilution = self
+                .instruments
+                .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+            let tube = Arc::make_mut(&mut shard.tube);
+            report.species_retired +=
+                tube.retire_where(|t| t.partition == tag && stale.contains(&t.unit));
             report.units_reclaimed += stale.len() as u64; // superseded bases
             report.blocks_rebased += reclaimed.rebased_blocks.len();
+            tube.mix_in(&rewrites, 1.0, dilution);
+            report.synthesis_cost += cost;
+            shard.epoch += 1;
         }
-        report.species_retired += self.pool.retire_where(|t| t.partition == log_tag);
-        self.partitions[log_pid].reclaim_all();
-        self.log_head = 0;
-        self.log_seq = 0;
+        report.species_retired +=
+            Arc::make_mut(&mut log.tube).retire_where(|t| t.partition == log_tag);
+        Arc::make_mut(&mut log.partition).reclaim_all();
+        log.log_head = 0;
+        log.log_seq = 0;
+        log.epoch += 1;
         report.rewrites_synthesized = report.blocks_rebased as u64;
-        report.synthesis_cost = self.mix_rewrites(&designs);
         Ok(report)
     }
 
-    /// Synthesizes small-batch designs (IDT vendor) and mixes them into
-    /// the pool at matched per-oligo concentration — the §6.4.2 protocol,
-    /// shared by the update and compaction-rewrite paths. Returns the
-    /// synthesis cost in dollars.
-    fn mix_rewrites(&mut self, designs: &[dna_sim::Molecule]) -> f64 {
-        if designs.is_empty() {
-            return 0.0;
-        }
-        let rewrite_pool = self.idt.synthesize(designs, &mut self.rng);
-        let data_per_oligo =
-            self.nanodrop
-                .measure_per_oligo(&self.pool, self.pool.distinct().max(1), &mut self.rng);
-        let rewrite_per_oligo = self.nanodrop.measure_per_oligo(
-            &rewrite_pool,
-            rewrite_pool.distinct().max(1),
-            &mut self.rng,
-        );
-        let dilution = if data_per_oligo > 0.0 {
-            (data_per_oligo / rewrite_per_oligo).min(1.0)
-        } else {
-            // Everything in the tube was retired: the rewrites ARE the pool.
-            1.0
-        };
-        self.pool = self.pool.mixed_with(&rewrite_pool, 1.0, dilution);
-        self.idt.synthesis_cost(designs.len(), designs[0].seq.len())
-    }
+    // ----- sequential reads ------------------------------------------------
 
     /// Reads one block through the full wetlab path: precise PCR with the
     /// block's elongated primer (multiplexed with chain/region primers as
@@ -613,16 +1076,16 @@ impl BlockStore {
     /// RS decoding and patch application. Follows overflow pointers with
     /// extra round-trips when present.
     ///
+    /// The whole wetlab/decode phase runs against a shard snapshot with no
+    /// locks held; the result is linearized at snapshot time.
+    ///
     /// # Errors
     ///
     /// [`StoreError::DecodeFailed`] if any required unit cannot be
     /// recovered.
-    pub fn read_block(
-        &mut self,
-        pid: PartitionId,
-        block: u64,
-    ) -> Result<BlockReadOutcome, StoreError> {
-        let layout = self.partition(pid)?.config().layout;
+    pub fn read_block(&self, pid: PartitionId, block: u64) -> Result<BlockReadOutcome, StoreError> {
+        let (mut snap, log) = self.snapshot_for_read(pid.0)?;
+        let layout = snap.partition.config().layout;
         let mut stats = ReadProtocolStats {
             pcr_rounds: 0,
             reads_sequenced: 0,
@@ -631,11 +1094,23 @@ impl BlockStore {
         };
         // Round 1: the block's leaf (plus the update region for TwoStacks).
         let (mut current, mut patches): (Block, Vec<UpdatePatch>) = match layout {
-            UpdateLayout::Interleaved { update_slots } => {
-                self.read_interleaved(pid, block, update_slots, &mut stats)?
+            UpdateLayout::Interleaved { update_slots } => read_interleaved(
+                &self.instruments,
+                &mut snap,
+                block,
+                update_slots,
+                &mut stats,
+            )?,
+            UpdateLayout::TwoStacks => {
+                read_two_stacks(&self.instruments, &mut snap, block, &mut stats)?
             }
-            UpdateLayout::TwoStacks => self.read_two_stacks(pid, block, &mut stats)?,
-            UpdateLayout::DedicatedLog => self.read_with_dedicated_log(pid, block, &mut stats)?,
+            UpdateLayout::DedicatedLog => read_with_dedicated_log(
+                &self.instruments,
+                &mut snap,
+                log.as_ref(),
+                block,
+                &mut stats,
+            )?,
         };
         let patches_applied = patches.len();
         for patch in patches.drain(..) {
@@ -659,12 +1134,7 @@ impl BlockStore {
     /// # Errors
     ///
     /// Fails if any block in the range cannot be decoded.
-    pub fn read_range(
-        &mut self,
-        pid: PartitionId,
-        lo: u64,
-        hi: u64,
-    ) -> Result<Vec<Block>, StoreError> {
+    pub fn read_range(&self, pid: PartitionId, lo: u64, hi: u64) -> Result<Vec<Block>, StoreError> {
         let requests: Vec<(PartitionId, u64)> = (lo..=hi).map(|b| (pid, b)).collect();
         let batch = self.read_blocks_batch(&requests)?;
         batch
@@ -672,704 +1142,6 @@ impl BlockStore {
             .into_iter()
             .map(|r| r.map(|o| o.block))
             .collect()
-    }
-
-    // ----- batched retrieval ------------------------------------------------
-
-    /// Reads many blocks — across any number of partitions — in as few PCR
-    /// + sequencing round-trips as primer chemistry allows.
-    ///
-    /// The [`BatchPlanner`] groups the touched partitions into multiplex
-    /// rounds subject to cross-dimer/Tm compatibility
-    /// ([`dna_primers::MultiplexCompat`]); each round runs one
-    /// [`dna_sim::MultiplexPcrReaction`] with per-pair primer budgets, one
-    /// sequencing pass, and a parallel software demultiplex + decode
-    /// ([`dna_pipeline::decode_jobs_parallel`]). Contiguous runs of
-    /// requested blocks are covered by §3.1 prefix primers; committed
-    /// overflow-chain leaves, the TwoStacks update region, and the shared
-    /// DedicatedLog partition ride in the same tube, so every block's
-    /// updates arrive with it.
-    ///
-    /// Per-block failures are reported in
-    /// [`BatchReadOutcome::outcomes`] without failing the batch.
-    ///
-    /// # Errors
-    ///
-    /// Fails as a whole only for requests naming an unknown partition.
-    pub fn read_blocks_batch(
-        &mut self,
-        requests: &[(PartitionId, u64)],
-    ) -> Result<BatchReadOutcome, StoreError> {
-        self.read_blocks_batch_planned(requests, &BatchPlanner::paper_default())
-    }
-
-    /// As [`BlockStore::read_blocks_batch`], with an explicit planner
-    /// (custom compatibility rules or per-round pair caps).
-    ///
-    /// # Errors
-    ///
-    /// Fails as a whole only for requests naming an unknown partition.
-    pub fn read_blocks_batch_planned(
-        &mut self,
-        requests: &[(PartitionId, u64)],
-        planner: &BatchPlanner,
-    ) -> Result<BatchReadOutcome, StoreError> {
-        let (mut outcomes, by_partition) = self.group_batch(requests)?;
-        let plan = planner.plan(&self.batch_plan_items(&by_partition));
-        let mut stats = BatchStats {
-            rounds: plan.num_rounds(),
-            ..BatchStats::default()
-        };
-        let mut ctx = BatchDecodeCtx::default();
-        for round in &plan.rounds {
-            self.run_batch_round(
-                &round.items,
-                &by_partition,
-                &mut ctx,
-                &mut outcomes,
-                &mut stats,
-            );
-        }
-        stats.wasted_reads = stats.reads_sequenced.saturating_sub(stats.reads_matched);
-        Ok(BatchReadOutcome {
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("every request resolved"))
-                .collect(),
-            stats,
-        })
-    }
-
-    /// Plans — without executing — the multiplex rounds a batch of
-    /// requests would take under `planner`. A serving layer uses this to
-    /// predict wetlab cost (e.g. rounds per coalesced batch) before
-    /// committing a tube.
-    ///
-    /// # Errors
-    ///
-    /// Fails for requests naming an unknown partition (out-of-range block
-    /// ids are simply absent from the plan, matching
-    /// [`BlockStore::read_blocks_batch`]'s per-request error reporting).
-    pub fn plan_batch(
-        &self,
-        requests: &[(PartitionId, u64)],
-        planner: &BatchPlanner,
-    ) -> Result<BatchPlan, StoreError> {
-        let (_, by_partition) = self.group_batch(requests)?;
-        Ok(planner.plan(&self.batch_plan_items(&by_partition)))
-    }
-
-    /// Groups in-range requests by partition; out-of-range requests get
-    /// their error outcome immediately.
-    #[allow(clippy::type_complexity)]
-    fn group_batch(
-        &self,
-        requests: &[(PartitionId, u64)],
-    ) -> Result<
-        (
-            Vec<Option<Result<BlockReadOutcome, StoreError>>>,
-            BTreeMap<usize, Vec<(usize, u64)>>,
-        ),
-        StoreError,
-    > {
-        let mut outcomes: Vec<Option<Result<BlockReadOutcome, StoreError>>> =
-            vec![None; requests.len()];
-        let mut by_partition: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
-        for (i, &(pid, block)) in requests.iter().enumerate() {
-            let partition = self.partition(pid)?;
-            if block >= partition.num_leaves() {
-                outcomes[i] = Some(Err(StoreError::BlockOutOfRange {
-                    block,
-                    capacity: partition.num_leaves(),
-                }));
-            } else {
-                by_partition.entry(pid.0).or_default().push((i, block));
-            }
-        }
-        Ok((outcomes, by_partition))
-    }
-
-    /// One [`PlanItem`] per touched partition (a DedicatedLog partition
-    /// drags the shared log pair into its item).
-    fn batch_plan_items(&self, by_partition: &BTreeMap<usize, Vec<(usize, u64)>>) -> Vec<PlanItem> {
-        by_partition
-            .keys()
-            .map(|&p| {
-                let mut pairs = vec![self.partitions[p].primers().clone()];
-                if self.partitions[p].config().layout == UpdateLayout::DedicatedLog {
-                    if let Some(log) = self.log_partition {
-                        pairs.push(self.partitions[log].primers().clone());
-                    }
-                }
-                PlanItem { id: p, pairs }
-            })
-            .collect()
-    }
-
-    /// Runs one multiplex round: amplify every target of `round_partitions`
-    /// in a single tube, sequence once, decode all *new* leaves in parallel
-    /// (leaves already decoded by an earlier round of this batch are
-    /// reused), and assemble per-request outcomes.
-    fn run_batch_round(
-        &mut self,
-        round_partitions: &[usize],
-        by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
-        ctx: &mut BatchDecodeCtx,
-        outcomes: &mut [Option<Result<BlockReadOutcome, StoreError>>],
-        stats: &mut BatchStats,
-    ) {
-        let budget = self.retrieval_budget();
-        // (weighted forward scope, reverse primer, encoding units covered)
-        // per channel; budgets are assigned after the total unit count is
-        // known so per-unit amplification stays even across channels.
-        let mut pending: Vec<ChannelSpec> = Vec::new();
-        let mut expected_units = 0usize;
-        let mut jobs: Vec<DecodeJob> = Vec::new();
-        let BatchDecodeCtx {
-            job_index,
-            decoded,
-            log_decoded,
-        } = ctx;
-        // New jobs append after everything decoded by earlier rounds.
-        let base = decoded.len();
-        let mut log_in_round = false;
-
-        for &p in round_partitions {
-            let partition = &self.partitions[p];
-            let rev = partition.primers().reverse().clone();
-            let mut blocks: Vec<u64> = by_partition[&p].iter().map(|&(_, b)| b).collect();
-            blocks.sort_unstable();
-            blocks.dedup();
-            // Cover contiguous runs with §3.1 prefix primers, weighted by
-            // covered leaf count so the whole run amplifies evenly.
-            let mut scope: Vec<(DnaSeq, f64)> = Vec::new();
-            let mut run_start = blocks[0];
-            let mut prev = blocks[0];
-            for &b in &blocks[1..] {
-                if b != prev + 1 {
-                    scope.extend(partition.range_prefixes_weighted(run_start, prev));
-                    run_start = b;
-                }
-                prev = b;
-            }
-            scope.extend(partition.range_prefixes_weighted(run_start, prev));
-            // Every decode is pinned to the version slots the metadata
-            // says are live at that leaf (see
-            // [`Partition::live_version_slots`]): noise claiming a dead
-            // version base never decodes into a phantom patch, and a live
-            // slot that fails to decode is a reportable hole.
-            let mut add_job = |jobs: &mut Vec<DecodeJob>, leaf: u64| {
-                job_index.entry((p, leaf)).or_insert_with(|| {
-                    jobs.push(DecodeJob {
-                        prefix: partition.elongated_primer(leaf),
-                        reverse: rev.clone(),
-                        config: partition
-                            .decode_config_versions(leaf, &partition.live_version_slots(leaf)),
-                    });
-                    base + jobs.len() - 1
-                });
-            };
-            for &b in &blocks {
-                add_job(&mut jobs, b);
-            }
-            // Update scope: committed chain leaves / the TwoStacks update
-            // region come along in the same tube (DedicatedLog patches live
-            // in the shared log partition, handled once per round below).
-            // Sequencing depth is provisioned per encoding unit, counted
-            // from the update metadata rather than a flat per-block
-            // constant, so heavily-updated blocks keep their per-unit
-            // coverage.
-            let channel_units = match partition.config().layout {
-                UpdateLayout::Interleaved { .. } => {
-                    // Units per block: the original plus every patch
-                    // (`writes_of`) plus one pointer unit per chain hop,
-                    // floored at the 2 units/block the range path budgets.
-                    let units = blocks
-                        .iter()
-                        .map(|&b| {
-                            (partition.writes_of(b) as usize + partition.chain_of(b).len()).max(2)
-                        })
-                        .sum::<usize>();
-                    let mut chain: Vec<u64> = blocks
-                        .iter()
-                        .flat_map(|&b| partition.chain_of(b).iter().copied())
-                        .collect();
-                    chain.sort_unstable();
-                    chain.dedup();
-                    for &leaf in &chain {
-                        scope.push((partition.elongated_primer(leaf), 1.0));
-                        add_job(&mut jobs, leaf);
-                    }
-                    units
-                }
-                UpdateLayout::TwoStacks => {
-                    let mut units = blocks.len() * 2;
-                    let stack = partition.stack_update_count();
-                    if stack > 0 {
-                        let lo = partition.num_leaves() - stack;
-                        let hi = partition.num_leaves() - 1;
-                        scope.extend(partition.range_prefixes_weighted(lo, hi));
-                        let mut leaves: Vec<u64> = blocks
-                            .iter()
-                            .flat_map(|&b| partition.chain_of(b).iter().copied())
-                            .collect();
-                        leaves.sort_unstable();
-                        leaves.dedup();
-                        for &leaf in &leaves {
-                            add_job(&mut jobs, leaf);
-                        }
-                        units += stack as usize;
-                    }
-                    units
-                }
-                UpdateLayout::DedicatedLog => {
-                    log_in_round = true;
-                    blocks.len() * 2
-                }
-            };
-            expected_units += channel_units;
-            pending.push(ChannelSpec {
-                scope,
-                reverse: rev,
-                units: channel_units,
-            });
-        }
-        // The shared log rides in at most one tube per batch call: later
-        // rounds reuse the first round's decoded entries instead of
-        // re-amplifying and re-decoding the whole log. A log that
-        // compaction folded back to empty never enters the tube at all.
-        if log_in_round && !*log_decoded && self.log_head > 0 {
-            if let Some(log_pid) = self.log_partition {
-                let log = &self.partitions[log_pid];
-                let log_fwd = log.scope_primer();
-                let log_rev = log.primers().reverse().clone();
-                for leaf in 0..self.log_head {
-                    job_index.entry((log_pid, leaf)).or_insert_with(|| {
-                        jobs.push(DecodeJob {
-                            prefix: log.elongated_primer(leaf),
-                            reverse: log_rev.clone(),
-                            config: log.decode_config_versions(leaf, &[VersionSlot(0)]),
-                        });
-                        base + jobs.len() - 1
-                    });
-                }
-                let units = self.log_head as usize + 1;
-                expected_units += units;
-                pending.push(ChannelSpec {
-                    scope: vec![(log_fwd, units as f64)],
-                    reverse: log_rev,
-                    units,
-                });
-                *log_decoded = true;
-            }
-        }
-
-        // Each channel's primer budget is proportional to its share of the
-        // units in scope (scaled so a single-channel round gets exactly the
-        // sequential path's budget): the sequencing pass samples the tube
-        // by abundance, so equal budgets would starve large-scope channels
-        // of per-unit read depth.
-        let total_units = expected_units.max(1) as f64;
-        let channels: Vec<PrimerChannel> = pending
-            .iter()
-            .map(|spec| {
-                let channel_budget =
-                    budget * (spec.units as f64) * (pending.len() as f64) / total_units;
-                PrimerChannel {
-                    forward_primers: weighted_forward_primers(&spec.scope, channel_budget),
-                    reverse_primer: PcrPrimer::with_budget(spec.reverse.clone(), channel_budget),
-                }
-            })
-            .collect();
-
-        stats.primer_pairs += channels.len();
-        let rxn = MultiplexPcrReaction {
-            channels,
-            protocol: PcrProtocol::paper_block_access(),
-        };
-        let amplified = rxn.run(&self.pool);
-        let n_reads = self.reads_to_sequence(expected_units);
-        let reads = self
-            .sequencer
-            .sequence(&amplified.pool, n_reads, &mut self.rng);
-        stats.reads_sequenced += reads.len();
-
-        decode_jobs_parallel_into(&reads, &jobs, unit_checksum_ok, 0, decoded);
-        stats.decode_jobs += jobs.len();
-        for outcome in &decoded[base..] {
-            stats.reads_matched += outcome.reads_matched;
-        }
-
-        for &p in round_partitions {
-            for &(req_idx, block) in &by_partition[&p] {
-                outcomes[req_idx] = Some(self.assemble_batch_outcome(
-                    p,
-                    block,
-                    job_index,
-                    decoded,
-                    reads.len(),
-                    base,
-                ));
-            }
-        }
-    }
-
-    /// Reconstructs one requested block from a round's decoded leaves,
-    /// mirroring the layout-specific single-read paths. `round_start` is
-    /// the index of this round's first decode outcome: per-request read
-    /// statistics count only this round's wetlab work, so leaves reused
-    /// from an earlier round (the shared log) contribute their patches but
-    /// not their matched-read counts — `reads_matched` stays consistent
-    /// with `reads_sequenced`.
-    #[allow(clippy::too_many_arguments)]
-    fn assemble_batch_outcome(
-        &self,
-        p: usize,
-        block: u64,
-        job_index: &BTreeMap<(usize, u64), usize>,
-        decoded: &[BlockDecodeOutcome],
-        round_reads: usize,
-        round_start: usize,
-    ) -> Result<BlockReadOutcome, StoreError> {
-        let partition = &self.partitions[p];
-        let origin = &decoded[job_index[&(p, block)]];
-        let mut stats = ReadProtocolStats {
-            pcr_rounds: 1,
-            reads_sequenced: round_reads,
-            reads_matched: origin.reads_matched,
-            clusters_used: origin.clusters_used,
-        };
-        let (original, patches) = match partition.config().layout {
-            UpdateLayout::Interleaved { update_slots } => {
-                let mut original = None;
-                let mut patches = Vec::new();
-                let mut leaves = vec![block];
-                leaves.extend_from_slice(partition.chain_of(block));
-                for (hop, &leaf) in leaves.iter().enumerate() {
-                    let outcome = &decoded[job_index[&(p, leaf)]];
-                    if hop > 0 {
-                        stats.reads_matched += outcome.reads_matched;
-                    }
-                    // Every slot the metadata says is live here must have
-                    // decoded — a missing one is a hole in the patch chain.
-                    require_live_versions(
-                        outcome,
-                        &partition.live_version_slots(leaf),
-                        block,
-                        leaf,
-                    )?;
-                    for (base, v) in &outcome.versions {
-                        let slot = VersionSlot::from_base(*base);
-                        let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
-                            StoreError::DecodeFailed {
-                                block,
-                                reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
-                            }
-                        })?;
-                        if hop == 0 && slot.0 == 0 {
-                            original = Some(content);
-                        } else if slot.0 == update_slots {
-                            // Pointer slot — the chain is already known from
-                            // metadata, nothing to follow.
-                        } else {
-                            patches.push(UpdatePatch::from_block(&content)?);
-                        }
-                    }
-                }
-                let original = original.ok_or(StoreError::DecodeFailed {
-                    block,
-                    reason: "original version missing".to_string(),
-                })?;
-                (original, patches)
-            }
-            UpdateLayout::TwoStacks => {
-                let (original, _) = interpret_interleaved(origin, block)?;
-                let mut patches = Vec::new();
-                for &leaf in partition.chain_of(block) {
-                    let outcome = &decoded[job_index[&(p, leaf)]];
-                    stats.reads_matched += outcome.reads_matched;
-                    let v = outcome
-                        .versions
-                        .get(&Base::A)
-                        .ok_or(StoreError::DecodeFailed {
-                            block,
-                            reason: format!("update leaf {leaf} unrecovered"),
-                        })?;
-                    let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
-                        StoreError::DecodeFailed {
-                            block,
-                            reason: format!("update unit at leaf {leaf}"),
-                        }
-                    })?;
-                    patches.push(UpdatePatch::from_block(&content)?);
-                }
-                (original, patches)
-            }
-            UpdateLayout::DedicatedLog => {
-                let (original, _) = interpret_interleaved(origin, block)?;
-                let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
-                if let Some(log_pid) = self.log_partition {
-                    for leaf in 0..self.log_head {
-                        let Some(&job) = job_index.get(&(log_pid, leaf)) else {
-                            continue;
-                        };
-                        let outcome = &decoded[job];
-                        if job >= round_start {
-                            stats.reads_matched += outcome.reads_matched;
-                        }
-                        // An unrecovered log entry could hold a patch for
-                        // this very block: failing is the only answer that
-                        // never serves stale bytes.
-                        let v = outcome
-                            .versions
-                            .get(&Base::A)
-                            .ok_or(StoreError::DecodeFailed {
-                                block,
-                                reason: format!("log entry {leaf} unrecovered"),
-                            })?;
-                        if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
-                            found.extend(log_patch_for(&content, p as u32, block));
-                        }
-                    }
-                }
-                found.sort_by_key(|&(seq, _)| seq);
-                (
-                    original,
-                    found.into_iter().map(|(_, patch)| patch).collect(),
-                )
-            }
-        };
-        let patches_applied = patches.len();
-        let mut current = original;
-        for patch in patches {
-            current = patch.apply(&current)?;
-        }
-        Ok(BlockReadOutcome {
-            block: current,
-            patches_applied,
-            stats,
-        })
-    }
-
-    // ----- layout-specific read paths ---------------------------------------
-
-    fn read_interleaved(
-        &mut self,
-        pid: PartitionId,
-        block: u64,
-        update_slots: u8,
-        stats: &mut ReadProtocolStats,
-    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
-        let mut patches = Vec::new();
-        let mut original: Option<Block> = None;
-        let mut leaf = block;
-        // Follow the pointer chain; the common case is a single round-trip.
-        for _hop in 0..64 {
-            let partition = self.partition(pid)?;
-            let prefix = partition.elongated_primer(leaf);
-            let rev = partition.primers().reverse().clone();
-            let live = partition.live_version_slots(leaf);
-            let cfg = partition.decode_config_versions(leaf, &live);
-            let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 4);
-            stats.pcr_rounds += 1;
-            stats.reads_sequenced += reads.len();
-            let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
-            stats.reads_matched += outcome.reads_matched;
-            stats.clusters_used = outcome.clusters_used;
-            // Every metadata-live slot must have decoded; a missing one is
-            // a hole in the patch chain and returning the block without it
-            // would serve stale bytes.
-            require_live_versions(&outcome, &live, block, leaf)?;
-            let mut next_leaf = None;
-            for (base, v) in &outcome.versions {
-                let slot = VersionSlot::from_base(*base);
-                let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
-                    StoreError::DecodeFailed {
-                        block,
-                        reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
-                    }
-                })?;
-                if leaf == block && slot.0 == 0 {
-                    original = Some(content);
-                } else if slot.0 == update_slots {
-                    // pointer slot
-                    match parse_pointer_block(&content) {
-                        Some(target) => next_leaf = Some(target),
-                        None => {
-                            return Err(StoreError::DecodeFailed {
-                                block,
-                                reason: format!("malformed pointer at leaf {leaf}"),
-                            })
-                        }
-                    }
-                } else {
-                    patches.push((leaf, slot.0, UpdatePatch::from_block(&content)?));
-                }
-            }
-            if outcome.versions.is_empty() && leaf == block {
-                return Err(StoreError::DecodeFailed {
-                    block,
-                    reason: "no versions recovered".to_string(),
-                });
-            }
-            match next_leaf {
-                Some(target) => leaf = target,
-                None => break,
-            }
-        }
-        let original = original.ok_or(StoreError::DecodeFailed {
-            block,
-            reason: "original version missing".to_string(),
-        })?;
-        // Patches are already in (hop, slot) order: chain hops were visited
-        // chronologically and slots sort by version base.
-        let ordered = patches.into_iter().map(|(_, _, p)| p).collect();
-        Ok((original, ordered))
-    }
-
-    fn read_two_stacks(
-        &mut self,
-        pid: PartitionId,
-        block: u64,
-        stats: &mut ReadProtocolStats,
-    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
-        let partition = self.partition(pid)?;
-        let rev = partition.primers().reverse().clone();
-        let update_leaves: Vec<u64> = partition.chain_of(block).to_vec();
-        // Fig. 7 cost: the block plus the ENTIRE used update region must be
-        // amplified, with primer concentrations weighted by covered leaves.
-        let stack_updates = partition.stack_update_count();
-        let mut scope: Vec<(DnaSeq, f64)> = vec![(partition.elongated_primer(block), 1.0)];
-        if stack_updates > 0 {
-            let lo = partition.num_leaves() - stack_updates;
-            let hi = partition.num_leaves() - 1;
-            scope.extend(partition.range_prefixes_weighted(lo, hi));
-        }
-        let expected_units = 1 + stack_updates as usize;
-        let reads = self.run_retrieval(&scope, &rev, expected_units);
-        stats.pcr_rounds += 1;
-        stats.reads_sequenced += reads.len();
-        // Decode the block itself. TwoStacks data leaves only ever hold the
-        // base version, so the decode is pinned to it — noise claiming a
-        // retired or foreign version base can never become a phantom patch.
-        let partition = self.partition(pid)?;
-        let prefix = partition.elongated_primer(block);
-        let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
-        let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
-        stats.reads_matched += outcome.reads_matched;
-        let (original, _) = interpret_interleaved(&outcome, block)?;
-        // Decode this block's update leaves (known from metadata; their
-        // content is self-ordering via version slots 0 at distinct leaves).
-        let mut patches = Vec::new();
-        for &leaf in &update_leaves {
-            let partition = self.partition(pid)?;
-            let prefix = partition.elongated_primer(leaf);
-            let cfg = partition.decode_config_versions(leaf, &[VersionSlot(0)]);
-            let o = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
-            stats.reads_matched += o.reads_matched;
-            if let Some(v) = o.versions.get(&Base::A) {
-                let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
-                    StoreError::DecodeFailed {
-                        block,
-                        reason: format!("update unit at leaf {leaf}"),
-                    }
-                })?;
-                patches.push(UpdatePatch::from_block(&content)?);
-            } else {
-                return Err(StoreError::DecodeFailed {
-                    block,
-                    reason: format!("update leaf {leaf} unrecovered"),
-                });
-            }
-        }
-        Ok((original, patches))
-    }
-
-    fn read_with_dedicated_log(
-        &mut self,
-        pid: PartitionId,
-        block: u64,
-        stats: &mut ReadProtocolStats,
-    ) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
-        // Round 1: the data block (base version only under this layout).
-        let partition = self.partition(pid)?;
-        let prefix = partition.elongated_primer(block);
-        let rev = partition.primers().reverse().clone();
-        let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
-        let reads = self.run_retrieval(&[(prefix.clone(), 1.0)], &rev, 2);
-        stats.pcr_rounds += 1;
-        stats.reads_sequenced += reads.len();
-        let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
-        stats.reads_matched += outcome.reads_matched;
-        let (original, _) = interpret_interleaved(&outcome, block)?;
-        // Round 2: the ENTIRE shared log (the §5.3 Fig. 6 cost) — skipped
-        // outright when compaction has folded the log back to empty.
-        let mut patches = Vec::new();
-        if let (Some(log_pid), true) = (self.log_partition, self.log_head > 0) {
-            let log = &self.partitions[log_pid];
-            let log_fwd = log.scope_primer();
-            let log_rev = log.primers().reverse().clone();
-            let entries = self.log_head;
-            let reads =
-                self.run_retrieval(&[(log_fwd.clone(), 1.0)], &log_rev, entries as usize + 1);
-            stats.pcr_rounds += 1;
-            stats.reads_sequenced += reads.len();
-            let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
-            for leaf in 0..entries {
-                let log = &self.partitions[log_pid];
-                let prefix = log.elongated_primer(leaf);
-                let cfg = log.decode_config_versions(leaf, &[VersionSlot(0)]);
-                let o = decode_block_validated(&reads, &prefix, &log_rev, &cfg, unit_checksum_ok);
-                stats.reads_matched += o.reads_matched;
-                // As in the batch path: an unrecovered entry might target
-                // this block, so the read must fail rather than skip it.
-                let v = o.versions.get(&Base::A).ok_or(StoreError::DecodeFailed {
-                    block,
-                    reason: format!("log entry {leaf} unrecovered"),
-                })?;
-                if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
-                    found.extend(log_patch_for(&content, pid.0 as u32, block));
-                }
-            }
-            found.sort_by_key(|&(seq, _)| seq);
-            patches.extend(found.into_iter().map(|(_, p)| p));
-        }
-        Ok((original, patches))
-    }
-
-    /// Primer-molecule budget for one retrieval reaction: 20× the tube's
-    /// template count, so cycles end in template competition rather than
-    /// primer exhaustion. Shared by the sequential and batched paths.
-    fn retrieval_budget(&self) -> f64 {
-        self.pool.total_copies() * 20.0
-    }
-
-    /// Reads to sequence when `expected_units` encoding units are in scope
-    /// (15 strands per unit at the configured coverage). Shared by the
-    /// sequential and batched paths.
-    fn reads_to_sequence(&self, expected_units: usize) -> usize {
-        expected_units.max(1) * 15 * self.coverage
-    }
-
-    /// Runs one precise PCR (multiplexed over weighted `primers`) on the
-    /// pool and sequences the product. Primer budgets are proportional to
-    /// each primer's weight (the number of leaves it covers), so every leaf
-    /// in scope amplifies evenly (§3.2).
-    fn run_retrieval(
-        &mut self,
-        primers: &[(DnaSeq, f64)],
-        rev: &DnaSeq,
-        expected_units: usize,
-    ) -> Vec<Read> {
-        let budget = self.retrieval_budget();
-        let rxn = PcrReaction {
-            forward_primers: weighted_forward_primers(primers, budget),
-            reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
-            protocol: PcrProtocol::paper_block_access(),
-        };
-        let out = rxn.run(&self.pool);
-        let n_reads = self.reads_to_sequence(expected_units);
-        self.sequencer.sequence(&out.pool, n_reads, &mut self.rng)
     }
 }
 
@@ -1381,6 +1153,273 @@ fn weighted_forward_primers(scope: &[(DnaSeq, f64)], budget: f64) -> Vec<PcrPrim
         .iter()
         .map(|(p, w)| PcrPrimer::with_budget(p.clone(), budget * w.max(1e-9) / total_weight))
         .collect()
+}
+
+impl Instruments {
+    /// Reads to sequence when `expected_units` encoding units are in scope
+    /// (15 strands per unit at the configured coverage). Shared by the
+    /// sequential and batched paths.
+    fn reads_to_sequence(&self, expected_units: usize) -> usize {
+        expected_units.max(1) * 15 * self.coverage
+    }
+
+    /// Runs one precise PCR (multiplexed over weighted `primers`) on the
+    /// reaction tube and sequences the product. Primer budgets are
+    /// proportional to each primer's weight (the number of leaves it
+    /// covers), so every leaf in scope amplifies evenly (§3.2). The primer
+    /// budget is 20× the tube's template count, so cycles end in template
+    /// competition rather than primer exhaustion.
+    fn run_retrieval(
+        &self,
+        tube: &Pool,
+        primers: &[(DnaSeq, f64)],
+        rev: &DnaSeq,
+        expected_units: usize,
+        rng: &mut DetRng,
+    ) -> Vec<Read> {
+        let budget = tube.total_copies() * 20.0;
+        let rxn = PcrReaction {
+            forward_primers: weighted_forward_primers(primers, budget),
+            reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
+            protocol: PcrProtocol::paper_block_access(),
+        };
+        let out = rxn.run(tube);
+        let n_reads = self.reads_to_sequence(expected_units);
+        self.sequencer.sequence(&out.pool, n_reads, rng)
+    }
+
+    /// Synthesizes small-batch designs with the IDT vendor model (the
+    /// update / compaction-rewrite path). Lock-free: callers run this
+    /// against a snapshot RNG stream. Returns the raw synthesis pool and
+    /// the synthesis cost in dollars.
+    fn synthesize_rewrites(&self, designs: &[Molecule], rng: &mut DetRng) -> (Pool, f64) {
+        if designs.is_empty() {
+            return (Pool::new(), 0.0);
+        }
+        let pool = self.idt.synthesize(designs, rng);
+        let cost = self.idt.synthesis_cost(designs.len(), designs[0].seq.len());
+        (pool, cost)
+    }
+
+    /// The §6.4.2 dilution that brings a synthesized rewrite pool down to
+    /// `reference`'s per-oligo concentration. The reference must be a
+    /// *data* pool — in a sharded rack that is the target partition's tube
+    /// for an in-partition rewrite, and the *updated block's* data tube
+    /// for a shared-log append (the log tube itself starts empty, and an
+    /// empty reference would admit raw small-batch concentrate at ~50000×
+    /// the archive — exactly the §5.5 skew that starves every co-channel
+    /// of a multiplexed round of sequencing output).
+    ///
+    /// Falls back to no dilution only when the reference holds nothing at
+    /// all (then the rewrites *are* the tube).
+    fn rewrite_dilution(&self, reference: &Pool, rewrites: &Pool, rng: &mut DetRng) -> f64 {
+        if rewrites.is_empty() {
+            return 1.0;
+        }
+        let data_per_oligo =
+            self.nanodrop
+                .measure_per_oligo(reference, reference.distinct().max(1), rng);
+        let rewrite_per_oligo =
+            self.nanodrop
+                .measure_per_oligo(rewrites, rewrites.distinct().max(1), rng);
+        if data_per_oligo > 0.0 {
+            (data_per_oligo / rewrite_per_oligo).min(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+// ----- sequential layout-specific read paths (snapshot-based) --------------
+
+fn read_interleaved(
+    instruments: &Instruments,
+    snap: &mut ShardSnapshot,
+    block: u64,
+    update_slots: u8,
+    stats: &mut ReadProtocolStats,
+) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+    let partition = &snap.partition;
+    let mut patches = Vec::new();
+    let mut original: Option<Block> = None;
+    let mut leaf = block;
+    // Follow the pointer chain; the common case is a single round-trip.
+    for _hop in 0..64 {
+        let prefix = partition.elongated_primer(leaf);
+        let rev = partition.primers().reverse().clone();
+        let live = partition.live_version_slots(leaf);
+        let cfg = partition.decode_config_versions(leaf, &live);
+        let reads =
+            instruments.run_retrieval(&snap.tube, &[(prefix.clone(), 1.0)], &rev, 4, &mut snap.rng);
+        stats.pcr_rounds += 1;
+        stats.reads_sequenced += reads.len();
+        let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+        stats.reads_matched += outcome.reads_matched;
+        stats.clusters_used = outcome.clusters_used;
+        // Every metadata-live slot must have decoded; a missing one is
+        // a hole in the patch chain and returning the block without it
+        // would serve stale bytes.
+        require_live_versions(&outcome, &live, block, leaf)?;
+        let mut next_leaf = None;
+        for (base, v) in &outcome.versions {
+            let slot = VersionSlot::from_base(*base);
+            let content =
+                Block::from_unit_bytes(&v.unit_bytes).map_err(|_| StoreError::DecodeFailed {
+                    block,
+                    reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
+                })?;
+            if leaf == block && slot.0 == 0 {
+                original = Some(content);
+            } else if slot.0 == update_slots {
+                // pointer slot
+                match parse_pointer_block(&content) {
+                    Some(target) => next_leaf = Some(target),
+                    None => {
+                        return Err(StoreError::DecodeFailed {
+                            block,
+                            reason: format!("malformed pointer at leaf {leaf}"),
+                        })
+                    }
+                }
+            } else {
+                patches.push((leaf, slot.0, UpdatePatch::from_block(&content)?));
+            }
+        }
+        if outcome.versions.is_empty() && leaf == block {
+            return Err(StoreError::DecodeFailed {
+                block,
+                reason: "no versions recovered".to_string(),
+            });
+        }
+        match next_leaf {
+            Some(target) => leaf = target,
+            None => break,
+        }
+    }
+    let original = original.ok_or(StoreError::DecodeFailed {
+        block,
+        reason: "original version missing".to_string(),
+    })?;
+    // Patches are already in (hop, slot) order: chain hops were visited
+    // chronologically and slots sort by version base.
+    let ordered = patches.into_iter().map(|(_, _, p)| p).collect();
+    Ok((original, ordered))
+}
+
+fn read_two_stacks(
+    instruments: &Instruments,
+    snap: &mut ShardSnapshot,
+    block: u64,
+    stats: &mut ReadProtocolStats,
+) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+    let partition = &snap.partition;
+    let rev = partition.primers().reverse().clone();
+    let update_leaves: Vec<u64> = partition.chain_of(block).to_vec();
+    // Fig. 7 cost: the block plus the ENTIRE used update region must be
+    // amplified, with primer concentrations weighted by covered leaves.
+    let stack_updates = partition.stack_update_count();
+    let mut scope: Vec<(DnaSeq, f64)> = vec![(partition.elongated_primer(block), 1.0)];
+    if stack_updates > 0 {
+        let lo = partition.num_leaves() - stack_updates;
+        let hi = partition.num_leaves() - 1;
+        scope.extend(partition.range_prefixes_weighted(lo, hi));
+    }
+    let expected_units = 1 + stack_updates as usize;
+    let reads = instruments.run_retrieval(&snap.tube, &scope, &rev, expected_units, &mut snap.rng);
+    stats.pcr_rounds += 1;
+    stats.reads_sequenced += reads.len();
+    // Decode the block itself. TwoStacks data leaves only ever hold the
+    // base version, so the decode is pinned to it — noise claiming a
+    // retired or foreign version base can never become a phantom patch.
+    let prefix = partition.elongated_primer(block);
+    let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
+    let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+    stats.reads_matched += outcome.reads_matched;
+    let (original, _) = interpret_interleaved(&outcome, block)?;
+    // Decode this block's update leaves (known from metadata; their
+    // content is self-ordering via version slots 0 at distinct leaves).
+    let mut patches = Vec::new();
+    for &leaf in &update_leaves {
+        let prefix = partition.elongated_primer(leaf);
+        let cfg = partition.decode_config_versions(leaf, &[VersionSlot(0)]);
+        let o = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+        stats.reads_matched += o.reads_matched;
+        if let Some(v) = o.versions.get(&Base::A) {
+            let content =
+                Block::from_unit_bytes(&v.unit_bytes).map_err(|_| StoreError::DecodeFailed {
+                    block,
+                    reason: format!("update unit at leaf {leaf}"),
+                })?;
+            patches.push(UpdatePatch::from_block(&content)?);
+        } else {
+            return Err(StoreError::DecodeFailed {
+                block,
+                reason: format!("update leaf {leaf} unrecovered"),
+            });
+        }
+    }
+    Ok((original, patches))
+}
+
+fn read_with_dedicated_log(
+    instruments: &Instruments,
+    snap: &mut ShardSnapshot,
+    log: Option<&LogSnapshot>,
+    block: u64,
+    stats: &mut ReadProtocolStats,
+) -> Result<(Block, Vec<UpdatePatch>), StoreError> {
+    // Round 1: the data block (base version only under this layout),
+    // amplified from this shard's own tube.
+    let partition = &snap.partition;
+    let prefix = partition.elongated_primer(block);
+    let rev = partition.primers().reverse().clone();
+    let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
+    let reads =
+        instruments.run_retrieval(&snap.tube, &[(prefix.clone(), 1.0)], &rev, 2, &mut snap.rng);
+    stats.pcr_rounds += 1;
+    stats.reads_sequenced += reads.len();
+    let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
+    stats.reads_matched += outcome.reads_matched;
+    let (original, _) = interpret_interleaved(&outcome, block)?;
+    // Round 2: the ENTIRE shared log (the §5.3 Fig. 6 cost) from the log
+    // tube — skipped outright when compaction has folded the log back to
+    // empty.
+    let mut patches = Vec::new();
+    if let Some(log) = log.filter(|l| l.head > 0) {
+        let log_fwd = log.partition.scope_primer();
+        let log_rev = log.partition.primers().reverse().clone();
+        let entries = log.head;
+        let reads = instruments.run_retrieval(
+            &log.tube,
+            &[(log_fwd.clone(), 1.0)],
+            &log_rev,
+            entries as usize + 1,
+            &mut snap.rng,
+        );
+        stats.pcr_rounds += 1;
+        stats.reads_sequenced += reads.len();
+        let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
+        for leaf in 0..entries {
+            let prefix = log.partition.elongated_primer(leaf);
+            let cfg = log
+                .partition
+                .decode_config_versions(leaf, &[VersionSlot(0)]);
+            let o = decode_block_validated(&reads, &prefix, &log_rev, &cfg, unit_checksum_ok);
+            stats.reads_matched += o.reads_matched;
+            // As in the batch path: an unrecovered entry might target
+            // this block, so the read must fail rather than skip it.
+            let v = o.versions.get(&Base::A).ok_or(StoreError::DecodeFailed {
+                block,
+                reason: format!("log entry {leaf} unrecovered"),
+            })?;
+            if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                found.extend(log_patch_for(&content, snap.pid as u32, block));
+            }
+        }
+        found.sort_by_key(|&(seq, _)| seq);
+        patches.extend(found.into_iter().map(|(_, p)| p));
+    }
+    Ok((original, patches))
 }
 
 /// Parses a decoded log-entry unit, returning `(seq, patch)` when the entry
@@ -1481,13 +1520,723 @@ fn parse_log_entry(block: &Block) -> Option<(u32, u64, u32, UpdatePatch)> {
     Some((pid, target, seq, patch))
 }
 
+// ----- batched retrieval ---------------------------------------------------
+
+/// Everything one multiplex round needs, captured from shard snapshots so
+/// the round can execute with no locks held (and concurrently with other
+/// rounds — rounds never share a data shard by construction).
+struct RoundInput {
+    /// Snapshots of this round's partitions, ascending pid.
+    shards: Vec<ShardSnapshot>,
+    /// The shared-log duty, present only in the designated carrier round
+    /// (the first round containing a DedicatedLog partition): the log is
+    /// amplified and decoded at most once per batch call.
+    log: Option<LogDuty>,
+}
+
+/// The carrier round's view of the shared log.
+struct LogDuty {
+    pid: usize,
+    partition: Arc<Partition>,
+    tube: Arc<Pool>,
+    head: u64,
+}
+
+/// What one executed round hands back for merging: decode outcomes in
+/// submission order with their `(pid, leaf)` keys, plus round-level stats.
+struct RoundOutput {
+    jobs: Vec<(usize, u64)>,
+    outcomes: Vec<BlockDecodeOutcome>,
+    reads_sequenced: usize,
+    primer_pairs: usize,
+}
+
+/// Decode state merged across the rounds of one batch call, in round
+/// order: outcomes indexed by `(pid, leaf)`, each remembering the round
+/// that produced it (per-request read statistics count only the request's
+/// own round's wetlab work).
+#[derive(Default)]
+struct BatchCtx {
+    job_index: BTreeMap<(usize, u64), usize>,
+    decoded: Vec<BlockDecodeOutcome>,
+    job_round: Vec<usize>,
+    round_reads: Vec<usize>,
+}
+
+impl BlockStore {
+    /// Reads many blocks — across any number of partitions — in as few PCR
+    /// + sequencing round-trips as primer chemistry allows.
+    ///
+    /// The [`BatchPlanner`] groups the touched partitions into multiplex
+    /// rounds subject to cross-dimer/Tm compatibility
+    /// ([`dna_primers::MultiplexCompat`]); each round pipettes exactly its
+    /// partitions' tubes into one reaction, runs one
+    /// [`dna_sim::MultiplexPcrReaction`] with per-pair primer budgets, one
+    /// sequencing pass, and a parallel software demultiplex + decode
+    /// ([`dna_pipeline::decode_jobs_parallel`]). Rounds touch disjoint
+    /// shard sets, so they execute **concurrently** on scoped threads,
+    /// each against its own snapshot — with the per-round decode fan-out
+    /// sized by [`dna_pipeline::thread_share`] so rounds share the cores.
+    /// Contiguous runs of requested blocks are covered by §3.1 prefix
+    /// primers; committed overflow-chain leaves, the TwoStacks update
+    /// region, and the shared DedicatedLog partition ride in the same
+    /// tube, so every block's updates arrive with it.
+    ///
+    /// Per-block failures are reported in
+    /// [`BatchReadOutcome::outcomes`] without failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails as a whole only for requests naming an unknown partition.
+    pub fn read_blocks_batch(
+        &self,
+        requests: &[(PartitionId, u64)],
+    ) -> Result<BatchReadOutcome, StoreError> {
+        self.read_blocks_batch_planned(requests, &BatchPlanner::paper_default())
+    }
+
+    /// As [`BlockStore::read_blocks_batch`], with an explicit planner
+    /// (custom compatibility rules or per-round pair caps).
+    ///
+    /// # Errors
+    ///
+    /// Fails as a whole only for requests naming an unknown partition.
+    pub fn read_blocks_batch_planned(
+        &self,
+        requests: &[(PartitionId, u64)],
+        planner: &BatchPlanner,
+    ) -> Result<BatchReadOutcome, StoreError> {
+        // Snapshot phase: one consistent cut per touched shard, taken in
+        // ascending pid order, log last. DedicatedLog shards stay locked
+        // until the log is snapshotted so every (shard, log) pair is
+        // atomic — an update holds its target shard across its whole log
+        // append, so a pair taken under the shard lock is either entirely
+        // pre-update or entirely post-update (never post-update bytes
+        // with a pre-update epoch). Everything after runs lock-free.
+        let pids: BTreeSet<usize> = requests.iter().map(|&(pid, _)| pid.0).collect();
+        let mut cells = Vec::with_capacity(pids.len());
+        for &pid in &pids {
+            cells.push((pid, self.shard_cell(pid)?));
+        }
+        let log = self.log_cell();
+        let mut snaps: BTreeMap<usize, ShardSnapshot> = BTreeMap::new();
+        let mut log_needed = false;
+        let mut dl_guards: Vec<MutexGuard<'_, PartitionShard>> = Vec::new();
+        for (pid, cell) in &cells {
+            let mut shard = Self::lock_shard(cell);
+            snaps.insert(*pid, shard.snapshot_state(*pid));
+            if shard.partition.config().layout == UpdateLayout::DedicatedLog {
+                log_needed = true;
+                if log.as_ref().is_some_and(|&(log_pid, _)| log_pid != *pid) {
+                    dl_guards.push(shard); // hold until the log snapshot
+                }
+            }
+        }
+        let log_snap = if log_needed {
+            log.as_ref()
+                .map(|(log_pid, log_cell)| Self::lock_shard(log_cell).log_state(*log_pid))
+        } else {
+            None
+        };
+        drop(dl_guards);
+        let shard_epochs: BTreeMap<PartitionId, u64> = snaps
+            .iter()
+            .map(|(&pid, snap)| (PartitionId(pid), snap.epoch))
+            .collect();
+
+        // Group in-range requests by partition; out-of-range requests get
+        // their error outcome immediately.
+        let mut outcomes: Vec<Option<Result<BlockReadOutcome, StoreError>>> =
+            vec![None; requests.len()];
+        let mut by_partition: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &(pid, block)) in requests.iter().enumerate() {
+            let capacity = snaps[&pid.0].partition.num_leaves();
+            if block >= capacity {
+                outcomes[i] = Some(Err(StoreError::BlockOutOfRange { block, capacity }));
+            } else {
+                by_partition.entry(pid.0).or_default().push((i, block));
+            }
+        }
+
+        // Plan the rounds.
+        let log_pair = log_snap.as_ref().map(|l| l.partition.primers().clone());
+        let items = batch_plan_items(&by_partition, &snaps, log_pair.as_ref());
+        let plan = planner.plan(&items);
+        let mut stats = BatchStats {
+            rounds: plan.num_rounds(),
+            ..BatchStats::default()
+        };
+
+        // Assembly metadata, captured before snapshots move into rounds.
+        let partitions: BTreeMap<usize, Arc<Partition>> = snaps
+            .iter()
+            .map(|(&pid, s)| (pid, Arc::clone(&s.partition)))
+            .collect();
+        let log_info = log_snap.as_ref().map(|l| (l.pid, l.head));
+        let round_of: BTreeMap<usize, usize> = plan
+            .rounds
+            .iter()
+            .enumerate()
+            .flat_map(|(r, round)| round.items.iter().map(move |&p| (p, r)))
+            .collect();
+
+        // The shared log rides in at most one reaction per batch call: the
+        // first round containing a DedicatedLog partition carries it;
+        // later rounds reuse its decoded entries at assembly. A log that
+        // compaction folded back to empty never enters any tube.
+        let carrier = plan.rounds.iter().position(|round| {
+            round
+                .items
+                .iter()
+                .any(|p| partitions[p].config().layout == UpdateLayout::DedicatedLog)
+        });
+        let mut inputs: Vec<RoundInput> = Vec::with_capacity(plan.rounds.len());
+        for (r, round) in plan.rounds.iter().enumerate() {
+            let shards: Vec<ShardSnapshot> = round
+                .items
+                .iter()
+                .map(|p| snaps.remove(p).expect("each pid in exactly one round"))
+                .collect();
+            let log = match (&log_snap, carrier == Some(r)) {
+                (Some(l), true) if l.head > 0 => Some(LogDuty {
+                    pid: l.pid,
+                    partition: Arc::clone(&l.partition),
+                    tube: Arc::clone(&l.tube),
+                    head: l.head,
+                }),
+                _ => None,
+            };
+            inputs.push(RoundInput { shards, log });
+        }
+
+        // Execute: rounds touch disjoint shards, so they run concurrently
+        // (one scoped thread each), sharing the decode cores fairly.
+        let decode_threads = thread_share(inputs.len());
+        let instruments = &self.instruments;
+        let outputs: Vec<RoundOutput> = if inputs.len() <= 1 {
+            inputs
+                .into_iter()
+                .map(|input| run_round(instruments, input, &by_partition, decode_threads))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let by_partition = &by_partition;
+                let handles: Vec<_> = inputs
+                    .into_iter()
+                    .map(|input| {
+                        scope.spawn(move || {
+                            run_round(instruments, input, by_partition, decode_threads)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("round worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in round order (deterministic regardless of scheduling).
+        let mut ctx = BatchCtx::default();
+        for (r, out) in outputs.into_iter().enumerate() {
+            stats.primer_pairs += out.primer_pairs;
+            stats.reads_sequenced += out.reads_sequenced;
+            stats.decode_jobs += out.jobs.len();
+            ctx.round_reads.push(out.reads_sequenced);
+            for (key, outcome) in out.jobs.into_iter().zip(out.outcomes) {
+                stats.reads_matched += outcome.reads_matched;
+                let idx = ctx.decoded.len();
+                ctx.decoded.push(outcome);
+                ctx.job_round.push(r);
+                ctx.job_index.insert(key, idx);
+            }
+        }
+
+        // Assemble per-request outcomes from the merged decode state.
+        for (&p, wants) in &by_partition {
+            let my_round = round_of[&p];
+            for &(req_idx, block) in wants {
+                outcomes[req_idx] = Some(assemble_batch_outcome(
+                    &partitions[&p],
+                    p,
+                    block,
+                    my_round,
+                    &ctx,
+                    log_info,
+                ));
+            }
+        }
+        stats.wasted_reads = stats.reads_sequenced.saturating_sub(stats.reads_matched);
+        Ok(BatchReadOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolved"))
+                .collect(),
+            stats,
+            shard_epochs,
+        })
+    }
+
+    /// Plans — without executing — the multiplex rounds a batch of
+    /// requests would take under `planner`. A serving layer uses this to
+    /// predict wetlab cost (e.g. rounds per coalesced batch) before
+    /// committing a tube. Performs no wetlab work and does not advance any
+    /// shard's RNG stream: planning twice gives the same rounds.
+    ///
+    /// # Errors
+    ///
+    /// Fails for requests naming an unknown partition (out-of-range block
+    /// ids are simply absent from the plan, matching
+    /// [`BlockStore::read_blocks_batch`]'s per-request error reporting).
+    pub fn plan_batch(
+        &self,
+        requests: &[(PartitionId, u64)],
+        planner: &BatchPlanner,
+    ) -> Result<BatchPlan, StoreError> {
+        let pids: BTreeSet<usize> = requests.iter().map(|&(pid, _)| pid.0).collect();
+        let mut partitions: BTreeMap<usize, Arc<Partition>> = BTreeMap::new();
+        for &pid in &pids {
+            partitions.insert(pid, self.partition(PartitionId(pid))?);
+        }
+        let mut by_partition: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &(pid, block)) in requests.iter().enumerate() {
+            if block < partitions[&pid.0].num_leaves() {
+                by_partition.entry(pid.0).or_default().push((i, block));
+            }
+        }
+        let log_pair = if partitions
+            .values()
+            .any(|p| p.config().layout == UpdateLayout::DedicatedLog)
+        {
+            self.log_snapshot().map(|l| l.partition.primers().clone())
+        } else {
+            None
+        };
+        Ok(planner.plan(&plan_items_from(
+            &by_partition,
+            &partitions,
+            log_pair.as_ref(),
+        )))
+    }
+}
+
+/// One [`PlanItem`] per touched partition (a DedicatedLog partition drags
+/// the shared log pair into its item).
+fn batch_plan_items(
+    by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
+    snaps: &BTreeMap<usize, ShardSnapshot>,
+    log_pair: Option<&PrimerPair>,
+) -> Vec<PlanItem> {
+    let partitions: BTreeMap<usize, Arc<Partition>> = snaps
+        .iter()
+        .map(|(&pid, s)| (pid, Arc::clone(&s.partition)))
+        .collect();
+    plan_items_from(by_partition, &partitions, log_pair)
+}
+
+fn plan_items_from(
+    by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
+    partitions: &BTreeMap<usize, Arc<Partition>>,
+    log_pair: Option<&PrimerPair>,
+) -> Vec<PlanItem> {
+    by_partition
+        .keys()
+        .map(|&p| {
+            let mut pairs = vec![partitions[&p].primers().clone()];
+            if partitions[&p].config().layout == UpdateLayout::DedicatedLog {
+                if let Some(pair) = log_pair {
+                    pairs.push(pair.clone());
+                }
+            }
+            PlanItem { id: p, pairs }
+        })
+        .collect()
+}
+
+/// Runs one multiplex round against its snapshots: pipette the round's
+/// tubes into one reaction, amplify every target in it, sequence once,
+/// and decode all leaves in parallel. Lock-free — the caller merged this
+/// round's partitions from per-shard snapshots.
+fn run_round(
+    instruments: &Instruments,
+    mut input: RoundInput,
+    by_partition: &BTreeMap<usize, Vec<(usize, u64)>>,
+    decode_threads: usize,
+) -> RoundOutput {
+    // The reaction tube: undiluted aliquots of exactly this round's tubes.
+    let mut reaction = Pool::new();
+    for snap in &input.shards {
+        reaction.mix_in(&snap.tube, 1.0, 1.0);
+    }
+    if let Some(log) = &input.log {
+        reaction.mix_in(&log.tube, 1.0, 1.0);
+    }
+    let budget = reaction.total_copies() * 20.0;
+
+    // (weighted forward scope, reverse primer, encoding units covered)
+    // per channel; budgets are assigned after the total unit count is
+    // known so per-unit amplification stays even across channels.
+    let mut pending: Vec<ChannelSpec> = Vec::new();
+    let mut expected_units = 0usize;
+    let mut jobs: Vec<DecodeJob> = Vec::new();
+    let mut job_keys: Vec<(usize, u64)> = Vec::new();
+    let mut job_index: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+    // Per channel: the main forward primer (software demultiplex key) and
+    // the contiguous range of `jobs` belonging to the channel.
+    let mut channel_fwd: Vec<DnaSeq> = Vec::new();
+    let mut channel_jobs: Vec<std::ops::Range<usize>> = Vec::new();
+
+    for snap in &input.shards {
+        let p = snap.pid;
+        let partition = &snap.partition;
+        let channel_start = jobs.len();
+        let rev = partition.primers().reverse().clone();
+        let mut blocks: Vec<u64> = by_partition[&p].iter().map(|&(_, b)| b).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        // Cover contiguous runs with §3.1 prefix primers, weighted by
+        // covered leaf count so the whole run amplifies evenly.
+        let mut scope: Vec<(DnaSeq, f64)> = Vec::new();
+        let mut run_start = blocks[0];
+        let mut prev = blocks[0];
+        for &b in &blocks[1..] {
+            if b != prev + 1 {
+                scope.extend(partition.range_prefixes_weighted(run_start, prev));
+                run_start = b;
+            }
+            prev = b;
+        }
+        scope.extend(partition.range_prefixes_weighted(run_start, prev));
+        // Every decode is pinned to the version slots the metadata says
+        // are live at that leaf (see [`Partition::live_version_slots`]):
+        // noise claiming a dead version base never decodes into a phantom
+        // patch, and a live slot that fails to decode is a reportable
+        // hole.
+        let mut add_job =
+            |jobs: &mut Vec<DecodeJob>, job_keys: &mut Vec<(usize, u64)>, leaf: u64| {
+                job_index.entry((p, leaf)).or_insert_with(|| {
+                    jobs.push(DecodeJob {
+                        prefix: partition.elongated_primer(leaf),
+                        reverse: rev.clone(),
+                        config: partition
+                            .decode_config_versions(leaf, &partition.live_version_slots(leaf)),
+                    });
+                    job_keys.push((p, leaf));
+                    jobs.len() - 1
+                });
+            };
+        for &b in &blocks {
+            add_job(&mut jobs, &mut job_keys, b);
+        }
+        // Update scope: committed chain leaves / the TwoStacks update
+        // region come along in the same tube (DedicatedLog patches live
+        // in the shared log partition, handled once per batch below).
+        // Sequencing depth is provisioned per encoding unit, counted
+        // from the update metadata rather than a flat per-block
+        // constant, so heavily-updated blocks keep their per-unit
+        // coverage.
+        let channel_units = match partition.config().layout {
+            UpdateLayout::Interleaved { .. } => {
+                // Units per block: the original plus every patch
+                // (`writes_of`) plus one pointer unit per chain hop,
+                // floored at the 2 units/block the range path budgets.
+                let units = blocks
+                    .iter()
+                    .map(|&b| {
+                        (partition.writes_of(b) as usize + partition.chain_of(b).len()).max(2)
+                    })
+                    .sum::<usize>();
+                let mut chain: Vec<u64> = blocks
+                    .iter()
+                    .flat_map(|&b| partition.chain_of(b).iter().copied())
+                    .collect();
+                chain.sort_unstable();
+                chain.dedup();
+                for &leaf in &chain {
+                    scope.push((partition.elongated_primer(leaf), 1.0));
+                    add_job(&mut jobs, &mut job_keys, leaf);
+                }
+                units
+            }
+            UpdateLayout::TwoStacks => {
+                let mut units = blocks.len() * 2;
+                let stack = partition.stack_update_count();
+                if stack > 0 {
+                    let lo = partition.num_leaves() - stack;
+                    let hi = partition.num_leaves() - 1;
+                    scope.extend(partition.range_prefixes_weighted(lo, hi));
+                    let mut leaves: Vec<u64> = blocks
+                        .iter()
+                        .flat_map(|&b| partition.chain_of(b).iter().copied())
+                        .collect();
+                    leaves.sort_unstable();
+                    leaves.dedup();
+                    for &leaf in &leaves {
+                        add_job(&mut jobs, &mut job_keys, leaf);
+                    }
+                    units += stack as usize;
+                }
+                units
+            }
+            UpdateLayout::DedicatedLog => blocks.len() * 2,
+        };
+        expected_units += channel_units;
+        pending.push(ChannelSpec {
+            scope,
+            reverse: rev,
+            units: channel_units,
+        });
+        channel_fwd.push(partition.primers().forward().clone());
+        channel_jobs.push(channel_start..jobs.len());
+    }
+    // The carrier round amplifies and decodes the whole shared log once;
+    // other rounds' assemblies reuse the outcomes.
+    if let Some(log) = &input.log {
+        let channel_start = jobs.len();
+        let log_fwd = log.partition.scope_primer();
+        let log_rev = log.partition.primers().reverse().clone();
+        for leaf in 0..log.head {
+            job_index.entry((log.pid, leaf)).or_insert_with(|| {
+                jobs.push(DecodeJob {
+                    prefix: log.partition.elongated_primer(leaf),
+                    reverse: log_rev.clone(),
+                    config: log
+                        .partition
+                        .decode_config_versions(leaf, &[VersionSlot(0)]),
+                });
+                job_keys.push((log.pid, leaf));
+                jobs.len() - 1
+            });
+        }
+        let units = log.head as usize + 1;
+        expected_units += units;
+        pending.push(ChannelSpec {
+            scope: vec![(log_fwd, units as f64)],
+            reverse: log_rev,
+            units,
+        });
+        channel_fwd.push(log.partition.primers().forward().clone());
+        channel_jobs.push(channel_start..jobs.len());
+    }
+
+    // Each channel's primer budget is proportional to its share of the
+    // units in scope (scaled so a single-channel round gets exactly the
+    // sequential path's budget): the sequencing pass samples the tube
+    // by abundance, so equal budgets would starve large-scope channels
+    // of per-unit read depth.
+    let total_units = expected_units.max(1) as f64;
+    let channels: Vec<PrimerChannel> = pending
+        .iter()
+        .map(|spec| {
+            let channel_budget =
+                budget * (spec.units as f64) * (pending.len() as f64) / total_units;
+            PrimerChannel {
+                forward_primers: weighted_forward_primers(&spec.scope, channel_budget),
+                reverse_primer: PcrPrimer::with_budget(spec.reverse.clone(), channel_budget),
+            }
+        })
+        .collect();
+    let primer_pairs = channels.len();
+
+    let rxn = MultiplexPcrReaction {
+        channels,
+        protocol: PcrProtocol::paper_block_access(),
+    };
+    let amplified = rxn.run(&reaction);
+    let n_reads = instruments.reads_to_sequence(expected_units);
+    let rng = &mut input.shards[0].rng;
+    let reads = instruments
+        .sequencer
+        .sequence(&amplified.pool, n_reads, rng);
+
+    // Software demultiplex (one routing pass over the round's reads per
+    // channel primer), then decode each channel's jobs against only its
+    // own bucket — the per-round routing that keeps a multi-shard round's
+    // decode cost linear instead of jobs × all-reads. A single-channel
+    // round skips the routing pass outright. Routing is a superset of
+    // every job's own prefix filter, so outcomes are bit-identical to the
+    // unrouted path.
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    if channel_jobs.len() <= 1 {
+        decode_jobs_parallel_into(
+            &reads,
+            &jobs,
+            unit_checksum_ok,
+            decode_threads,
+            &mut outcomes,
+        );
+    } else {
+        let keys: Vec<ChannelPrimer> = channel_fwd
+            .iter()
+            .zip(&channel_jobs)
+            .map(|(fwd, range)| {
+                // A channel's job range can be empty: the log channel
+                // dedups against jobs already registered by a data
+                // channel (a caller batch-reading the log partition's own
+                // leaves alongside a DedicatedLog partition). Its bucket
+                // is then simply never decoded — any tolerance works.
+                let tolerance = jobs
+                    .get(range.start)
+                    .map_or(0, |job| job.config.filter_max_edit);
+                ChannelPrimer {
+                    forward: fwd.clone(),
+                    tolerance,
+                }
+            })
+            .collect();
+        let buckets = demux_reads(&reads, &keys);
+        for (range, bucket) in channel_jobs.iter().zip(&buckets) {
+            decode_jobs_parallel_into(
+                bucket,
+                &jobs[range.clone()],
+                unit_checksum_ok,
+                decode_threads,
+                &mut outcomes,
+            );
+        }
+    }
+    RoundOutput {
+        jobs: job_keys,
+        outcomes,
+        reads_sequenced: reads.len(),
+        primer_pairs,
+    }
+}
+
+/// Reconstructs one requested block from the batch's merged decode state,
+/// mirroring the layout-specific single-read paths. Per-request read
+/// statistics count only the request's own round's wetlab work, so leaves
+/// reused from another round (the shared log) contribute their patches but
+/// not their matched-read counts — `reads_matched` stays consistent with
+/// `reads_sequenced`.
+fn assemble_batch_outcome(
+    partition: &Partition,
+    p: usize,
+    block: u64,
+    my_round: usize,
+    ctx: &BatchCtx,
+    log_info: Option<(usize, u64)>,
+) -> Result<BlockReadOutcome, StoreError> {
+    let origin = &ctx.decoded[ctx.job_index[&(p, block)]];
+    let mut stats = ReadProtocolStats {
+        pcr_rounds: 1,
+        reads_sequenced: ctx.round_reads[my_round],
+        reads_matched: origin.reads_matched,
+        clusters_used: origin.clusters_used,
+    };
+    let (original, patches) = match partition.config().layout {
+        UpdateLayout::Interleaved { update_slots } => {
+            let mut original = None;
+            let mut patches = Vec::new();
+            let mut leaves = vec![block];
+            leaves.extend_from_slice(partition.chain_of(block));
+            for (hop, &leaf) in leaves.iter().enumerate() {
+                let outcome = &ctx.decoded[ctx.job_index[&(p, leaf)]];
+                if hop > 0 {
+                    stats.reads_matched += outcome.reads_matched;
+                }
+                // Every slot the metadata says is live here must have
+                // decoded — a missing one is a hole in the patch chain.
+                require_live_versions(outcome, &partition.live_version_slots(leaf), block, leaf)?;
+                for (base, v) in &outcome.versions {
+                    let slot = VersionSlot::from_base(*base);
+                    let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                        StoreError::DecodeFailed {
+                            block,
+                            reason: format!("unit checksum at leaf {leaf} slot {}", slot.0),
+                        }
+                    })?;
+                    if hop == 0 && slot.0 == 0 {
+                        original = Some(content);
+                    } else if slot.0 == update_slots {
+                        // Pointer slot — the chain is already known from
+                        // metadata, nothing to follow.
+                    } else {
+                        patches.push(UpdatePatch::from_block(&content)?);
+                    }
+                }
+            }
+            let original = original.ok_or(StoreError::DecodeFailed {
+                block,
+                reason: "original version missing".to_string(),
+            })?;
+            (original, patches)
+        }
+        UpdateLayout::TwoStacks => {
+            let (original, _) = interpret_interleaved(origin, block)?;
+            let mut patches = Vec::new();
+            for &leaf in partition.chain_of(block) {
+                let outcome = &ctx.decoded[ctx.job_index[&(p, leaf)]];
+                stats.reads_matched += outcome.reads_matched;
+                let v = outcome
+                    .versions
+                    .get(&Base::A)
+                    .ok_or(StoreError::DecodeFailed {
+                        block,
+                        reason: format!("update leaf {leaf} unrecovered"),
+                    })?;
+                let content = Block::from_unit_bytes(&v.unit_bytes).map_err(|_| {
+                    StoreError::DecodeFailed {
+                        block,
+                        reason: format!("update unit at leaf {leaf}"),
+                    }
+                })?;
+                patches.push(UpdatePatch::from_block(&content)?);
+            }
+            (original, patches)
+        }
+        UpdateLayout::DedicatedLog => {
+            let (original, _) = interpret_interleaved(origin, block)?;
+            let mut found: Vec<(u32, UpdatePatch)> = Vec::new();
+            if let Some((log_pid, head)) = log_info {
+                for leaf in 0..head {
+                    let Some(&job) = ctx.job_index.get(&(log_pid, leaf)) else {
+                        continue;
+                    };
+                    let outcome = &ctx.decoded[job];
+                    if ctx.job_round[job] == my_round {
+                        stats.reads_matched += outcome.reads_matched;
+                    }
+                    // An unrecovered log entry could hold a patch for
+                    // this very block: failing is the only answer that
+                    // never serves stale bytes.
+                    let v = outcome
+                        .versions
+                        .get(&Base::A)
+                        .ok_or(StoreError::DecodeFailed {
+                            block,
+                            reason: format!("log entry {leaf} unrecovered"),
+                        })?;
+                    if let Ok(content) = Block::from_unit_bytes(&v.unit_bytes) {
+                        found.extend(log_patch_for(&content, p as u32, block));
+                    }
+                }
+            }
+            found.sort_by_key(|&(seq, _)| seq);
+            (
+                original,
+                found.into_iter().map(|(_, patch)| patch).collect(),
+            )
+        }
+    };
+    let patches_applied = patches.len();
+    let mut current = original;
+    for patch in patches {
+        current = patch.apply(&current)?;
+    }
+    Ok(BlockReadOutcome {
+        block: current,
+        patches_applied,
+        stats,
+    })
+}
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn write_then_read_round_trip() {
-        let mut store = BlockStore::new(1);
+        let store = BlockStore::new(1);
         let pid = store
             .create_partition(PartitionConfig::paper_default(11))
             .unwrap();
@@ -1507,7 +2256,7 @@ mod tests {
 
     #[test]
     fn update_then_read_applies_patch() {
-        let mut store = BlockStore::new(2);
+        let store = BlockStore::new(2);
         let pid = store
             .create_partition(PartitionConfig::paper_default(12))
             .unwrap();
@@ -1529,7 +2278,7 @@ mod tests {
 
     #[test]
     fn multiple_updates_apply_in_order() {
-        let mut store = BlockStore::new(3);
+        let store = BlockStore::new(3);
         let pid = store
             .create_partition(PartitionConfig::paper_default(13))
             .unwrap();
@@ -1548,7 +2297,7 @@ mod tests {
 
     #[test]
     fn overflow_chain_follows_pointers() {
-        let mut store = BlockStore::new(4);
+        let store = BlockStore::new(4);
         let pid = store
             .create_partition(PartitionConfig::paper_default(14))
             .unwrap();
@@ -1570,7 +2319,7 @@ mod tests {
 
     #[test]
     fn read_range_returns_consecutive_blocks() {
-        let mut store = BlockStore::new(5);
+        let store = BlockStore::new(5);
         let pid = store
             .create_partition(PartitionConfig::paper_default(15))
             .unwrap();
@@ -1586,7 +2335,7 @@ mod tests {
 
     #[test]
     fn unknown_partition_and_block_errors() {
-        let mut store = BlockStore::new(6);
+        let store = BlockStore::new(6);
         assert!(matches!(
             store.read_block(PartitionId(0), 0),
             Err(StoreError::UnknownPartition(0))
@@ -1605,7 +2354,7 @@ mod tests {
         // The acceptance bar: 8 blocks from one partition must cost
         // strictly fewer PCR rounds than 8 sequential reads, with
         // byte-identical contents.
-        let mut store = BlockStore::new(7);
+        let store = BlockStore::new(7);
         let pid = store
             .create_partition(PartitionConfig::paper_default(17))
             .unwrap();
@@ -1634,7 +2383,7 @@ mod tests {
 
     #[test]
     fn batch_read_spans_partitions_and_sees_updates() {
-        let mut store = BlockStore::new(8);
+        let store = BlockStore::new(8);
         let a = store
             .create_partition(PartitionConfig::paper_default(18))
             .unwrap();
@@ -1673,7 +2422,7 @@ mod tests {
         // must batch-decode byte-exactly: sequencing depth is provisioned
         // per encoding unit from the update metadata, so the extra
         // versions don't starve the per-unit coverage.
-        let mut store = BlockStore::new(11);
+        let store = BlockStore::new(11);
         let pid = store
             .create_partition(PartitionConfig::paper_default(26))
             .unwrap();
@@ -1695,7 +2444,7 @@ mod tests {
 
     #[test]
     fn batch_read_reports_per_block_errors_without_failing() {
-        let mut store = BlockStore::new(9);
+        let store = BlockStore::new(9);
         let pid = store
             .create_partition(PartitionConfig::paper_default(20))
             .unwrap();
@@ -1730,7 +2479,7 @@ mod tests {
     fn batch_matches_sequential_under_forced_round_split() {
         // A planner capped at one pair per round degenerates into
         // sequential-style rounds but must return the same bytes.
-        let mut store = BlockStore::new(10);
+        let store = BlockStore::new(10);
         let a = store
             .create_partition(PartitionConfig::paper_default(24))
             .unwrap();
@@ -1764,7 +2513,7 @@ mod tests {
         // Regression: duplicate / overlapping requests (the shape produced
         // by overlapping read_range windows) must not re-decode a block
         // already fetched earlier in the same call.
-        let mut store = BlockStore::new(12);
+        let store = BlockStore::new(12);
         let pid = store
             .create_partition(PartitionConfig::paper_default(27))
             .unwrap();
@@ -1794,7 +2543,7 @@ mod tests {
         // Two DedicatedLog partitions forced into separate rounds both
         // need the shared log; it must be amplified and decoded in the
         // first round only, with the second round reusing the outcomes.
-        let mut store = BlockStore::new(13);
+        let store = BlockStore::new(13);
         let mut cfg_a = PartitionConfig::paper_default(28);
         cfg_a.layout = UpdateLayout::DedicatedLog;
         let mut cfg_b = PartitionConfig::paper_default(29);
@@ -1845,7 +2594,7 @@ mod tests {
 
     #[test]
     fn plan_batch_matches_executed_rounds() {
-        let mut store = BlockStore::new(14);
+        let store = BlockStore::new(14);
         let a = store
             .create_partition(PartitionConfig::paper_default(37))
             .unwrap();
@@ -1869,7 +2618,7 @@ mod tests {
 
     #[test]
     fn logical_contents_mirror_writes_and_updates() {
-        let mut store = BlockStore::new(15);
+        let store = BlockStore::new(15);
         let pid = store
             .create_partition(PartitionConfig::paper_default(40))
             .unwrap();
@@ -1886,7 +2635,7 @@ mod tests {
             store.logical_block(pid, 0).unwrap().data,
             &data[..BLOCK_SIZE]
         );
-        let all: Vec<_> = store.logical_contents().collect();
+        let all = store.logical_contents();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].0, (pid, 0));
         assert_eq!(all[1].0, (pid, 1));
@@ -1897,7 +2646,7 @@ mod tests {
         // Exhaust a small Interleaved partition's chain space, compact,
         // and verify the wetlab read path returns byte-identical content
         // from the rebased base unit — with the chain gone from the scope.
-        let mut store = BlockStore::new(21);
+        let store = BlockStore::new(21);
         let pid = store
             .create_partition(PartitionConfig::small(
                 0x91,
@@ -2036,6 +2785,40 @@ mod tests {
         assert!(store
             .set_log_partition_config(PartitionConfig::paper_default(1))
             .is_err());
+    }
+
+    #[test]
+    fn batch_reads_log_partition_leaves_alongside_dedicated_log_blocks() {
+        // Regression: the shared log partition's pid is public
+        // (partition_ids / log_partition_id), so a batch may request its
+        // leaves directly *alongside* a DedicatedLog data block. The
+        // log-duty channel then dedups every log job against the data
+        // channel that already registered them, leaving an empty job
+        // range — which must not panic the round (the demux key for an
+        // empty range is never used).
+        let mut store = BlockStore::new(31);
+        store
+            .set_log_partition_config(PartitionConfig::small(
+                0x97,
+                2,
+                UpdateLayout::paper_default(),
+            ))
+            .unwrap();
+        let pid = store
+            .create_partition(PartitionConfig::small(0x98, 2, UpdateLayout::DedicatedLog))
+            .unwrap();
+        let mut data = crate::workload::deterministic_text(BLOCK_SIZE, 0x99);
+        store.write_file(pid, &data).unwrap();
+        data[0..4].copy_from_slice(b"EDIT");
+        store.update_block(pid, 0, &data).unwrap(); // creates the log, 1 entry
+        let log_pid = store.log_partition_id().unwrap();
+        let batch = store.read_blocks_batch(&[(pid, 0), (log_pid, 0)]).unwrap();
+        let dl = batch.outcomes[0].as_ref().unwrap();
+        assert_eq!(dl.block.data, data);
+        assert_eq!(dl.patches_applied, 1);
+        // The log leaf itself decodes as a raw block: a serialized entry.
+        let raw = batch.outcomes[1].as_ref().unwrap();
+        assert!(parse_log_entry(&raw.block).is_some(), "entry wire format");
     }
 
     #[test]

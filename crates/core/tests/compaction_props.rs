@@ -48,7 +48,7 @@ proptest! {
         ops in prop::collection::vec((0u64..4, 0usize..BLOCK_SIZE, any::<u8>()), 1..10),
     ) {
         for layout in LAYOUTS {
-            let (mut store, pid, mut data) = build_store(seed, layout);
+            let (store, pid, mut data) = build_store(seed, layout);
             for &(block, pos, byte) in &ops {
                 let off = block as usize * BLOCK_SIZE;
                 data[off + pos] = byte;
@@ -64,7 +64,7 @@ proptest! {
             // An always-fires compactor: every partition with updates and
             // the log (if populated) fold.
             let report = Compactor::new(CompactionPolicy::headroom_only(u64::MAX))
-                .run(&mut store)
+                .run(&store)
                 .unwrap();
             prop_assert!(!report.is_empty(), "{}: at least one update folded", layout);
             prop_assert!(report.units_reclaimed >= ops.len() as u64);

@@ -7,6 +7,7 @@ use dna_codec::{intra, PayloadCodec, StrandGeometry};
 use dna_ecc::{EncodingUnit, UnitConfig};
 use dna_seq::{Base, DnaSeq};
 use dna_sim::Read;
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 /// Configuration for decoding one block from a read set.
@@ -102,8 +103,8 @@ pub struct BlockDecodeOutcome {
 /// Decodes one block (all versions present) from `reads`, accepting any
 /// RS-valid result. See [`decode_block_validated`] for the §8.1-complete
 /// variant with an integrity validator.
-pub fn decode_block(
-    reads: &[Read],
+pub fn decode_block<B: Borrow<Read>>(
+    reads: &[B],
     elongated_prefix: &DnaSeq,
     rev_primer: &DnaSeq,
     config: &BlockDecodeConfig,
@@ -128,8 +129,8 @@ pub fn decode_block(
 /// capacity, a poisoned column can silently *miscorrect* to a valid-but-
 /// wrong codeword, so callers should pass an integrity check over the unit
 /// bytes (the block store stores a checksum in the unit's padding bytes).
-pub fn decode_block_validated(
-    reads: &[Read],
+pub fn decode_block_validated<B: Borrow<Read>>(
+    reads: &[B],
     elongated_prefix: &DnaSeq,
     rev_primer: &DnaSeq,
     config: &BlockDecodeConfig,
@@ -147,7 +148,7 @@ pub fn decode_block_validated(
     };
     let interiors: Vec<DnaSeq> = reads
         .iter()
-        .filter_map(|r| filter.extract(&r.seq))
+        .filter_map(|r| filter.extract(&r.borrow().seq))
         .collect();
     let reads_matched = interiors.len();
     let clusters = cluster_reads(&interiors, &config.cluster);

@@ -29,6 +29,7 @@
 mod bma;
 mod cluster;
 mod decode;
+mod demux;
 mod filter;
 mod parallel;
 
@@ -37,5 +38,6 @@ pub use cluster::{cluster_reads, Cluster, ClusterConfig};
 pub use decode::{
     decode_block, decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome, RecoveredVersion,
 };
+pub use demux::{demux_reads, ChannelPrimer};
 pub use filter::ReadFilter;
-pub use parallel::{decode_jobs_parallel, decode_jobs_parallel_into, DecodeJob};
+pub use parallel::{decode_jobs_parallel, decode_jobs_parallel_into, thread_share, DecodeJob};

@@ -26,6 +26,19 @@ pub struct DecodeJob {
     pub config: BlockDecodeConfig,
 }
 
+/// Fair per-consumer thread budget when `consumers` independent decode
+/// stages run concurrently (one multiplexed retrieval round each): the
+/// machine's available parallelism divided evenly, floored at one thread
+/// per consumer. A sharded store executing its rounds on scoped threads
+/// routes each round's [`decode_jobs_parallel_into`] through this so the
+/// rounds share the cores instead of each oversubscribing the machine.
+pub fn thread_share(consumers: usize) -> usize {
+    let total = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (total / consumers.max(1)).max(1)
+}
+
 /// Decodes every job against the shared `reads`, fanning out over at most
 /// `max_threads` OS threads (clamped to the job count; `0` means "use
 /// [`std::thread::available_parallelism`]"). Results are returned in job
@@ -34,13 +47,14 @@ pub struct DecodeJob {
 ///
 /// `validator` is the unit-integrity check shared by all jobs (the block
 /// store passes its checksum test).
-pub fn decode_jobs_parallel<F>(
-    reads: &[Read],
+pub fn decode_jobs_parallel<B, F>(
+    reads: &[B],
     jobs: &[DecodeJob],
     validator: F,
     max_threads: usize,
 ) -> Vec<BlockDecodeOutcome>
 where
+    B: std::borrow::Borrow<Read> + Sync,
     F: Fn(&[u8]) -> bool + Sync,
 {
     let mut out = Vec::with_capacity(jobs.len());
@@ -56,13 +70,14 @@ where
 /// decoded in an earlier round (e.g. the shared update-log partition) is
 /// never decoded again — callers index outcomes by the position recorded
 /// when the job was first submitted.
-pub fn decode_jobs_parallel_into<F>(
-    reads: &[Read],
+pub fn decode_jobs_parallel_into<B, F>(
+    reads: &[B],
     jobs: &[DecodeJob],
     validator: F,
     max_threads: usize,
     out: &mut Vec<BlockDecodeOutcome>,
 ) where
+    B: std::borrow::Borrow<Read> + Sync,
     F: Fn(&[u8]) -> bool + Sync,
 {
     let threads = if max_threads == 0 {
@@ -266,7 +281,7 @@ mod tests {
 
     #[test]
     fn thread_cap_and_empty_jobs_are_safe() {
-        assert!(decode_jobs_parallel(&[], &[], |_| true, 4).is_empty());
+        assert!(decode_jobs_parallel::<Read, _>(&[], &[], |_| true, 4).is_empty());
         // One job, absurd thread cap: must still work.
         let index = &indexes()[0];
         let data = unit_bytes(9);

@@ -108,10 +108,32 @@ impl Pool {
     /// Mixes two pools (after independent dilutions) into a new tube.
     pub fn mixed_with(&self, other: &Pool, self_scale: f64, other_scale: f64) -> Pool {
         let mut out = self.scaled(self_scale);
-        for (seq, s) in other.iter() {
-            out.add(seq.clone(), s.abundance * other_scale, s.tag);
-        }
+        out.mix_in(other, 1.0, other_scale);
         out
+    }
+
+    /// Mixes `other` into this tube *in place* (after independent
+    /// dilutions): the write-path primitive. Unlike
+    /// [`Pool::mixed_with`], no copy of the existing species map is made —
+    /// a synthesis batch of `k` designs lands in a tube of `n` species in
+    /// `O(k log n)` instead of `O(n + k log n)`, which is what keeps
+    /// sustained update traffic from re-cloning the archival tube on every
+    /// write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale factor is negative.
+    pub fn mix_in(&mut self, other: &Pool, self_scale: f64, other_scale: f64) {
+        assert!(self_scale >= 0.0, "scale factor must be non-negative");
+        assert!(other_scale >= 0.0, "scale factor must be non-negative");
+        if self_scale != 1.0 {
+            for s in self.species.values_mut() {
+                s.abundance *= self_scale;
+            }
+        }
+        for (seq, s) in other.iter() {
+            self.add(seq.clone(), s.abundance * other_scale, s.tag);
+        }
     }
 
     /// Removes species below `min_abundance` (wash/cleanup steps).
@@ -239,6 +261,30 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_abundance_panics() {
         Pool::new().add(seq("AAAA"), -1.0, None);
+    }
+
+    #[test]
+    fn mix_in_matches_mixed_with() {
+        let mut a = Pool::new();
+        a.add(seq("AAAA"), 100.0, Some(StrandTag::new(1, 0, 0, 0)));
+        a.add(seq("GGGG"), 40.0, None);
+        let mut b = Pool::new();
+        b.add(seq("CCCC"), 1000.0, None);
+        b.add(seq("AAAA"), 10.0, None);
+        let reference = a.mixed_with(&b, 0.5, 0.1);
+        let mut in_place = a.clone();
+        in_place.mix_in(&b, 0.5, 0.1);
+        assert_eq!(in_place, reference);
+        // Identity self-scale takes the no-rescale fast path.
+        let reference = a.mixed_with(&b, 1.0, 2.0);
+        a.mix_in(&b, 1.0, 2.0);
+        assert_eq!(a, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn mix_in_rejects_negative_scale() {
+        Pool::new().mix_in(&Pool::new(), -1.0, 1.0);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! A rack of per-partition tubes: the physical model behind a sharded
+//! store.
+//!
+//! The monolithic view of DNA storage keeps one archival tube holding
+//! every partition's strands; each retrieval then amplifies against the
+//! whole archive, and each write re-mixes the whole tube. Physically,
+//! though, partitions are *independently addressable units with their own
+//! primer pair* — nothing forces them to share a tube, and random-access
+//! DNA systems (Yazdi et al. 2015) model per-address reactions as fully
+//! independent. A [`TubeRack`] encodes that independence: one [`Pool`] per
+//! tube id, so
+//!
+//! - a write to partition A touches only tube A ([`TubeRack::mix_in`],
+//!   in-place via [`Pool::mix_in`]),
+//! - a retrieval of partitions `{A, B}` pipettes aliquots of exactly
+//!   those tubes into one reaction ([`TubeRack::reaction_tube`]), and
+//! - unrelated tubes can be processed concurrently by the layer above
+//!   (the block store wraps each tube in its own shard lock).
+//!
+//! The shared DedicatedLog partition is *deliberately* still one tube:
+//! every DedicatedLog read needs the whole log (§5.3), so the log tube is
+//! the one explicitly shared cross-shard resource, identified by whatever
+//! id the caller assigns it.
+
+use crate::molecule::StrandTag;
+use crate::pool::Pool;
+use std::collections::BTreeMap;
+
+/// Identifies one tube in a [`TubeRack`] (the block store uses its
+/// partition tag).
+pub type TubeId = u32;
+
+/// A set of independently addressable tubes, keyed by [`TubeId`].
+///
+/// Deterministic iteration order (backed by a `BTreeMap`), like [`Pool`]
+/// itself.
+///
+/// # Examples
+///
+/// ```
+/// use dna_sim::TubeRack;
+///
+/// let mut rack = TubeRack::new();
+/// rack.tube_mut(0).add("ACGT".parse().unwrap(), 100.0, None);
+/// rack.tube_mut(1).add("TTTT".parse().unwrap(), 50.0, None);
+/// let reaction = rack.reaction_tube([0, 1]);
+/// assert_eq!(reaction.distinct(), 2);
+/// assert_eq!(rack.total_copies(), 150.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TubeRack {
+    tubes: BTreeMap<TubeId, Pool>,
+}
+
+impl TubeRack {
+    /// An empty rack.
+    pub fn new() -> TubeRack {
+        TubeRack::default()
+    }
+
+    /// Number of tubes in the rack (empty tubes included).
+    pub fn num_tubes(&self) -> usize {
+        self.tubes.len()
+    }
+
+    /// Borrows a tube, or `None` if `id` was never created.
+    pub fn tube(&self, id: TubeId) -> Option<&Pool> {
+        self.tubes.get(&id)
+    }
+
+    /// Borrows a tube mutably, creating an empty one on first use.
+    pub fn tube_mut(&mut self, id: TubeId) -> &mut Pool {
+        self.tubes.entry(id).or_default()
+    }
+
+    /// Places `pool` in the rack as tube `id`, replacing any previous
+    /// contents.
+    pub fn insert(&mut self, id: TubeId, pool: Pool) {
+        self.tubes.insert(id, pool);
+    }
+
+    /// Mixes `addition` into tube `id` in place (creating the tube if
+    /// needed) — the per-shard write path: no other tube is touched.
+    pub fn mix_in(&mut self, id: TubeId, addition: &Pool, self_scale: f64, other_scale: f64) {
+        self.tube_mut(id).mix_in(addition, self_scale, other_scale);
+    }
+
+    /// Retires species from tube `id` by ground-truth tag predicate (see
+    /// [`Pool::retire_where`]). Returns the number of species removed; a
+    /// missing tube retires nothing.
+    pub fn retire_where(&mut self, id: TubeId, pred: impl FnMut(&StrandTag) -> bool) -> usize {
+        match self.tubes.get_mut(&id) {
+            Some(tube) => tube.retire_where(pred),
+            None => 0,
+        }
+    }
+
+    /// Pipettes the named tubes together into one reaction tube (undiluted
+    /// aliquots; duplicate ids contribute once). The rack itself is not
+    /// consumed — aliquoting leaves the archival tubes in place.
+    pub fn reaction_tube(&self, ids: impl IntoIterator<Item = TubeId>) -> Pool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Pool::new();
+        for id in ids {
+            if seen.insert(id) {
+                if let Some(tube) = self.tubes.get(&id) {
+                    out.mix_in(tube, 1.0, 1.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every tube poured together — the monolithic single-pool view, for
+    /// inspection and for migrating a rack back to a one-tube store.
+    pub fn merged(&self) -> Pool {
+        self.reaction_tube(self.tubes.keys().copied())
+    }
+
+    /// Total copies across every tube.
+    pub fn total_copies(&self) -> f64 {
+        self.tubes.values().map(Pool::total_copies).sum()
+    }
+
+    /// Iterates `(id, tube)` in ascending tube-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TubeId, &Pool)> {
+        self.tubes.iter().map(|(&id, tube)| (id, tube))
+    }
+}
+
+impl FromIterator<(TubeId, Pool)> for TubeRack {
+    fn from_iter<I: IntoIterator<Item = (TubeId, Pool)>>(iter: I) -> TubeRack {
+        TubeRack {
+            tubes: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(text: &str) -> dna_seq::DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn tubes_are_independent() {
+        let mut rack = TubeRack::new();
+        rack.tube_mut(3).add(seq("AAAA"), 10.0, None);
+        rack.tube_mut(7).add(seq("CCCC"), 20.0, None);
+        let mut patch = Pool::new();
+        patch.add(seq("GGGG"), 5.0, None);
+        rack.mix_in(3, &patch, 1.0, 1.0);
+        assert_eq!(rack.tube(3).unwrap().distinct(), 2);
+        assert_eq!(rack.tube(7).unwrap().distinct(), 1, "tube 7 untouched");
+        assert_eq!(rack.total_copies(), 35.0);
+        assert_eq!(rack.num_tubes(), 2);
+    }
+
+    #[test]
+    fn reaction_tube_pools_selected_aliquots_once() {
+        let mut rack = TubeRack::new();
+        rack.tube_mut(0).add(seq("AAAA"), 10.0, None);
+        rack.tube_mut(1).add(seq("CCCC"), 20.0, None);
+        rack.tube_mut(2).add(seq("GGGG"), 40.0, None);
+        let rxn = rack.reaction_tube([0, 2, 0]);
+        assert_eq!(rxn.distinct(), 2);
+        assert_eq!(rxn.total_copies(), 50.0, "duplicate id aliquots once");
+        // Missing tubes contribute nothing.
+        assert!(rack.reaction_tube([9]).is_empty());
+        // The archival tubes are unchanged by aliquoting.
+        assert_eq!(rack.tube(0).unwrap().total_copies(), 10.0);
+    }
+
+    #[test]
+    fn merged_is_the_monolithic_view() {
+        let mut rack = TubeRack::new();
+        rack.tube_mut(0).add(seq("AAAA"), 10.0, None);
+        rack.tube_mut(1).add(seq("AAAA"), 5.0, None);
+        rack.tube_mut(1).add(seq("TTTT"), 1.0, None);
+        let merged = rack.merged();
+        assert_eq!(merged.get(&seq("AAAA")).unwrap().abundance, 15.0);
+        assert_eq!(merged.distinct(), 2);
+    }
+
+    #[test]
+    fn retire_where_targets_one_tube() {
+        use crate::molecule::StrandTag;
+        let mut rack = TubeRack::new();
+        rack.tube_mut(0)
+            .add(seq("AAAA"), 10.0, Some(StrandTag::new(0, 1, 1, 0)));
+        rack.tube_mut(1)
+            .add(seq("CCCC"), 10.0, Some(StrandTag::new(1, 1, 1, 0)));
+        assert_eq!(rack.retire_where(0, |t| t.version > 0), 1);
+        assert_eq!(rack.tube(0).unwrap().distinct(), 0);
+        assert_eq!(rack.tube(1).unwrap().distinct(), 1, "other tube kept");
+        assert_eq!(rack.retire_where(42, |_| true), 0, "missing tube");
+    }
+}

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // retire the stale molecules, re-synthesize fresh base units.
     let compactor = Compactor::new(CompactionPolicy::paper_default());
     assert!(compactor.should_compact_partition(&store, pid));
-    let report = compactor.run(&mut store)?;
+    let report = compactor.run(&store)?;
     println!(
         "compaction: {} blocks rebased, {} stale units reclaimed, \
          {} species retired, {} rewrites (${:.2} synthesis)",

@@ -10,7 +10,7 @@ use dna_storage::block_store::{BlockStore, PartitionConfig, BLOCK_SIZE};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A store seeded deterministically: same seed → same primers, same
     // synthesis skew, same reads.
-    let mut store = BlockStore::new(42);
+    let store = BlockStore::new(42);
 
     // One primer pair = one partition with 1024 independently addressable
     // 256-byte blocks (the paper's wetlab geometry).

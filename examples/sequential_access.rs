@@ -9,7 +9,7 @@ use dna_storage::block_store::{planner, workload, BlockStore, PartitionConfig, B
 use dna_storage::index::LeafId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut store = BlockStore::new(7);
+    let store = BlockStore::new(7);
     let pid = store.create_partition(PartitionConfig::paper_default(55))?;
     let data = workload::deterministic_text(16 * BLOCK_SIZE, 5);
     store.write_file(pid, &data)?;
@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Precise plan (one primer per cover node) vs one-primer common-prefix
     // plan (over-amplifies).
-    let precise = planner::plan_precise(partition, 0, 11);
-    let lcp = planner::plan_common_prefix(partition, 0, 11);
+    let precise = planner::plan_precise(&partition, 0, 11);
+    let lcp = planner::plan_common_prefix(&partition, 0, 11);
     println!(
         "precise plan: {} primers, over-amplification {:.2}x",
         precise.primers.len(),

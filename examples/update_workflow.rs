@@ -11,7 +11,7 @@ use dna_storage::block_store::Block;
 use dna_storage::block_store::{BlockStore, PartitionConfig, UpdatePatch, BLOCK_SIZE};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut store = BlockStore::new(2024);
+    let store = BlockStore::new(2024);
     let pid = store.create_partition(PartitionConfig::paper_default(99))?;
 
     let original = b"the cat sat on the mat and looked at the stars above the garden wall";

@@ -9,7 +9,7 @@ use dna_storage::sim::{IdsChannel, Sequencer};
 fn multi_partition_isolation() {
     // Two partitions in one tube: reading from one never returns the
     // other's content (the primer pair is the chemical namespace).
-    let mut store = BlockStore::new(100);
+    let store = BlockStore::new(100);
     let a = store
         .create_partition(PartitionConfig::paper_default(1))
         .unwrap();
@@ -30,7 +30,7 @@ fn multi_partition_isolation() {
 #[test]
 fn update_history_survives_many_edits() {
     // Seven updates: 2 direct slots, then the overflow chain (§5.3).
-    let mut store = BlockStore::new(101);
+    let store = BlockStore::new(101);
     let pid = store
         .create_partition(PartitionConfig::paper_default(3))
         .unwrap();
@@ -76,7 +76,7 @@ fn all_layouts_round_trip_updates() {
         UpdateLayout::TwoStacks,
         UpdateLayout::DedicatedLog,
     ] {
-        let mut store = BlockStore::new(103);
+        let store = BlockStore::new(103);
         let mut cfg = PartitionConfig::paper_default(5);
         cfg.layout = layout;
         let pid = store.create_partition(cfg).unwrap();
@@ -99,7 +99,7 @@ fn all_layouts_round_trip_updates() {
 
 #[test]
 fn range_reads_see_updates() {
-    let mut store = BlockStore::new(104);
+    let store = BlockStore::new(104);
     let pid = store
         .create_partition(PartitionConfig::paper_default(6))
         .unwrap();
@@ -118,7 +118,7 @@ fn range_reads_see_updates() {
 
 #[test]
 fn errors_are_reported_not_panicked() {
-    let mut store = BlockStore::new(105);
+    let store = BlockStore::new(105);
     let pid = store
         .create_partition(PartitionConfig::paper_default(7))
         .unwrap();
@@ -140,7 +140,7 @@ fn errors_are_reported_not_panicked() {
 fn deterministic_replay() {
     // Identical seeds and call sequences produce identical wetlab outcomes.
     let run = || {
-        let mut store = BlockStore::new(106);
+        let store = BlockStore::new(106);
         let pid = store
             .create_partition(PartitionConfig::paper_default(8))
             .unwrap();

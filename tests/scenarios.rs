@@ -79,7 +79,7 @@ fn coverage_starvation_fails_then_recovers() {
 fn batch_read_beats_sequential_rounds_with_identical_bytes() {
     // The batching acceptance bar, end to end: 8 blocks in one partition
     // in strictly fewer PCR rounds than 8 sequential reads.
-    let mut store = BlockStore::new(206);
+    let store = BlockStore::new(206);
     let pid = store
         .create_partition(PartitionConfig::paper_default(62))
         .unwrap();
@@ -110,7 +110,7 @@ fn mixed_read_update_batch_interleaving_over_partitions() {
     // interleaved stream of writes, updates, single reads, range reads and
     // cross-partition batch reads. Every observation is checked against a
     // shadow model of the logical contents.
-    let mut store = BlockStore::new(207);
+    let store = BlockStore::new(207);
     let layouts = [
         UpdateLayout::paper_default(),
         UpdateLayout::TwoStacks,
@@ -197,7 +197,7 @@ fn concurrent_coalescing_beats_sequential_rounds() {
     let blocks_per = (K / partitions) as u64;
 
     // Sequential baseline on a plain store.
-    let mut store = BlockStore::new(209);
+    let store = BlockStore::new(209);
     let mut pids = Vec::new();
     let mut shadow = Vec::new();
     for p in 0..partitions {
@@ -265,7 +265,7 @@ fn concurrent_coalescing_beats_sequential_rounds() {
 fn forced_single_pair_rounds_still_round_trip() {
     // A planner restricted to one primer pair per tube degenerates to
     // per-partition rounds; contents must not change, only the round count.
-    let mut store = BlockStore::new(208);
+    let store = BlockStore::new(208);
     let a = store
         .create_partition(PartitionConfig::paper_default(80))
         .unwrap();
@@ -326,7 +326,7 @@ fn small_update_store(seed: u64, layout: UpdateLayout) -> (BlockStore, Partition
     let mut store = BlockStore::new(seed);
     // A fully-saturated update region (the exhaustion scenarios read at
     // max patch depth) needs real-operator coverage provisioning.
-    store.set_coverage(24);
+    store.set_coverage(28);
     store
         .set_log_partition_config(PartitionConfig::small(
             seed ^ 0x10,
@@ -463,7 +463,7 @@ fn compaction_lowers_hot_block_batch_read_cost() {
     // after compaction the same read sequences strictly fewer reads, with
     // identical bytes.
     for (i, layout) in COMPACTION_LAYOUTS.into_iter().enumerate() {
-        let (mut store, pid, mut data) = small_update_store(0x320 + i as u64, layout);
+        let (store, pid, mut data) = small_update_store(0x320 + i as u64, layout);
         for round in 0..8u32 {
             next_edit(&mut data, round);
             store.update_block(pid, 0, &data[..BLOCK_SIZE]).unwrap();
