@@ -29,7 +29,7 @@ use dna_block_store::{
     BLOCK_SIZE,
 };
 use dna_seq::rng::DetRng;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Reads each client thread fires per phase.
@@ -88,7 +88,10 @@ fn run_serialized(seed: u64, threads: usize, shards: usize) -> Duration {
             let pids = &pids;
             scope.spawn(move || {
                 for (s, b) in plan(threads, t, shards, 0) {
-                    let guard = store.lock().expect("global store lock");
+                    // The store is read-only here: a poisoned lock (a
+                    // panicked sibling worker) leaves nothing half-written,
+                    // so recover and keep measuring.
+                    let guard = store.lock().unwrap_or_else(PoisonError::into_inner);
                     guard.read_block(pids[s], b).expect("read");
                     drop(guard);
                 }

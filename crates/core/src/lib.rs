@@ -73,6 +73,7 @@ pub mod cost;
 pub mod layout;
 pub mod planner;
 pub mod service;
+pub mod sync;
 pub mod workload;
 
 pub use batch::{BatchPlan, BatchPlanner, BatchStats, PlanItem, PlannedRound};

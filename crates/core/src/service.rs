@@ -45,7 +45,12 @@
 //!
 //! Service locks never nest with store locks (neither is held while the
 //! other layer is called), so the global lock order is simply the store's
-//! own, followed by front end, followed by scheduler.
+//! own, followed by front end, followed by scheduler. Both service locks
+//! are [`crate::sync::RankedMutex`]es ranked after every store lock, so
+//! the runtime lockdep enforces exactly that on every debug/test run: a
+//! path that calls into the store while holding the front or scheduler
+//! lock panics naming both acquisition sites (see README § "Lock
+//! discipline & static checks").
 //!
 //! # Panic containment
 //!
@@ -71,10 +76,11 @@ use crate::cache::{BlockCache, CacheKey};
 use crate::compaction::{CompactionPolicy, CompactionReport, Compactor};
 use crate::partition::PartitionConfig;
 use crate::store::{BlockReadOutcome, BlockStore, PartitionId};
+use crate::sync::{LockRank, RankedMutex, RankedMutexGuard};
 use crate::StoreError;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How long the scheduler leader holds a round open for co-arriving reads.
@@ -399,8 +405,10 @@ struct SchedState {
 /// ```
 pub struct StoreServer {
     store: BlockStore,
-    front: Mutex<FrontEnd>,
-    sched: Mutex<SchedState>,
+    // lock-rank: front
+    front: RankedMutex<FrontEnd>,
+    // lock-rank: sched
+    sched: RankedMutex<SchedState>,
     stats: AtomicStats,
     /// Wakes a windowing leader (new arrival, or gate release).
     arrivals: Condvar,
@@ -431,19 +439,27 @@ impl StoreServer {
             })
             .collect();
         StoreServer {
-            front: Mutex::new(FrontEnd {
-                cache: BlockCache::new(config.cache_capacity),
-                shadow,
-            }),
+            front: RankedMutex::new(
+                LockRank::SERVICE_FRONT,
+                "service-front",
+                FrontEnd {
+                    cache: BlockCache::new(config.cache_capacity),
+                    shadow,
+                },
+            ),
             store,
-            sched: Mutex::new(SchedState {
-                next_ticket: 0,
-                next_call: 0,
-                pending: Vec::new(),
-                results: BTreeMap::new(),
-                leader_active: false,
-                gate_open: false,
-            }),
+            sched: RankedMutex::new(
+                LockRank::SERVICE_SCHED,
+                "service-sched",
+                SchedState {
+                    next_ticket: 0,
+                    next_call: 0,
+                    pending: Vec::new(),
+                    results: BTreeMap::new(),
+                    leader_active: false,
+                    gate_open: false,
+                },
+            ),
             stats: AtomicStats::default(),
             arrivals: Condvar::new(),
             done: Condvar::new(),
@@ -460,11 +476,11 @@ impl StoreServer {
     // the fallible store work happens outside the locks). The regression
     // test `poisoned_locks_recover` pins this.
 
-    fn lock_front(&self) -> MutexGuard<'_, FrontEnd> {
+    fn lock_front(&self) -> RankedMutexGuard<'_, FrontEnd> {
         self.front.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_sched(&self) -> MutexGuard<'_, SchedState> {
+    fn lock_sched(&self) -> RankedMutexGuard<'_, SchedState> {
         self.sched.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -522,12 +538,21 @@ impl StoreServer {
     /// Propagates [`BlockStore::write_file`] errors.
     pub fn write_file(&self, pid: PartitionId, data: &[u8]) -> Result<u64, StoreError> {
         let written = self.store.write_file(pid, data)?;
+        // Collect the committed images *before* taking the front lock: the
+        // global order is store locks → front, so the front lock is never
+        // held across a store call (`logical_versioned` takes directory +
+        // shard locks). The per-key epochs keep publication race-correct.
+        let seeded: Vec<(u64, (Block, u64))> = (0..written)
+            .map(|block| {
+                let versioned = self
+                    .store
+                    .logical_versioned(pid, block)
+                    .expect("just written");
+                (block, versioned)
+            })
+            .collect();
         let mut front = self.lock_front();
-        for block in 0..written {
-            let (image, epoch) = self
-                .store
-                .logical_versioned(pid, block)
-                .expect("just written");
+        for (block, (image, epoch)) in seeded {
             // Seed the oracle; the cache policy is irrelevant for a fresh
             // write (nothing cached yet), so publish with Invalidate.
             front.publish_commit((pid, block), epoch, &image, CachePolicy::Invalidate);
@@ -703,9 +728,8 @@ impl StoreServer {
                 if !missing {
                     break;
                 }
-                sched = self
-                    .done
-                    .wait(sched)
+                sched = sched
+                    .wait_on(&self.done)
                     .unwrap_or_else(PoisonError::into_inner);
             }
         }
@@ -753,11 +777,22 @@ impl StoreServer {
             &self.stats.rewrites_synthesized,
             report.rewrites_synthesized,
         );
+        // Re-read every rebased image *before* taking the front lock (the
+        // global order is store locks → front; `logical_versioned` takes
+        // directory + shard locks). Each image carries its shard epoch, so
+        // publication stays ordered against concurrent updates.
+        let rebased: Vec<((PartitionId, u64), (Block, u64))> = report
+            .rebased
+            .iter()
+            .filter_map(|&(pid, block)| {
+                self.store
+                    .logical_versioned(pid, block)
+                    .map(|versioned| ((pid, block), versioned))
+            })
+            .collect();
         let mut front = self.lock_front();
-        for &(pid, block) in &report.rebased {
-            if let Some((image, epoch)) = self.store.logical_versioned(pid, block) {
-                front.publish_rebase((pid, block), epoch, &image, self.config.cache_policy);
-            }
+        for (key, (image, epoch)) in rebased {
+            front.publish_rebase(key, epoch, &image, self.config.cache_policy);
         }
     }
 
@@ -772,24 +807,24 @@ impl StoreServer {
         match self.config.window {
             BatchWindow::Immediate => {}
             BatchWindow::Window(window) => {
+                // lint: allow(determinism): batching-window deadline only — bounds the coalescing wait, never reaches commit/epoch state
                 let deadline = Instant::now() + window;
                 while self.config.max_batch == 0 || sched.pending.len() < self.config.max_batch {
+                    // lint: allow(determinism): batching-window deadline only — bounds the coalescing wait, never reaches commit/epoch state
                     let now = Instant::now();
                     if now >= deadline {
                         break;
                     }
-                    let (guard, _) = self
-                        .arrivals
-                        .wait_timeout(sched, deadline - now)
+                    let (guard, _) = sched
+                        .wait_timeout_on(&self.arrivals, deadline - now)
                         .unwrap_or_else(PoisonError::into_inner);
                     sched = guard;
                 }
             }
             BatchWindow::Gate => {
                 while !sched.gate_open {
-                    sched = self
-                        .arrivals
-                        .wait(sched)
+                    sched = sched
+                        .wait_on(&self.arrivals)
                         .unwrap_or_else(PoisonError::into_inner);
                 }
                 sched.gate_open = false;
@@ -1267,11 +1302,13 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 let handle = scope.spawn(|| {
+                    // lint: allow(lock-unwrap): this doomed thread deliberately panics while holding the lock to poison it
                     let _front = server.front.lock().unwrap();
                     panic!("poison the front lock");
                 });
                 assert!(handle.join().is_err());
                 let handle = scope.spawn(|| {
+                    // lint: allow(lock-unwrap): this doomed thread deliberately panics while holding the lock to poison it
                     let _sched = server.sched.lock().unwrap();
                     panic!("poison the sched lock");
                 });

@@ -36,6 +36,14 @@
 //! shard; [`BlockStore::compact_log`] holds every DedicatedLog shard
 //! (ascending), then the log shard.
 //!
+//! This order is *enforced*, not just documented: every store lock is a
+//! [`crate::sync::RankedMutex`] / [`crate::sync::RankedRwLock`] (directory
+//! = rank 0, primer alloc = 1, data shard = 2 + pid, log shard last), so a
+//! violating acquisition panics in debug/test builds naming both sites,
+//! and `cargo run -p xtask -- lint` statically checks the companion rules.
+//! See README § "Lock discipline & static checks" for the rank table and
+//! the lint catalog.
+//!
 //! # Snapshot → wetlab → validate-and-commit
 //!
 //! No lock is ever held across amplification, sequencing, synthesis
@@ -65,6 +73,7 @@ use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
 use crate::compaction::CompactionReport;
 use crate::layout::UpdateLayout;
 use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
+use crate::sync::{LockRank, RankedMutex, RankedMutexGuard, RankedRwLock, RankedRwLockReadGuard};
 use crate::update::UpdatePatch;
 use crate::StoreError;
 use dna_pipeline::{
@@ -79,7 +88,7 @@ use dna_sim::{
     Pool, PrimerChannel, Read, Sequencer, SynthesisVendor, TubeRack,
 };
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
 
 /// Handle to a partition within a [`BlockStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -259,7 +268,8 @@ struct LogSnapshot {
 /// read locks to clone shard handles.
 #[derive(Debug)]
 struct Directory {
-    shards: Vec<Arc<Mutex<PartitionShard>>>,
+    // lock-rank: 2+pid
+    shards: Vec<Arc<RankedMutex<PartitionShard>>>,
     /// The shared update-log shard (created on demand for
     /// [`UpdateLayout::DedicatedLog`]).
     log_pid: Option<usize>,
@@ -288,8 +298,10 @@ struct PrimerAlloc {
 #[derive(Debug)]
 pub struct BlockStore {
     instruments: Instruments,
-    directory: RwLock<Directory>,
-    alloc: Mutex<PrimerAlloc>,
+    // lock-rank: 0
+    directory: RankedRwLock<Directory>,
+    // lock-rank: 1
+    alloc: RankedMutex<PrimerAlloc>,
 }
 
 /// Ground-truth tag distinguishing shared-log strands in the simulator.
@@ -311,16 +323,24 @@ impl BlockStore {
                 nanodrop: Nanodrop::benchtop(),
                 coverage: 12,
             },
-            directory: RwLock::new(Directory {
-                shards: Vec::new(),
-                log_pid: None,
-                log_config: PartitionConfig::paper_default(0x106),
-                seed,
-            }),
-            alloc: Mutex::new(PrimerAlloc {
-                library,
-                handed_out: 0,
-            }),
+            directory: RankedRwLock::new(
+                LockRank::DIRECTORY,
+                "store-directory",
+                Directory {
+                    shards: Vec::new(),
+                    log_pid: None,
+                    log_config: PartitionConfig::paper_default(0x106),
+                    seed,
+                },
+            ),
+            alloc: RankedMutex::new(
+                LockRank::PRIMER_ALLOC,
+                "primer-alloc",
+                PrimerAlloc {
+                    library,
+                    handed_out: 0,
+                },
+            ),
         }
     }
 
@@ -332,11 +352,11 @@ impl BlockStore {
     // fail fast. The serving layer's own locks recover from poisoning —
     // see `service`.
 
-    fn dir_read(&self) -> std::sync::RwLockReadGuard<'_, Directory> {
+    fn dir_read(&self) -> RankedRwLockReadGuard<'_, Directory> {
         self.directory.read().expect("directory lock")
     }
 
-    fn shard_cell(&self, pid: usize) -> Result<Arc<Mutex<PartitionShard>>, StoreError> {
+    fn shard_cell(&self, pid: usize) -> Result<Arc<RankedMutex<PartitionShard>>, StoreError> {
         self.dir_read()
             .shards
             .get(pid)
@@ -344,12 +364,12 @@ impl BlockStore {
             .ok_or(StoreError::UnknownPartition(pid))
     }
 
-    fn log_cell(&self) -> Option<(usize, Arc<Mutex<PartitionShard>>)> {
+    fn log_cell(&self) -> Option<(usize, Arc<RankedMutex<PartitionShard>>)> {
         let dir = self.dir_read();
         dir.log_pid.map(|pid| (pid, Arc::clone(&dir.shards[pid])))
     }
 
-    fn lock_shard(cell: &Arc<Mutex<PartitionShard>>) -> MutexGuard<'_, PartitionShard> {
+    fn lock_shard(cell: &Arc<RankedMutex<PartitionShard>>) -> RankedMutexGuard<'_, PartitionShard> {
         cell.lock().expect("shard lock")
     }
 
@@ -427,7 +447,7 @@ impl BlockStore {
     /// monolithic [`TubeRack`] view of the sharded archive, for benches
     /// and inspection.
     pub fn tube_rack(&self) -> TubeRack {
-        let cells: Vec<Arc<Mutex<PartitionShard>>> = self.dir_read().shards.to_vec();
+        let cells: Vec<Arc<RankedMutex<PartitionShard>>> = self.dir_read().shards.to_vec();
         cells
             .iter()
             .map(|cell| {
@@ -477,7 +497,7 @@ impl BlockStore {
     /// order — the snapshot a serving layer seeds its staleness oracle
     /// from when wrapping an already-loaded store.
     pub fn logical_contents(&self) -> Vec<((PartitionId, u64), Block)> {
-        let cells: Vec<Arc<Mutex<PartitionShard>>> = self.dir_read().shards.to_vec();
+        let cells: Vec<Arc<RankedMutex<PartitionShard>>> = self.dir_read().shards.to_vec();
         let mut out = Vec::new();
         for (pid, cell) in cells.iter().enumerate() {
             let shard = Self::lock_shard(cell);
@@ -528,10 +548,11 @@ impl BlockStore {
         let pid = dir.shards.len();
         config.partition_tag = pid as u32;
         let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
-        dir.shards.push(Arc::new(Mutex::new(PartitionShard::new(
-            Partition::new(config, pair),
-            rng,
-        ))));
+        dir.shards.push(Arc::new(RankedMutex::new(
+            LockRank::shard(pid),
+            "data-shard",
+            PartitionShard::new(Partition::new(config, pair), rng),
+        )));
         Ok(PartitionId(pid))
     }
 
@@ -550,10 +571,11 @@ impl BlockStore {
         cfg.partition_tag = LOG_PARTITION_TAG; // distinguish log strands in tags
         let pid = dir.shards.len();
         let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
-        dir.shards.push(Arc::new(Mutex::new(PartitionShard::new(
-            Partition::new(cfg, pair),
-            rng,
-        ))));
+        dir.shards.push(Arc::new(RankedMutex::new(
+            LockRank::LOG_SHARD,
+            "log-shard",
+            PartitionShard::new(Partition::new(cfg, pair), rng),
+        )));
         dir.log_pid = Some(pid);
         Ok(pid)
     }
@@ -612,7 +634,9 @@ impl BlockStore {
             shard.logical.insert(block_id, block);
         }
         let mut rng = shard.split_rng();
+        // lint: allow(wetlab-under-lock): bulk load is a documented setup-time exception — it holds only this shard end to end
         let synthesized = self.instruments.twist.synthesize(&designs, &mut rng);
+        // lint: allow(wetlab-under-lock): commit-phase merge of already-synthesized molecules; no wetlab simulation runs here
         Arc::make_mut(&mut shard.tube).mix_in(&synthesized, 1.0, 1.0);
         shard.epoch += 1;
         Ok(blocks.len() as u64)
@@ -699,6 +723,7 @@ impl BlockStore {
             let dilution = self
                 .instruments
                 .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+            // lint: allow(wetlab-under-lock): commit-phase merge of pre-synthesized rewrites; synthesis ran lock-free above
             Arc::make_mut(&mut shard.tube).mix_in(&rewrites, 1.0, dilution);
             shard.logical.insert(block, new.clone());
             shard.epoch += 1;
@@ -714,7 +739,7 @@ impl BlockStore {
     /// invalidated the snapshot (caller retries).
     fn try_log_update(
         &self,
-        target_cell: &Arc<Mutex<PartitionShard>>,
+        target_cell: &Arc<RankedMutex<PartitionShard>>,
         target: &ShardSnapshot,
         block: u64,
         new: &Block,
@@ -768,6 +793,7 @@ impl BlockStore {
         let dilution = self
             .instruments
             .rewrite_dilution(&shard.tube, &rewrites, &mut rng);
+        // lint: allow(wetlab-under-lock): commit-phase merge of pre-synthesized log entry; synthesis ran lock-free above
         Arc::make_mut(&mut log.tube).mix_in(&rewrites, 1.0, dilution);
         log.log_head += 1;
         log.log_seq += 1;
@@ -958,6 +984,7 @@ impl BlockStore {
             let tube = Arc::make_mut(&mut shard.tube);
             let species_retired =
                 tube.retire_where(|t| t.partition == tag && stale.contains(&t.unit));
+            // lint: allow(wetlab-under-lock): commit-phase merge of pre-synthesized rewrites; synthesis ran lock-free above
             tube.mix_in(&rewrites, 1.0, dilution);
             shard.epoch += 1;
             return Ok(CompactionReport {
@@ -996,7 +1023,7 @@ impl BlockStore {
             return Ok(CompactionReport::default());
         };
         // Lock order: DedicatedLog data shards ascending, log shard last.
-        let mut guards: Vec<(usize, MutexGuard<'_, PartitionShard>)> = Vec::new();
+        let mut guards: Vec<(usize, RankedMutexGuard<'_, PartitionShard>)> = Vec::new();
         for (pid, cell) in dir.shards.iter().enumerate() {
             if pid == log_pid {
                 continue;
@@ -1044,6 +1071,7 @@ impl BlockStore {
             report.partitions_compacted += 1;
             let stale: BTreeSet<u64> = reclaimed.rebased_blocks.iter().map(|&(b, _)| b).collect();
             let mut rng = shard.split_rng();
+            // lint: allow(wetlab-under-lock): compact_log is the one documented cross-shard exception — it deliberately holds every affected shard for an atomic fold
             let (rewrites, cost) = self.instruments.synthesize_rewrites(designs, &mut rng);
             // Dilution reference: this shard's tube before retirement.
             let dilution = self
@@ -1054,6 +1082,7 @@ impl BlockStore {
                 tube.retire_where(|t| t.partition == tag && stale.contains(&t.unit));
             report.units_reclaimed += stale.len() as u64; // superseded bases
             report.blocks_rebased += reclaimed.rebased_blocks.len();
+            // lint: allow(wetlab-under-lock): atomic cross-shard fold (see above); merge of pre-synthesized molecules
             tube.mix_in(&rewrites, 1.0, dilution);
             report.synthesis_cost += cost;
             shard.epoch += 1;
@@ -1621,7 +1650,7 @@ impl BlockStore {
         let log = self.log_cell();
         let mut snaps: BTreeMap<usize, ShardSnapshot> = BTreeMap::new();
         let mut log_needed = false;
-        let mut dl_guards: Vec<MutexGuard<'_, PartitionShard>> = Vec::new();
+        let mut dl_guards: Vec<RankedMutexGuard<'_, PartitionShard>> = Vec::new();
         for (pid, cell) in &cells {
             let mut shard = Self::lock_shard(cell);
             snaps.insert(*pid, shard.snapshot_state(*pid));

@@ -1,0 +1,452 @@
+//! Ranked lock wrappers: runtime enforcement of the store's lock order.
+//!
+//! The sharded store documents a single global lock order (see the `store`
+//! module docs and README § "Lock discipline & static checks"):
+//!
+//! 1. store directory `RwLock` (rank 0)
+//! 2. primer-allocator `Mutex` (rank 1)
+//! 3. data-shard `Mutex`es in ascending partition-id order (rank `2 + pid`)
+//! 4. the dedicated-log shard `Mutex` last among store locks
+//! 5. serving-layer front-end `Mutex`, then the scheduler `Mutex`
+//!
+//! [`RankedMutex`] and [`RankedRwLock`] wrap `std::sync` primitives and, in
+//! debug/test builds, keep a thread-local stack of held ranks. Acquiring a
+//! lock whose rank is less than or equal to the deepest rank already held by
+//! the current thread panics immediately, naming **both** acquisition sites
+//! (the offending call and the site that took the already-held lock). Any
+//! cycle between two threads requires at least one thread to acquire against
+//! the ranking, so every potential deadlock in the documented hierarchy is
+//! converted into a deterministic panic on the first violating test run —
+//! no actual contention required.
+//!
+//! In release builds (`cfg(not(debug_assertions))`) the wrappers store no
+//! rank metadata and perform no tracking: `lock()` compiles down to the
+//! plain `std::sync` call, and the wrapper types have the same size as the
+//! primitives they wrap (asserted by the `lockdep` integration test).
+//!
+//! Poisoning is passed through untouched: `lock()`/`read()`/`write()` return
+//! [`LockResult`] exactly like `std::sync`, so both the store's fail-fast
+//! `.expect("...")` idiom and the service layer's
+//! `.unwrap_or_else(PoisonError::into_inner)` recovery idiom keep working.
+//!
+//! Because the serving layer parks scheduler threads on condvars *while
+//! logically holding* the scheduler lock, [`RankedMutexGuard`] offers
+//! [`RankedMutexGuard::wait_on`] and [`RankedMutexGuard::wait_timeout_on`]:
+//! they release the OS mutex for the duration of the wait (as
+//! `Condvar::wait` requires) but keep the rank entry on the held stack, so
+//! the lock discipline is judged as if the lock were held throughout —
+//! which it logically is.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Position of a lock in the documented global acquisition order.
+///
+/// Ranks are totally ordered; a thread may only acquire a lock whose rank is
+/// *strictly greater* than every rank it already holds. Data shards use
+/// [`LockRank::shard`] so that ascending-pid acquisition (the batch and
+/// log-compaction paths) is expressed directly as ascending ranks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockRank(u64);
+
+/// Data-shard ranks start here (`2 + pid`), above the directory and the
+/// primer allocator.
+const SHARD_BASE: u64 = 2;
+/// The log shard ranks above every possible data shard regardless of the
+/// partition id it happens to occupy.
+const LOG_BASE: u64 = 1 << 32;
+
+impl LockRank {
+    /// The store directory `RwLock` — always first.
+    pub const DIRECTORY: LockRank = LockRank(0);
+    /// The primer-pair allocator `Mutex` — after the directory.
+    pub const PRIMER_ALLOC: LockRank = LockRank(1);
+    /// The dedicated-log shard `Mutex` — last among store locks, whatever
+    /// partition id the log occupies.
+    pub const LOG_SHARD: LockRank = LockRank(LOG_BASE);
+    /// The serving-layer front-end `Mutex` — after all store locks.
+    pub const SERVICE_FRONT: LockRank = LockRank(LOG_BASE + 1);
+    /// The serving-layer scheduler `Mutex` — after the front end.
+    pub const SERVICE_SCHED: LockRank = LockRank(LOG_BASE + 2);
+
+    /// Rank of the data shard for partition `pid`: `2 + pid`, so ascending
+    /// partition ids are ascending ranks.
+    pub fn shard(pid: usize) -> LockRank {
+        let rank = SHARD_BASE + pid as u64;
+        assert!(
+            rank < LOG_BASE,
+            "partition id {pid} exceeds the rankable shard range"
+        );
+        LockRank(rank)
+    }
+}
+
+impl fmt::Display for LockRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "directory (rank 0)"),
+            1 => write!(f, "primer-alloc (rank 1)"),
+            n if n == LOG_BASE => write!(f, "log-shard (rank last-of-store)"),
+            n if n == LOG_BASE + 1 => write!(f, "service-front (rank after store)"),
+            n if n == LOG_BASE + 2 => write!(f, "service-sched (rank after front)"),
+            n => write!(f, "shard(pid={}) (rank 2+pid = {n})", n - SHARD_BASE),
+        }
+    }
+}
+
+impl fmt::Debug for LockRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Debug/test-only lock-order tracking: a thread-local stack of held ranks.
+///
+/// Because acquisition is only ever permitted in strictly ascending rank
+/// order, the stack stays sorted even when guards are released out of
+/// order (removal preserves relative order), so the deepest held rank is
+/// always the last entry.
+#[cfg(debug_assertions)]
+mod lockdep {
+    use super::LockRank;
+    use std::cell::RefCell;
+    use std::panic::Location;
+
+    struct Held {
+        rank: LockRank,
+        name: &'static str,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof that one ranked lock is held by the current thread; dropping it
+    /// pops the matching entry from the held stack.
+    pub(super) struct HeldToken {
+        rank: LockRank,
+        site: &'static Location<'static>,
+    }
+
+    /// Record an acquisition, panicking if `rank` does not strictly exceed
+    /// the deepest rank this thread already holds.
+    #[track_caller]
+    pub(super) fn acquire(rank: LockRank, name: &'static str) -> HeldToken {
+        let site = Location::caller();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(top) = held.last() {
+                if rank <= top.rank {
+                    panic!(
+                        "lock-order violation: acquiring `{name}` [{rank}] at {site} while \
+                         holding `{held_name}` [{held_rank}] acquired at {held_site}; the \
+                         documented order is directory -> primer-alloc -> data shards \
+                         (ascending pid) -> log shard -> service front -> service sched \
+                         (README \"Lock discipline & static checks\")",
+                        held_name = top.name,
+                        held_rank = top.rank,
+                        held_site = top.site,
+                    );
+                }
+            }
+            held.push(Held { rank, name, site });
+        });
+        HeldToken { rank, site }
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            // `try_with`: guards dropped during thread-local teardown must
+            // not panic. Remove the last matching entry — guards may be
+            // released in any order.
+            let _ = HELD.try_with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(idx) = held
+                    .iter()
+                    .rposition(|h| h.rank == self.rank && std::ptr::eq(h.site, self.site))
+                {
+                    held.remove(idx);
+                }
+            });
+        }
+    }
+}
+
+/// A `Mutex` that participates in the documented lock order.
+///
+/// Debug/test builds check every `lock()` against the current thread's held
+/// ranks; release builds are a zero-overhead passthrough to [`Mutex`].
+pub struct RankedMutex<T> {
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    // lint: allow(lock-rank): rank is a runtime parameter of the wrapper itself
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    /// Wrap `value` in a mutex at position `rank` of the global order.
+    /// `name` labels the lock in violation panics.
+    pub fn new(rank: LockRank, name: &'static str, value: T) -> RankedMutex<T> {
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, name);
+        RankedMutex {
+            #[cfg(debug_assertions)]
+            rank,
+            #[cfg(debug_assertions)]
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, first checking (in debug builds) that its rank
+    /// strictly exceeds every rank this thread already holds. Poisoning is
+    /// reported exactly as by [`Mutex::lock`].
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<RankedMutexGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        let token = Some(lockdep::acquire(self.rank, self.name));
+        match self.inner.lock() {
+            Ok(inner) => Ok(RankedMutexGuard {
+                inner: Some(inner),
+                #[cfg(debug_assertions)]
+                token,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RankedMutexGuard {
+                inner: Some(poisoned.into_inner()),
+                #[cfg(debug_assertions)]
+                token,
+            })),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Whether a holder panicked; see [`Mutex::is_poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RankedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// Result of [`RankedMutexGuard::wait_timeout_on`], mirroring
+/// [`Condvar::wait_timeout`]: the reacquired guard plus whether the wait
+/// timed out, wrapped in the usual poison-carrying [`LockResult`].
+pub type WaitTimeoutLockResult<'a, T> = LockResult<(RankedMutexGuard<'a, T>, WaitTimeoutResult)>;
+
+/// Guard returned by [`RankedMutex::lock`]. Dropping it releases the mutex
+/// and pops the rank from the thread's held stack.
+pub struct RankedMutexGuard<'a, T> {
+    /// Always `Some` while the guard is live; taken only by the consuming
+    /// condvar-wait helpers, which rebuild a guard around the reacquired
+    /// inner guard. (`Option<MutexGuard>` is niche-optimized: same size.)
+    inner: Option<MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    token: Option<lockdep::HeldToken>,
+}
+
+impl<'a, T> RankedMutexGuard<'a, T> {
+    /// Atomically release the mutex and park on `condvar`, like
+    /// [`Condvar::wait`]. The rank entry stays on the held stack for the
+    /// duration: the lock is logically held across the wait.
+    pub fn wait_on(mut self, condvar: &Condvar) -> LockResult<RankedMutexGuard<'a, T>> {
+        let inner = self.inner.take().expect("guard present");
+        #[cfg(debug_assertions)]
+        let token = self.token.take();
+        drop(self);
+        match condvar.wait(inner) {
+            Ok(inner) => Ok(RankedMutexGuard {
+                inner: Some(inner),
+                #[cfg(debug_assertions)]
+                token,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RankedMutexGuard {
+                inner: Some(poisoned.into_inner()),
+                #[cfg(debug_assertions)]
+                token,
+            })),
+        }
+    }
+
+    /// Timed variant of [`RankedMutexGuard::wait_on`], like
+    /// [`Condvar::wait_timeout`].
+    pub fn wait_timeout_on(
+        mut self,
+        condvar: &Condvar,
+        dur: Duration,
+    ) -> WaitTimeoutLockResult<'a, T> {
+        let inner = self.inner.take().expect("guard present");
+        #[cfg(debug_assertions)]
+        let token = self.token.take();
+        drop(self);
+        match condvar.wait_timeout(inner, dur) {
+            Ok((inner, timed_out)) => Ok((
+                RankedMutexGuard {
+                    inner: Some(inner),
+                    #[cfg(debug_assertions)]
+                    token,
+                },
+                timed_out,
+            )),
+            Err(poisoned) => {
+                let (inner, timed_out) = poisoned.into_inner();
+                Err(PoisonError::new((
+                    RankedMutexGuard {
+                        inner: Some(inner),
+                        #[cfg(debug_assertions)]
+                        token,
+                    },
+                    timed_out,
+                )))
+            }
+        }
+    }
+}
+
+impl<T> Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T> DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// An `RwLock` that participates in the documented lock order.
+///
+/// Both `read()` and `write()` occupy the same rank: the order constrains
+/// *which* lock may be taken next, not the sharing mode. In particular a
+/// thread must not re-enter `read()` while already holding this lock — a
+/// recursive read deadlocks against a queued writer on some platforms, and
+/// the detector treats it as a violation (equal rank).
+pub struct RankedRwLock<T> {
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    // lint: allow(lock-rank): rank is a runtime parameter of the wrapper itself
+    inner: RwLock<T>,
+}
+
+impl<T> RankedRwLock<T> {
+    /// Wrap `value` in an rwlock at position `rank` of the global order.
+    pub fn new(rank: LockRank, name: &'static str, value: T) -> RankedRwLock<T> {
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, name);
+        RankedRwLock {
+            #[cfg(debug_assertions)]
+            rank,
+            #[cfg(debug_assertions)]
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Acquire shared access; rank-checked like [`RankedMutex::lock`].
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RankedRwLockReadGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        let token = lockdep::acquire(self.rank, self.name);
+        match self.inner.read() {
+            Ok(inner) => Ok(RankedRwLockReadGuard {
+                inner,
+                #[cfg(debug_assertions)]
+                _token: token,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RankedRwLockReadGuard {
+                inner: poisoned.into_inner(),
+                #[cfg(debug_assertions)]
+                _token: token,
+            })),
+        }
+    }
+
+    /// Acquire exclusive access; rank-checked like [`RankedMutex::lock`].
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RankedRwLockWriteGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        let token = lockdep::acquire(self.rank, self.name);
+        match self.inner.write() {
+            Ok(inner) => Ok(RankedRwLockWriteGuard {
+                inner,
+                #[cfg(debug_assertions)]
+                _token: token,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RankedRwLockWriteGuard {
+                inner: poisoned.into_inner(),
+                #[cfg(debug_assertions)]
+                _token: token,
+            })),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Whether a writer panicked; see [`RwLock::is_poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RankedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// Shared-access guard returned by [`RankedRwLock::read`].
+pub struct RankedRwLockReadGuard<'a, T> {
+    // Field order is drop order: release the OS lock, then pop the rank.
+    inner: RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: lockdep::HeldToken,
+}
+
+impl<T> Deref for RankedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access guard returned by [`RankedRwLock::write`].
+pub struct RankedRwLockWriteGuard<'a, T> {
+    inner: RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: lockdep::HeldToken,
+}
+
+impl<T> Deref for RankedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RankedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}

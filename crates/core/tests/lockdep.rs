@@ -1,0 +1,276 @@
+//! Runtime lock-order enforcement (`dna_block_store::sync`).
+//!
+//! Debug builds: acquiring against the documented hierarchy —
+//! directory → primer-alloc → data shards (ascending pid) → log shard →
+//! service front → service sched — must panic deterministically, naming
+//! *both* acquisition sites. A property test drives real store operations
+//! (reads, updates, batches, compactions) from concurrent threads and
+//! asserts the detector never trips on the store's own paths.
+//!
+//! Release builds: the wrappers must be zero-overhead passthroughs — same
+//! size as the `std::sync` primitives, no tracking, no panics.
+
+use dna_block_store::sync::{LockRank, RankedMutex, RankedRwLock};
+
+#[cfg(debug_assertions)]
+mod debug_detector {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+
+    #[test]
+    fn data_shard_after_log_shard_panics_naming_both_sites() {
+        let log = RankedMutex::new(LockRank::LOG_SHARD, "log-shard", ());
+        let shard = RankedMutex::new(LockRank::shard(0), "data-shard", ());
+        let held_line = line!() + 1;
+        let _log_guard = log.lock().expect("log shard");
+        let acquire_line = line!() + 2;
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = shard.lock();
+        }))
+        .expect_err("a data shard acquired while holding the log shard must panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        assert!(msg.contains("`data-shard`"), "{msg}");
+        assert!(msg.contains("`log-shard`"), "{msg}");
+        assert!(
+            msg.contains(&format!("lockdep.rs:{acquire_line}:")),
+            "the offending acquisition site must be named: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("lockdep.rs:{held_line}:")),
+            "the already-held lock's acquisition site must be named: {msg}"
+        );
+    }
+
+    #[test]
+    fn directory_after_shard_panics_naming_both_sites() {
+        let directory = RankedRwLock::new(LockRank::DIRECTORY, "store-directory", ());
+        let shard = RankedMutex::new(LockRank::shard(3), "data-shard", ());
+        let held_line = line!() + 1;
+        let _shard_guard = shard.lock().expect("data shard");
+        let acquire_line = line!() + 2;
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = directory.read();
+        }))
+        .expect_err("the directory acquired while holding a shard must panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        assert!(msg.contains("`store-directory`"), "{msg}");
+        assert!(msg.contains("`data-shard`"), "{msg}");
+        assert!(
+            msg.contains(&format!("lockdep.rs:{acquire_line}:")),
+            "{msg}"
+        );
+        assert!(msg.contains(&format!("lockdep.rs:{held_line}:")), "{msg}");
+    }
+
+    #[test]
+    fn recursive_directory_read_is_a_violation() {
+        // Equal rank is rejected: a re-entrant read() deadlocks against a
+        // queued writer on some platforms, so the detector refuses it.
+        let directory = RankedRwLock::new(LockRank::DIRECTORY, "store-directory", ());
+        let _outer = directory.read().expect("directory");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = directory.read();
+        }))
+        .expect_err("a recursive directory read must panic");
+        assert!(panic_message(err).contains("lock-order violation"));
+    }
+
+    #[test]
+    fn ascending_acquisition_is_clean() {
+        let directory = RankedRwLock::new(LockRank::DIRECTORY, "store-directory", ());
+        let alloc = RankedMutex::new(LockRank::PRIMER_ALLOC, "primer-alloc", ());
+        let shard0 = RankedMutex::new(LockRank::shard(0), "data-shard", ());
+        let shard1 = RankedMutex::new(LockRank::shard(1), "data-shard", ());
+        let log = RankedMutex::new(LockRank::LOG_SHARD, "log-shard", ());
+        let front = RankedMutex::new(LockRank::SERVICE_FRONT, "service-front", ());
+        let sched = RankedMutex::new(LockRank::SERVICE_SCHED, "service-sched", ());
+
+        let d = directory.read().expect("directory");
+        let a = alloc.lock().expect("alloc");
+        let s0 = shard0.lock().expect("shard 0");
+        let s1 = shard1.lock().expect("shard 1");
+        let l = log.lock().expect("log");
+        let f = front.lock().expect("front");
+        let s = sched.lock().expect("sched");
+
+        // Out-of-order *release* is always fine; the held stack stays
+        // consistent and lower ranks become acquirable again.
+        drop(a);
+        drop(l);
+        drop(s);
+        drop(f);
+        drop(s1);
+        drop(s0);
+        drop(d);
+        let _d = directory.write().expect("directory again");
+        let _s0 = shard0.lock().expect("shard 0 again");
+    }
+
+    #[test]
+    fn condvar_wait_keeps_the_rank_held() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+
+        let front = RankedMutex::new(LockRank::SERVICE_FRONT, "service-front", ());
+        let sched = RankedMutex::new(LockRank::SERVICE_SCHED, "service-sched", 0u32);
+        let cv = Condvar::new();
+
+        let guard = sched.lock().expect("sched");
+        let (guard, timed_out) = guard
+            .wait_timeout_on(&cv, Duration::from_millis(1))
+            .expect("sched after wait");
+        assert!(timed_out.timed_out());
+        // The scheduler lock was logically held across the wait: a
+        // lower-ranked acquisition must still be a violation.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = front.lock();
+        }))
+        .expect_err("front acquired while sched is held across a wait must panic");
+        assert!(panic_message(err).contains("lock-order violation"));
+        drop(guard);
+        let _front = front.lock().expect("front after release");
+    }
+}
+
+/// Concurrent store operations never trip the detector: the store's own
+/// paths (sequential/batched wetlab reads, updates on all three layouts
+/// via the shared log, partition and log compaction) all follow the
+/// documented hierarchy. Any violation panics the worker thread, which
+/// fails the join below.
+#[cfg(debug_assertions)]
+mod interleavings {
+    use dna_block_store::{BlockStore, PartitionConfig, PartitionId, UpdateLayout, BLOCK_SIZE};
+    use proptest::prelude::*;
+
+    const BLOCKS: u64 = 4;
+
+    fn build_store(seed: u64) -> (BlockStore, Vec<PartitionId>) {
+        let mut store = BlockStore::new(seed);
+        store
+            .set_log_partition_config(PartitionConfig::small(
+                seed ^ 0x31,
+                2,
+                UpdateLayout::paper_default(),
+            ))
+            .expect("log partition config");
+        let mut pids = Vec::new();
+        let layouts = [
+            UpdateLayout::Interleaved { update_slots: 3 },
+            UpdateLayout::DedicatedLog,
+        ];
+        for (i, layout) in layouts.iter().enumerate() {
+            let pid = store
+                .create_partition(PartitionConfig::small(seed ^ (0x41 + i as u64), 3, *layout))
+                .expect("create partition");
+            let data = dna_block_store::workload::deterministic_text(
+                BLOCKS as usize * BLOCK_SIZE,
+                seed ^ (0x51 + i as u64),
+            );
+            store.write_file(pid, &data).expect("seed file");
+            pids.push(pid);
+        }
+        (store, pids)
+    }
+
+    /// Run one thread's op script. Capacity errors (an exhausted shared
+    /// log, concurrent compaction races) are expected under contention and
+    /// ignored — the property under test is purely that no operation
+    /// panics with a lock-order violation.
+    fn run_ops(store: &BlockStore, pids: &[PartitionId], ops: &[(u8, u64, usize, u8)]) {
+        for &(op, block, pos, byte) in ops {
+            let pid = pids[pos % pids.len()];
+            match op {
+                0 | 1 => {
+                    let mut data = vec![byte; BLOCK_SIZE];
+                    data[pos % BLOCK_SIZE] = byte.wrapping_add(op);
+                    let _ = store.update_block(pid, block, &data);
+                }
+                2 => {
+                    let _ = store.read_block(pid, block);
+                }
+                3 => {
+                    // Cross-shard batch: takes multiple shard locks in one
+                    // operation (must be ascending-pid internally).
+                    let requests: Vec<(PartitionId, u64)> = pids
+                        .iter()
+                        .flat_map(|&p| (0..BLOCKS).map(move |b| (p, b)))
+                        .collect();
+                    let _ = store.read_blocks_batch(&requests);
+                }
+                4 => {
+                    let _ = store.compact_partition(pid);
+                }
+                _ => {
+                    // Log compaction: log shard + every data shard with
+                    // pending log entries.
+                    let _ = store.compact_log();
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        #[test]
+        fn concurrent_ops_never_trip_the_detector(
+            seed in 0u64..1_000,
+            scripts in prop::collection::vec(
+                prop::collection::vec(
+                    (0u8..6, 0u64..BLOCKS, 0usize..BLOCK_SIZE, any::<u8>()),
+                    1..6,
+                ),
+                2..3, // two concurrent threads
+            ),
+        ) {
+            let (store, pids) = build_store(seed);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scripts
+                    .iter()
+                    .map(|script| {
+                        let store = &store;
+                        let pids = &pids;
+                        scope.spawn(move || run_ops(store, pids, script))
+                    })
+                    .collect();
+                for handle in handles {
+                    // A lock-order panic in a worker surfaces here.
+                    handle.join().expect("no lock-order violation");
+                }
+            });
+        }
+    }
+}
+
+/// Release builds: the ranked wrappers are zero-overhead passthroughs.
+#[cfg(not(debug_assertions))]
+mod release_passthrough {
+    use super::*;
+    use std::mem::size_of;
+    use std::sync::{Mutex, RwLock};
+
+    #[test]
+    fn wrappers_have_no_size_overhead() {
+        assert_eq!(size_of::<RankedMutex<u64>>(), size_of::<Mutex<u64>>());
+        assert_eq!(size_of::<RankedRwLock<u64>>(), size_of::<RwLock<u64>>());
+    }
+
+    #[test]
+    fn out_of_order_acquisition_is_not_checked() {
+        // No tracking in release: the reversed order that panics in debug
+        // builds goes through untouched (single-threaded, so no deadlock).
+        let log = RankedMutex::new(LockRank::LOG_SHARD, "log-shard", ());
+        let shard = RankedMutex::new(LockRank::shard(0), "data-shard", ());
+        let _log_guard = log.lock().expect("log shard");
+        let _shard_guard = shard.lock().expect("data shard");
+    }
+}

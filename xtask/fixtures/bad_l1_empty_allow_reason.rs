@@ -1,0 +1,9 @@
+//! Fixture: an allow directive with an empty reason does not exempt the
+//! site — L1 must still fire (exactly once), demanding a justification.
+
+fn main() {
+    let m = std::sync::Mutex::new(0u32);
+    // lint: allow(lock-unwrap)
+    let g = m.lock().unwrap();
+    drop(g);
+}

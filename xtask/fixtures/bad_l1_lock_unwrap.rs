@@ -1,0 +1,8 @@
+//! Fixture: L1 `lock-unwrap` must fire exactly once — a bare
+//! `.lock().unwrap()` discards the poison state.
+
+fn main() {
+    let m = std::sync::Mutex::new(0u32);
+    let g = m.lock().unwrap();
+    drop(g);
+}

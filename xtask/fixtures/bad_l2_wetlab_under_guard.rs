@@ -1,0 +1,18 @@
+//! Fixture: L2 `wetlab-under-lock` must fire exactly once — a wetlab
+//! entry point called while a lock guard binding is still live.
+
+fn main() {
+    let shard = std::sync::Mutex::new(Vec::<u8>::new());
+    let vendor = Vendor;
+    let guard = shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _pool = vendor.synthesize(&guard);
+}
+
+struct Vendor;
+impl Vendor {
+    fn synthesize(&self, _blocks: &[u8]) -> usize {
+        0
+    }
+}

@@ -1,0 +1,11 @@
+// lint-fixture: treat-as crates/core/src/fixture_missing_rank.rs
+//! Fixture: L3 `lock-rank` must fire exactly once — the second lock
+//! field has no `// lock-rank:` annotation.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Fixture {
+    // lock-rank: 0
+    pub directory: RwLock<u32>,
+    pub alloc: Mutex<u32>,
+}

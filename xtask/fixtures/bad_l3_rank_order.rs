@@ -1,0 +1,12 @@
+// lint-fixture: treat-as crates/core/src/fixture_rank_order.rs
+//! Fixture: L3 `lock-rank` must fire exactly once — the fields are
+//! declared in descending rank order (`sched` before `front`).
+
+use std::sync::Mutex;
+
+pub struct Fixture {
+    // lock-rank: sched
+    pub sched: Mutex<u32>,
+    // lock-rank: front
+    pub front: Mutex<u32>,
+}

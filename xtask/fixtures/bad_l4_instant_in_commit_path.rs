@@ -1,0 +1,8 @@
+// lint-fixture: treat-as crates/core/src/fixture_commit_clock.rs
+//! Fixture: L4 `determinism` must fire exactly once — wall-clock time
+//! sampled inside the deterministic commit/epoch scope.
+
+pub fn commit_epoch() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

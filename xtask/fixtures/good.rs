@@ -1,0 +1,43 @@
+// lint-fixture: treat-as crates/core/src/fixture_good.rs
+//! Fixture: a lint-clean file — every rule's *correct* idiom in one
+//! place. Linting this file must produce zero diagnostics.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub struct GoodStore {
+    // lock-rank: 0
+    pub directory: RwLock<u32>,
+    // lock-rank: 1
+    pub alloc: Mutex<u32>,
+    // lock-rank: 2+pid
+    pub shard: Mutex<Vec<u8>>,
+    // lock-rank: log
+    pub log_shard: Mutex<Vec<u8>>,
+}
+
+pub fn snapshot_then_wetlab(store: &GoodStore, vendor: &Vendor) -> usize {
+    // The snapshot is taken inside a block expression: the guard dies at
+    // the block's closing brace, so the wetlab call below runs lock-free.
+    let snapshot = {
+        let shard = store.shard.lock().expect("data shard");
+        shard.clone()
+    };
+    vendor.synthesize(&snapshot)
+}
+
+pub fn drop_then_wetlab(store: &GoodStore, vendor: &Vendor) -> usize {
+    let shard = store
+        .shard
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let snapshot = shard.clone();
+    drop(shard);
+    vendor.synthesize(&snapshot)
+}
+
+pub struct Vendor;
+impl Vendor {
+    pub fn synthesize(&self, blocks: &[u8]) -> usize {
+        blocks.len()
+    }
+}

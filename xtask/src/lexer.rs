@@ -1,0 +1,330 @@
+//! A minimal hand-rolled Rust lexer — just enough structure for the
+//! lock-discipline lints.
+//!
+//! The lexer separates *code tokens* (identifiers, numbers, single-char
+//! punctuation, opaque literals) from *comments* (kept per-line, because
+//! the lint directives `// lint: allow(...)` and `// lock-rank: ...` live
+//! in comments). String/char literals are consumed as opaque [`TokKind::Literal`]
+//! tokens so their contents can never confuse brace tracking or pattern
+//! matches; nested block comments, raw strings (`r#"…"#`, any hash depth),
+//! byte strings and lifetimes are all handled.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is two `:`).
+    Punct(char),
+    /// An opaque string/char/byte literal or a number.
+    Literal,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Identifier text (empty for punct/literal tokens — not needed).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on. Block
+/// comments spanning multiple lines are recorded once, at their first line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments whose starting line is in `lo..=hi`.
+    pub fn comments_in(&self, lo: u32, hi: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line >= lo && c.line <= hi)
+    }
+}
+
+/// Lex `source` into tokens + comments. Never fails: unterminated
+/// constructs simply consume to end of input (the real compiler is the
+/// authority on well-formedness; the linter only needs a best-effort
+/// stream over code that already compiles).
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance over `chars[i..]` by `n`, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let mut text = String::new();
+            bump!(2);
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!(1);
+            }
+            let text = text.trim_start_matches(['/', '!']).trim().to_string();
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 1usize;
+            bump!(2);
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    text.push(chars[i]);
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: text.trim_start_matches(['*', '!']).trim().to_string(),
+            });
+            continue;
+        }
+        // Raw (byte) strings: r"…", r#"…"#, br#"…"#, any hash depth.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    let start_line = line;
+                    bump!(j - i + 1); // through the opening quote
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && chars.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                bump!(k - i);
+                                break 'raw;
+                            }
+                        }
+                        bump!(1);
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+        }
+        // Plain (byte) string: "…" / b"…" with escapes.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let start_line = line;
+            bump!(if c == 'b' { 2 } else { 1 });
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!(2);
+                } else if chars[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime. `'a` where the ident is not closed by
+        // `'` is a lifetime; `'x'`, `'\n'`, `'\''` are char literals.
+        if c == '\'' {
+            let start_line = line;
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: '\n', '\'', '\u{…}'. The escaped
+                // character itself is consumed unconditionally so '\'' does
+                // not mistake it for the terminator.
+                bump!(3);
+                while i < chars.len() && chars[i] != '\'' {
+                    bump!(1);
+                }
+                bump!(1);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            let mut j = i + 1;
+            while chars
+                .get(j)
+                .is_some_and(|&ch| ch.is_alphanumeric() || ch == '_')
+            {
+                j += 1;
+            }
+            if j > i + 1 && chars.get(j) != Some(&'\'') {
+                // Lifetime: skip the quote; the ident lexes next.
+                bump!(1);
+                continue;
+            }
+            // Char literal (possibly 'x').
+            bump!(1);
+            while i < chars.len() && chars[i] != '\'' {
+                bump!(1);
+            }
+            bump!(1);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Number (loose: suffix chars and `_` consumed; `.` is left to
+        // punct so ranges like `0..10` stay unambiguous).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        bump!(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated_from_code() {
+        let lexed = lex("let s = \".lock().unwrap()\"; // lock-rank: 0\nfoo();");
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("foo")));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "lock-rank: 0");
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex_opaquely() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let r = r#\"} {\"#; }");
+        // The raw string's braces must not appear as puncts.
+        let opens = lexed.toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = lexed.toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* a /* b */ c */ fn f() {}");
+        assert!(lexed.toks.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let lexed = lex("let c = '{'; let d = '\\''; done();");
+        assert!(lexed.toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_punct('{')).count(), 0);
+    }
+}

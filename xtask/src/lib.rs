@@ -1,0 +1,346 @@
+//! Workspace automation: the lock-discipline static lint pass.
+//!
+//! `cargo run -p xtask -- lint` tokenizes every workspace source file (no
+//! crates.io dependencies — see [`lexer`]) and enforces the repo-specific
+//! lock-discipline rules ([`rules::Rule`]):
+//!
+//! - **L1 `lock-unwrap`** — no `.lock().unwrap()` / `.read().unwrap()` /
+//!   `.write().unwrap()`: the poison state must be handled explicitly.
+//! - **L2 `wetlab-under-lock`** — no wetlab/decode entry point invoked in
+//!   a scope where a lock guard binding is still live.
+//! - **L3 `lock-rank`** — every `Mutex`/`RwLock` field in `dna-core`
+//!   carries a `// lock-rank:` annotation consistent with the documented
+//!   hierarchy.
+//! - **L4 `determinism`** — no wall clock or ambient RNG in the
+//!   deterministic commit/epoch scope (core store + wetlab simulator).
+//!
+//! A site may be exempted with a justified directive on the same line or
+//! up to two lines above it:
+//!
+//! ```text
+//! // lint: allow(<rule-key>): <non-empty reason>
+//! ```
+//!
+//! A directive with an empty reason does **not** exempt the site — the
+//! original rule still fires, with a note demanding the justification.
+//! Exempted sites are first-class output: they appear (with their
+//! reasons) in the JSON report, so the lint *surface* — violations plus
+//! exemptions — is diffable across PRs the way `BENCH_throughput.json`
+//! tracks performance.
+//!
+//! Fixture files under `xtask/fixtures/` are excluded from the tree scan
+//! but can be linted explicitly (`cargo run -p xtask -- lint <path>`); a
+//! `// lint-fixture: treat-as <path>` directive in the file's head makes
+//! path-scoped rules (L3/L4) apply as if the file lived at that path.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, Rule};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A violation site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Effective repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation of the violation.
+    pub message: String,
+}
+
+/// An exempted site: a rule matched but a justified
+/// `// lint: allow(...)` directive covers it.
+#[derive(Debug, Clone)]
+pub struct AllowedSite {
+    /// Effective repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The non-empty reason given in the directive.
+    pub reason: String,
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files linted.
+    pub files_scanned: usize,
+    /// Violations per rule.
+    pub violations: Vec<(Rule, Site)>,
+    /// Justified exemptions per rule.
+    pub allowed: Vec<(Rule, AllowedSite)>,
+}
+
+impl Report {
+    /// Total violations across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Violations of one rule.
+    pub fn violations_of(&self, rule: Rule) -> impl Iterator<Item = &Site> {
+        self.violations
+            .iter()
+            .filter(move |(r, _)| *r == rule)
+            .map(|(_, s)| s)
+    }
+
+    /// Human-readable diagnostics, one per line, `file:line` first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (rule, site) in &self.violations {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{} {}] {}",
+                site.file,
+                site.line,
+                rule.code(),
+                rule.key(),
+                site.message
+            );
+        }
+        out
+    }
+
+    /// Machine-readable report: rule → counts → sites (violations and
+    /// justified exemptions with their reasons).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"xtask lint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations());
+        out.push_str("  \"rules\": [\n");
+        let rules = Rule::all();
+        for (ri, rule) in rules.iter().enumerate() {
+            let sites: Vec<&Site> = self.violations_of(*rule).collect();
+            let allowed: Vec<&AllowedSite> = self
+                .allowed
+                .iter()
+                .filter(|(r, _)| r == rule)
+                .map(|(_, s)| s)
+                .collect();
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"rule\": \"{}\",", rule.key());
+            let _ = writeln!(out, "      \"code\": \"{}\",", rule.code());
+            let _ = writeln!(out, "      \"violations\": {},", sites.len());
+            let _ = writeln!(out, "      \"allowed\": {},", allowed.len());
+            out.push_str("      \"sites\": [\n");
+            for (i, s) in sites.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{ \"file\": {}, \"line\": {}, \"message\": {} }}{}",
+                    json_str(&s.file),
+                    s.line,
+                    json_str(&s.message),
+                    if i + 1 < sites.len() { "," } else { "" }
+                );
+            }
+            out.push_str("      ],\n");
+            out.push_str("      \"allowed_sites\": [\n");
+            for (i, s) in allowed.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{ \"file\": {}, \"line\": {}, \"reason\": {} }}{}",
+                    json_str(&s.file),
+                    s.line,
+                    json_str(&s.reason),
+                    if i + 1 < allowed.len() { "," } else { "" }
+                );
+            }
+            out.push_str("      ]\n");
+            let _ = writeln!(out, "    }}{}", if ri + 1 < rules.len() { "," } else { "" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a `lint: allow(<rule>): <reason>` directive from comment text.
+/// Returns `(rule_key, reason)`; the reason is empty when missing.
+pub(crate) fn parse_allow(text: &str) -> Option<(String, String)> {
+    let rest = text.trim().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some((rule, reason))
+}
+
+/// Lint one file's source under its effective repo-relative path.
+pub fn lint_source(effective_path: &str, source: &str, report: &mut Report) {
+    let lexed = lexer::lex(source);
+    let mut findings: Vec<Finding> = Vec::new();
+    findings.extend(rules::check_lock_unwrap(&lexed));
+    findings.extend(rules::check_wetlab_under_lock(&lexed));
+    if rules::in_core(effective_path) {
+        findings.extend(rules::check_lock_rank(&lexed));
+    }
+    if rules::in_deterministic_scope(effective_path) {
+        findings.extend(rules::check_determinism(&lexed));
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    for f in findings {
+        // An allow directive may sit on the site's line or up to two
+        // lines above it.
+        let lo = f.line.saturating_sub(2);
+        let directive = lexed
+            .comments_in(lo, f.line)
+            .filter_map(|c| parse_allow(&c.text))
+            .find(|(rule, _)| rule == f.rule.key());
+        match directive {
+            Some((_, reason)) if !reason.is_empty() => {
+                report.allowed.push((
+                    f.rule,
+                    AllowedSite {
+                        file: effective_path.to_string(),
+                        line: f.line,
+                        reason,
+                    },
+                ));
+            }
+            Some(_) => {
+                report.violations.push((
+                    f.rule,
+                    Site {
+                        file: effective_path.to_string(),
+                        line: f.line,
+                        message: format!(
+                            "{} — a `lint: allow({})` directive is present but its reason \
+                             is empty; justify the exemption",
+                            f.message,
+                            f.rule.key()
+                        ),
+                    },
+                ));
+            }
+            None => {
+                report.violations.push((
+                    f.rule,
+                    Site {
+                        file: effective_path.to_string(),
+                        line: f.line,
+                        message: f.message,
+                    },
+                ));
+            }
+        }
+    }
+    report.files_scanned += 1;
+}
+
+/// The effective repo-relative path of a file: its path relative to
+/// `root`, unless a `// lint-fixture: treat-as <path>` directive in the
+/// file overrides it (fixtures exercising path-scoped rules).
+fn effective_path(root: &Path, file: &Path, source: &str) -> String {
+    for line in source.lines().take(5) {
+        if let Some(rest) = line.trim().strip_prefix("// lint-fixture: treat-as ") {
+            return rest.trim().to_string();
+        }
+    }
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lint an explicit set of files (fixture self-tests, spot checks).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading any of the files.
+pub fn lint_paths(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in files {
+        let source = fs::read_to_string(file)?;
+        let path = effective_path(root, file, &source);
+        lint_source(&path, &source, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.1.file, a.1.line, a.0).cmp(&(&b.1.file, b.1.line, b.0)));
+    report
+        .allowed
+        .sort_by(|a, b| (&a.1.file, a.1.line, a.0).cmp(&(&b.1.file, b.1.line, b.0)));
+    Ok(report)
+}
+
+/// Lint the whole workspace tree: `src`, `tests`, `crates/*/{src,tests}`
+/// and `xtask/{src,tests}`. `vendor/` (third-party subsets) and
+/// `xtask/fixtures/` (deliberately bad snippets) are excluded.
+///
+/// # Errors
+///
+/// Propagates I/O errors walking the tree or reading files.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![
+        root.join("src"),
+        root.join("tests"),
+        root.join("xtask/src"),
+        root.join("xtask/tests"),
+    ];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                roots.push(dir.join("src"));
+                roots.push(dir.join("tests"));
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            collect_rs(&r, &mut files)?;
+        }
+    }
+    files.sort();
+    lint_paths(root, &files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives directly under the workspace root")
+        .to_path_buf()
+}

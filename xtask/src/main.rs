@@ -1,0 +1,72 @@
+//! `cargo run -p xtask -- <command>` — workspace automation.
+//!
+//! Commands:
+//!
+//! - `lint [--json[=PATH]] [FILE...]` — run the lock-discipline lint
+//!   pass over the workspace tree (or over the explicitly listed files).
+//!   Exit code 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//!   `--json` additionally writes the machine-readable report (default
+//!   `LINT_report.json` at the workspace root).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--json[=PATH]] [FILE...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = xtask::workspace_root();
+    let mut json: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        if arg == "--json" {
+            json = Some(root.join("LINT_report.json"));
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json = Some(PathBuf::from(path));
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag: {arg}");
+            return ExitCode::from(2);
+        } else {
+            files.push(PathBuf::from(arg));
+        }
+    }
+    let report = if files.is_empty() {
+        xtask::lint_tree(&root)
+    } else {
+        xtask::lint_paths(&root, &files)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    println!(
+        "xtask lint: {} file(s), {} violation(s), {} justified exemption(s)",
+        report.files_scanned,
+        report.total_violations(),
+        report.allowed.len()
+    );
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("xtask lint: report written to {}", path.display());
+    }
+    if report.total_violations() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
