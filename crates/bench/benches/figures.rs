@@ -102,7 +102,7 @@ fn bench_fig10_mixing(c: &mut Criterion) {
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("tab_cost_and_latency", |b| {
         b.iter(|| {
-            let t = costs::sequencing_costs(0.0034, 0.48);
+            let t = costs::sequencing_costs(0.0034, 0.48).expect("fractions in (0, 1]");
             let u = costs::update_costs(0.48);
             let l = costs::latency_table(t.reduction);
             black_box((t, u, l))

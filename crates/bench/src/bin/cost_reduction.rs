@@ -8,7 +8,8 @@ fn main() {
     let setup = build(AliceConfig::default());
     let a = fig9::whole_partition(&setup, 50_000, 1);
     let b = fig9::precise_access(&setup, 531, 50_000, 0.20, 2);
-    let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction);
+    let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction)
+        .expect("measured useful fractions must be in (0, 1]");
     report::section("§7.3 sequencing cost reduction (block 531)");
     report::compare(
         "baseline useful fraction",

@@ -7,7 +7,8 @@ use dna_bench::report;
 fn main() {
     let setup = build(AliceConfig::default());
     let b = fig9::precise_access(&setup, 531, 50_000, 0.20, 2);
-    let table = costs::update_costs(b.on_target_fraction);
+    let table = costs::update_costs(b.on_target_fraction)
+        .expect("measured on-target fraction must be in (0, 1]");
     report::section("§7.5 cost of creating and retrieving updates (block 531)");
     report::compare(
         "baseline synthesis (naive re-partition)",

@@ -19,15 +19,17 @@ pub struct CostTable {
     pub reduction: f64,
 }
 
-/// Builds the table from measured fractions.
-pub fn sequencing_costs(baseline_useful: f64, ours_useful: f64) -> CostTable {
-    CostTable {
+/// Builds the table from measured fractions. `None` when either measured
+/// fraction is outside `(0, 1]` — a sign the experiment produced garbage,
+/// which must not flow into the report as `inf`/`NaN`.
+pub fn sequencing_costs(baseline_useful: f64, ours_useful: f64) -> Option<CostTable> {
+    Some(CostTable {
         baseline_useful,
         ours_useful,
-        waste_baseline: cost::waste_factor(baseline_useful),
-        waste_ours: cost::waste_factor(ours_useful),
-        reduction: cost::sequencing_cost_reduction(baseline_useful, ours_useful),
-    }
+        waste_baseline: cost::waste_factor(baseline_useful)?,
+        waste_ours: cost::waste_factor(ours_useful)?,
+        reduction: cost::sequencing_cost_reduction(baseline_useful, ours_useful)?,
+    })
 }
 
 /// The §7.5 update-cost table.
@@ -49,18 +51,19 @@ pub struct UpdateCostTable {
 
 /// Builds the §7.5 table. `ours_useful` is the measured on-target fraction
 /// when retrieving the updated block (data + update strands both count).
-pub fn update_costs(ours_useful: f64) -> UpdateCostTable {
+/// `None` when the measured fraction is outside `(0, 1]`.
+pub fn update_costs(ours_useful: f64) -> Option<UpdateCostTable> {
     let twist = dna_sim::SynthesisVendor::twist();
     let baseline_mols = 8805u64;
     let patch_mols = 15u64;
-    UpdateCostTable {
+    Some(UpdateCostTable {
         baseline_synthesis_molecules: baseline_mols,
         patch_molecules: patch_mols,
-        synthesis_reduction: cost::update_synthesis_reduction(baseline_mols, patch_mols),
-        updated_read_reduction: cost::updated_read_reduction(baseline_mols, 30, ours_useful),
+        synthesis_reduction: cost::update_synthesis_reduction(baseline_mols, patch_mols)?,
+        updated_read_reduction: cost::updated_read_reduction(baseline_mols, 30, ours_useful)?,
         baseline_dollars: twist.synthesis_cost(baseline_mols as usize, 150),
         patch_dollars: twist.synthesis_cost(patch_mols as usize, 150),
-    }
+    })
 }
 
 /// One row of the §7.4 latency table.
@@ -92,9 +95,9 @@ mod tests {
 
     #[test]
     fn paper_numbers_from_paper_fractions() {
-        let t = sequencing_costs(0.0034, 0.48);
+        let t = sequencing_costs(0.0034, 0.48).unwrap();
         assert!((t.reduction - 141.0).abs() < 1.5);
-        let u = update_costs(0.48);
+        let u = update_costs(0.48).unwrap();
         assert!((u.synthesis_reduction - 587.0).abs() < 1.0);
         assert!((u.updated_read_reduction - 140.9).abs() < 2.0);
         assert!(u.baseline_dollars / u.patch_dollars > 500.0);

@@ -9,35 +9,59 @@ use dna_sim::{NanoporeModel, NgsRunModel};
 /// Units of unwanted data sequenced per unit of wanted data, given the
 /// fraction of useful reads (§7.1: 0.34% useful → "the baseline system has
 /// to sequence 1/0.34% = 293x of unwanted data").
-pub fn waste_factor(useful_fraction: f64) -> f64 {
-    assert!(useful_fraction > 0.0 && useful_fraction <= 1.0);
-    1.0 / useful_fraction - 1.0
+///
+/// Returns `None` unless `useful_fraction` is a real fraction in `(0, 1]`
+/// — a zero, negative, above-one or NaN input would otherwise leak
+/// `inf`/`NaN` into every report built on top of it.
+pub fn waste_factor(useful_fraction: f64) -> Option<f64> {
+    if useful_fraction > 0.0 && useful_fraction <= 1.0 {
+        Some(1.0 / useful_fraction - 1.0)
+    } else {
+        None
+    }
 }
 
 /// Sequencing cost reduction between a baseline and an improved useful-read
 /// fraction (§7.3: `(293 + 1)/(1.08 + 1) = 141`).
-pub fn sequencing_cost_reduction(baseline_useful: f64, ours_useful: f64) -> f64 {
-    (waste_factor(baseline_useful) + 1.0) / (waste_factor(ours_useful) + 1.0)
+///
+/// Returns `None` when either fraction is outside `(0, 1]` (see
+/// [`waste_factor`]).
+pub fn sequencing_cost_reduction(baseline_useful: f64, ours_useful: f64) -> Option<f64> {
+    Some((waste_factor(baseline_useful)? + 1.0) / (waste_factor(ours_useful)? + 1.0))
 }
 
 /// Synthesis-cost reduction of a versioned update vs the naive
 /// recreate-the-partition baseline (§7.5: "synthesizing the entire new
 /// partition (8805 molecules), whereas in our system it requires the
 /// synthesis of 15 molecules ... a reduction of approximately 580x").
-pub fn update_synthesis_reduction(partition_molecules: u64, patch_molecules: u64) -> f64 {
-    partition_molecules as f64 / patch_molecules as f64
+///
+/// Returns `None` when `patch_molecules` is zero — there is no such thing
+/// as a zero-molecule patch, and dividing by it would report an infinite
+/// reduction.
+pub fn update_synthesis_reduction(partition_molecules: u64, patch_molecules: u64) -> Option<f64> {
+    if patch_molecules == 0 {
+        None
+    } else {
+        Some(partition_molecules as f64 / patch_molecules as f64)
+    }
 }
 
 /// Sequencing-cost reduction for reading an updated block (§7.5: "our
 /// system can perform the precise access that retrieves both data and
 /// updates ... discarding only about 50% of reads and reducing the
 /// sequencing cost for updated data by approximately 0.5·(8805/30) = 146x").
+///
+/// Returns `None` when `block_plus_update_molecules` is zero or
+/// `ours_useful` is outside `(0, 1]`.
 pub fn updated_read_reduction(
     partition_molecules: u64,
     block_plus_update_molecules: u64,
     ours_useful: f64,
-) -> f64 {
-    ours_useful * partition_molecules as f64 / block_plus_update_molecules as f64
+) -> Option<f64> {
+    if block_plus_update_molecules == 0 || !(ours_useful > 0.0 && ours_useful <= 1.0) {
+        return None;
+    }
+    Some(ours_useful * partition_molecules as f64 / block_plus_update_molecules as f64)
 }
 
 /// Synthesis cost of a compaction pass: every rebased block re-synthesizes
@@ -127,9 +151,9 @@ mod tests {
         // §7.1/§7.3: baseline 0.34% useful, ours 48% useful → ~141×.
         let baseline = 0.0034;
         let ours = 0.48;
-        assert!((waste_factor(baseline) - 293.1).abs() < 1.0);
-        assert!((waste_factor(ours) - 1.08).abs() < 0.01);
-        let reduction = sequencing_cost_reduction(baseline, ours);
+        assert!((waste_factor(baseline).unwrap() - 293.1).abs() < 1.0);
+        assert!((waste_factor(ours).unwrap() - 1.08).abs() < 0.01);
+        let reduction = sequencing_cost_reduction(baseline, ours).unwrap();
         assert!(
             (reduction - 141.0).abs() < 1.5,
             "expected ≈141, got {reduction}"
@@ -139,9 +163,9 @@ mod tests {
     #[test]
     fn paper_update_costs_reproduced() {
         // §7.5.
-        let synth = update_synthesis_reduction(8805, 15);
+        let synth = update_synthesis_reduction(8805, 15).unwrap();
         assert!((synth - 587.0).abs() < 1.0);
-        let read = updated_read_reduction(8805, 30, 0.5);
+        let read = updated_read_reduction(8805, 30, 0.5).unwrap();
         assert!((read - 146.75).abs() < 1.0);
     }
 
@@ -178,9 +202,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_useful_fraction_panics() {
-        waste_factor(0.0);
+    fn invalid_fractions_are_rejected_not_infinite() {
+        // The exact boundary: 0 is invalid, the smallest positive value and
+        // 1.0 are both fine.
+        assert_eq!(waste_factor(0.0), None);
+        assert_eq!(waste_factor(1.0), Some(0.0));
+        assert!(waste_factor(f64::MIN_POSITIVE).is_some());
+        // Out-of-range and non-finite inputs.
+        assert_eq!(waste_factor(-0.5), None);
+        assert_eq!(waste_factor(1.5), None);
+        assert_eq!(waste_factor(f64::NAN), None);
+        assert_eq!(waste_factor(f64::INFINITY), None);
+        // The guard propagates through the derived reductions.
+        assert_eq!(sequencing_cost_reduction(0.0, 0.48), None);
+        assert_eq!(sequencing_cost_reduction(0.0034, 0.0), None);
+        assert!(sequencing_cost_reduction(0.0034, 0.48).is_some());
+    }
+
+    #[test]
+    fn zero_molecule_inputs_are_rejected_not_infinite() {
+        assert_eq!(update_synthesis_reduction(8805, 0), None);
+        assert_eq!(update_synthesis_reduction(0, 15), Some(0.0));
+        assert_eq!(updated_read_reduction(8805, 0, 0.5), None);
+        assert_eq!(updated_read_reduction(8805, 30, 0.0), None);
+        assert_eq!(updated_read_reduction(8805, 30, f64::NAN), None);
     }
 
     #[test]

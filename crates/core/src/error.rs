@@ -61,6 +61,15 @@ pub enum StoreError {
     /// result. The request can simply be retried — the panic was contained
     /// to the leader and the server remains serviceable.
     ServerPanicked,
+    /// The partition id no longer fits the on-strand tag field (`u32`).
+    /// Carries the id that overflowed.
+    TooManyPartitions(usize),
+    /// A durability operation failed: snapshot/journal I/O, a corrupt or
+    /// version-mismatched image, or a journal replay that did not reproduce
+    /// the recorded commit epoch. The store's in-memory state stays
+    /// internally consistent, but its on-disk image can no longer be
+    /// trusted to be in sync — callers should checkpoint or fail over.
+    Persist(String),
 }
 
 impl fmt::Display for StoreError {
@@ -95,6 +104,10 @@ impl fmt::Display for StoreError {
             StoreError::ServerPanicked => {
                 write!(f, "the batch leader panicked before publishing this result")
             }
+            StoreError::TooManyPartitions(id) => {
+                write!(f, "partition id {id} does not fit the on-strand u32 tag")
+            }
+            StoreError::Persist(msg) => write!(f, "persistence failure: {msg}"),
         }
     }
 }

@@ -42,6 +42,12 @@
 //! re-synthesizing merged blocks — so update capacity and single-unit
 //! read scopes are both reclaimed instead of degrading monotonically.
 //!
+//! Stores survive the process through the [`persist`] subsystem: a
+//! versioned, checksummed snapshot image plus an epoch-keyed write-ahead
+//! journal. [`persist::open_or_recover_store`] (or
+//! [`service::StoreServer::open_or_recover`]) restores the pre-crash
+//! committed prefix byte-identically, truncating any torn journal tail.
+//!
 //! # Examples
 //!
 //! ```
@@ -71,6 +77,7 @@ pub mod capacity;
 pub mod compaction;
 pub mod cost;
 pub mod layout;
+pub mod persist;
 pub mod planner;
 pub mod service;
 pub mod sync;
@@ -83,8 +90,10 @@ pub use compaction::{CompactionPolicy, CompactionReport, Compactor};
 pub use error::StoreError;
 pub use layout::UpdateLayout;
 pub use partition::{
-    parse_pointer_block, pointer_block, Partition, PartitionConfig, ReclaimedUpdates, VersionSlot,
+    parse_pointer_block, pointer_block, Partition, PartitionBookkeeping, PartitionConfig,
+    ReclaimedUpdates, VersionSlot,
 };
+pub use persist::{open_or_recover_store, PersistPaths};
 pub use service::{BatchWindow, CachePolicy, ServedRead, ServerConfig, ServerStats, StoreServer};
 pub use store::{
     BatchReadOutcome, BlockReadOutcome, BlockStore, CommittedUpdate, PartitionId, PartitionShard,

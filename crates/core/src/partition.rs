@@ -102,8 +102,27 @@ pub struct ReclaimedUpdates {
     pub freed_leaves: Vec<u64>,
 }
 
-/// A storage partition: primer pair + PCR-navigable index tree + versioned
-/// block address space.
+/// The write-state counters a store image must carry for one partition:
+/// everything [`Partition::new`] cannot re-derive from the config. The
+/// index tree and payload seed regenerate from `master_seed` (§4.4 — only
+/// seeds are metadata); these counters, by contrast, advance with every
+/// write and exist nowhere else.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionBookkeeping {
+    /// Per block: number of writes so far (1 = original only).
+    pub write_counts: BTreeMap<u64, u32>,
+    /// Per block: overflow chain leaves, in order.
+    pub chains: BTreeMap<u64, Vec<u64>>,
+    /// Next free overflow leaf.
+    pub overflow_next: u64,
+    /// Highest data block written.
+    pub max_block_written: u64,
+    /// TwoStacks: number of updates placed so far.
+    pub stack_updates: u64,
+}
+
+/// A storage partition: one primer pair + PCR-navigable index tree +
+/// versioned block address space.
 #[derive(Debug, Clone)]
 pub struct Partition {
     config: PartitionConfig,
@@ -141,6 +160,37 @@ impl Partition {
             overflow_next,
             max_block_written: 0,
             stack_updates: 0,
+        }
+    }
+
+    /// Rebuilds a partition from its config, primers, and the write-state
+    /// counters captured by [`Partition::bookkeeping`]. The tree and
+    /// payload seed are re-derived from `config.master_seed`, so the result
+    /// is structurally identical to the partition the bookkeeping came
+    /// from.
+    pub fn restore(
+        config: PartitionConfig,
+        primers: PrimerPair,
+        bookkeeping: PartitionBookkeeping,
+    ) -> Partition {
+        let mut p = Partition::new(config, primers);
+        p.write_counts = bookkeeping.write_counts;
+        p.chains = bookkeeping.chains;
+        p.overflow_next = bookkeeping.overflow_next;
+        p.max_block_written = bookkeeping.max_block_written;
+        p.stack_updates = bookkeeping.stack_updates;
+        p
+    }
+
+    /// Captures the write-state counters for a store image (see
+    /// [`PartitionBookkeeping`]).
+    pub fn bookkeeping(&self) -> PartitionBookkeeping {
+        PartitionBookkeeping {
+            write_counts: self.write_counts.clone(),
+            chains: self.chains.clone(),
+            overflow_next: self.overflow_next,
+            max_block_written: self.max_block_written,
+            stack_updates: self.stack_updates,
         }
     }
 
@@ -257,12 +307,12 @@ impl Partition {
             .iter()
             .enumerate()
             .map(|(col, bytes)| {
-                let codec = PayloadCodec::for_column(
-                    self.payload_seed,
-                    leaf,
-                    slot.base().code(),
-                    col as u8,
-                );
+                // Unit geometry caps columns at total_cols (15 in the
+                // paper); a config that overflowed u8 here would already
+                // have broken the intra-index encoding below.
+                let col_u8 = u8::try_from(col).expect("column index fits u8");
+                let codec =
+                    PayloadCodec::for_column(self.payload_seed, leaf, slot.base().code(), col_u8);
                 let payload = codec.encode(bytes);
                 let strand = geometry
                     .assemble(
@@ -277,7 +327,7 @@ impl Partition {
                     .expect("strand geometry is consistent");
                 Molecule::new(
                     strand,
-                    StrandTag::new(self.config.partition_tag, leaf, slot.0, col as u8),
+                    StrandTag::new(self.config.partition_tag, leaf, slot.0, col_u8),
                 )
             })
             .collect()
@@ -350,9 +400,11 @@ impl Partition {
             UpdateLayout::Interleaved { update_slots } => {
                 let direct = u32::from(update_slots) - 1; // last slot = pointer
                 if update_index <= direct {
+                    // update_index <= direct = update_slots - 1 < 256.
+                    let slot = u8::try_from(update_index).expect("direct slot index fits u8");
                     return Ok(UpdatePlacement {
                         leaf: block,
-                        slot: VersionSlot(update_index as u8),
+                        slot: VersionSlot(slot),
                         pointers: Vec::new(),
                     });
                 }
@@ -361,7 +413,8 @@ impl Partition {
                 let per_leaf = u32::from(update_slots);
                 let j = update_index - direct - 1; // 0-based overflow index
                 let chain_idx = (j / per_leaf) as usize;
-                let slot_in_leaf = (j % per_leaf) as u8;
+                // The remainder is < per_leaf = update_slots, itself a u8.
+                let slot_in_leaf = u8::try_from(j % per_leaf).expect("in-leaf slot fits u8");
                 let chain = self.chain_of(block);
                 let mut pointers = Vec::new();
                 let leaf = if chain_idx < chain.len() {
@@ -673,7 +726,9 @@ impl Partition {
                 let here = overflow_used
                     .saturating_sub(i as u32 * per_leaf)
                     .min(per_leaf);
-                let mut slots: Vec<VersionSlot> = (0..here as u8).map(VersionSlot).collect();
+                // here <= per_leaf = update_slots, a u8.
+                let here = u8::try_from(here).expect("per-leaf patch count fits u8");
+                let mut slots: Vec<VersionSlot> = (0..here).map(VersionSlot).collect();
                 if i + 1 < chain.len() {
                     slots.push(VersionSlot(update_slots));
                 }
@@ -684,7 +739,11 @@ impl Partition {
         // pointer slot once the block has overflowed.
         let updates = self.writes_of(leaf).saturating_sub(1);
         let mut slots = vec![VersionSlot(0)];
-        slots.extend((1..=updates.min(direct)).map(|s| VersionSlot(s as u8)));
+        // Capped at direct = update_slots - 1 < 256.
+        slots.extend(
+            (1..=updates.min(direct))
+                .map(|s| VersionSlot(u8::try_from(s).expect("direct slot index fits u8"))),
+        );
         if !self.chain_of(leaf).is_empty() {
             slots.push(VersionSlot(update_slots));
         }
@@ -948,6 +1007,68 @@ mod tests {
         assert_eq!(p.writes_of(0), 0);
         // Every leaf is writable again, from the bottom.
         p.encode_block(0, &Block::zeroed()).unwrap();
+    }
+
+    #[test]
+    fn slot_math_survives_the_255_boundary() {
+        // update_slots at the u8 maximum: direct slots 1..=254, the pointer
+        // at slot 255, chain leaves carrying 255 patches each. Only the
+        // bookkeeping half runs — real strands stop at 4 version bases —
+        // but none of the slot counters may truncate on the way.
+        let cfg = PartitionConfig {
+            layout: UpdateLayout::Interleaved { update_slots: 255 },
+            ..PartitionConfig::paper_default(21)
+        };
+        let mut p = Partition::new(cfg, primers());
+        p.record_block_write(0).unwrap();
+        // Fill all 254 direct slots.
+        for i in 1..=254u8 {
+            let pl = p.plan_update(0).unwrap();
+            assert_eq!((pl.leaf, pl.slot), (0, VersionSlot(i)));
+            assert!(pl.pointers.is_empty());
+            p.commit_placement(0, &pl);
+        }
+        assert_eq!(p.writes_of(0), 255);
+        // Update 255 crosses into the first chain leaf; the pointer hangs
+        // off the data leaf's slot 255 (the 255/256 boundary itself).
+        let pl = p.plan_update(0).unwrap();
+        assert_eq!((pl.leaf, pl.slot), (1023, VersionSlot(0)));
+        assert_eq!(pl.pointers, vec![(0, VersionSlot(255), 1023)]);
+        p.commit_placement(0, &pl);
+        // The chain leaf fills all 255 of its patch slots without wrapping.
+        for s in 1..255u8 {
+            let pl = p.plan_update(0).unwrap();
+            assert_eq!((pl.leaf, pl.slot), (1023, VersionSlot(s)));
+            p.commit_placement(0, &pl);
+        }
+        let live = p.live_version_slots(1023);
+        assert_eq!(live.len(), 255);
+        assert_eq!(live.last(), Some(&VersionSlot(254)));
+        // Data leaf: base + 254 direct slots + the pointer slot.
+        let live0 = p.live_version_slots(0);
+        assert_eq!(live0.len(), 256);
+        assert_eq!(live0.last(), Some(&VersionSlot(255)));
+    }
+
+    #[test]
+    fn bookkeeping_roundtrip_restores_identical_state() {
+        let mut p = small(UpdateLayout::paper_default());
+        for b in 0..4u64 {
+            p.encode_block(b, &Block::zeroed()).unwrap();
+        }
+        let patch = UpdatePatch::identity();
+        for _ in 0..8 {
+            p.encode_update(0, &patch).unwrap();
+        }
+        let restored = Partition::restore(*p.config(), p.primers().clone(), p.bookkeeping());
+        assert_eq!(restored.bookkeeping(), p.bookkeeping());
+        assert_eq!(restored.writes_of(0), p.writes_of(0));
+        assert_eq!(restored.chain_of(0), p.chain_of(0));
+        assert_eq!(restored.update_headroom(0), p.update_headroom(0));
+        // The re-derived tree gives byte-identical addressing.
+        assert_eq!(restored.elongated_primer(3), p.elongated_primer(3));
+        // And the next planned update lands in the same place.
+        assert_eq!(restored.plan_update(0), p.plan_update(0));
     }
 
     #[test]

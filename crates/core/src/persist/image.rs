@@ -1,0 +1,575 @@
+//! The versioned, checksummed store image and its atomic writer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "DNABSIMG" | u32 FORMAT_VERSION | u64 body_len | body | u64 fnv64
+//! ```
+//!
+//! The trailing checksum is [`checksum64`](crate::block::checksum64) over
+//! every preceding byte (magic, version and length included), so a torn or
+//! bit-flipped image is always detected. The body serializes the
+//! [`StoreImage`] fields in declaration order; see the field docs for what
+//! each shard carries. Derivable state — index trees, payload seeds, the
+//! primer library — is *not* stored: it regenerates from the persisted
+//! seeds (§4.4).
+
+use super::{Dec, Enc, FORMAT_VERSION};
+use crate::block::checksum64;
+use crate::layout::UpdateLayout;
+use crate::partition::{PartitionBookkeeping, PartitionConfig};
+use crate::StoreError;
+use dna_codec::StrandGeometry;
+use dna_ecc::{UnitConfig, UnitField};
+use dna_seq::DnaSeq;
+use dna_sim::StrandTag;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every store image file.
+pub(crate) const IMAGE_MAGIC: [u8; 8] = *b"DNABSIMG";
+
+/// A full serialization of one shard: partition metadata, write-state
+/// bookkeeping, the wetlab tube contents, the digital oracle, and the
+/// shard's commit epoch and live RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardImage {
+    /// Partition configuration (the tree and payload seed re-derive from
+    /// `config.master_seed`).
+    pub config: PartitionConfig,
+    /// Forward primer of the shard's pair.
+    pub forward: DnaSeq,
+    /// Reverse primer of the shard's pair.
+    pub reverse: DnaSeq,
+    /// Write-state counters (chains, write counts, allocators).
+    pub bookkeeping: PartitionBookkeeping,
+    /// Tube contents: every species' sequence, abundance and ground-truth
+    /// tag.
+    pub species: Vec<(DnaSeq, f64, Option<StrandTag>)>,
+    /// The digital front-end oracle: committed 256-byte block images.
+    pub logical: Vec<(u64, Vec<u8>)>,
+    /// Commit epoch — the journal sequence number for this shard.
+    pub epoch: u64,
+    /// Live Xoshiro256** state of the shard's wetlab RNG stream.
+    pub rng_state: [u64; 4],
+    /// DedicatedLog: next free log leaf.
+    pub log_head: u64,
+    /// DedicatedLog: next log entry sequence number.
+    pub log_seq: u32,
+}
+
+/// A full serialization of the store: directory-level state plus one
+/// [`ShardImage`] per partition (the shared log partition, when present,
+/// is `shards[log_pid]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreImage {
+    /// Archive-level seed; the primer library regenerates from it.
+    pub seed: u64,
+    /// Sequencing coverage configured on the instruments.
+    pub coverage: u64,
+    /// Primer pairs handed out so far.
+    pub handed_out: u64,
+    /// Partition id of the shared DedicatedLog partition, if created.
+    pub log_pid: Option<u64>,
+    /// Configuration the log partition is (or will be) created with.
+    pub log_config: PartitionConfig,
+    /// One image per shard, in partition-id order.
+    pub shards: Vec<ShardImage>,
+}
+
+fn encode_geometry(e: &mut Enc, g: &StrandGeometry) {
+    e.u64(g.primer_len as u64);
+    e.u64(g.sync_len as u64);
+    e.u64(g.unit_index_len as u64);
+    e.u64(g.version_len as u64);
+    e.u64(g.intra_index_len as u64);
+    e.u64(g.payload_len as u64);
+}
+
+fn decode_geometry(d: &mut Dec<'_>) -> Result<StrandGeometry, StoreError> {
+    Ok(StrandGeometry {
+        primer_len: d.u64()? as usize,
+        sync_len: d.u64()? as usize,
+        unit_index_len: d.u64()? as usize,
+        version_len: d.u64()? as usize,
+        intra_index_len: d.u64()? as usize,
+        payload_len: d.u64()? as usize,
+    })
+}
+
+fn encode_unit_config(e: &mut Enc, u: &UnitConfig) {
+    e.u64(u.total_cols as u64);
+    e.u64(u.data_cols as u64);
+    e.u64(u.col_bytes as u64);
+    e.u8(match u.field {
+        UnitField::Gf16 => 0,
+        UnitField::Gf256 => 1,
+    });
+}
+
+fn decode_unit_config(d: &mut Dec<'_>) -> Result<UnitConfig, StoreError> {
+    Ok(UnitConfig {
+        total_cols: d.u64()? as usize,
+        data_cols: d.u64()? as usize,
+        col_bytes: d.u64()? as usize,
+        field: match d.u8()? {
+            0 => UnitField::Gf16,
+            1 => UnitField::Gf256,
+            t => return Err(StoreError::Persist(format!("unknown unit field tag {t}"))),
+        },
+    })
+}
+
+pub(crate) fn encode_config(e: &mut Enc, c: &PartitionConfig) {
+    encode_geometry(e, &c.geometry);
+    encode_unit_config(e, &c.unit);
+    e.u64(c.tree_depth as u64);
+    e.u64(c.master_seed);
+    match c.layout {
+        UpdateLayout::Interleaved { update_slots } => {
+            e.u8(0);
+            e.u8(update_slots);
+        }
+        UpdateLayout::TwoStacks => e.u8(1),
+        UpdateLayout::DedicatedLog => e.u8(2),
+    }
+    e.u32(c.partition_tag);
+}
+
+pub(crate) fn decode_config(d: &mut Dec<'_>) -> Result<PartitionConfig, StoreError> {
+    let geometry = decode_geometry(d)?;
+    let unit = decode_unit_config(d)?;
+    let tree_depth = d.u64()? as usize;
+    let master_seed = d.u64()?;
+    let layout = match d.u8()? {
+        0 => UpdateLayout::Interleaved {
+            update_slots: d.u8()?,
+        },
+        1 => UpdateLayout::TwoStacks,
+        2 => UpdateLayout::DedicatedLog,
+        t => return Err(StoreError::Persist(format!("unknown layout tag {t}"))),
+    };
+    let partition_tag = d.u32()?;
+    Ok(PartitionConfig {
+        geometry,
+        unit,
+        tree_depth,
+        master_seed,
+        layout,
+        partition_tag,
+    })
+}
+
+fn encode_tag(e: &mut Enc, tag: &Option<StrandTag>) {
+    match tag {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            e.u32(t.partition);
+            e.u64(t.unit);
+            e.u8(t.version);
+            e.u8(t.column);
+        }
+    }
+}
+
+fn decode_tag(d: &mut Dec<'_>) -> Result<Option<StrandTag>, StoreError> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => {
+            let partition = d.u32()?;
+            let unit = d.u64()?;
+            let version = d.u8()?;
+            let column = d.u8()?;
+            Ok(Some(StrandTag::new(partition, unit, version, column)))
+        }
+        t => Err(StoreError::Persist(format!("unknown tag flag {t}"))),
+    }
+}
+
+fn encode_shard(e: &mut Enc, s: &ShardImage) {
+    encode_config(e, &s.config);
+    e.seq(&s.forward);
+    e.seq(&s.reverse);
+    let bk = &s.bookkeeping;
+    e.u64(bk.write_counts.len() as u64);
+    for (&block, &writes) in &bk.write_counts {
+        e.u64(block);
+        e.u32(writes);
+    }
+    e.u64(bk.chains.len() as u64);
+    for (&block, chain) in &bk.chains {
+        e.u64(block);
+        e.u64(chain.len() as u64);
+        for &leaf in chain {
+            e.u64(leaf);
+        }
+    }
+    e.u64(bk.overflow_next);
+    e.u64(bk.max_block_written);
+    e.u64(bk.stack_updates);
+    e.u64(s.species.len() as u64);
+    for (seq, abundance, tag) in &s.species {
+        e.seq(seq);
+        e.f64(*abundance);
+        encode_tag(e, tag);
+    }
+    e.u64(s.logical.len() as u64);
+    for (block, data) in &s.logical {
+        e.u64(*block);
+        e.bytes(data);
+    }
+    e.u64(s.epoch);
+    for w in s.rng_state {
+        e.u64(w);
+    }
+    e.u64(s.log_head);
+    e.u32(s.log_seq);
+}
+
+fn decode_shard(d: &mut Dec<'_>) -> Result<ShardImage, StoreError> {
+    let config = decode_config(d)?;
+    let forward = d.seq()?;
+    let reverse = d.seq()?;
+    let mut bookkeeping = PartitionBookkeeping::default();
+    for _ in 0..d.u64()? {
+        let block = d.u64()?;
+        let writes = d.u32()?;
+        bookkeeping.write_counts.insert(block, writes);
+    }
+    for _ in 0..d.u64()? {
+        let block = d.u64()?;
+        let len = d.u64()?;
+        let mut chain = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            chain.push(d.u64()?);
+        }
+        bookkeeping.chains.insert(block, chain);
+    }
+    bookkeeping.overflow_next = d.u64()?;
+    bookkeeping.max_block_written = d.u64()?;
+    bookkeeping.stack_updates = d.u64()?;
+    let species_len = d.u64()?;
+    let mut species = Vec::with_capacity(species_len.min(1 << 20) as usize);
+    for _ in 0..species_len {
+        let seq = d.seq()?;
+        let abundance = d.f64()?;
+        let tag = decode_tag(d)?;
+        species.push((seq, abundance, tag));
+    }
+    let logical_len = d.u64()?;
+    let mut logical = Vec::with_capacity(logical_len.min(1 << 20) as usize);
+    for _ in 0..logical_len {
+        let block = d.u64()?;
+        let data = d.bytes()?;
+        logical.push((block, data));
+    }
+    let epoch = d.u64()?;
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = d.u64()?;
+    }
+    let log_head = d.u64()?;
+    let log_seq = d.u32()?;
+    Ok(ShardImage {
+        config,
+        forward,
+        reverse,
+        bookkeeping,
+        species,
+        logical,
+        epoch,
+        rng_state,
+        log_head,
+        log_seq,
+    })
+}
+
+impl StoreImage {
+    /// Serializes the image: magic, version, length-prefixed body, and a
+    /// trailing FNV-1a checksum over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Enc::new();
+        body.u64(self.seed);
+        body.u64(self.coverage);
+        body.u64(self.handed_out);
+        match self.log_pid {
+            None => body.u8(0),
+            Some(pid) => {
+                body.u8(1);
+                body.u64(pid);
+            }
+        }
+        encode_config(&mut body, &self.log_config);
+        body.u64(self.shards.len() as u64);
+        for shard in &self.shards {
+            encode_shard(&mut body, shard);
+        }
+
+        let mut out = Vec::with_capacity(body.buf.len() + 28);
+        out.extend_from_slice(&IMAGE_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(body.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&body.buf);
+        let sum = checksum64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates an encoded image.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Persist`] on bad magic, a format-version mismatch
+    /// (migration required), a length or checksum mismatch, or any decode
+    /// failure — a damaged image is always *detected*, never half-loaded.
+    pub fn decode(bytes: &[u8]) -> Result<StoreImage, StoreError> {
+        if bytes.len() < 28 {
+            return Err(StoreError::Persist(format!(
+                "image too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != IMAGE_MAGIC {
+            return Err(StoreError::Persist("bad image magic".to_string()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Persist(format!(
+                "image format version {version}, this build reads {FORMAT_VERSION}; \
+                 migration required"
+            )));
+        }
+        let body_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let expected_total = 20u64
+            .checked_add(body_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or_else(|| StoreError::Persist("image length overflow".to_string()))?;
+        if bytes.len() as u64 != expected_total {
+            return Err(StoreError::Persist(format!(
+                "image length {} does not match header ({expected_total})",
+                bytes.len()
+            )));
+        }
+        let sum_at = bytes.len() - 8;
+        let recorded = u64::from_le_bytes(bytes[sum_at..].try_into().expect("8 bytes"));
+        let actual = checksum64(&bytes[..sum_at]);
+        if recorded != actual {
+            return Err(StoreError::Persist(format!(
+                "image checksum mismatch: recorded {recorded:#x}, computed {actual:#x}"
+            )));
+        }
+
+        let mut d = Dec::new(&bytes[20..sum_at]);
+        let seed = d.u64()?;
+        let coverage = d.u64()?;
+        let handed_out = d.u64()?;
+        let log_pid = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            t => return Err(StoreError::Persist(format!("unknown log-pid flag {t}"))),
+        };
+        let log_config = decode_config(&mut d)?;
+        let shard_count = d.u64()?;
+        let mut shards = Vec::with_capacity(shard_count.min(1 << 20) as usize);
+        for _ in 0..shard_count {
+            shards.push(decode_shard(&mut d)?);
+        }
+        if !d.finished() {
+            return Err(StoreError::Persist(
+                "trailing bytes after image body".to_string(),
+            ));
+        }
+        Ok(StoreImage {
+            seed,
+            coverage,
+            handed_out,
+            log_pid,
+            log_config,
+            shards,
+        })
+    }
+}
+
+/// Atomically replaces the image at `path` with `image`.
+///
+/// See [`write_image_atomic_with_crash`]; this is the production entry
+/// point without the crash-injection knob.
+///
+/// # Errors
+///
+/// [`StoreError::Persist`] on any I/O failure; the previous image (if
+/// any) is untouched in that case.
+pub fn write_image_atomic(path: &Path, image: &StoreImage) -> Result<(), StoreError> {
+    write_image_atomic_with_crash(path, image, None)
+}
+
+/// Atomically replaces the image at `path`: write to a sibling tmp file,
+/// fsync it, rename over `path`, fsync the parent directory. A crash at
+/// any point leaves either the old image or the new one, never a torn
+/// file, because the rename is the single commit point.
+///
+/// `crash_after_bytes` is a **testing-only** fault-injection knob: when
+/// the tmp file reaches that many bytes the process flushes the partial
+/// prefix and calls [`std::process::abort`], simulating a crash mid-
+/// snapshot. Production callers pass `None` (or use
+/// [`write_image_atomic`]).
+///
+/// # Errors
+///
+/// [`StoreError::Persist`] on any I/O failure.
+pub fn write_image_atomic_with_crash(
+    path: &Path,
+    image: &StoreImage,
+    crash_after_bytes: Option<u64>,
+) -> Result<(), StoreError> {
+    let io = |what: &str, e: std::io::Error| StoreError::Persist(format!("{what}: {e}"));
+    let bytes = image.encode();
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = File::create(&tmp).map_err(|e| io("create image tmp", e))?;
+    if let Some(n) = crash_after_bytes {
+        if n < bytes.len() as u64 {
+            f.write_all(&bytes[..n as usize])
+                .and_then(|()| f.sync_all())
+                .map_err(|e| io("write image tmp (crash injection)", e))?;
+            std::process::abort();
+        }
+    }
+    f.write_all(&bytes).map_err(|e| io("write image tmp", e))?;
+    f.sync_all().map_err(|e| io("fsync image tmp", e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io("rename image", e))?;
+    if let Some(dir) = path.parent() {
+        // Durability of the rename itself requires the directory fsync.
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io("fsync image directory", e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> StoreImage {
+        let mut config = PartitionConfig::small(9, 2, UpdateLayout::paper_default());
+        config.partition_tag = 7;
+        let mut bookkeeping = PartitionBookkeeping {
+            overflow_next: 15,
+            max_block_written: 3,
+            stack_updates: 0,
+            ..PartitionBookkeeping::default()
+        };
+        bookkeeping.write_counts.insert(0, 3);
+        bookkeeping.write_counts.insert(3, 1);
+        bookkeeping.chains.insert(0, vec![15, 14]);
+        let forward: DnaSeq = "AACCGGTTAACCGGTTAACC".parse().unwrap();
+        let reverse: DnaSeq = "AAGGCCTTAAGGCCTTAAGG".parse().unwrap();
+        let shard = ShardImage {
+            config,
+            forward: forward.clone(),
+            reverse,
+            bookkeeping,
+            species: vec![
+                (forward.clone(), 1200.5, None),
+                (forward, 3.25, Some(StrandTag::new(7, 14, 2, 11))),
+            ],
+            logical: vec![(0, vec![0xAB; 256]), (3, vec![0x11; 256])],
+            epoch: 42,
+            rng_state: [1, 2, 3, u64::MAX],
+            log_head: 5,
+            log_seq: 9,
+        };
+        StoreImage {
+            seed: 0x5EED_CAFE,
+            coverage: 12,
+            handed_out: 2,
+            log_pid: Some(1),
+            log_config: PartitionConfig::paper_default(0x106),
+            shards: vec![shard],
+        }
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let image = sample_image();
+        let decoded = StoreImage::decode(&image.encode()).unwrap();
+        assert_eq!(decoded, image);
+    }
+
+    #[test]
+    fn empty_image_roundtrip() {
+        let image = StoreImage {
+            seed: 1,
+            coverage: 12,
+            handed_out: 0,
+            log_pid: None,
+            log_config: PartitionConfig::paper_default(0x106),
+            shards: Vec::new(),
+        };
+        assert_eq!(StoreImage::decode(&image.encode()).unwrap(), image);
+    }
+
+    #[test]
+    fn corruption_is_detected_at_every_byte() {
+        let bytes = sample_image().encode();
+        // Flipping any byte must be caught by the checksum (or an earlier
+        // structural check) — sample a spread of offsets for test budget.
+        for i in (0..bytes.len()).step_by(17) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                StoreImage::decode(&bad).is_err(),
+                "byte {i} flip went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample_image().encode();
+        for len in (0..bytes.len()).step_by(13) {
+            assert!(
+                StoreImage::decode(&bytes[..len]).is_err(),
+                "truncation to {len} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_migration_error() {
+        let mut bytes = sample_image().encode();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Fix up the checksum so only the version differs.
+        let sum_at = bytes.len() - 8;
+        let sum = checksum64(&bytes[..sum_at]);
+        bytes[sum_at..].copy_from_slice(&sum.to_le_bytes());
+        let err = StoreImage::decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("migration required"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_reread() {
+        let dir = std::env::temp_dir().join(format!("dna-image-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.img");
+        let image = sample_image();
+        write_image_atomic(&path, &image).unwrap();
+        let reread = StoreImage::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(reread, image);
+        // Overwrite with a different image: the rename replaces in place.
+        let mut second = image.clone();
+        second.handed_out = 99;
+        write_image_atomic(&path, &second).unwrap();
+        let reread = StoreImage::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(reread.handed_out, 99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

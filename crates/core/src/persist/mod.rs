@@ -1,0 +1,183 @@
+//! Crash-safe durability: versioned store images plus an epoch-keyed
+//! write-ahead journal (ROADMAP item 1).
+//!
+//! The store's whole state — per-shard tube pools, partition placement
+//! metadata, update chains, commit epochs, live RNG streams — normally
+//! lives in RAM. This module makes it outlive the process:
+//!
+//! * [`StoreImage`] is a versioned, checksummed binary serialization of
+//!   the full store, written atomically (tmp file + fsync + rename + parent
+//!   directory fsync) by [`write_image_atomic`]. A torn snapshot write can
+//!   therefore never replace a good image.
+//! * [`Journal`] is a write-ahead journal: every committed mutation —
+//!   block writes, update commits, compactions — is appended as a
+//!   length-prefixed, CRC-framed [`JournalRecord`] keyed by `(pid, epoch)`
+//!   and fsync'd *after* the shard commit and *before* the client observes
+//!   success. The per-shard commit epochs introduced with the sharded
+//!   store double as journal sequence numbers.
+//! * [`open_or_recover_store`] loads the latest valid image, replays the
+//!   journal records strictly above each shard's snapshot epoch, truncates
+//!   any torn tail record, checkpoints, and returns a store that serves
+//!   byte-identically to the pre-crash committed prefix.
+//!
+//! The image stores only what cannot be re-derived: index trees, payload
+//! seeds, and the primer library regenerate deterministically from the
+//! persisted seeds (§4.4 — *"we only need to remember the seed"*), so the
+//! image stays proportional to live state, not address-space size.
+//!
+//! Everything here is hand-rolled little-endian encoding guarded by the
+//! store's FNV-1a [`checksum64`](crate::block::checksum64); no external
+//! serialization dependency is involved, and [`FORMAT_VERSION`] gates
+//! every file this module reads.
+
+mod image;
+mod journal;
+mod recover;
+
+pub use image::{write_image_atomic, write_image_atomic_with_crash, ShardImage, StoreImage};
+pub use journal::{scan_journal, Journal, JournalRecord, JournalScan, JOURNAL_HEADER_LEN};
+pub use recover::{open_or_recover_store, PersistPaths};
+
+use crate::StoreError;
+use dna_seq::DnaSeq;
+
+/// Version of the on-disk image and journal formats. Any change to the
+/// encoded layout — field order, widths, new record kinds — MUST bump this
+/// constant and add a migration note to the README's "Durability & crash
+/// recovery" section; the `format_golden_pin` test (and the CI format-gate
+/// job running it) fails otherwise.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Little-endian byte-stream encoder shared by the image and journal
+/// formats.
+#[derive(Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A DNA sequence: base count + 2-bit-packed bases.
+    pub(crate) fn seq(&mut self, v: &DnaSeq) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(&v.to_packed_bytes());
+    }
+}
+
+/// Little-endian byte-stream decoder; every read is bounds-checked and
+/// fails with [`StoreError::Persist`] on truncation.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                StoreError::Persist(format!(
+                    "truncated record: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, StoreError> {
+        let len = self.len_prefix()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    pub(crate) fn seq(&mut self) -> Result<DnaSeq, StoreError> {
+        // The prefix counts BASES, but the payload is 2-bit packed: only
+        // div_ceil(bases, 4) bytes follow. Validating the base count
+        // against the remaining byte budget (as `len_prefix` would)
+        // spuriously rejects any sequence longer than ~the buffer tail —
+        // e.g. the last species of a shard with no logical blocks after it.
+        let bases = self.u64()?;
+        let packed_len = bases.div_ceil(4);
+        if packed_len > (self.buf.len() - self.pos) as u64 {
+            return Err(StoreError::Persist(format!(
+                "corrupt sequence length {bases} bases ({packed_len} packed bytes) \
+                 exceeds remaining {} bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        let packed = self.take(packed_len as usize)?;
+        Ok(DnaSeq::from_packed_bytes(packed, bases as usize))
+    }
+
+    /// A `u64` length prefix validated against the remaining buffer, so a
+    /// corrupt length can never trigger a huge allocation.
+    fn len_prefix(&mut self) -> Result<usize, StoreError> {
+        let len = self.u64()?;
+        if len > (self.buf.len() - self.pos) as u64 {
+            return Err(StoreError::Persist(format!(
+                "corrupt length prefix {len} exceeds remaining {} bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(len as usize)
+    }
+
+    /// Whether every byte has been consumed — decoding must account for
+    /// the entire input or the format is out of sync.
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}

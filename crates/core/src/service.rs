@@ -467,6 +467,37 @@ impl StoreServer {
         }
     }
 
+    /// Opens (or creates) the durable store rooted at `dir` — recovering
+    /// the pre-crash committed prefix, see
+    /// [`open_or_recover_store`](crate::persist::open_or_recover_store) —
+    /// and wraps it in a server. The staleness oracle seeds from the
+    /// recovered logical contents exactly as [`StoreServer::new`] does, so
+    /// a recovered server serves byte-identically from the first request.
+    ///
+    /// # Errors
+    ///
+    /// See [`open_or_recover_store`](crate::persist::open_or_recover_store).
+    pub fn open_or_recover(
+        dir: &std::path::Path,
+        seed: u64,
+        config: ServerConfig,
+    ) -> Result<StoreServer, StoreError> {
+        let store = crate::persist::open_or_recover_store(dir, seed)?;
+        Ok(StoreServer::new(store, config))
+    }
+
+    /// Checkpoints the underlying store: writes a fresh snapshot image and
+    /// resets the journal (see [`BlockStore::checkpoint`]). Safe to call
+    /// concurrently with serving — the store takes its own locks; the
+    /// server's cache and oracle are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockStore::checkpoint`].
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        self.store.checkpoint()
+    }
+
     // ----- poison-recovering lock helpers ----------------------------------
     //
     // A client thread that panicks while holding a service lock poisons

@@ -73,6 +73,9 @@ use crate::block::{unit_checksum_ok, Block, BLOCK_SIZE};
 use crate::compaction::CompactionReport;
 use crate::layout::UpdateLayout;
 use crate::partition::{parse_pointer_block, Partition, PartitionConfig, VersionSlot};
+use crate::persist::{
+    write_image_atomic_with_crash, Journal, JournalRecord, PersistPaths, ShardImage, StoreImage,
+};
 use crate::sync::{LockRank, RankedMutex, RankedMutexGuard, RankedRwLock, RankedRwLockReadGuard};
 use crate::update::UpdatePatch;
 use crate::StoreError;
@@ -287,6 +290,16 @@ struct PrimerAlloc {
     handed_out: usize,
 }
 
+/// The attached durability sink: the open write-ahead journal plus the
+/// paths the next checkpoint writes. Absent on stores opened with
+/// [`BlockStore::new`] — those are ephemeral, exactly as before the
+/// persist subsystem existed.
+#[derive(Debug)]
+struct DurableSink {
+    journal: Journal,
+    paths: PersistPaths,
+}
+
 /// The full system: partitions, the per-partition archival tubes, and the
 /// simulated instruments — sharded for concurrency as documented at the
 /// [module level](self).
@@ -302,6 +315,11 @@ pub struct BlockStore {
     directory: RankedRwLock<Directory>,
     // lock-rank: 1
     alloc: RankedMutex<PrimerAlloc>,
+    /// Write-ahead journal, appended inside commit critical sections.
+    /// Its rank is last of all, so a commit may journal while holding any
+    /// store lock; nothing is ever acquired under it.
+    // lock-rank: journal
+    journal: RankedMutex<Option<DurableSink>>,
 }
 
 /// Ground-truth tag distinguishing shared-log strands in the simulator.
@@ -341,6 +359,7 @@ impl BlockStore {
                     handed_out: 0,
                 },
             ),
+            journal: RankedMutex::new(LockRank::JOURNAL, "journal", None),
         }
     }
 
@@ -427,7 +446,7 @@ impl BlockStore {
             ));
         }
         dir.log_config = config;
-        Ok(())
+        self.journal_append(JournalRecord::SetLogConfig { config })
     }
 
     /// Sets the sequencing coverage (reads per expected strand).
@@ -546,13 +565,18 @@ impl BlockStore {
         let pair = self.next_primer_pair()?;
         let mut config = config;
         let pid = dir.shards.len();
-        config.partition_tag = pid as u32;
+        config.partition_tag =
+            u32::try_from(pid).map_err(|_| StoreError::TooManyPartitions(pid))?;
         let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
         dir.shards.push(Arc::new(RankedMutex::new(
             LockRank::shard(pid),
             "data-shard",
             PartitionShard::new(Partition::new(config, pair), rng),
         )));
+        self.journal_append(JournalRecord::CreatePartition {
+            pid: pid as u64,
+            config,
+        })?;
         Ok(PartitionId(pid))
     }
 
@@ -569,6 +593,7 @@ impl BlockStore {
         let pair = self.next_primer_pair()?;
         let mut cfg = dir.log_config;
         cfg.partition_tag = LOG_PARTITION_TAG; // distinguish log strands in tags
+        dir.log_config = cfg; // canonical: the template matches the journaled creation
         let pid = dir.shards.len();
         let rng = DetRng::seed_from_u64(dir.seed ^ 0xA11C).derive(pid as u64);
         dir.shards.push(Arc::new(RankedMutex::new(
@@ -577,6 +602,10 @@ impl BlockStore {
             PartitionShard::new(Partition::new(cfg, pair), rng),
         )));
         dir.log_pid = Some(pid);
+        self.journal_append(JournalRecord::CreateLogPartition {
+            pid: pid as u64,
+            config: cfg,
+        })?;
         Ok(pid)
     }
 
@@ -589,6 +618,373 @@ impl BlockStore {
         let rev = alloc.library.primer(alloc.handed_out + 1).clone();
         alloc.handed_out += 2;
         Ok(PrimerPair::new(fwd, rev))
+    }
+
+    // ----- durability ------------------------------------------------------
+
+    /// Appends `record` to the write-ahead journal, if one is attached.
+    ///
+    /// Called inside commit critical sections, after the epoch bump and
+    /// before the caller observes success — the journal rank is last, so
+    /// appending under any held store lock respects the global order. A
+    /// failed append surfaces as [`StoreError::Persist`]: the in-memory
+    /// commit has already happened (the store stays internally consistent)
+    /// but its durability is unknown, the standard ambiguous-outcome
+    /// contract of a write-ahead log.
+    fn journal_append(&self, record: JournalRecord) -> Result<(), StoreError> {
+        let mut sink = self.journal.lock().expect("journal lock");
+        match sink.as_mut() {
+            Some(sink) => sink.journal.append(&record),
+            None => Ok(()),
+        }
+    }
+
+    /// Attaches the durability sink: every subsequent commit journals
+    /// through `journal`, and [`BlockStore::checkpoint`] writes to
+    /// `paths`. Called by the recovery path once replay is complete.
+    pub(crate) fn attach_durability(&self, journal: Journal, paths: PersistPaths) {
+        let mut sink = self.journal.lock().expect("journal lock");
+        *sink = Some(DurableSink { journal, paths });
+    }
+
+    /// Bytes currently in the attached journal (header included), or
+    /// `None` when the store is ephemeral. Crash-injection tests use this
+    /// to aim their abort offsets.
+    pub fn journal_bytes(&self) -> Option<u64> {
+        let sink = self.journal.lock().expect("journal lock");
+        sink.as_ref().map(|s| s.journal.bytes_written())
+    }
+
+    /// Arms the attached journal's crash-injection knob (see
+    /// [`Journal::set_crash_after_bytes`]): the process aborts mid-append
+    /// once the journal file would grow past `limit` absolute bytes.
+    /// Testing only; no-op on an ephemeral store.
+    pub fn set_journal_crash_after_bytes(&self, limit: Option<u64>) {
+        let mut sink = self.journal.lock().expect("journal lock");
+        if let Some(sink) = sink.as_mut() {
+            sink.journal.set_crash_after_bytes(limit);
+        }
+    }
+
+    /// Captures a consistent full-store image. Takes every lock in the
+    /// documented global order — directory, primer allocator, data shards
+    /// ascending, log shard last — and holds them for the duration, so the
+    /// image is a true point-in-time snapshot.
+    pub fn capture_image(&self) -> StoreImage {
+        let dir = self.dir_read();
+        let alloc = self.alloc.lock().expect("primer alloc lock");
+        let guards = Self::lock_all_shards(&dir);
+        Self::image_of(
+            &dir,
+            alloc.handed_out,
+            self.instruments.coverage as u64,
+            &guards,
+        )
+    }
+
+    /// Locks every shard in the global order (data shards ascending pid,
+    /// log shard last), returning the guards indexed by pid.
+    fn lock_all_shards<'a>(dir: &'a Directory) -> Vec<RankedMutexGuard<'a, PartitionShard>> {
+        let mut slots: Vec<Option<RankedMutexGuard<'a, PartitionShard>>> =
+            (0..dir.shards.len()).map(|_| None).collect();
+        for (pid, cell) in dir.shards.iter().enumerate() {
+            if Some(pid) == dir.log_pid {
+                continue;
+            }
+            slots[pid] = Some(cell.lock().expect("shard lock"));
+        }
+        if let Some(log_pid) = dir.log_pid {
+            slots[log_pid] = Some(dir.shards[log_pid].lock().expect("shard lock"));
+        }
+        slots
+            .into_iter()
+            .map(|g| g.expect("every shard locked"))
+            .collect()
+    }
+
+    fn image_of(
+        dir: &Directory,
+        handed_out: usize,
+        coverage: u64,
+        guards: &[RankedMutexGuard<'_, PartitionShard>],
+    ) -> StoreImage {
+        let shards = guards
+            .iter()
+            .map(|shard| ShardImage {
+                config: *shard.partition.config(),
+                forward: shard.partition.primers().forward().clone(),
+                reverse: shard.partition.primers().reverse().clone(),
+                bookkeeping: shard.partition.bookkeeping(),
+                species: shard
+                    .tube
+                    .iter()
+                    .map(|(seq, sp)| (seq.clone(), sp.abundance, sp.tag))
+                    .collect(),
+                logical: shard
+                    .logical
+                    .iter()
+                    .map(|(&b, img)| (b, img.data.clone()))
+                    .collect(),
+                epoch: shard.epoch,
+                rng_state: shard.rng.state(),
+                log_head: shard.log_head,
+                log_seq: shard.log_seq,
+            })
+            .collect();
+        StoreImage {
+            seed: dir.seed,
+            coverage,
+            handed_out: handed_out as u64,
+            log_pid: dir.log_pid.map(|p| p as u64),
+            log_config: dir.log_config,
+            shards,
+        }
+    }
+
+    /// Checkpoints the store: atomically writes a fresh image and resets
+    /// the journal to just its header, all while holding every store lock —
+    /// no commit can land between the image capture and the journal reset,
+    /// so image + journal always describe one consistent history.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Persist`] if no durability sink is attached (open the
+    /// store through recovery first) or on any I/O failure.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        self.checkpoint_with_crash(None)
+    }
+
+    /// As [`BlockStore::checkpoint`], aborting the process after
+    /// `crash_after_bytes` of the new image have reached the temporary
+    /// file (see [`write_image_atomic_with_crash`]). Testing only.
+    pub fn checkpoint_with_crash(&self, crash_after_bytes: Option<u64>) -> Result<(), StoreError> {
+        let dir = self.dir_read();
+        let alloc = self.alloc.lock().expect("primer alloc lock");
+        let guards = Self::lock_all_shards(&dir);
+        let mut sink = self.journal.lock().expect("journal lock");
+        let Some(sink) = sink.as_mut() else {
+            return Err(StoreError::Persist(
+                "no durability sink attached; open the store through open_or_recover".to_string(),
+            ));
+        };
+        let image = Self::image_of(
+            &dir,
+            alloc.handed_out,
+            self.instruments.coverage as u64,
+            &guards,
+        );
+        write_image_atomic_with_crash(&sink.paths.image(), &image, crash_after_bytes)?;
+        sink.journal.truncate_to_header()
+    }
+
+    /// Rebuilds a store from a decoded image: regenerates the primer
+    /// library from the persisted seed (§4.4 — the index trees, payload
+    /// codecs and primer library all re-derive from seeds; only live state
+    /// is stored) and restores every shard verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Persist`] when the image is internally inconsistent
+    /// (out-of-range log pid, oversized blocks, primer over-allocation) —
+    /// possible only for a hand-built image, since the checksum already
+    /// vetted the bytes.
+    pub fn from_image(image: &StoreImage) -> Result<BlockStore, StoreError> {
+        let mut store = BlockStore::new(image.seed);
+        if image.coverage == 0 {
+            return Err(StoreError::Persist(
+                "image records zero sequencing coverage".to_string(),
+            ));
+        }
+        store.instruments.coverage = image.coverage as usize;
+        let log_pid = match image.log_pid {
+            Some(p) if p as usize >= image.shards.len() => {
+                return Err(StoreError::Persist(format!(
+                    "image log pid {p} out of range ({} shards)",
+                    image.shards.len()
+                )));
+            }
+            other => other.map(|p| p as usize),
+        };
+        {
+            let mut dir = store.directory.write().expect("directory lock");
+            dir.log_pid = log_pid;
+            dir.log_config = image.log_config;
+            for (pid, s) in image.shards.iter().enumerate() {
+                let partition = Partition::restore(
+                    s.config,
+                    PrimerPair::new(s.forward.clone(), s.reverse.clone()),
+                    s.bookkeeping.clone(),
+                );
+                let mut tube = Pool::new();
+                for (seq, abundance, tag) in &s.species {
+                    tube.add(seq.clone(), *abundance, *tag);
+                }
+                let mut logical = BTreeMap::new();
+                for (block, data) in &s.logical {
+                    if data.len() != BLOCK_SIZE {
+                        return Err(StoreError::Persist(format!(
+                            "image block {block} has {} bytes, expected {BLOCK_SIZE}",
+                            data.len()
+                        )));
+                    }
+                    logical.insert(*block, Block::from_bytes(data)?);
+                }
+                let (rank, name) = if Some(pid) == log_pid {
+                    (LockRank::LOG_SHARD, "log-shard")
+                } else {
+                    (LockRank::shard(pid), "data-shard")
+                };
+                dir.shards.push(Arc::new(RankedMutex::new(
+                    rank,
+                    name,
+                    PartitionShard {
+                        partition: Arc::new(partition),
+                        tube: Arc::new(tube),
+                        logical,
+                        epoch: s.epoch,
+                        rng: DetRng::from_state(s.rng_state),
+                        log_head: s.log_head,
+                        log_seq: s.log_seq,
+                    },
+                )));
+            }
+        }
+        {
+            let mut alloc = store.alloc.lock().expect("primer alloc lock");
+            let handed_out = image.handed_out as usize;
+            if handed_out > alloc.library.len() {
+                return Err(StoreError::Persist(format!(
+                    "image hands out {handed_out} primers but the library holds {}",
+                    alloc.library.len()
+                )));
+            }
+            alloc.handed_out = handed_out;
+        }
+        Ok(store)
+    }
+
+    /// Replays one journal record during recovery (the journal is not yet
+    /// attached, so replayed commits do not re-journal themselves).
+    ///
+    /// Records already covered by the image — epoch at or below the
+    /// shard's current epoch, partitions that already exist — are skipped,
+    /// making replay idempotent. Every applied record must land exactly on
+    /// its recorded epoch; a mismatch means the journal does not describe
+    /// this store and recovery fails detectably.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Persist`] on any divergence between the record and
+    /// the store; the record's own replayed operation may also fail.
+    pub(crate) fn replay_record(&self, record: &JournalRecord) -> Result<(), StoreError> {
+        match record {
+            JournalRecord::CreatePartition { pid, config } => {
+                let existing = self.dir_read().shards.len() as u64;
+                if *pid < existing {
+                    return Ok(()); // already in the image
+                }
+                if *pid > existing {
+                    return Err(StoreError::Persist(format!(
+                        "journal creates partition {pid} but only {existing} exist"
+                    )));
+                }
+                let got = self.create_partition(*config)?;
+                if got.0 as u64 != *pid {
+                    return Err(StoreError::Persist(format!(
+                        "replayed partition creation produced pid {} instead of {pid}",
+                        got.0
+                    )));
+                }
+                Ok(())
+            }
+            JournalRecord::CreateLogPartition { pid, config } => {
+                if let Some(existing) = self.dir_read().log_pid {
+                    if existing as u64 != *pid {
+                        return Err(StoreError::Persist(format!(
+                            "journal places the log at pid {pid} but the image has it at {existing}"
+                        )));
+                    }
+                    return Ok(()); // already in the image
+                }
+                {
+                    let mut dir = self.directory.write().expect("directory lock");
+                    dir.log_config = *config;
+                }
+                let got = self.ensure_log_partition()?;
+                if got as u64 != *pid {
+                    return Err(StoreError::Persist(format!(
+                        "replayed log creation produced pid {got} instead of {pid}"
+                    )));
+                }
+                Ok(())
+            }
+            JournalRecord::WriteFile {
+                pid,
+                first_block,
+                data,
+                epoch,
+            } => {
+                let pid = PartitionId(*pid as usize);
+                if *epoch <= self.shard_epoch(pid)? {
+                    return Ok(()); // already in the image
+                }
+                self.write_file_at(pid, *first_block, data)?;
+                self.check_replay_epoch(pid, *epoch)
+            }
+            JournalRecord::Update {
+                pid,
+                block,
+                content,
+                epoch,
+            } => {
+                let pid = PartitionId(*pid as usize);
+                if *epoch <= self.shard_epoch(pid)? {
+                    return Ok(());
+                }
+                self.update_block(pid, *block, content)?;
+                self.check_replay_epoch(pid, *epoch)
+            }
+            JournalRecord::Compact { pid, epoch } => {
+                let pid = PartitionId(*pid as usize);
+                if *epoch <= self.shard_epoch(pid)? {
+                    return Ok(());
+                }
+                self.compact_partition(pid)?;
+                self.check_replay_epoch(pid, *epoch)
+            }
+            JournalRecord::CompactLog { epoch } => {
+                let log_pid = self.log_partition_id().ok_or_else(|| {
+                    StoreError::Persist(
+                        "journal compacts the log but no log partition exists".to_string(),
+                    )
+                })?;
+                if *epoch <= self.shard_epoch(log_pid)? {
+                    return Ok(());
+                }
+                self.compact_log()?;
+                self.check_replay_epoch(log_pid, *epoch)
+            }
+            JournalRecord::SetLogConfig { config } => {
+                if self.dir_read().log_pid.is_some() {
+                    return Ok(()); // image already holds the created log
+                }
+                let mut dir = self.directory.write().expect("directory lock");
+                dir.log_config = *config;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_replay_epoch(&self, pid: PartitionId, expected: u64) -> Result<(), StoreError> {
+        let got = self.shard_epoch(pid)?;
+        if got == expected {
+            Ok(())
+        } else {
+            Err(StoreError::Persist(format!(
+                "replay left partition {} at epoch {got}, journal recorded {expected}",
+                pid.0
+            )))
+        }
     }
 
     // ----- writes ----------------------------------------------------------
@@ -639,6 +1035,12 @@ impl BlockStore {
         // lint: allow(wetlab-under-lock): commit-phase merge of already-synthesized molecules; no wetlab simulation runs here
         Arc::make_mut(&mut shard.tube).mix_in(&synthesized, 1.0, 1.0);
         shard.epoch += 1;
+        self.journal_append(JournalRecord::WriteFile {
+            pid: pid.0 as u64,
+            first_block,
+            data: data.to_vec(),
+            epoch: shard.epoch,
+        })?;
         Ok(blocks.len() as u64)
     }
 
@@ -727,6 +1129,12 @@ impl BlockStore {
             Arc::make_mut(&mut shard.tube).mix_in(&rewrites, 1.0, dilution);
             shard.logical.insert(block, new.clone());
             shard.epoch += 1;
+            self.journal_append(JournalRecord::Update {
+                pid: pid.0 as u64,
+                block,
+                content: new.data.clone(),
+                epoch: shard.epoch,
+            })?;
             return Ok(CommittedUpdate {
                 image: new,
                 epoch: shard.epoch,
@@ -769,7 +1177,9 @@ impl BlockStore {
             });
         }
         // Encode + synthesize the entry with no locks held.
-        let entry = log_entry_block(target.pid as u32, block, seq, patch);
+        let target_tag =
+            u32::try_from(target.pid).expect("pid fits u32: enforced at partition creation");
+        let entry = log_entry_block(target_tag, block, seq, patch);
         let designs = log_partition.encode_unit(head, VersionSlot(0), &entry);
         let (rewrites, cost) = self.instruments.synthesize_rewrites(&designs, &mut rng);
         debug_assert!(cost >= 0.0);
@@ -802,6 +1212,12 @@ impl BlockStore {
         Arc::make_mut(&mut shard.partition).note_external_update(block);
         shard.logical.insert(block, new.clone());
         shard.epoch += 1;
+        self.journal_append(JournalRecord::Update {
+            pid: target.pid as u64,
+            block,
+            content: new.data.clone(),
+            epoch: shard.epoch,
+        })?;
         Ok(Some(CommittedUpdate {
             image: new.clone(),
             epoch: shard.epoch,
@@ -987,6 +1403,10 @@ impl BlockStore {
             // lint: allow(wetlab-under-lock): commit-phase merge of pre-synthesized rewrites; synthesis ran lock-free above
             tube.mix_in(&rewrites, 1.0, dilution);
             shard.epoch += 1;
+            self.journal_append(JournalRecord::Compact {
+                pid: pid.0 as u64,
+                epoch: shard.epoch,
+            })?;
             return Ok(CompactionReport {
                 partitions_compacted: 1,
                 blocks_rebased: reclaimed.rebased_blocks.len(),
@@ -1093,6 +1513,7 @@ impl BlockStore {
         log.log_head = 0;
         log.log_seq = 0;
         log.epoch += 1;
+        self.journal_append(JournalRecord::CompactLog { epoch: log.epoch })?;
         report.rewrites_synthesized = report.blocks_rebased as u64;
         Ok(report)
     }

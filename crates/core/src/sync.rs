@@ -8,6 +8,8 @@
 //! 3. data-shard `Mutex`es in ascending partition-id order (rank `2 + pid`)
 //! 4. the dedicated-log shard `Mutex` last among store locks
 //! 5. serving-layer front-end `Mutex`, then the scheduler `Mutex`
+//! 6. the write-ahead journal `Mutex` very last, so any commit section can
+//!    append its durability record before releasing its locks
 //!
 //! [`RankedMutex`] and [`RankedRwLock`] wrap `std::sync` primitives and, in
 //! debug/test builds, keep a thread-local stack of held ranks. Acquiring a
@@ -73,6 +75,10 @@ impl LockRank {
     pub const SERVICE_FRONT: LockRank = LockRank(LOG_BASE + 1);
     /// The serving-layer scheduler `Mutex` — after the front end.
     pub const SERVICE_SCHED: LockRank = LockRank(LOG_BASE + 2);
+    /// The write-ahead journal `Mutex` — last of all ranks, so a commit may
+    /// append its record while still inside the critical section of any
+    /// store (or serving-layer) lock. Nothing is ever acquired under it.
+    pub const JOURNAL: LockRank = LockRank(LOG_BASE + 3);
 
     /// Rank of the data shard for partition `pid`: `2 + pid`, so ascending
     /// partition ids are ascending ranks.
@@ -94,6 +100,7 @@ impl fmt::Display for LockRank {
             n if n == LOG_BASE => write!(f, "log-shard (rank last-of-store)"),
             n if n == LOG_BASE + 1 => write!(f, "service-front (rank after store)"),
             n if n == LOG_BASE + 2 => write!(f, "service-sched (rank after front)"),
+            n if n == LOG_BASE + 3 => write!(f, "journal (rank last)"),
             n => write!(f, "shard(pid={}) (rank 2+pid = {n})", n - SHARD_BASE),
         }
     }

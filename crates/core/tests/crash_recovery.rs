@@ -1,0 +1,363 @@
+//! Crash-injection harness: recovery from torn journals and aborted
+//! snapshots.
+//!
+//! Two attack surfaces, per the durability design:
+//!
+//! * **Torn journal tails** — in-process sweep: a committed history's
+//!   journal is truncated (and separately bit-flipped) at a spread of
+//!   offsets; recovery must yield exactly a committed prefix of the
+//!   pre-crash history (verified against per-epoch oracles) or fail
+//!   detectably. It must never serve torn state.
+//! * **Real aborts** — subprocess tests: a child process re-runs this test
+//!   binary with crash injection armed ([`BlockStore::set_journal_crash_after_bytes`]
+//!   mid-append, [`BlockStore::checkpoint_with_crash`] mid-snapshot) and
+//!   dies via `std::process::abort` at a randomized file offset. The
+//!   parent then recovers the directory the child left behind and verifies
+//!   the committed-prefix property end-to-end through a resumed server.
+
+use dna_block_store::persist::{open_or_recover_store, JOURNAL_HEADER_LEN};
+use dna_block_store::{
+    BlockStore, PartitionConfig, PartitionId, ServerConfig, StoreServer, UpdateLayout, BLOCK_SIZE,
+};
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0xC4A5;
+const BLOCKS: u64 = 2;
+const UPDATES: usize = 6;
+
+/// Environment variables gating the subprocess child bodies. When unset
+/// the child tests are no-ops, so a plain `cargo test` run is unaffected.
+const ENV_DIR: &str = "DNA_CRASH_DIR";
+const ENV_LIMIT: &str = "DNA_CRASH_LIMIT";
+const ENV_MODE: &str = "DNA_CRASH_MODE";
+
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dna-crash-{}-{tag}-{n}", std::process::id()))
+}
+
+/// The deterministic workload shared by every test here: one Interleaved
+/// and one DedicatedLog partition, `UPDATES` alternating single-byte
+/// updates. Returns the oracle: for each partition, the logical bytes
+/// after each number of applied updates (index 0 = post-`write_file`).
+fn oracle_states() -> Vec<Vec<Vec<u8>>> {
+    let mut oracles = Vec::new();
+    for p in 0..2u64 {
+        let mut states = Vec::with_capacity(UPDATES / 2 + 1);
+        let mut data = dna_block_store::workload::deterministic_text(
+            BLOCKS as usize * BLOCK_SIZE,
+            SEED ^ (0x40 + p),
+        );
+        states.push(data.clone());
+        for i in (p as usize..UPDATES).step_by(2) {
+            let off = (i as u64 % BLOCKS) as usize * BLOCK_SIZE;
+            data[off + i] = 0x80 + i as u8;
+            states.push(data.clone());
+        }
+        oracles.push(states);
+    }
+    oracles
+}
+
+/// Runs the deterministic workload against a durable store in `dir`.
+/// `crash_limit` arms mid-append crash injection; `snapshot_crash` instead
+/// runs a crashing checkpoint after the last update.
+fn run_workload(dir: &Path, crash_limit: Option<u64>, snapshot_crash: Option<u64>) {
+    let mut store = open_or_recover_store(dir, SEED).unwrap();
+    // Armed before any mutation: creations, bulk writes and updates are
+    // all fair game for the simulated crash.
+    store.set_journal_crash_after_bytes(crash_limit);
+    store
+        .set_log_partition_config(PartitionConfig::small(
+            SEED ^ 0x31,
+            2,
+            UpdateLayout::paper_default(),
+        ))
+        .unwrap();
+    let mut pids = Vec::new();
+    for (p, layout) in [
+        UpdateLayout::Interleaved { update_slots: 4 },
+        UpdateLayout::DedicatedLog,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let pid = store
+            .create_partition(PartitionConfig::small(SEED ^ (0x50 + p as u64), 3, layout))
+            .unwrap();
+        let data = dna_block_store::workload::deterministic_text(
+            BLOCKS as usize * BLOCK_SIZE,
+            SEED ^ (0x40 + p as u64),
+        );
+        store.write_file(pid, &data).unwrap();
+        pids.push(pid);
+    }
+    let mut oracles = oracle_states();
+    for i in 0..UPDATES {
+        let p = i % 2;
+        let pid = pids[p];
+        let data = &mut oracles[p][0];
+        let off = (i as u64 % BLOCKS) as usize * BLOCK_SIZE;
+        data[off + i] = 0x80 + i as u8;
+        store
+            .update_block(pid, i as u64 % BLOCKS, &data[off..off + BLOCK_SIZE])
+            .unwrap();
+    }
+    if let Some(limit) = snapshot_crash {
+        store.checkpoint_with_crash(Some(limit)).unwrap();
+        unreachable!("snapshot crash injection must abort before returning");
+    }
+}
+
+/// Checks the committed-prefix property on a recovered store: each
+/// partition's logical contents must equal the oracle state for exactly
+/// the number of updates its recovered epoch says were committed, and a
+/// resumed server must serve those bytes with clean stats.
+fn assert_committed_prefix(store: BlockStore) {
+    let oracles = oracle_states();
+    let pids: Vec<PartitionId> = store
+        .partition_ids()
+        .into_iter()
+        .filter(|pid| Some(pid.0) != store.log_partition_id().map(|l| l.0))
+        .collect();
+    let mut expected: Vec<(PartitionId, Vec<u8>)> = Vec::new();
+    for (p, &pid) in pids.iter().enumerate() {
+        let epoch = store.shard_epoch(pid).unwrap();
+        if epoch == 0 {
+            continue; // created but nothing written: nothing to check
+        }
+        let applied = (epoch - 1) as usize;
+        assert!(
+            applied < oracles[p].len(),
+            "partition {} recovered epoch {epoch} beyond the {}-update history",
+            pid.0,
+            oracles[p].len() - 1
+        );
+        let state = &oracles[p][applied];
+        for b in 0..BLOCKS {
+            let off = b as usize * BLOCK_SIZE;
+            let got = store
+                .logical_block(pid, b)
+                .unwrap_or_else(|| panic!("partition {} lost block {b}", pid.0));
+            assert_eq!(
+                &got.data[..],
+                &state[off..off + BLOCK_SIZE],
+                "partition {} block {b} does not match its epoch-{epoch} oracle",
+                pid.0
+            );
+        }
+        expected.push((pid, state.clone()));
+    }
+    // Torn state must also never leak through the serving layer.
+    let server = StoreServer::new(store, ServerConfig::paper_default());
+    for (pid, state) in &expected {
+        for b in 0..BLOCKS {
+            let off = b as usize * BLOCK_SIZE;
+            let out = server.read_block(*pid, b).unwrap();
+            assert_eq!(&out.block.data[..], &state[off..off + BLOCK_SIZE]);
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.reads_served, stats.cache_hits + stats.cache_misses);
+    assert_eq!(
+        stats.stale_serves, 0,
+        "recovery must never serve torn state"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// in-process torn-file sweep
+// ---------------------------------------------------------------------------
+
+/// Truncates the journal at a spread of offsets; every truncation must
+/// recover to a committed prefix (possibly empty) — never to torn state,
+/// never to a panic.
+#[test]
+fn torn_journal_truncation_sweep() {
+    let build_dir = scratch("truncate-build");
+    run_workload(&build_dir, None, None);
+    let journal = std::fs::read(build_dir.join("store.journal")).unwrap();
+    let image = std::fs::read(build_dir.join("store.image")).unwrap();
+    // CI archives a sample of both on-disk formats alongside the format
+    // gate, so a format change always ships with inspectable artifacts.
+    if let Ok(out) = std::env::var("DNA_PERSIST_ARTIFACT_DIR") {
+        let out = PathBuf::from(out);
+        std::fs::create_dir_all(&out).unwrap();
+        std::fs::write(out.join("store.image"), &image).unwrap();
+        std::fs::write(out.join("store.journal"), &journal).unwrap();
+    }
+    let len = journal.len() as u64;
+    assert!(len > JOURNAL_HEADER_LEN, "workload must journal something");
+
+    let span = len - JOURNAL_HEADER_LEN;
+    let mut offsets: Vec<u64> = (0..24)
+        .map(|i| JOURNAL_HEADER_LEN + (i * 977) % span)
+        .collect();
+    offsets.push(JOURNAL_HEADER_LEN); // empty journal
+    offsets.push(len - 1); // one byte short of complete
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    for cut in offsets {
+        let dir = scratch("truncate");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("store.image"), &image).unwrap();
+        std::fs::write(dir.join("store.journal"), &journal[..cut as usize]).unwrap();
+        let store = open_or_recover_store(&dir, SEED)
+            .unwrap_or_else(|e| panic!("truncation at {cut} must stay recoverable: {e}"));
+        assert_committed_prefix(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&build_dir).ok();
+}
+
+/// Flips a byte at a spread of offsets; recovery must either fail
+/// detectably (header damage) or recover a committed prefix (frame damage
+/// ends the scan). It must never propagate the corruption.
+#[test]
+fn corrupt_journal_byte_flip_sweep() {
+    let build_dir = scratch("flip-build");
+    run_workload(&build_dir, None, None);
+    let journal = std::fs::read(build_dir.join("store.journal")).unwrap();
+    let image = std::fs::read(build_dir.join("store.image")).unwrap();
+    let len = journal.len() as u64;
+
+    for i in 0..20u64 {
+        let at = (i * 769) % len;
+        let dir = scratch("flip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bad = journal.clone();
+        bad[at as usize] ^= 0x20;
+        std::fs::write(dir.join("store.image"), &image).unwrap();
+        std::fs::write(dir.join("store.journal"), &bad).unwrap();
+        match open_or_recover_store(&dir, SEED) {
+            Ok(store) => assert_committed_prefix(store),
+            Err(e) => {
+                // Only header damage may hard-fail: wrong magic, version
+                // or seed is a wrong-file condition, not a torn tail.
+                assert!(
+                    at < JOURNAL_HEADER_LEN,
+                    "flip at frame offset {at} must truncate, not error: {e}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&build_dir).ok();
+}
+
+/// A stale image tmp file (crash between tmp write and rename) is swept
+/// away and never mistaken for an image.
+#[test]
+fn stale_image_tmp_is_ignored() {
+    let dir = scratch("stale-tmp");
+    run_workload(&dir, None, None);
+    std::fs::write(dir.join("store.image.tmp"), b"torn snapshot garbage").unwrap();
+    let store = open_or_recover_store(&dir, SEED).unwrap();
+    assert_committed_prefix(store);
+    assert!(
+        !dir.join("store.image.tmp").exists(),
+        "recovery must remove the stale tmp"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// subprocess crash injection
+// ---------------------------------------------------------------------------
+
+/// Child body for the subprocess tests: runs the workload with crash
+/// injection armed per the environment, then exits normally if the
+/// injection never fired. A no-op unless spawned by a parent test.
+#[test]
+fn crash_child() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let limit: u64 = std::env::var(ENV_LIMIT).unwrap().parse().unwrap();
+    match std::env::var(ENV_MODE).unwrap().as_str() {
+        "journal" => run_workload(Path::new(&dir), Some(limit), None),
+        "snapshot" => run_workload(Path::new(&dir), None, Some(limit)),
+        mode => panic!("unknown crash mode {mode}"),
+    }
+}
+
+fn spawn_child(dir: &Path, mode: &str, limit: u64) -> std::process::ExitStatus {
+    std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "crash_child", "--nocapture"])
+        .env(ENV_DIR, dir)
+        .env(ENV_MODE, mode)
+        .env(ENV_LIMIT, limit.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn crash child")
+}
+
+/// Aborts the child mid-journal-append at randomized offsets; the parent
+/// recovers each directory and asserts the committed-prefix property.
+#[test]
+fn crash_mid_journal_append_recovers_committed_prefix() {
+    // Learn the journal's final length from one clean run.
+    let probe = scratch("probe");
+    let status = spawn_child(&probe, "journal", u64::MAX);
+    assert!(status.success(), "uninjected child run must succeed");
+    let final_len = std::fs::metadata(probe.join("store.journal"))
+        .unwrap()
+        .len();
+    std::fs::remove_dir_all(&probe).ok();
+    assert!(final_len > JOURNAL_HEADER_LEN);
+
+    let span = final_len - JOURNAL_HEADER_LEN;
+    for i in 0..4u64 {
+        let limit = JOURNAL_HEADER_LEN + 1 + (i * 1409) % (span - 1);
+        let dir = scratch("abort-journal");
+        let status = spawn_child(&dir, "journal", limit);
+        assert!(
+            !status.success(),
+            "child armed at byte {limit} must die mid-append"
+        );
+        let torn_len = std::fs::metadata(dir.join("store.journal")).unwrap().len();
+        assert!(torn_len <= limit, "no bytes may land past the crash point");
+        let store = open_or_recover_store(&dir, SEED)
+            .unwrap_or_else(|e| panic!("crash at byte {limit} must stay recoverable: {e}"));
+        assert_committed_prefix(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Aborts the child mid-snapshot (during the image tmp write, before the
+/// rename commit point). The journal still holds the full history, so
+/// recovery must reproduce the complete pre-crash state.
+#[test]
+fn crash_mid_snapshot_recovers_full_history() {
+    for limit in [1u64, 64, 700] {
+        let dir = scratch("abort-snapshot");
+        let status = spawn_child(&dir, "snapshot", limit);
+        assert!(
+            !status.success(),
+            "child armed at image byte {limit} must die mid-snapshot"
+        );
+        let store = open_or_recover_store(&dir, SEED)
+            .unwrap_or_else(|e| panic!("snapshot crash at {limit} must stay recoverable: {e}"));
+        // The rename never happened: every update must survive via replay.
+        let oracles = oracle_states();
+        let pids = store.partition_ids();
+        for (p, states) in oracles.iter().enumerate() {
+            let pid = pids[p];
+            let last = states.last().unwrap();
+            for b in 0..BLOCKS {
+                let off = b as usize * BLOCK_SIZE;
+                assert_eq!(
+                    &store.logical_block(pid, b).unwrap().data[..],
+                    &last[off..off + BLOCK_SIZE],
+                    "partition {p} block {b} lost a committed update to the snapshot crash"
+                );
+            }
+        }
+        assert_committed_prefix(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -44,5 +44,5 @@ mod rs;
 
 pub use error::EccError;
 pub use gf::GfTables;
-pub use matrix::{EncodingUnit, UnitConfig};
+pub use matrix::{EncodingUnit, UnitConfig, UnitField};
 pub use rs::ReedSolomon;

@@ -86,6 +86,24 @@ impl DetRng {
         }
     }
 
+    /// Returns the raw Xoshiro256\*\* state, for persistence.
+    ///
+    /// A store image must capture generators mid-stream so that a restored
+    /// archive continues the *same* random sequence (§4.4 demands the tree
+    /// be re-derivable from the seed; shard RNGs additionally advance with
+    /// every operation, so their live state is part of the image).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`DetRng::state`].
+    ///
+    /// The resulting generator continues the exact stream the captured one
+    /// would have produced.
+    pub fn from_state(s: [u64; 4]) -> DetRng {
+        DetRng { s }
+    }
+
     /// Produces the next 64-bit output (Xoshiro256\*\*).
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -301,6 +319,18 @@ mod tests {
         let mut a2 = root.derive(0);
         let va2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
         assert_eq!(va, va2);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = DetRng::seed_from_u64(0x5EED);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = DetRng::from_state(a.state());
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb, "restored state must continue the same stream");
     }
 
     #[test]

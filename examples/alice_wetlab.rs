@@ -44,7 +44,8 @@ fn main() {
     );
 
     // §7.3: the headline cost reduction, from measured fractions.
-    let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction);
+    let table = costs::sequencing_costs(a.fraction_block_531, b.on_target_fraction)
+        .expect("measured fractions must be in (0, 1]");
     println!(
         "[§7.3] sequencing cost reduction: {:.0}x (paper: 141x)",
         table.reduction

@@ -383,6 +383,7 @@ fn rank_ordinal(expr: &str) -> Option<u64> {
         "log" => Some(1_000_000),
         "front" => Some(1_000_001),
         "sched" => Some(1_000_002),
+        "journal" => Some(1_000_003),
         n => n.parse::<u64>().ok().filter(|&v| v < 1_000_000),
     }
 }
@@ -390,9 +391,9 @@ fn rank_ordinal(expr: &str) -> Option<u64> {
 /// Find `Mutex`/`RwLock` struct fields in core without a consistent
 /// `// lock-rank:` annotation. The annotation must sit on the field's own
 /// line or a comment line between it and the previous field; accepted
-/// expressions are an integer, `2+pid`, `log`, `front`, `sched` — and the
-/// ordinals must be non-decreasing in declaration order (fields are
-/// acquired top-down in the documented hierarchy).
+/// expressions are an integer, `2+pid`, `log`, `front`, `sched`,
+/// `journal` — and the ordinals must be non-decreasing in declaration
+/// order (fields are acquired top-down in the documented hierarchy).
 ///
 /// A `// lint: allow(lock-rank): <reason>` directive in the same window
 /// exempts a field whose rank genuinely is a runtime parameter (the

@@ -102,11 +102,15 @@ fn workspace_tree_is_lint_clean() {
         "the workspace must stay lint-clean:\n{}",
         report.render_text()
     );
-    // The justified-exemption surface is part of the contract: new
-    // exemptions should be added deliberately (and reviewed), not leak in.
-    assert!(
-        report.allowed.len() >= 13,
-        "expected the recorded exemption surface, got {}",
-        report.allowed.len()
+    // The justified-exemption surface is part of the contract: an exact
+    // count means a new exemption (or a silently dropped one) fails here
+    // and must be added deliberately, with this pin updated in the same
+    // change.
+    assert_eq!(
+        report.allowed.len(),
+        13,
+        "justified-exemption surface changed — review the new/removed \
+         exemption and update this pin:\n{}",
+        report.render_text()
     );
 }
