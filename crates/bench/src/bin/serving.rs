@@ -1,0 +1,499 @@
+//! Serving-over-the-wire benchmark: a `WireServer` on a loopback socket
+//! driven by the deterministic million-user workload replay.
+//!
+//! Three phases:
+//!
+//! - **Replay sweep**: for each client-concurrency level, N driver
+//!   threads each replay their own [`WorkloadSpec::client_stream`] slice
+//!   of a 2-million-user population (zipf tenant/block/user skew,
+//!   read-mostly mix) over keep-alive connections, measuring per-op
+//!   wire latency (p50/p99/p999) and throughput.
+//! - **Queue overload**: a deliberately tiny admission budget
+//!   (`queue_depth: 2`, one worker) under an 8-thread submit storm —
+//!   every rejection must be a *typed* shed, every admitted job must
+//!   complete, and the storm must finish in bounded wall time.
+//! - **Quota overload**: a starved token bucket (1 token/s, burst 4)
+//!   under a rapid single-tenant read storm — again, typed sheds with
+//!   actionable `retry_after_ms`, never hangs.
+//!
+//! Results land in machine-readable `BENCH_serving.json`; CI archives it
+//! as the serving-layer latency/shedding trajectory.
+
+use dna_bench::report;
+use dna_block_store::workload::{tenant_files, OpKind, WorkloadSpec};
+use dna_block_store::{BlockStore, ServerConfig, StoreServer, BLOCK_SIZE};
+use dna_serve::client::{CallError, JobPoll};
+use dna_serve::{Client, ServeConfig, WireServer};
+use std::time::Instant;
+
+/// Operations each driver client replays per sweep level.
+const OPS_PER_CLIENT: usize = 60;
+/// Client-concurrency levels of the sweep.
+const LEVELS: [usize; 3] = [2, 4, 8];
+/// Attempts per storm thread in the queue-overload phase.
+const STORM_ATTEMPTS: usize = 25;
+/// Storm threads in the queue-overload phase.
+const STORM_THREADS: usize = 8;
+
+fn boot(seed: u64, cfg: ServeConfig) -> WireServer {
+    let store = StoreServer::new(BlockStore::new(seed), ServerConfig::paper_default());
+    WireServer::start(store, cfg, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// Per-tenant base images: one deterministic file per tenant partition.
+fn base_images(spec: &WorkloadSpec) -> Vec<Vec<u8>> {
+    (0..spec.tenants)
+        .map(|t| {
+            tenant_files(
+                spec.seed,
+                t,
+                1,
+                usize::try_from(spec.blocks_per_tenant).expect("tiny dimension"),
+            )
+            .remove(0)
+        })
+        .collect()
+}
+
+/// The image an update writes: the tenant's base block with a 16-byte
+/// stamp at a fixed per-block offset. Updates only ever touch that
+/// window, so any two in-flight images differ in one contiguous region —
+/// exactly what a single §6.4 delete-then-insert patch can carry, even
+/// under racing writers.
+fn stamped_image(base: &[u8], block: u64, client: u64, n: usize) -> Vec<u8> {
+    let mut image = base.to_vec();
+    let at = usize::try_from((block * 29) % ((BLOCK_SIZE as u64) - 16)).expect("tiny offset");
+    image[at..at + 16].copy_from_slice(format!("[{client:03}:{n:08}!!]").as_bytes());
+    image
+}
+
+fn pct(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+// ---------------------------------------------------------------------------
+// replay sweep
+// ---------------------------------------------------------------------------
+
+struct ThreadTally {
+    latencies_us: Vec<u64>,
+    reads: u64,
+    updates: u64,
+    maintenance: u64,
+    update_retries: u64,
+}
+
+struct LevelCell {
+    clients: usize,
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    reads: u64,
+    updates: u64,
+    maintenance: u64,
+    update_retries: u64,
+    cache_hit_rate: f64,
+    stale_serves: u64,
+}
+
+/// One client thread's slice of the replay: stream ops, measure each
+/// round-trip, and survive update-slot exhaustion by compacting and
+/// retrying once (the read-modify-write pattern a real tenant uses).
+fn drive_client(
+    spec: &WorkloadSpec,
+    bases: &[Vec<u8>],
+    pids: &[u64],
+    addr: std::net::SocketAddr,
+    client_id: u64,
+) -> ThreadTally {
+    let mut client = Client::connect(addr).expect("connect driver client");
+    let mut tally = ThreadTally {
+        latencies_us: Vec::with_capacity(OPS_PER_CLIENT),
+        reads: 0,
+        updates: 0,
+        maintenance: 0,
+        update_retries: 0,
+    };
+    for (n, op) in spec
+        .client_stream(client_id)
+        .take(OPS_PER_CLIENT)
+        .enumerate()
+    {
+        let tenant = usize::try_from(op.tenant).expect("tiny tenant index");
+        client.set_tenant(&format!("tenant-{tenant}"));
+        let start = Instant::now();
+        match op.kind {
+            OpKind::Read => {
+                let (bytes, _) = client.read_block(pids[tenant], op.block).expect("read");
+                assert_eq!(bytes.len(), BLOCK_SIZE);
+                tally.reads += 1;
+            }
+            OpKind::Update => {
+                let base_block = &bases[tenant]
+                    [usize::try_from(op.block).expect("tiny block") * BLOCK_SIZE..][..BLOCK_SIZE];
+                let image = stamped_image(base_block, op.block, client_id, n);
+                let submit = |c: &mut Client| -> Result<JobPoll, CallError> {
+                    let job = c.submit_update(pids[tenant], op.block, &image)?;
+                    c.wait(job)
+                };
+                match submit(&mut client) {
+                    Ok(JobPoll::Updated) => {}
+                    Ok(JobPoll::Failed(_)) | Err(CallError::Server { status: 409, .. }) => {
+                        // Patch chain full: fold it and retry once.
+                        client.maintenance().expect("compaction");
+                        tally.update_retries += 1;
+                        match submit(&mut client).expect("retried update") {
+                            JobPoll::Updated => {}
+                            other => panic!("update after compaction: {other:?}"),
+                        }
+                    }
+                    other => panic!("update: {other:?}"),
+                }
+                tally.updates += 1;
+            }
+            OpKind::Maintenance => {
+                let job = client.submit_maintenance().expect("submit maintenance");
+                assert!(matches!(
+                    client.wait(job).expect("maintenance"),
+                    JobPoll::Maintained { .. }
+                ));
+                tally.maintenance += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_micros();
+        tally
+            .latencies_us
+            .push(u64::try_from(elapsed).unwrap_or(u64::MAX));
+    }
+    tally
+}
+
+fn run_level(clients: usize) -> LevelCell {
+    let spec = WorkloadSpec::serving_default(0xBE9C);
+    let server = boot(0xBE9C, ServeConfig::default());
+    let addr = server.local_addr();
+    let bases = base_images(&spec);
+
+    // Setup: one partition per tenant, loaded with its base file.
+    let mut setup = Client::connect(addr).expect("setup client");
+    let pids: Vec<u64> = (0..spec.tenants)
+        .map(|t| {
+            let pid = setup.create_partition(1000 + t).expect("create partition");
+            let blocks = setup
+                .write_file(pid, &bases[usize::try_from(t).expect("tiny tenant")])
+                .expect("write tenant file");
+            assert_eq!(blocks, spec.blocks_per_tenant);
+            pid
+        })
+        .collect();
+
+    let start = Instant::now();
+    let tallies: Vec<ThreadTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (spec, bases, pids) = (&spec, &bases, &pids);
+                scope.spawn(move || drive_client(spec, bases, pids, addr, c as u64))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let stats = setup.stats().expect("stats");
+    server.stop();
+
+    let ops = latencies.len() as u64;
+    let hits = stats["cache_hits"];
+    let looked = hits + stats["cache_misses"];
+    LevelCell {
+        clients,
+        ops,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        ops_per_sec: ops as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: pct(&latencies, 0.50),
+        p99_us: pct(&latencies, 0.99),
+        p999_us: pct(&latencies, 0.999),
+        reads: tallies.iter().map(|t| t.reads).sum(),
+        updates: tallies.iter().map(|t| t.updates).sum(),
+        maintenance: tallies.iter().map(|t| t.maintenance).sum(),
+        update_retries: tallies.iter().map(|t| t.update_retries).sum(),
+        cache_hit_rate: hits as f64 / (looked.max(1)) as f64,
+        stale_serves: stats["stale_serves"],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// overload phases
+// ---------------------------------------------------------------------------
+
+struct QueueOverload {
+    attempts: u64,
+    admitted: u64,
+    sheds: u64,
+    shed_rate: f64,
+    wall_ms: f64,
+}
+
+fn run_queue_overload() -> QueueOverload {
+    let server = boot(
+        7,
+        ServeConfig {
+            queue_depth: 2,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr).expect("setup client");
+    let pid = setup.create_partition(7).expect("create partition");
+    let data = tenant_files(7, 0, 1, 2).remove(0);
+    setup.write_file(pid, &data).expect("write file");
+
+    let start = Instant::now();
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STORM_THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("storm client");
+                    let (mut admitted, mut sheds) = (0u64, 0u64);
+                    for _ in 0..STORM_ATTEMPTS {
+                        match client.submit_read(pid, 0) {
+                            Ok(job) => {
+                                admitted += 1;
+                                // Admitted work always completes.
+                                match client.wait(job).expect("admitted job") {
+                                    JobPoll::Block { .. } => {}
+                                    other => panic!("storm read: {other:?}"),
+                                }
+                            }
+                            Err(CallError::Overloaded {
+                                reason,
+                                retry_after_ms,
+                            }) => {
+                                assert_eq!(reason, "queue_full");
+                                assert!(retry_after_ms >= 1);
+                                sheds += 1;
+                            }
+                            Err(other) => panic!("storm submit: {other}"),
+                        }
+                    }
+                    (admitted, sheds)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    server.stop();
+
+    let attempts = (STORM_THREADS * STORM_ATTEMPTS) as u64;
+    let admitted: u64 = per_thread.iter().map(|(a, _)| a).sum();
+    let sheds: u64 = per_thread.iter().map(|(_, s)| s).sum();
+    assert_eq!(admitted + sheds, attempts, "every attempt answered, typed");
+    QueueOverload {
+        attempts,
+        admitted,
+        sheds,
+        shed_rate: sheds as f64 / attempts as f64,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+struct QuotaOverload {
+    attempts: u64,
+    sheds: u64,
+    min_retry_after_ms: u64,
+}
+
+fn run_quota_overload() -> QuotaOverload {
+    let server = boot(
+        9,
+        ServeConfig {
+            quota_rate: 1,
+            quota_burst: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("quota client");
+    let pid = client.create_partition(9).expect("create partition");
+    let data = tenant_files(9, 0, 1, 1).remove(0);
+    client.write_file(pid, &data).expect("write file");
+    client.set_tenant("starved");
+
+    let attempts = 40u64;
+    let mut sheds = 0u64;
+    let mut min_retry = u64::MAX;
+    for _ in 0..attempts {
+        match client.read_block(pid, 0) {
+            Ok(_) => {}
+            Err(CallError::Overloaded {
+                reason,
+                retry_after_ms,
+            }) => {
+                assert_eq!(reason, "quota");
+                assert!(retry_after_ms >= 1);
+                min_retry = min_retry.min(retry_after_ms);
+                sheds += 1;
+            }
+            Err(other) => panic!("quota read: {other}"),
+        }
+    }
+    server.stop();
+    assert!(sheds >= 1, "a starved bucket must shed a rapid storm");
+    QuotaOverload {
+        attempts,
+        sheds,
+        min_retry_after_ms: min_retry,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+fn write_json(
+    spec: &WorkloadSpec,
+    cells: &[LevelCell],
+    queue: &QueueOverload,
+    quota: &QuotaOverload,
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"serving\",\n  \"simulated_users\": {},\n  \"tenants\": {},\n  \"blocks_per_tenant\": {},\n  \"ops_per_client\": {OPS_PER_CLIENT},\n  \"mix\": {{\"reads\": {}, \"updates\": {}, \"maintenance\": {}}},\n  \"skew\": {{\"tenant\": {}, \"block\": {}, \"user\": {}}},\n  \"levels\": [\n",
+        spec.users,
+        spec.tenants,
+        spec.blocks_per_tenant,
+        spec.mix.reads,
+        spec.mix.updates,
+        spec.mix.maintenance,
+        spec.tenant_skew,
+        spec.block_skew,
+        spec.user_skew,
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"reads\": {}, \"updates\": {}, \"maintenance\": {}, \"update_retries\": {}, \
+             \"cache_hit_rate\": {:.4}, \"stale_serves\": {}}}{}\n",
+            c.clients,
+            c.ops,
+            c.wall_ms,
+            c.ops_per_sec,
+            c.p50_us,
+            c.p99_us,
+            c.p999_us,
+            c.reads,
+            c.updates,
+            c.maintenance,
+            c.update_retries,
+            c.cache_hit_rate,
+            c.stale_serves,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"overload\": {{\n    \"queue\": {{\"attempts\": {}, \"admitted\": {}, \"sheds\": {}, \"shed_rate\": {:.4}, \"wall_ms\": {:.3}}},\n    \"quota\": {{\"attempts\": {}, \"sheds\": {}, \"min_retry_after_ms\": {}}}\n  }}\n}}\n",
+        queue.attempts,
+        queue.admitted,
+        queue.sheds,
+        queue.shed_rate,
+        queue.wall_ms,
+        quota.attempts,
+        quota.sheds,
+        quota.min_retry_after_ms,
+    ));
+    let path = "BENCH_serving.json";
+    std::fs::write(path, out).expect("write BENCH_serving.json");
+    report::row("machine-readable sweep", path);
+}
+
+fn main() {
+    let spec = WorkloadSpec::serving_default(0xBE9C);
+    report::section("serving over the wire: million-user workload replay");
+    report::row(
+        "population",
+        format!(
+            "{} simulated users, {} tenants x {} blocks, zipf skew {}/{}/{}",
+            spec.users,
+            spec.tenants,
+            spec.blocks_per_tenant,
+            spec.tenant_skew,
+            spec.block_skew,
+            spec.user_skew
+        ),
+    );
+    report::row(
+        "mix",
+        format!(
+            "{}% read / {}% update / {}% maintenance, {OPS_PER_CLIENT} ops per client",
+            spec.mix.reads, spec.mix.updates, spec.mix.maintenance
+        ),
+    );
+
+    let mut cells = Vec::new();
+    for &clients in &LEVELS {
+        let cell = run_level(clients);
+        report::row(
+            &format!("clients={clients}"),
+            format!(
+                "{:>7.1}ms wall | {:>6.1} ops/s | p50 {:>6}us p99 {:>7}us p999 {:>7}us | {:.0}% cache",
+                cell.wall_ms,
+                cell.ops_per_sec,
+                cell.p50_us,
+                cell.p99_us,
+                cell.p999_us,
+                100.0 * cell.cache_hit_rate
+            ),
+        );
+        assert_eq!(cell.stale_serves, 0, "coherence contract over the wire");
+        cells.push(cell);
+    }
+
+    report::section("overload: typed shedding, bounded wall time");
+    let queue = run_queue_overload();
+    report::row(
+        "queue storm (depth 2, 1 worker)",
+        format!(
+            "{} attempts -> {} admitted, {} shed ({:.0}%), {:.1}ms",
+            queue.attempts,
+            queue.admitted,
+            queue.sheds,
+            100.0 * queue.shed_rate,
+            queue.wall_ms
+        ),
+    );
+    assert!(
+        queue.sheds >= 1,
+        "a depth-2 queue must shed an 8-thread storm"
+    );
+    let quota = run_quota_overload();
+    report::row(
+        "quota storm (1 token/s, burst 4)",
+        format!(
+            "{} attempts -> {} shed, min retry_after {}ms",
+            quota.attempts, quota.sheds, quota.min_retry_after_ms
+        ),
+    );
+
+    write_json(&spec, &cells, &queue, &quota);
+}

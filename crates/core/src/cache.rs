@@ -180,8 +180,8 @@ mod tests {
     #[test]
     fn lru_eviction_follows_touch_order() {
         let mut c = BlockCache::new(3);
-        for b in 0..3 {
-            assert_eq!(c.insert(key(b), blk(b as u8)), None);
+        for b in 0..3u8 {
+            assert_eq!(c.insert(key(b.into()), blk(b)), None);
         }
         assert_eq!(c.keys_lru_order(), vec![key(0), key(1), key(2)]);
         // Touch 0: order becomes 1, 2, 0.
@@ -206,8 +206,8 @@ mod tests {
     #[test]
     fn invalidate_removes_exactly_one_key() {
         let mut c = BlockCache::new(4);
-        for b in 0..4 {
-            c.insert(key(b), blk(b as u8));
+        for b in 0..4u8 {
+            c.insert(key(b.into()), blk(b));
         }
         assert!(c.invalidate(&key(2)));
         assert!(!c.invalidate(&key(2)), "already gone");

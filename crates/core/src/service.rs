@@ -99,6 +99,33 @@ pub enum BatchWindow {
     Gate,
 }
 
+/// The leader's per-wakeup decision inside a [`BatchWindow::Window`]:
+/// execute the batch now, or park again for the remaining window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowPoll {
+    /// Drain and execute the queued reads now.
+    Execute,
+    /// Park on the arrivals condvar for at most this long.
+    Wait(Duration),
+}
+
+/// Pure decision core of the [`BatchWindow::Window`] leader loop, factored
+/// out so its behavior under *spurious* condvar wakeups is provable without
+/// a clock: a wakeup that changed nothing (same pending count, deadline not
+/// reached) yields `Wait(remaining)` again — never an early `Execute`, and
+/// never a zero-duration wait that would busy-spin — while a reached
+/// deadline or a filled batch yields `Execute` regardless of how the
+/// wakeup happened.
+fn window_poll(remaining: Duration, pending: usize, max_batch: usize) -> WindowPoll {
+    if max_batch != 0 && pending >= max_batch {
+        return WindowPoll::Execute; // early trigger: the window is full
+    }
+    if remaining.is_zero() {
+        return WindowPoll::Execute; // deadline reached
+    }
+    WindowPoll::Wait(remaining)
+}
+
 /// What [`StoreServer::update_block`] does to the cached copy of the
 /// updated block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +237,47 @@ pub struct ServerStats {
     pub units_reclaimed: u64,
     /// Fresh base units re-synthesized by maintenance compaction.
     pub rewrites_synthesized: u64,
+}
+
+impl ServerStats {
+    /// Every counter as a `(name, value)` pair, in declaration order — the
+    /// introspection surface wire frontends and bench reporters serialize
+    /// from, so adding a counter here automatically reaches every
+    /// exporter (and the doctest below keeps the list in sync with the
+    /// struct: it must name every public field exactly once).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let stats = dna_block_store::ServerStats::default();
+    /// let names: Vec<&str> = stats.fields().iter().map(|(n, _)| *n).collect();
+    /// assert_eq!(names.len(), 12);
+    /// assert!(names.contains(&"stale_serves"));
+    /// ```
+    pub fn fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("requests", self.requests),
+            ("reads_served", self.reads_served),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("batches_executed", self.batches_executed),
+            ("rounds_executed", self.rounds_executed),
+            ("reads_coalesced", self.reads_coalesced),
+            ("updates_applied", self.updates_applied),
+            ("stale_serves", self.stale_serves),
+            ("compactions", self.compactions),
+            ("units_reclaimed", self.units_reclaimed),
+            ("rewrites_synthesized", self.rewrites_synthesized),
+        ]
+    }
+
+    /// Looks one counter up by its [`ServerStats::fields`] name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// The server's lock-free counter bank. `Relaxed` ordering throughout:
@@ -840,16 +908,22 @@ impl StoreServer {
             BatchWindow::Window(window) => {
                 // lint: allow(determinism): batching-window deadline only — bounds the coalescing wait, never reaches commit/epoch state
                 let deadline = Instant::now() + window;
-                while self.config.max_batch == 0 || sched.pending.len() < self.config.max_batch {
+                loop {
+                    // `saturating_duration_since` clamps a passed deadline
+                    // to zero, which `window_poll` maps to `Execute` — the
+                    // leader can neither wait past its deadline nor feed a
+                    // negative remainder into the condvar.
                     // lint: allow(determinism): batching-window deadline only — bounds the coalescing wait, never reaches commit/epoch state
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match window_poll(remaining, sched.pending.len(), self.config.max_batch) {
+                        WindowPoll::Execute => break,
+                        WindowPoll::Wait(wait) => {
+                            let (guard, _) = sched
+                                .wait_timeout_on(&self.arrivals, wait)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            sched = guard;
+                        }
                     }
-                    let (guard, _) = sched
-                        .wait_timeout_on(&self.arrivals, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    sched = guard;
                 }
             }
             BatchWindow::Gate => {
@@ -884,6 +958,7 @@ impl StoreServer {
         // amortization `reads_coalesced` measures (a multi-block
         // `read_range` batching with itself does not count).
         let leader_call = batch[0].call;
+        // lossless: usize → u64 widens on every supported target.
         let mut piggybacked = batch.iter().filter(|r| r.call != leader_call).count() as u64;
         let mut rounds = 0u64;
         let published: Vec<(Ticket, Result<BlockReadOutcome, StoreError>)> = match self
@@ -891,6 +966,7 @@ impl StoreServer {
             .read_blocks_batch_planned(&requests, &self.config.planner)
         {
             Ok(executed) => {
+                // lossless: usize → u64 widens on every supported target.
                 rounds += executed.stats.rounds as u64;
                 let mut front = self.lock_front();
                 batch
@@ -929,6 +1005,7 @@ impl StoreServer {
                             .read_blocks_batch_planned(&[key], &self.config.planner)
                         {
                             Ok(mut one) => {
+                                // lossless: usize → u64 widens on every supported target.
                                 rounds += one.stats.rounds as u64;
                                 let epoch =
                                     one.shard_epochs.get(&read.pid).copied().unwrap_or_default();
@@ -1397,5 +1474,127 @@ mod tests {
             sched.results.remove(&ticket),
             Some(Err(StoreError::ServerPanicked))
         ));
+    }
+
+    #[test]
+    fn window_poll_never_releases_early_on_spurious_wakeups() {
+        // A spurious wakeup changes neither the pending count nor the
+        // deadline: the decision must be to park again for exactly the
+        // remaining window — never Execute, never a zero wait (busy-spin).
+        let window = Duration::from_millis(2);
+        let mut remaining = window;
+        let mut parks = 0;
+        // Model a storm of spurious wakeups, each consuming some of the
+        // window: the decision sequence must be monotone Waits (shrinking
+        // with the clock) followed by exactly one Execute at zero.
+        while remaining > Duration::ZERO {
+            match window_poll(remaining, 1, 64) {
+                WindowPoll::Execute => panic!("released a 1-read batch before the deadline"),
+                WindowPoll::Wait(wait) => {
+                    assert_eq!(wait, remaining, "leader must park for the full remainder");
+                    parks += 1;
+                }
+            }
+            remaining = remaining.saturating_sub(Duration::from_nanos(200_000));
+        }
+        assert_eq!(parks, 10);
+        assert_eq!(
+            window_poll(Duration::ZERO, 1, 64),
+            WindowPoll::Execute,
+            "a reached deadline releases the batch no matter how the wakeup happened"
+        );
+    }
+
+    #[test]
+    fn window_poll_early_trigger_and_unbounded_batch() {
+        // max_batch reached → execute even with the whole window left.
+        assert_eq!(
+            window_poll(Duration::from_secs(60), 64, 64),
+            WindowPoll::Execute
+        );
+        assert_eq!(
+            window_poll(Duration::from_secs(60), 65, 64),
+            WindowPoll::Execute
+        );
+        // max_batch == 0 disables the early trigger entirely.
+        assert_eq!(
+            window_poll(Duration::from_secs(60), 1_000_000, 0),
+            WindowPoll::Wait(Duration::from_secs(60))
+        );
+    }
+
+    #[test]
+    fn window_leader_survives_a_spurious_wakeup_storm() {
+        // End-to-end audit of the Window leader loop: with a 60 s window
+        // and max_batch = 2, a leader holding one read is stormed with
+        // spurious arrivals-condvar wakeups. It must keep windowing (no
+        // premature 1-read batch), then release promptly — long before the
+        // deadline — once a second read fills the batch.
+        let config = ServerConfig {
+            window: BatchWindow::Window(Duration::from_secs(60)),
+            max_batch: 2,
+            ..immediate_config(8)
+        };
+        let (server, pid, data) = server_with_blocks(315, 2, config);
+        std::thread::scope(|scope| {
+            let server = &server;
+            let leader = scope.spawn(move || server.read_block(pid, 0).unwrap());
+            // Wait until the leader has queued its read and begun windowing.
+            loop {
+                let sched = server.lock_sched();
+                if sched.leader_active && sched.pending.len() == 1 {
+                    break;
+                }
+                drop(sched);
+                std::thread::yield_now();
+            }
+            // Spurious storm: wake the leader repeatedly with nothing new.
+            for _ in 0..64 {
+                server.arrivals.notify_all();
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                server.stats().batches_executed,
+                0,
+                "spurious wakeups must not release the batch before the deadline"
+            );
+            // The second read reaches max_batch: both must now complete
+            // promptly (the test would time out on a 60 s deadline wait).
+            let follower = scope.spawn(move || server.read_block(pid, 1).unwrap());
+            let a = leader.join().unwrap();
+            let b = follower.join().unwrap();
+            assert_eq!(a.block.data, &data[..BLOCK_SIZE]);
+            assert_eq!(b.block.data, &data[BLOCK_SIZE..]);
+        });
+        let stats = server.stats();
+        assert_eq!(stats.batches_executed, 1, "one coalesced batch, not two");
+        assert_eq!(stats.reads_coalesced, 1, "the follower shared the round");
+        assert_eq!(stats.stale_serves, 0);
+    }
+
+    #[test]
+    fn stats_fields_cover_every_counter() {
+        let stats = ServerStats {
+            requests: 1,
+            reads_served: 5,
+            cache_hits: 2,
+            cache_misses: 3,
+            batches_executed: 4,
+            rounds_executed: 5,
+            reads_coalesced: 6,
+            updates_applied: 7,
+            stale_serves: 8,
+            compactions: 9,
+            units_reclaimed: 10,
+            rewrites_synthesized: 11,
+        };
+        let fields = stats.fields();
+        assert_eq!(fields.len(), 12);
+        // Every name unique, every value the struct's own.
+        let names: std::collections::BTreeSet<&str> = fields.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names.len(), fields.len());
+        assert_eq!(stats.field("reads_served"), Some(5));
+        assert_eq!(stats.field("stale_serves"), Some(8));
+        assert_eq!(stats.field("nonsense"), None);
     }
 }

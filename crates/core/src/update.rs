@@ -139,25 +139,41 @@ impl UpdatePatch {
         {
             suffix += 1;
         }
-        let del_len = a.len() - prefix - suffix;
         let ins = b[prefix..b.len() - suffix].to_vec();
-        if del_len > u8::MAX as usize || prefix > u8::MAX as usize || ins.len() > Self::MAX_INSERT {
+        if ins.len() > Self::MAX_INSERT {
             return None;
         }
+        // An edit whose window or offset exceeds the u8 wire fields cannot
+        // be expressed in one patch: fall back instead of truncating.
+        let (Ok(del_len), Ok(edit_pos)) = (
+            u8::try_from(a.len() - prefix - suffix),
+            u8::try_from(prefix),
+        ) else {
+            return None;
+        };
         // Note: both blocks are BLOCK_SIZE so del_len == ins.len() here; the
         // general form still supports shifting edits on logical content.
-        UpdatePatch::new(prefix as u8, del_len as u8, prefix as u8, ins).ok()
+        UpdatePatch::new(edit_pos, del_len, edit_pos, ins).ok()
     }
 
     /// Serializes into the §6.4 wire format:
     /// `[del_start, del_len, ins_pos, ins_len, ins_bytes...]`, zero-padded
     /// to [`BLOCK_SIZE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hand-built patch (the fields are public) carries more
+    /// than [`UpdatePatch::MAX_INSERT`] insertion bytes — every patch from
+    /// [`UpdatePatch::new`] / [`UpdatePatch::diff`] fits by construction.
     pub fn to_block(&self) -> Block {
         let mut bytes = Vec::with_capacity(BLOCK_SIZE);
         bytes.push(self.del_start);
         bytes.push(self.del_len);
         bytes.push(self.ins_pos);
-        bytes.push(self.ins_bytes.len() as u8);
+        // The fields are public, so a hand-built patch can exceed what
+        // `new` admits: fail loudly rather than truncate the length prefix
+        // (a silently wrapped prefix would decode as a different patch).
+        bytes.push(u8::try_from(self.ins_bytes.len()).expect("insertion exceeds MAX_INSERT"));
         bytes.extend_from_slice(&self.ins_bytes);
         Block::from_bytes(&bytes).expect("patch fits by construction")
     }
@@ -258,6 +274,20 @@ mod tests {
         assert_eq!(blk.data[2], 12);
         assert_eq!(blk.data[3], 10); // length prefix of the payload
         assert_eq!(&blk.data[4..14], b"patch body");
+    }
+
+    #[test]
+    #[should_panic(expected = "insertion exceeds MAX_INSERT")]
+    fn oversized_hand_built_patch_fails_loudly_not_silently() {
+        // Before the sweep, `ins_bytes.len() as u8` wrapped 300 → 44 and
+        // the wire block decoded as a different (valid-looking) patch.
+        let p = UpdatePatch {
+            del_start: 0,
+            del_len: 0,
+            ins_pos: 0,
+            ins_bytes: vec![7; 300],
+        };
+        let _ = p.to_block();
     }
 
     #[test]

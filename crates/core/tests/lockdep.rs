@@ -139,6 +139,44 @@ mod debug_detector {
         drop(guard);
         let _front = front.lock().expect("front after release");
     }
+
+    #[test]
+    fn notified_wait_keeps_the_rank_held() {
+        // The untimed variant under a (possibly spurious) notification:
+        // the rank must survive the park-notify-resume cycle, so the
+        // Window leader's arrivals waits stay visible to the detector.
+        use std::sync::Condvar;
+
+        let front = RankedMutex::new(LockRank::SERVICE_FRONT, "service-front", ());
+        let sched = RankedMutex::new(LockRank::SERVICE_SCHED, "service-sched", false);
+        let cv = Condvar::new();
+
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut guard = sched.lock().expect("sched");
+                while !*guard {
+                    guard = guard.wait_on(&cv).expect("sched after wait");
+                }
+                // Resumed with the scheduler rank still held: going down
+                // the hierarchy must still trip the detector.
+                let err = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = front.lock();
+                }))
+                .expect_err("front under sched held across wait_on must panic");
+                assert!(panic_message(err).contains("lock-order violation"));
+            });
+            // Storm of wakeups that find the predicate still false: each
+            // one is a spurious resume the waiter must absorb by re-parking
+            // with its rank intact.
+            for _ in 0..16 {
+                cv.notify_all();
+                std::thread::yield_now();
+            }
+            *sched.lock().expect("sched from notifier") = true;
+            cv.notify_all();
+            waiter.join().expect("waiter clean");
+        });
+    }
 }
 
 /// Concurrent store operations never trip the detector: the store's own

@@ -1,0 +1,424 @@
+//! A small blocking client for the wire protocol — one keep-alive
+//! connection per [`Client`]. Used by the workload driver, the soak
+//! harness, and the wire tests; also a reference implementation of the
+//! protocol for external clients.
+
+use crate::http::read_response;
+use crate::jobs::JobId;
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Outcome of one protocol call, separating transport failures from the
+/// server's typed answers.
+#[derive(Debug)]
+pub enum CallError {
+    /// Socket-level failure (connection died, malformed response).
+    Io(io::Error),
+    /// A typed `429` shed: `reason` is `queue_full` or `quota`.
+    Overloaded {
+        /// `queue_full` or `quota`.
+        reason: String,
+        /// Back-off hint from the server.
+        retry_after_ms: u64,
+    },
+    /// Any other non-2xx answer, with the server's error body.
+    Server {
+        /// HTTP status code.
+        status: u16,
+        /// The `error` string from the JSON body (or the raw body).
+        message: String,
+    },
+}
+
+impl From<io::Error> for CallError {
+    fn from(e: io::Error) -> CallError {
+        CallError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Io(e) => write!(f, "transport: {e}"),
+            CallError::Overloaded {
+                reason,
+                retry_after_ms,
+            } => write!(f, "overloaded ({reason}), retry after {retry_after_ms} ms"),
+            CallError::Server { status, message } => write!(f, "server {status}: {message}"),
+        }
+    }
+}
+
+/// One poll of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobPoll {
+    /// Still `queued` or `running`.
+    Pending,
+    /// Terminal: a read's block bytes (and cache provenance).
+    Block {
+        /// Block content.
+        data: Vec<u8>,
+        /// Served by the decoded-block cache?
+        from_cache: bool,
+    },
+    /// Terminal: update committed.
+    Updated,
+    /// Terminal: maintenance finished.
+    Maintained {
+        /// Stale units reclaimed.
+        units_reclaimed: u64,
+    },
+    /// Terminal: the store rejected the job.
+    Failed(String),
+}
+
+/// A blocking protocol client over one keep-alive connection.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects to a wire server.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            tenant: "anon".to_string(),
+        })
+    }
+
+    /// Sets the `x-tenant` header sent with every subsequent request.
+    pub fn set_tenant(&mut self, tenant: &str) {
+        self.tenant = tenant.to_string();
+    }
+
+    /// Bounds how long a single response read may block.
+    ///
+    /// # Errors
+    ///
+    /// Socket option errors.
+    pub fn set_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<crate::http::RawResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: store\r\n");
+        head.push_str(&format!("x-tenant: {}\r\n", self.tenant));
+        head.push_str(&format!("content-length: {}\r\n", body.len()));
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    /// Maps a non-2xx response to the typed [`CallError`].
+    fn typed(status: u16, body: &[u8]) -> CallError {
+        let text = String::from_utf8_lossy(body).to_string();
+        if status == 429 {
+            CallError::Overloaded {
+                reason: json_str(&text, "reason").unwrap_or_else(|| "unknown".to_string()),
+                retry_after_ms: json_u64(&text, "retry_after_ms").unwrap_or(1),
+            }
+        } else {
+            CallError::Server {
+                status,
+                message: json_str(&text, "error").unwrap_or(text),
+            }
+        }
+    }
+
+    /// `POST /v1/partitions` — create a partition from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn create_partition(&mut self, seed: u64) -> Result<u64, CallError> {
+        let (status, _, body) = self.call(
+            "POST",
+            "/v1/partitions",
+            &[("x-seed", seed.to_string())],
+            &[],
+        )?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        json_u64(&String::from_utf8_lossy(&body), "pid").ok_or_else(|| CallError::Server {
+            status,
+            message: "missing pid".to_string(),
+        })
+    }
+
+    /// `PUT /v1/files/{pid}` — returns blocks written.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn write_file(&mut self, pid: u64, data: &[u8]) -> Result<u64, CallError> {
+        let (status, _, body) = self.call("PUT", &format!("/v1/files/{pid}"), &[], data)?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        json_u64(&String::from_utf8_lossy(&body), "blocks").ok_or_else(|| CallError::Server {
+            status,
+            message: "missing blocks".to_string(),
+        })
+    }
+
+    /// `GET /v1/blocks/{pid}/{block}` — synchronous read; returns the
+    /// block bytes and whether the cache served them.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors (including typed sheds).
+    pub fn read_block(&mut self, pid: u64, block: u64) -> Result<(Vec<u8>, bool), CallError> {
+        let (status, headers, body) =
+            self.call("GET", &format!("/v1/blocks/{pid}/{block}"), &[], &[])?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        let from_cache = headers
+            .iter()
+            .any(|(n, v)| n == "x-from-cache" && v == "true");
+        Ok((body, from_cache))
+    }
+
+    /// `POST /v1/jobs` with `x-op: read`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors (including typed sheds).
+    pub fn submit_read(&mut self, pid: u64, block: u64) -> Result<JobId, CallError> {
+        self.submit(
+            &[
+                ("x-op", "read".to_string()),
+                ("x-pid", pid.to_string()),
+                ("x-block", block.to_string()),
+            ],
+            &[],
+        )
+    }
+
+    /// `POST /v1/jobs` with `x-op: update` and the replacement bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors (including typed sheds).
+    pub fn submit_update(&mut self, pid: u64, block: u64, data: &[u8]) -> Result<JobId, CallError> {
+        self.submit(
+            &[
+                ("x-op", "update".to_string()),
+                ("x-pid", pid.to_string()),
+                ("x-block", block.to_string()),
+            ],
+            data,
+        )
+    }
+
+    /// `POST /v1/jobs` with `x-op: maintenance`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors (including typed sheds).
+    pub fn submit_maintenance(&mut self) -> Result<JobId, CallError> {
+        self.submit(&[("x-op", "maintenance".to_string())], &[])
+    }
+
+    fn submit(&mut self, headers: &[(&str, String)], body: &[u8]) -> Result<JobId, CallError> {
+        let (status, _, resp) = self.call("POST", "/v1/jobs", headers, body)?;
+        if status != 202 {
+            return Err(Client::typed(status, &resp));
+        }
+        json_u64(&String::from_utf8_lossy(&resp), "job")
+            .map(JobId)
+            .ok_or_else(|| CallError::Server {
+                status,
+                message: "missing job id".to_string(),
+            })
+    }
+
+    /// One `GET /v1/jobs/{id}` poll. A terminal poll consumes the job on
+    /// the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn poll(&mut self, id: JobId) -> Result<JobPoll, CallError> {
+        let (status, headers, body) = self.call("GET", &format!("/v1/jobs/{}", id.0), &[], &[])?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        if headers
+            .iter()
+            .any(|(n, v)| n == "x-job-state" && v == "done")
+        {
+            let from_cache = headers
+                .iter()
+                .any(|(n, v)| n == "x-from-cache" && v == "true");
+            return Ok(JobPoll::Block {
+                data: body,
+                from_cache,
+            });
+        }
+        let text = String::from_utf8_lossy(&body).to_string();
+        match json_str(&text, "state").as_deref() {
+            Some("queued" | "running") => Ok(JobPoll::Pending),
+            Some("failed") => Ok(JobPoll::Failed(
+                json_str(&text, "error").unwrap_or_default(),
+            )),
+            Some("done") => {
+                if let Some(units) = json_u64(&text, "units_reclaimed") {
+                    Ok(JobPoll::Maintained {
+                        units_reclaimed: units,
+                    })
+                } else {
+                    Ok(JobPoll::Updated)
+                }
+            }
+            _ => Err(CallError::Server {
+                status,
+                message: format!("unparsable job state: {text}"),
+            }),
+        }
+    }
+
+    /// Polls `id` until terminal, yielding between polls.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn wait(&mut self, id: JobId) -> Result<JobPoll, CallError> {
+        loop {
+            match self.poll(id)? {
+                JobPoll::Pending => std::thread::yield_now(),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
+    /// `GET /v1/stats` — the flat counter snapshot as a name → value map.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn stats(&mut self) -> Result<BTreeMap<String, u64>, CallError> {
+        let (status, _, body) = self.call("GET", "/v1/stats", &[], &[])?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        Ok(json_u64_fields(&String::from_utf8_lossy(&body)))
+    }
+
+    /// `POST /v1/maintenance` — inline pass; returns units reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn maintenance(&mut self) -> Result<u64, CallError> {
+        let (status, _, body) = self.call("POST", "/v1/maintenance", &[], &[])?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        json_u64(&String::from_utf8_lossy(&body), "units_reclaimed").ok_or_else(|| {
+            CallError::Server {
+                status,
+                message: "missing units_reclaimed".to_string(),
+            }
+        })
+    }
+
+    /// `POST /v1/checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or typed server errors.
+    pub fn checkpoint(&mut self) -> Result<(), CallError> {
+        let (status, _, body) = self.call("POST", "/v1/checkpoint", &[], &[])?;
+        if status != 200 {
+            return Err(Client::typed(status, &body));
+        }
+        Ok(())
+    }
+}
+
+// ----- micro JSON readers --------------------------------------------------
+//
+// The server emits flat `{"key":value}` objects with string and integer
+// values only; these scanners read exactly that subset (keys are unique,
+// no nesting), which keeps the client dependency-free.
+
+/// The integer value of `"key":N`, if present.
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The string value of `"key":"...."`, if present (no unescaping beyond
+/// the server's escape set).
+fn json_str(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Every `"key":<integer>` field of a flat JSON object.
+fn json_u64_fields(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        if let Some(after) = rest.strip_prefix(':') {
+            let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+            if !digits.is_empty() {
+                if let Ok(v) = digits.parse() {
+                    out.insert(key.to_string(), v);
+                }
+                rest = &after[digits.len()..];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_readers_parse_the_server_subset() {
+        let text = r#"{"pid":7,"state":"done","units_reclaimed":42,"error":"b \"x\""}"#;
+        assert_eq!(json_u64(text, "pid"), Some(7));
+        assert_eq!(json_u64(text, "units_reclaimed"), Some(42));
+        assert_eq!(json_u64(text, "missing"), None);
+        assert_eq!(json_str(text, "state").as_deref(), Some("done"));
+        let fields = json_u64_fields(r#"{"a":1,"b":22,"c":0}"#);
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields["b"], 22);
+    }
+}

@@ -1,0 +1,239 @@
+//! The job lifecycle: a bounded submit → poll → result table.
+//!
+//! A submitted job occupies one slot of the admission budget from
+//! `submit` until its terminal result is **fetched** (fetching a terminal
+//! state consumes the entry). That single rule bounds queue depth *and*
+//! result-map memory: a client that submits and walks away can occupy at
+//! most the slots it was admitted to, and once the table is full the
+//! server sheds with a typed [`Shed::QueueFull`] — it never queues
+//! unboundedly and never hangs.
+//!
+//! ```text
+//!   submit ──► Queued ──► Running ──► Done(result)
+//!     │429 QueueFull                    │ GET consumes the entry
+//!     └─ typed shed, no state created   └─ slot freed
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Opaque job identifier, unique for the life of the serving process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// What a job does when a worker picks it up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOp {
+    /// Read one block of one partition.
+    Read {
+        /// Target partition.
+        pid: u64,
+        /// Block within the partition.
+        block: u64,
+    },
+    /// Update one block with a full replacement image.
+    Update {
+        /// Target partition.
+        pid: u64,
+        /// Block within the partition.
+        block: u64,
+        /// Replacement content (≤ one block).
+        data: Vec<u8>,
+    },
+    /// One policy-driven maintenance (compaction) pass.
+    Maintenance,
+}
+
+/// Terminal payload of a finished job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutput {
+    /// A read: the decoded block bytes and whether the cache served it.
+    Block {
+        /// Decoded, update-applied block content.
+        data: Vec<u8>,
+        /// Zero-wetlab cache hit?
+        from_cache: bool,
+    },
+    /// An update: committed.
+    Updated,
+    /// A maintenance pass: stale units reclaimed (0 = nothing to fold).
+    Maintained {
+        /// Units reclaimed by the pass.
+        units_reclaimed: u64,
+    },
+}
+
+/// Lifecycle state of a job in the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the payload (or the store's error string) awaits one
+    /// fetch, which consumes the entry.
+    Done(Result<JobOutput, String>),
+}
+
+/// A typed load-shed: the request was *not* admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The admission budget (queued + running + unfetched results) is
+    /// exhausted.
+    QueueFull,
+    /// The tenant's token bucket is empty; retry after this many ms.
+    Quota(u64),
+}
+
+struct TableState {
+    next_id: u64,
+    queue: VecDeque<(JobId, JobOp)>,
+    states: BTreeMap<JobId, JobState>,
+    shutting_down: bool,
+}
+
+/// The bounded job table shared by connection threads (submit/fetch) and
+/// worker threads (claim/finish).
+pub struct JobTable {
+    depth: usize,
+    state: Mutex<TableState>,
+    arrivals: Condvar,
+}
+
+impl JobTable {
+    /// A table admitting at most `depth` concurrently-live jobs.
+    pub fn new(depth: usize) -> JobTable {
+        JobTable {
+            depth: depth.max(1),
+            state: Mutex::new(TableState {
+                next_id: 0,
+                queue: VecDeque::new(),
+                states: BTreeMap::new(),
+                shutting_down: false,
+            }),
+            arrivals: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits one job, or sheds.
+    ///
+    /// # Errors
+    ///
+    /// [`Shed::QueueFull`] when the admission budget is exhausted.
+    pub fn submit(&self, op: JobOp) -> Result<JobId, Shed> {
+        let mut state = self.lock();
+        if state.states.len() >= self.depth {
+            return Err(Shed::QueueFull);
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        state.states.insert(id, JobState::Queued);
+        state.queue.push_back((id, op));
+        drop(state);
+        self.arrivals.notify_one();
+        Ok(id)
+    }
+
+    /// Worker side: blocks for the next queued job, marks it `Running`,
+    /// and returns it. `None` once the table is shutting down and
+    /// drained.
+    pub fn claim(&self) -> Option<(JobId, JobOp)> {
+        let mut state = self.lock();
+        loop {
+            if let Some((id, op)) = state.queue.pop_front() {
+                state.states.insert(id, JobState::Running);
+                return Some((id, op));
+            }
+            if state.shutting_down {
+                return None;
+            }
+            state = self
+                .arrivals
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Worker side: publishes a claimed job's terminal result.
+    pub fn finish(&self, id: JobId, result: Result<JobOutput, String>) {
+        let mut state = self.lock();
+        state.states.insert(id, JobState::Done(result));
+    }
+
+    /// Client side: the job's current state. A `Done` fetch **consumes**
+    /// the entry (freeing its admission slot); `Queued`/`Running` fetches
+    /// do not. `None` for ids never admitted or already consumed.
+    pub fn fetch(&self, id: JobId) -> Option<JobState> {
+        let mut state = self.lock();
+        match state.states.get(&id) {
+            Some(JobState::Done(_)) => state.states.remove(&id),
+            other => other.cloned(),
+        }
+    }
+
+    /// Jobs currently occupying admission slots (queued + running +
+    /// unfetched results).
+    pub fn live(&self) -> usize {
+        self.lock().states.len()
+    }
+
+    /// Wakes every blocked [`JobTable::claim`] so workers can exit;
+    /// queued-but-unclaimed jobs still drain first.
+    pub fn shut_down(&self) {
+        let mut state = self.lock();
+        state.shutting_down = true;
+        drop(state);
+        self.arrivals.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_slot_accounting() {
+        let table = JobTable::new(2);
+        let a = table.submit(JobOp::Maintenance).expect("slot free");
+        let b = table
+            .submit(JobOp::Read { pid: 0, block: 1 })
+            .expect("slot free");
+        assert_ne!(a, b);
+        assert_eq!(table.submit(JobOp::Maintenance), Err(Shed::QueueFull));
+        assert_eq!(table.fetch(a), Some(JobState::Queued));
+
+        let (id, op) = table.claim().expect("queued job");
+        assert_eq!(id, a);
+        assert_eq!(op, JobOp::Maintenance);
+        assert_eq!(table.fetch(a), Some(JobState::Running));
+        // Running still occupies the slot.
+        assert_eq!(table.submit(JobOp::Maintenance), Err(Shed::QueueFull));
+
+        table.finish(a, Ok(JobOutput::Updated));
+        assert_eq!(table.fetch(a), Some(JobState::Done(Ok(JobOutput::Updated))));
+        // The terminal fetch consumed the entry: slot free, id gone.
+        assert_eq!(table.fetch(a), None);
+        assert!(table.submit(JobOp::Maintenance).is_ok());
+        assert_eq!(table.live(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn claim_drains_queue_before_shutdown() {
+        let table = JobTable::new(4);
+        table.submit(JobOp::Maintenance).expect("admitted");
+        table.shut_down();
+        assert!(table.claim().is_some(), "queued work drains first");
+        assert!(table.claim().is_none(), "then workers exit");
+    }
+
+    #[test]
+    fn fetch_of_unknown_id_is_none() {
+        let table = JobTable::new(1);
+        assert_eq!(table.fetch(JobId(99)), None);
+    }
+}

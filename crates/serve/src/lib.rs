@@ -1,0 +1,47 @@
+//! **dna-serve** — the networked frontend over
+//! [`dna_block_store::service::StoreServer`]: a hand-rolled HTTP/1.1
+//! server on `std::net` (no external dependencies) with a job-style
+//! request lifecycle, per-tenant token-bucket quotas, and bounded
+//! admission queues that **shed load with typed responses instead of
+//! queueing unboundedly** — the server may say `429 overloaded`, but it
+//! never hangs and never panics a client.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                 accept loop (1 thread)
+//!   TCP ──────► connection threads (1/conn, keep-alive HTTP/1.1)
+//!                 │  admission: per-tenant TokenBucket, then JobTable
+//!                 │  budget (queued + running + unfetched results)
+//!                 ▼
+//!               JobTable (bounded) ──► worker threads (N)
+//!                                        │ execute against StoreServer
+//!                                        ▼ (coalescing windows, cache,
+//!                                           compaction — crates/core)
+//! ```
+//!
+//! Small control-plane calls (create partition, write file, stats,
+//! checkpoint) execute inline on the connection thread. Data-plane reads,
+//! updates and maintenance go through the job lifecycle: `POST /v1/jobs`
+//! returns a job id immediately (or a typed shed), the client polls
+//! `GET /v1/jobs/{id}` until the terminal state, and the terminal fetch
+//! consumes the result — which is what bounds the table: a submitted job
+//! occupies one slot of the admission budget from submit until its result
+//! is fetched (or it is shed).
+//!
+//! The protocol grammar, lifecycle states and shed semantics are
+//! documented in the workspace README ("Serving over the wire").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod quota;
+pub mod server;
+
+pub use client::Client;
+pub use jobs::{JobId, JobOp, JobOutput, JobState, Shed};
+pub use quota::{TenantQuotas, TokenBucket};
+pub use server::{ServeConfig, ServeStats, WireServer};

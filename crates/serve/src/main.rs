@@ -1,0 +1,90 @@
+//! `served` — the serving binary: a durable [`StoreServer`] behind the
+//! wire frontend.
+//!
+//! ```text
+//! served --dir /var/dna-store --seed 42 --addr 127.0.0.1:0 \
+//!        --workers 4 --queue-depth 256 --quota-rate 0 --quota-burst 64
+//! ```
+//!
+//! Prints exactly one `LISTENING <addr>` line to stdout once the socket
+//! is bound (supervisors and the soak harness parse it — with `:0` the
+//! kernel picks the port), then serves until killed. The store journals
+//! every commit before acknowledging it, so a `SIGKILL` at any moment
+//! loses nothing acknowledged: restart with the same `--dir` and
+//! [`StoreServer::open_or_recover`] resumes the committed prefix.
+
+use dna_block_store::service::{ServerConfig, StoreServer};
+use dna_serve::{ServeConfig, WireServer};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    dir: PathBuf,
+    seed: u64,
+    addr: String,
+    serve: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::new(),
+        seed: 42,
+        addr: "127.0.0.1:0".to_string(),
+        serve: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.serve.workers = parse(&value("--workers")?)?,
+            "--queue-depth" => args.serve.queue_depth = parse(&value("--queue-depth")?)?,
+            "--quota-rate" => args.serve.quota_rate = parse(&value("--quota-rate")?)?,
+            "--quota-burst" => args.serve.quota_burst = parse(&value("--quota-burst")?)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.dir.as_os_str().is_empty() {
+        return Err("--dir is required".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("unparsable value: {s}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("served: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store =
+        match StoreServer::open_or_recover(&args.dir, args.seed, ServerConfig::paper_default()) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("served: opening {}: {e}", args.dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    let server = match WireServer::start(store, args.serve, &args.addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("served: binding {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    // Serve until killed: the accept loop owns the traffic; this thread
+    // only keeps the process (and the WireServer) alive.
+    loop {
+        std::thread::park();
+    }
+}

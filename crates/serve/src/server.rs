@@ -1,0 +1,570 @@
+//! The wire server: TCP accept loop, HTTP routing, admission control,
+//! and the worker pool executing jobs against the [`StoreServer`].
+//!
+//! # Protocol (see README "Serving over the wire" for the full grammar)
+//!
+//! | Method & path              | Meaning                                    |
+//! |----------------------------|--------------------------------------------|
+//! | `POST /v1/partitions`      | create a partition (`x-seed` header)       |
+//! | `PUT /v1/files/{pid}`      | write the body as a file into `pid`        |
+//! | `GET /v1/blocks/{pid}/{b}` | inline (synchronous) block read            |
+//! | `POST /v1/jobs`            | submit a job (`x-op`,`x-pid`,`x-block`)    |
+//! | `GET /v1/jobs/{id}`        | poll; a terminal fetch consumes the result |
+//! | `GET /v1/stats`            | flat JSON counter snapshot                 |
+//! | `POST /v1/maintenance`     | inline maintenance pass                    |
+//! | `POST /v1/checkpoint`      | snapshot the store image, reset journal    |
+//!
+//! Data-plane requests (inline reads, job submits) pass two admission
+//! gates in order: the tenant's token bucket (`x-tenant` header, default
+//! `anon`), then — for jobs — the bounded [`JobTable`]. Either gate
+//! failing sheds with `429` and a typed JSON body; the server never
+//! queues unboundedly and never blocks a client on another tenant's
+//! backlog.
+
+use crate::http::{json_escape, read_request, write_response, Request};
+use crate::jobs::{JobId, JobOp, JobOutput, JobState, JobTable, Shed};
+use crate::quota::TenantQuotas;
+use dna_block_store::service::StoreServer;
+use dna_block_store::{PartitionConfig, PartitionId, StoreError};
+use std::io::{self, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Wire-server configuration (the store-level knobs live in
+/// [`dna_block_store::service::ServerConfig`], set when constructing the
+/// [`StoreServer`] this wraps).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs against the store.
+    pub workers: usize,
+    /// Admission budget: jobs live at once (queued + running + unfetched).
+    pub queue_depth: usize,
+    /// Per-tenant sustained requests/second (`0` disables quotas).
+    pub quota_rate: u64,
+    /// Per-tenant burst size.
+    pub quota_burst: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            quota_rate: 0,
+            quota_burst: 64,
+        }
+    }
+}
+
+/// Wire-layer counters, exported on `/v1/stats` alongside the store's
+/// [`dna_block_store::ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// HTTP requests parsed (any route, any outcome).
+    pub http_requests: u64,
+    /// Synchronous `GET /v1/blocks` reads served.
+    pub inline_reads: u64,
+    /// Jobs admitted to the table.
+    pub jobs_submitted: u64,
+    /// Jobs a worker finished (successfully or not).
+    pub jobs_completed: u64,
+    /// Requests shed because the admission budget was full.
+    pub sheds_queue_full: u64,
+    /// Requests shed by a tenant token bucket.
+    pub sheds_quota: u64,
+    /// Malformed requests answered `4xx`.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct ServeAtomics {
+    http_requests: AtomicU64,
+    inline_reads: AtomicU64,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    sheds_queue_full: AtomicU64,
+    sheds_quota: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServeAtomics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            inline_reads: self.inline_reads.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            sheds_queue_full: self.sheds_queue_full.load(Ordering::Relaxed),
+            sheds_quota: self.sheds_quota.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    server: StoreServer,
+    table: JobTable,
+    quotas: TenantQuotas,
+    stats: ServeAtomics,
+    /// Monotonic epoch for quota timestamps.
+    started: Instant,
+    shutdown: AtomicBool,
+    /// Seed counter for partitions created without an `x-seed` header.
+    partition_seed: AtomicU64,
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A running wire server: owns the listener, the accept thread, and the
+/// worker pool. Connections get a thread each (keep-alive HTTP/1.1) and
+/// exit with the client.
+pub struct WireServer {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving `server`.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors.
+    pub fn start(server: StoreServer, cfg: ServeConfig, addr: &str) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            server,
+            table: JobTable::new(cfg.queue_depth),
+            quotas: TenantQuotas::new(cfg.quota_rate, cfg.quota_burst),
+            stats: ServeAtomics::default(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            partition_seed: AtomicU64::new(0x5EED_0000),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        Ok(WireServer {
+            inner,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Wire-layer counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// The wrapped store server (e.g. for end-of-test stats audits).
+    pub fn store_server(&self) -> &StoreServer {
+        &self.inner.server
+    }
+
+    /// Stops accepting, drains queued jobs, and joins the accept and
+    /// worker threads. Live client connections are not waited for — they
+    /// exit with their sockets. (Dropping the server does the same.)
+    pub fn stop(self) {
+        drop(self);
+    }
+
+    fn halt(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.table.shut_down();
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Nagle + delayed ACK costs ~40ms per small request/response
+        // round-trip on loopback; a wire protocol of small framed
+        // messages must flush immediately.
+        let _ = stream.set_nodelay(true);
+        let conn_inner = Arc::clone(inner);
+        std::thread::spawn(move || connection_loop(stream, &conn_inner));
+    }
+}
+
+fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                ServeAtomics::bump(&inner.stats.http_requests);
+                let close = req.wants_close();
+                if handle(&req, &mut write_half, inner).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+                let _ = write_response(
+                    &mut write_half,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+// ----- responses -----------------------------------------------------------
+
+fn ok_json(stream: &mut TcpStream, body: String) -> io::Result<()> {
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+fn error_json(stream: &mut TcpStream, status: u16, reason: &str, msg: &str) -> io::Result<()> {
+    let body = format!("{{\"error\":\"{}\"}}", json_escape(msg));
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.as_bytes(),
+    )
+}
+
+/// The typed shed response: always `429`, always machine-readable, always
+/// with a `retry-after-ms` hint so clients can back off without parsing.
+fn shed_json(stream: &mut TcpStream, shed: Shed) -> io::Result<()> {
+    let (reason, retry_ms) = match shed {
+        Shed::QueueFull => ("queue_full", 1),
+        Shed::Quota(ms) => ("quota", ms),
+    };
+    let body = format!(
+        "{{\"error\":\"overloaded\",\"reason\":\"{reason}\",\"retry_after_ms\":{retry_ms}}}"
+    );
+    write_response(
+        stream,
+        429,
+        "Too Many Requests",
+        "application/json",
+        &[("retry-after-ms", retry_ms.to_string())],
+        body.as_bytes(),
+    )
+}
+
+fn store_error(stream: &mut TcpStream, err: &StoreError) -> io::Result<()> {
+    let status = match err {
+        StoreError::UnknownPartition(_)
+        | StoreError::BlockOutOfRange { .. }
+        | StoreError::BlockNotWritten(_) => 404,
+        _ => 409,
+    };
+    let reason = if status == 404 {
+        "Not Found"
+    } else {
+        "Conflict"
+    };
+    error_json(stream, status, reason, &err.to_string())
+}
+
+// ----- routing -------------------------------------------------------------
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.parse::<u64>().ok()
+}
+
+fn header_u64(req: &Request, name: &str) -> Option<u64> {
+    req.header(name).and_then(parse_u64)
+}
+
+fn pid_of(raw: u64) -> Option<PartitionId> {
+    usize::try_from(raw).ok().map(PartitionId)
+}
+
+fn handle(req: &Request, stream: &mut TcpStream, inner: &Arc<Inner>) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let tenant = req.header("x-tenant").unwrap_or("anon").to_string();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "stats"]) => ok_json(stream, stats_json(inner)),
+        ("POST", ["v1", "partitions"]) => {
+            let seed = header_u64(req, "x-seed")
+                .unwrap_or_else(|| inner.partition_seed.fetch_add(1, Ordering::Relaxed));
+            match inner
+                .server
+                .create_partition(PartitionConfig::paper_default(seed))
+            {
+                Ok(pid) => ok_json(stream, format!("{{\"pid\":{}}}", pid.0)),
+                Err(e) => store_error(stream, &e),
+            }
+        }
+        ("PUT", ["v1", "files", pid]) => {
+            let Some(pid) = parse_u64(pid).and_then(pid_of) else {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                return error_json(stream, 400, "Bad Request", "bad partition id");
+            };
+            match inner.server.write_file(pid, &req.body) {
+                Ok(blocks) => ok_json(stream, format!("{{\"blocks\":{blocks}}}")),
+                Err(e) => store_error(stream, &e),
+            }
+        }
+        ("GET", ["v1", "blocks", pid, block]) => {
+            let parsed = parse_u64(pid).and_then(pid_of).zip(parse_u64(block));
+            let Some((pid, block)) = parsed else {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                return error_json(stream, 400, "Bad Request", "bad block address");
+            };
+            if let Err(retry_ms) = inner.quotas.admit(&tenant, inner.now_us()) {
+                ServeAtomics::bump(&inner.stats.sheds_quota);
+                return shed_json(stream, Shed::Quota(retry_ms));
+            }
+            match inner.server.read_block(pid, block) {
+                Ok(read) => {
+                    ServeAtomics::bump(&inner.stats.inline_reads);
+                    write_response(
+                        stream,
+                        200,
+                        "OK",
+                        "application/octet-stream",
+                        &[("x-from-cache", read.from_cache.to_string())],
+                        &read.block.data,
+                    )
+                }
+                Err(e) => store_error(stream, &e),
+            }
+        }
+        ("POST", ["v1", "jobs"]) => submit_job(req, stream, inner, &tenant),
+        ("GET", ["v1", "jobs", id]) => {
+            let Some(id) = parse_u64(id) else {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                return error_json(stream, 400, "Bad Request", "bad job id");
+            };
+            poll_job(JobId(id), stream, inner)
+        }
+        ("POST", ["v1", "maintenance"]) => match inner.server.run_maintenance() {
+            Ok(report) => ok_json(
+                stream,
+                format!("{{\"units_reclaimed\":{}}}", report.units_reclaimed),
+            ),
+            Err(e) => store_error(stream, &e),
+        },
+        ("POST", ["v1", "checkpoint"]) => match inner.server.checkpoint() {
+            Ok(()) => ok_json(stream, "{\"ok\":true}".to_string()),
+            Err(e) => store_error(stream, &e),
+        },
+        _ => {
+            ServeAtomics::bump(&inner.stats.protocol_errors);
+            error_json(stream, 404, "Not Found", "no such route")
+        }
+    }
+}
+
+fn submit_job(
+    req: &Request,
+    stream: &mut TcpStream,
+    inner: &Arc<Inner>,
+    tenant: &str,
+) -> io::Result<()> {
+    let op = match req.header("x-op") {
+        Some("read") => match (header_u64(req, "x-pid"), header_u64(req, "x-block")) {
+            (Some(pid), Some(block)) => JobOp::Read { pid, block },
+            _ => {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                return error_json(stream, 400, "Bad Request", "read needs x-pid and x-block");
+            }
+        },
+        Some("update") => match (header_u64(req, "x-pid"), header_u64(req, "x-block")) {
+            (Some(pid), Some(block)) => JobOp::Update {
+                pid,
+                block,
+                data: req.body.clone(),
+            },
+            _ => {
+                ServeAtomics::bump(&inner.stats.protocol_errors);
+                return error_json(stream, 400, "Bad Request", "update needs x-pid and x-block");
+            }
+        },
+        Some("maintenance") => JobOp::Maintenance,
+        _ => {
+            ServeAtomics::bump(&inner.stats.protocol_errors);
+            return error_json(
+                stream,
+                400,
+                "Bad Request",
+                "x-op must be read|update|maintenance",
+            );
+        }
+    };
+    if let Err(retry_ms) = inner.quotas.admit(tenant, inner.now_us()) {
+        ServeAtomics::bump(&inner.stats.sheds_quota);
+        return shed_json(stream, Shed::Quota(retry_ms));
+    }
+    match inner.table.submit(op) {
+        Ok(id) => {
+            ServeAtomics::bump(&inner.stats.jobs_submitted);
+            let body = format!("{{\"job\":{}}}", id.0);
+            write_response(
+                stream,
+                202,
+                "Accepted",
+                "application/json",
+                &[],
+                body.as_bytes(),
+            )
+        }
+        Err(shed) => {
+            ServeAtomics::bump(&inner.stats.sheds_queue_full);
+            shed_json(stream, shed)
+        }
+    }
+}
+
+fn poll_job(id: JobId, stream: &mut TcpStream, inner: &Arc<Inner>) -> io::Result<()> {
+    match inner.table.fetch(id) {
+        None => error_json(stream, 404, "Not Found", "unknown or consumed job"),
+        Some(JobState::Queued) => {
+            ok_json(stream, format!("{{\"job\":{},\"state\":\"queued\"}}", id.0))
+        }
+        Some(JobState::Running) => ok_json(
+            stream,
+            format!("{{\"job\":{},\"state\":\"running\"}}", id.0),
+        ),
+        Some(JobState::Done(Ok(JobOutput::Block { data, from_cache }))) => write_response(
+            stream,
+            200,
+            "OK",
+            "application/octet-stream",
+            &[
+                ("x-job-state", "done".to_string()),
+                ("x-from-cache", from_cache.to_string()),
+            ],
+            &data,
+        ),
+        Some(JobState::Done(Ok(JobOutput::Updated))) => ok_json(
+            stream,
+            format!(
+                "{{\"job\":{},\"state\":\"done\",\"result\":\"updated\"}}",
+                id.0
+            ),
+        ),
+        Some(JobState::Done(Ok(JobOutput::Maintained { units_reclaimed }))) => ok_json(
+            stream,
+            format!(
+                "{{\"job\":{},\"state\":\"done\",\"units_reclaimed\":{units_reclaimed}}}",
+                id.0
+            ),
+        ),
+        Some(JobState::Done(Err(msg))) => ok_json(
+            stream,
+            format!(
+                "{{\"job\":{},\"state\":\"failed\",\"error\":\"{}\"}}",
+                id.0,
+                json_escape(&msg)
+            ),
+        ),
+    }
+}
+
+fn stats_json(inner: &Arc<Inner>) -> String {
+    let mut body = String::from("{");
+    for (name, value) in inner.server.stats().fields() {
+        body.push_str(&format!("\"{name}\":{value},"));
+    }
+    let serve = inner.stats.snapshot();
+    for (name, value) in [
+        ("serve_http_requests", serve.http_requests),
+        ("serve_inline_reads", serve.inline_reads),
+        ("serve_jobs_submitted", serve.jobs_submitted),
+        ("serve_jobs_completed", serve.jobs_completed),
+        ("serve_sheds_queue_full", serve.sheds_queue_full),
+        ("serve_sheds_quota", serve.sheds_quota),
+        ("serve_protocol_errors", serve.protocol_errors),
+    ] {
+        body.push_str(&format!("\"{name}\":{value},"));
+    }
+    body.push_str(&format!("\"serve_live_jobs\":{}}}", inner.table.live()));
+    body
+}
+
+// ----- workers -------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some((id, op)) = inner.table.claim() {
+        let result = execute(&inner.server, op);
+        inner.table.finish(id, result);
+        ServeAtomics::bump(&inner.stats.jobs_completed);
+    }
+}
+
+fn execute(server: &StoreServer, op: JobOp) -> Result<JobOutput, String> {
+    match op {
+        JobOp::Read { pid, block } => {
+            let pid = pid_of(pid).ok_or("partition id out of range")?;
+            let read = server.read_block(pid, block).map_err(|e| e.to_string())?;
+            Ok(JobOutput::Block {
+                data: read.block.data,
+                from_cache: read.from_cache,
+            })
+        }
+        JobOp::Update { pid, block, data } => {
+            let pid = pid_of(pid).ok_or("partition id out of range")?;
+            server
+                .update_block(pid, block, &data)
+                .map_err(|e| e.to_string())?;
+            Ok(JobOutput::Updated)
+        }
+        JobOp::Maintenance => {
+            let report = server.run_maintenance().map_err(|e| e.to_string())?;
+            Ok(JobOutput::Maintained {
+                units_reclaimed: report.units_reclaimed,
+            })
+        }
+    }
+}

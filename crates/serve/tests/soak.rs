@@ -1,0 +1,152 @@
+//! Kill-and-resume soak: a real `served` subprocess on a durable dir,
+//! killed with no warning mid-workload, relaunched, and resumed.
+//!
+//! The oracle is exact: every update this test model-records was *acked*
+//! over the wire before the kill, and the store journals each commit
+//! before acking (PR 7), so the recovered image must equal the model
+//! byte-for-byte — and the staleness oracle must report
+//! `stale_serves == 0` across both incarnations.
+
+use dna_block_store::BLOCK_SIZE;
+use dna_serve::client::JobPoll;
+use dna_serve::Client;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+struct Served {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Served {
+    fn launch(dir: &Path) -> Served {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_served"))
+            .args(["--dir", dir.to_str().expect("utf8 dir")])
+            .args(["--seed", "42", "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn served");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .parse()
+            .expect("parse addr");
+        Served { child, addr }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL served");
+        self.child.wait().expect("reap served");
+    }
+}
+
+// A panicking assertion must not orphan the subprocess: it inherits our
+// stderr pipe, and a leaked child keeps the whole test harness pipeline
+// open forever.
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dna-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create soak dir");
+    dir
+}
+
+fn block_image(seed: u64) -> Vec<u8> {
+    dna_block_store::workload::deterministic_text(BLOCK_SIZE, seed)
+}
+
+/// The next image of a block: the previous image with a 16-byte stamp
+/// at a round-dependent offset — a contiguous edit small enough for one
+/// §6.4 delete-then-insert patch (full-block rewrites are typed away by
+/// the store).
+fn stamped(prev: &[u8], round: u64) -> Vec<u8> {
+    let mut next = prev.to_vec();
+    let at = usize::try_from((round * 13) % ((BLOCK_SIZE as u64) - 16)).expect("tiny offset");
+    next[at..at + 16].copy_from_slice(format!("[stamp {round:06} !]").as_bytes());
+    next
+}
+
+#[test]
+fn killed_server_resumes_the_acked_prefix_with_zero_stale_serves() {
+    let dir = fresh_dir("resume");
+    const BLOCKS: u64 = 4;
+
+    // ---- incarnation 1: build state, ack updates, die without warning.
+    let served = Served::launch(&dir);
+    let mut client = Client::connect(served.addr).expect("connect");
+    let pid = client.create_partition(7).expect("create partition");
+    let initial: Vec<u8> = (0..BLOCKS).flat_map(block_image).collect();
+    assert_eq!(
+        client.write_file(pid, &initial).expect("write file"),
+        BLOCKS
+    );
+
+    // The exact oracle: `model[b]` is the last *acked* image of block b.
+    let mut model: Vec<Vec<u8>> = (0..BLOCKS).map(block_image).collect();
+    for round in 0..6u64 {
+        let block = usize::try_from(round % BLOCKS).expect("tiny index");
+        let image = stamped(&model[block], round);
+        let job = client
+            .submit_update(pid, block as u64, &image)
+            .expect("submit update");
+        assert_eq!(client.wait(job).expect("acked update"), JobPoll::Updated);
+        // Ack received: only now does the oracle advance.
+        model[block] = image;
+    }
+    let stats = client.stats().expect("stats before kill");
+    assert_eq!(stats["stale_serves"], 0);
+    assert_eq!(stats["updates_applied"], 6);
+    // SIGKILL mid-workload: no flush, no shutdown hook, connection dies.
+    served.kill();
+
+    // ---- incarnation 2: same dir, fresh process, fresh port.
+    let served = Served::launch(&dir);
+    let mut client = Client::connect(served.addr).expect("reconnect");
+
+    // Every block serves exactly the acked prefix.
+    for (b, want) in model.iter().enumerate() {
+        let (got, _) = client
+            .read_block(pid, b as u64)
+            .expect("read after recovery");
+        assert_eq!(&got, want, "block {b} lost an acked update");
+    }
+
+    // The workload resumes: more acked updates land on the recovered
+    // image, and the staleness oracle stays clean end-to-end.
+    for round in 6..10u64 {
+        let block = usize::try_from(round % BLOCKS).expect("tiny index");
+        let image = stamped(&model[block], round);
+        let job = client
+            .submit_update(pid, block as u64, &image)
+            .expect("submit update");
+        assert_eq!(client.wait(job).expect("acked update"), JobPoll::Updated);
+        model[block] = image;
+    }
+    for (b, want) in model.iter().enumerate() {
+        let (got, _) = client.read_block(pid, b as u64).expect("read resumed");
+        assert_eq!(&got, want, "block {b} diverged after resume");
+    }
+
+    let stats = client.stats().expect("stats after resume");
+    assert_eq!(stats["stale_serves"], 0, "staleness oracle tripped");
+    assert_eq!(stats["updates_applied"], 4, "second incarnation's updates");
+    assert!(stats["reads_served"] >= 2 * BLOCKS);
+
+    served.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
