@@ -32,8 +32,12 @@ use dna_seq::rng::DetRng;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Reads each client thread fires per phase.
-const READS_PER_THREAD: usize = 8;
+/// Reads each client thread fires per phase. Sized so the sweep measures
+/// the architectures, not the serving path's fixed per-batch window: with
+/// the wetlab fast path a multiplex round is cheap enough that a short
+/// request storm is dominated by the 500us batching windows, which would
+/// understate the serialized baseline's per-request wetlab cost.
+const READS_PER_THREAD: usize = 16;
 /// Blocks written per partition.
 const BLOCKS_PER: u64 = 4;
 /// Floor on `serialized / sharded-cache-off` wall clock for qualifying
@@ -325,7 +329,7 @@ fn main() {
     );
     let mut cells = Vec::new();
     for &shards in &[1usize, 2, 4] {
-        for &threads in &[1usize, 2, 4, 8] {
+        for &threads in &[1usize, 2, 4, 8, 16] {
             let cell = run_cell(threads, shards);
             report::row(
                 &format!("threads={threads:<2} shards={shards}"),
@@ -345,15 +349,19 @@ fn main() {
     write_json(&cells);
     // The acceptance bar: with >=4 client threads over >=4 partitions the
     // serving architecture must beat the serialized global-lock baseline
-    // by >=2x wall-clock. The baseline is the architecture the refactor
+    // by >=10x wall-clock. The baseline is the architecture the refactor
     // removed — every request holding one global `Mutex<BlockStore>` for
     // its full wetlab round-trip; the serving path wins through
     // coalesced/deduplicated multiplex rounds over per-shard tubes plus
     // the decoded-block cache (the cache-off column above isolates the
     // concurrency layer, and on multi-core hosts the scoped-thread round
-    // dispatch adds wall-clock parallelism on top). Every qualifying cell
-    // must also clear a 1.2x sanity floor so a concurrency regression in
-    // one cell cannot hide behind another cell's headline number.
+    // dispatch adds wall-clock parallelism on top). The bar was raised
+    // from 2x when the wetlab fast path (k-mer annealing prefilter,
+    // binding caches, sequencing/decode scratch reuse) cut per-round
+    // simulation cost and the sweep's workload was scaled to amortize the
+    // serving path's fixed batching windows. Every qualifying cell must
+    // also clear a 1.2x sanity floor so a concurrency regression in one
+    // cell cannot hide behind another cell's headline number.
     let qualifying: Vec<&Cell> = cells
         .iter()
         .filter(|c| c.threads >= 4 && c.shards >= 4)
@@ -400,8 +408,8 @@ fn main() {
         );
     }
     assert!(
-        best.speedup >= 2.0,
-        "sharded serving must beat the serialized global-lock baseline by >=2x \
+        best.speedup >= 10.0,
+        "sharded serving must beat the serialized global-lock baseline by >=10x \
          at threads={} shards={} (got {:.2}x)",
         best.threads,
         best.shards,

@@ -237,6 +237,20 @@ pub struct ServerStats {
     pub units_reclaimed: u64,
     /// Fresh base units re-synthesized by maintenance compaction.
     pub rewrites_synthesized: u64,
+    /// Wetlab fast path: species that reached the full annealing model
+    /// (process-global, from [`dna_sim::WetlabStats`]).
+    pub wetlab_species_scanned: u64,
+    /// Wetlab fast path: species the k-mer prefilter skipped.
+    pub wetlab_species_skipped: u64,
+    /// Wetlab fast path: per-pool binding-cache hits.
+    pub wetlab_binding_cache_hits: u64,
+    /// Wetlab fast path: full annealing-model evaluations.
+    pub wetlab_anneal_calls: u64,
+    /// Wetlab fast path: sequencer reads materialized.
+    pub wetlab_reads_materialized: u64,
+    /// Wetlab fast path: scratch/arena reuses (sequencer weight tables,
+    /// decode arenas).
+    pub wetlab_scratch_reuses: u64,
 }
 
 impl ServerStats {
@@ -251,10 +265,11 @@ impl ServerStats {
     /// ```
     /// let stats = dna_block_store::ServerStats::default();
     /// let names: Vec<&str> = stats.fields().iter().map(|(n, _)| *n).collect();
-    /// assert_eq!(names.len(), 12);
+    /// assert_eq!(names.len(), 18);
     /// assert!(names.contains(&"stale_serves"));
+    /// assert!(names.contains(&"wetlab_species_skipped"));
     /// ```
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("requests", self.requests),
             ("reads_served", self.reads_served),
@@ -268,6 +283,12 @@ impl ServerStats {
             ("compactions", self.compactions),
             ("units_reclaimed", self.units_reclaimed),
             ("rewrites_synthesized", self.rewrites_synthesized),
+            ("wetlab_species_scanned", self.wetlab_species_scanned),
+            ("wetlab_species_skipped", self.wetlab_species_skipped),
+            ("wetlab_binding_cache_hits", self.wetlab_binding_cache_hits),
+            ("wetlab_anneal_calls", self.wetlab_anneal_calls),
+            ("wetlab_reads_materialized", self.wetlab_reads_materialized),
+            ("wetlab_scratch_reuses", self.wetlab_scratch_reuses),
         ]
     }
 
@@ -307,6 +328,10 @@ impl AtomicStats {
     fn snapshot(&self) -> ServerStats {
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        // The simulator's fast-path counters are process-global (flushed
+        // from thread-local banks at wetlab entry-point boundaries), so
+        // the snapshot folds them in alongside the server's own atomics.
+        let wetlab = dna_sim::stats::global_totals();
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             reads_served: cache_hits + cache_misses,
@@ -320,6 +345,12 @@ impl AtomicStats {
             compactions: self.compactions.load(Ordering::Relaxed),
             units_reclaimed: self.units_reclaimed.load(Ordering::Relaxed),
             rewrites_synthesized: self.rewrites_synthesized.load(Ordering::Relaxed),
+            wetlab_species_scanned: wetlab.species_scanned,
+            wetlab_species_skipped: wetlab.species_skipped,
+            wetlab_binding_cache_hits: wetlab.binding_cache_hits,
+            wetlab_anneal_calls: wetlab.anneal_calls,
+            wetlab_reads_materialized: wetlab.reads_materialized,
+            wetlab_scratch_reuses: wetlab.scratch_reuses,
         }
     }
 }
@@ -1587,14 +1618,21 @@ mod tests {
             compactions: 9,
             units_reclaimed: 10,
             rewrites_synthesized: 11,
+            wetlab_species_scanned: 12,
+            wetlab_species_skipped: 13,
+            wetlab_binding_cache_hits: 14,
+            wetlab_anneal_calls: 15,
+            wetlab_reads_materialized: 16,
+            wetlab_scratch_reuses: 17,
         };
         let fields = stats.fields();
-        assert_eq!(fields.len(), 12);
+        assert_eq!(fields.len(), 18);
         // Every name unique, every value the struct's own.
         let names: std::collections::BTreeSet<&str> = fields.iter().map(|&(n, _)| n).collect();
         assert_eq!(names.len(), fields.len());
         assert_eq!(stats.field("reads_served"), Some(5));
         assert_eq!(stats.field("stale_serves"), Some(8));
+        assert_eq!(stats.field("wetlab_species_skipped"), Some(13));
         assert_eq!(stats.field("nonsense"), None);
     }
 }

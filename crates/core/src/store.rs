@@ -88,7 +88,7 @@ use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
 use dna_sim::{
     IdsChannel, Molecule, MultiplexPcrReaction, Nanodrop, PcrPrimer, PcrProtocol, PcrReaction,
-    Pool, PrimerChannel, Read, Sequencer, SynthesisVendor, TubeRack,
+    Pool, PrimerChannel, Read, Sequencer, SequencerScratch, SynthesisVendor, TubeRack,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -1619,23 +1619,33 @@ impl Instruments {
     /// covers), so every leaf in scope amplifies evenly (§3.2). The primer
     /// budget is 20× the tube's template count, so cycles end in template
     /// competition rather than primer exhaustion.
-    fn run_retrieval(
+    ///
+    /// Streams the sequenced reads into `out` (cleared first) so chained
+    /// rounds — the interleaved layout's pointer-hop loop, the dedicated
+    /// log's data+log pair — reuse one read buffer and one sequencer
+    /// scratch instead of allocating per round.
+    #[allow(clippy::too_many_arguments)]
+    fn run_retrieval_into(
         &self,
         tube: &Pool,
         primers: &[(DnaSeq, f64)],
         rev: &DnaSeq,
         expected_units: usize,
         rng: &mut DetRng,
-    ) -> Vec<Read> {
+        scratch: &mut SequencerScratch,
+        out: &mut Vec<Read>,
+    ) {
         let budget = tube.total_copies() * 20.0;
         let rxn = PcrReaction {
             forward_primers: weighted_forward_primers(primers, budget),
             reverse_primer: PcrPrimer::with_budget(rev.clone(), budget),
             protocol: PcrProtocol::paper_block_access(),
         };
-        let out = rxn.run(tube);
+        let amplified = rxn.run(tube);
         let n_reads = self.reads_to_sequence(expected_units);
-        self.sequencer.sequence(&out.pool, n_reads, rng)
+        out.clear();
+        self.sequencer
+            .sequence_into(&amplified.pool, n_reads, rng, scratch, out);
     }
 
     /// Synthesizes small-batch designs with the IDT vendor model (the
@@ -1693,14 +1703,24 @@ fn read_interleaved(
     let mut patches = Vec::new();
     let mut original: Option<Block> = None;
     let mut leaf = block;
+    // One read buffer and sequencer scratch for the whole pointer chain.
+    let mut reads: Vec<Read> = Vec::new();
+    let mut seq_scratch = SequencerScratch::new();
     // Follow the pointer chain; the common case is a single round-trip.
     for _hop in 0..64 {
         let prefix = partition.elongated_primer(leaf);
         let rev = partition.primers().reverse().clone();
         let live = partition.live_version_slots(leaf);
         let cfg = partition.decode_config_versions(leaf, &live);
-        let reads =
-            instruments.run_retrieval(&snap.tube, &[(prefix.clone(), 1.0)], &rev, 4, &mut snap.rng);
+        instruments.run_retrieval_into(
+            &snap.tube,
+            &[(prefix.clone(), 1.0)],
+            &rev,
+            4,
+            &mut snap.rng,
+            &mut seq_scratch,
+            &mut reads,
+        );
         stats.pcr_rounds += 1;
         stats.reads_sequenced += reads.len();
         let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
@@ -1775,7 +1795,16 @@ fn read_two_stacks(
         scope.extend(partition.range_prefixes_weighted(lo, hi));
     }
     let expected_units = 1 + stack_updates as usize;
-    let reads = instruments.run_retrieval(&snap.tube, &scope, &rev, expected_units, &mut snap.rng);
+    let mut reads: Vec<Read> = Vec::new();
+    instruments.run_retrieval_into(
+        &snap.tube,
+        &scope,
+        &rev,
+        expected_units,
+        &mut snap.rng,
+        &mut SequencerScratch::new(),
+        &mut reads,
+    );
     stats.pcr_rounds += 1;
     stats.reads_sequenced += reads.len();
     // Decode the block itself. TwoStacks data leaves only ever hold the
@@ -1824,8 +1853,18 @@ fn read_with_dedicated_log(
     let prefix = partition.elongated_primer(block);
     let rev = partition.primers().reverse().clone();
     let cfg = partition.decode_config_versions(block, &[VersionSlot(0)]);
-    let reads =
-        instruments.run_retrieval(&snap.tube, &[(prefix.clone(), 1.0)], &rev, 2, &mut snap.rng);
+    // One read buffer and sequencer scratch shared by both rounds.
+    let mut reads: Vec<Read> = Vec::new();
+    let mut seq_scratch = SequencerScratch::new();
+    instruments.run_retrieval_into(
+        &snap.tube,
+        &[(prefix.clone(), 1.0)],
+        &rev,
+        2,
+        &mut snap.rng,
+        &mut seq_scratch,
+        &mut reads,
+    );
     stats.pcr_rounds += 1;
     stats.reads_sequenced += reads.len();
     let outcome = decode_block_validated(&reads, &prefix, &rev, &cfg, unit_checksum_ok);
@@ -1839,12 +1878,14 @@ fn read_with_dedicated_log(
         let log_fwd = log.partition.scope_primer();
         let log_rev = log.partition.primers().reverse().clone();
         let entries = log.head;
-        let reads = instruments.run_retrieval(
+        instruments.run_retrieval_into(
             &log.tube,
             &[(log_fwd.clone(), 1.0)],
             &log_rev,
             entries as usize + 1,
             &mut snap.rng,
+            &mut seq_scratch,
+            &mut reads,
         );
         stats.pcr_rounds += 1;
         stats.reads_sequenced += reads.len();

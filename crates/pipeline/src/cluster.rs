@@ -52,6 +52,25 @@ impl Cluster {
     }
 }
 
+/// Reusable buffers for repeated clustering runs: the MinHash bucket index,
+/// the per-read candidate list, and the representative-signature table. All
+/// buffers are cleared on entry, so [`cluster_reads_with_scratch`] is
+/// byte-identical to [`cluster_reads`] for any scratch state — the reuse only
+/// spares the allocator, it never carries state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterScratch {
+    buckets: HashMap<(usize, u64), Vec<usize>>,
+    candidates: Vec<usize>,
+    rep_sigs: Vec<MinHashSignature>,
+}
+
+impl ClusterScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> ClusterScratch {
+        ClusterScratch::default()
+    }
+}
+
 /// Clusters `reads` and returns clusters sorted by size, largest first
 /// (ties broken by first appearance, so the result is deterministic).
 ///
@@ -59,16 +78,30 @@ impl Cluster {
 /// that the payloads from the reads of the same original strand are
 /// clustered together."
 pub fn cluster_reads(reads: &[DnaSeq], config: &ClusterConfig) -> Vec<Cluster> {
+    cluster_reads_with_scratch(reads, config, &mut ClusterScratch::new())
+}
+
+/// As [`cluster_reads`], reusing `scratch` buffers across calls.
+pub fn cluster_reads_with_scratch(
+    reads: &[DnaSeq],
+    config: &ClusterConfig,
+    scratch: &mut ClusterScratch,
+) -> Vec<Cluster> {
     let mut clusters: Vec<Cluster> = Vec::new();
     // Bucket index: (slot index, slot value) → cluster ids.
-    let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
-    let mut rep_sigs: Vec<MinHashSignature> = Vec::new();
+    let ClusterScratch {
+        buckets,
+        candidates,
+        rep_sigs,
+    } = scratch;
+    buckets.clear();
+    rep_sigs.clear();
 
     for (i, read) in reads.iter().enumerate() {
         let sig = MinHashSignature::new(read, config.kmer, config.slots);
         // Collect candidate clusters from matching buckets, preserving
         // discovery order for determinism.
-        let mut candidates: Vec<usize> = Vec::new();
+        candidates.clear();
         for (s, &v) in sig.slots().iter().enumerate() {
             if let Some(ids) = buckets.get(&(s, v)) {
                 for &c in ids {
@@ -81,7 +114,7 @@ pub fn cluster_reads(reads: &[DnaSeq], config: &ClusterConfig) -> Vec<Cluster> {
         // Confirm with bounded edit distance to the representative; take the
         // closest match.
         let mut best: Option<(usize, usize)> = None; // (dist, cluster)
-        for &c in &candidates {
+        for &c in candidates.iter() {
             let rep_idx = clusters[c].members[0];
             if let Some(d) =
                 levenshtein_bounded(read.as_slice(), reads[rep_idx].as_slice(), config.max_edit)

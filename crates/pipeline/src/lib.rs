@@ -33,10 +33,13 @@ mod demux;
 mod filter;
 mod parallel;
 
-pub use bma::{bma, double_sided_bma};
-pub use cluster::{cluster_reads, Cluster, ClusterConfig};
+pub use bma::{bma, bma_with, double_sided_bma, double_sided_bma_with, BmaScratch};
+pub use cluster::{
+    cluster_reads, cluster_reads_with_scratch, Cluster, ClusterConfig, ClusterScratch,
+};
 pub use decode::{
-    decode_block, decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome, RecoveredVersion,
+    decode_block, decode_block_validated, decode_block_validated_with_scratch, BlockDecodeConfig,
+    BlockDecodeOutcome, DecodeScratch, RecoveredVersion,
 };
 pub use demux::{demux_reads, ChannelPrimer};
 pub use filter::ReadFilter;

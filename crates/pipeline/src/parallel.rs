@@ -9,7 +9,10 @@
 //! `std::thread::scope` — no `unsafe`, no shared mutable state, and the
 //! output order is the input job order regardless of scheduling.
 
-use crate::decode::{decode_block_validated, BlockDecodeConfig, BlockDecodeOutcome};
+use crate::decode::{
+    decode_block_validated, decode_block_validated_with_scratch, BlockDecodeConfig,
+    BlockDecodeOutcome, DecodeScratch,
+};
 use dna_seq::DnaSeq;
 use dna_sim::Read;
 
@@ -90,6 +93,7 @@ pub fn decode_jobs_parallel_into<B, F>(
     .min(jobs.len())
     .max(1);
     if threads == 1 || jobs.len() <= 1 {
+        // The caller thread's thread-local scratch persists across rounds.
         out.extend(
             jobs.iter().map(|j| {
                 decode_block_validated(reads, &j.prefix, &j.reverse, &j.config, &validator)
@@ -104,7 +108,9 @@ pub fn decode_jobs_parallel_into<B, F>(
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             // Stripe the jobs: thread t takes indices t, t+threads, ...
+            // Each worker carries one decode arena across its stripe.
             handles.push(scope.spawn(move || {
+                let mut scratch = DecodeScratch::new();
                 jobs.iter()
                     .enumerate()
                     .skip(t)
@@ -112,8 +118,13 @@ pub fn decode_jobs_parallel_into<B, F>(
                     .map(|(i, j)| {
                         (
                             i,
-                            decode_block_validated(
-                                reads, &j.prefix, &j.reverse, &j.config, validator,
+                            decode_block_validated_with_scratch(
+                                reads,
+                                &j.prefix,
+                                &j.reverse,
+                                &j.config,
+                                validator,
+                                &mut scratch,
                             ),
                         )
                     })

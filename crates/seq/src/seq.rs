@@ -86,6 +86,11 @@ impl DnaSeq {
         self.bases.extend_from_slice(other);
     }
 
+    /// Removes every base, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.bases.clear();
+    }
+
     /// A view of the bases as a slice.
     pub fn as_slice(&self) -> &[Base] {
         &self.bases

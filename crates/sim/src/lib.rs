@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod anneal;
+mod fastpath;
 mod molecule;
 mod nanodrop;
 mod pcr;
@@ -51,6 +52,7 @@ mod sequencing;
 mod synthesis;
 
 pub mod mixing;
+pub mod stats;
 
 pub use anneal::{AnnealModel, BindingSite};
 pub use molecule::{Molecule, StrandTag};
@@ -61,5 +63,6 @@ pub use pcr::{
 };
 pub use pool::{Pool, Species};
 pub use rack::{TubeId, TubeRack};
-pub use sequencing::{IdsChannel, NanoporeModel, NgsRunModel, Read, Sequencer};
+pub use sequencing::{IdsChannel, NanoporeModel, NgsRunModel, Read, Sequencer, SequencerScratch};
+pub use stats::WetlabStats;
 pub use synthesis::SynthesisVendor;

@@ -17,9 +17,12 @@
 //!    condition rather than a special case.
 
 use crate::anneal::{AnnealModel, BindingSite};
+use crate::fastpath::{self, ModelCache, Orientation};
+use crate::molecule::StrandTag;
 use crate::pool::Pool;
+use crate::stats;
 use dna_seq::DnaSeq;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A primer participating in a reaction, with a finite molecule budget.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,13 +169,48 @@ pub struct PcrOutcome {
 }
 
 /// Per-species cached binding geometry (multiplex form: one slot per
-/// flattened forward primer and one per channel's reverse primer).
+/// flattened forward primer and one per channel's reverse primer). Used by
+/// the reference engine; the fast path keeps sparse per-species lists
+/// instead (see [`SpeciesBind`]).
 struct BindingInfo {
     /// Binding geometry of each forward primer at this species' 5' site.
     fwd_site: Vec<Option<BindingSite>>,
     /// Binding geometry of each channel's reverse primer at the 3' site
     /// (via reverse complement).
     rev_site: Vec<Option<BindingSite>>,
+}
+
+/// Sparse binding lists for one species on the fast path: only the primers
+/// that actually bind, in ascending primer order (so iteration matches the
+/// reference engine's dense scan exactly).
+struct SpeciesBind {
+    /// `(flattened forward index, site)` for every binding forward primer.
+    fwd: Vec<(u32, BindingSite)>,
+    /// `(channel index, site)` for every binding reverse primer.
+    rev: Vec<(u32, BindingSite)>,
+}
+
+impl SpeciesBind {
+    fn compute(mc: &mut ModelCache, seq: &DnaSeq, fwd_ids: &[u32], rev_ids: &[u32]) -> SpeciesBind {
+        SpeciesBind {
+            fwd: fwd_ids
+                .iter()
+                .enumerate()
+                .filter_map(|(fi, &id)| {
+                    mc.site(seq, id, Orientation::Forward)
+                        .map(|s| (fi as u32, s))
+                })
+                .collect(),
+            rev: rev_ids
+                .iter()
+                .enumerate()
+                .filter_map(|(ri, &id)| {
+                    mc.site(seq, id, Orientation::Reverse)
+                        .map(|s| (ri as u32, s))
+                })
+                .collect(),
+        }
+    }
 }
 
 impl PcrReaction {
@@ -183,14 +221,28 @@ impl PcrReaction {
     /// multiplex engine with one primer pair reproduces the simple-PCR
     /// dynamics exactly.
     pub fn run(&self, input: &Pool) -> PcrOutcome {
-        let multiplex = MultiplexPcrReaction {
+        Self::narrow(self.as_multiplex().run(input))
+    }
+
+    /// Reference engine (dense scan, no caches): the oracle the fast path
+    /// is pinned against by `tests/fastpath_equiv.rs` and the
+    /// `wetlab_hotpath` bench baseline. Produces bit-identical results to
+    /// [`PcrReaction::run`], just slower.
+    pub fn run_reference(&self, input: &Pool) -> PcrOutcome {
+        Self::narrow(self.as_multiplex().run_reference(input))
+    }
+
+    fn as_multiplex(&self) -> MultiplexPcrReaction {
+        MultiplexPcrReaction {
             channels: vec![PrimerChannel {
                 forward_primers: self.forward_primers.clone(),
                 reverse_primer: self.reverse_primer.clone(),
             }],
             protocol: self.protocol.clone(),
-        };
-        let out = multiplex.run(input);
+        }
+    }
+
+    fn narrow(out: MultiplexOutcome) -> PcrOutcome {
         PcrOutcome {
             pool: out.pool,
             fwd_consumed: out.fwd_consumed.into_iter().next().unwrap_or_default(),
@@ -211,7 +263,241 @@ impl MultiplexPcrReaction {
     /// channels' primers, which is exactly the cross-amplification risk
     /// multiplexing introduces. Budgets are tracked per primer, so one
     /// channel plateauing never silently throttles another.
+    ///
+    /// This is the fast path: species are prefiltered through the k-mer
+    /// annealing index (see `fastpath`), binding geometry and probabilities
+    /// are served from thread-local caches that survive across cycles and
+    /// rounds, contributions reference species by index instead of cloned
+    /// sequences, and per-cycle updates touch only the amplified species —
+    /// the output pool is the input plus a sparse delta. Results are
+    /// bit-identical to [`MultiplexPcrReaction::run_reference`] (pinned by
+    /// `tests/fastpath_equiv.rs`).
     pub fn run(&self, input: &Pool) -> MultiplexOutcome {
+        let forwards: Vec<(usize, &PcrPrimer)> = self
+            .channels
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, ch)| ch.forward_primers.iter().map(move |p| (ci, p)))
+            .collect();
+        let reverses: Vec<&PcrPrimer> = self.channels.iter().map(|ch| &ch.reverse_primer).collect();
+
+        let out = fastpath::with_model_cache(&self.protocol.anneal, |mc| {
+            self.run_cached(input, &forwards, &reverses, mc)
+        });
+        stats::flush_to_global();
+        out
+    }
+
+    /// The fast engine body, running against one thread-local model cache.
+    fn run_cached(
+        &self,
+        input: &Pool,
+        forwards: &[(usize, &PcrPrimer)],
+        reverses: &[&PcrPrimer],
+        mc: &mut ModelCache,
+    ) -> MultiplexOutcome {
+        let fwd_ids: Vec<u32> = forwards
+            .iter()
+            .map(|(_, p)| mc.intern_primer(&p.seq))
+            .collect();
+        let rev_ids: Vec<u32> = reverses.iter().map(|p| mc.intern_primer(&p.seq)).collect();
+
+        // Indexed working state: one slot per species (input species first,
+        // mispriming products appended as they are created). `order` keeps
+        // the indices sorted by sequence so every cycle scans species in
+        // exactly the reference engine's `BTreeMap` order — float
+        // accumulation order, and therefore every bit of the result, is
+        // preserved.
+        let n0 = input.distinct();
+        let mut seqs: Vec<DnaSeq> = Vec::with_capacity(n0);
+        let mut ab: Vec<f64> = Vec::with_capacity(n0);
+        let mut tags: Vec<Option<StrandTag>> = Vec::with_capacity(n0);
+        for (seq, sp) in input.iter() {
+            seqs.push(seq.clone());
+            ab.push(sp.abundance);
+            tags.push(sp.tag);
+        }
+        let mut present: Vec<bool> = vec![true; n0];
+        let mut changed: Vec<bool> = vec![false; n0];
+        let mut order: Vec<u32> = (0..n0 as u32).collect();
+        let mut bind: Vec<Option<SpeciesBind>> = (0..n0).map(|_| None).collect();
+        // (template index, flattened forward index) → product species index.
+        let mut product_memo: HashMap<(u32, u32), u32> = HashMap::new();
+
+        let mut fwd_left: Vec<f64> = forwards.iter().map(|(_, p)| p.budget).collect();
+        let mut rev_left: Vec<f64> = reverses.iter().map(|p| p.budget).collect();
+        let mut fwd_used = vec![0.0; forwards.len()];
+        let mut rev_used = vec![0.0; reverses.len()];
+        let mut misprime_species = 0usize;
+
+        // Reused per-cycle buffers.
+        let mut contributions: Vec<(u32, u32, u32, f64, bool)> = Vec::new();
+        let mut additions: Vec<(u32, f64, Option<StrandTag>)> = Vec::new();
+        let mut added_now: Vec<u32> = Vec::new();
+        let mut fwd_demand = vec![0.0; forwards.len()];
+        let mut rev_demand = vec![0.0; reverses.len()];
+
+        for &temp in &self.protocol.temps {
+            // Pass 1: desired contributions, touching only species with at
+            // least one binding forward and reverse primer.
+            contributions.clear();
+            fwd_demand.fill(0.0);
+            rev_demand.fill(0.0);
+            for &si in &order {
+                let i = si as usize;
+                if !present[i] || ab[i] <= 0.0 {
+                    continue;
+                }
+                let b = bind[i]
+                    .get_or_insert_with(|| SpeciesBind::compute(mc, &seqs[i], &fwd_ids, &rev_ids));
+                // The template's 3' site goes to the best-binding reverse
+                // primer this cycle (ties → lowest channel, deterministic).
+                let mut best_rev: Option<(u32, f64)> = None;
+                for &(ri, site) in &b.rev {
+                    let p = mc.probability(rev_ids[ri as usize], site, temp);
+                    if p > 0.0 && best_rev.is_none_or(|(_, bp)| p > bp) {
+                        best_rev = Some((ri, p));
+                    }
+                }
+                let Some((ri, p_rev)) = best_rev else {
+                    continue;
+                };
+                for &(fi, site) in &b.fwd {
+                    let p_fwd = mc.probability(fwd_ids[fi as usize], site, temp);
+                    if p_fwd <= 0.0 {
+                        continue;
+                    }
+                    // Per-cycle duplex yield is limited by the weaker primer:
+                    // each strand of the duplex is primed independently, so
+                    // overall efficiency tracks min(p_fwd, p_rev), the
+                    // standard per-cycle efficiency model.
+                    let copies = ab[i] * p_fwd.min(p_rev);
+                    if copies <= 0.0 {
+                        continue;
+                    }
+                    fwd_demand[fi as usize] += copies;
+                    rev_demand[ri as usize] += copies;
+                    // dist > 0 ⇒ index overwrite: the product carries the
+                    // primer as its new prefix (materialized in pass 2).
+                    contributions.push((si, fi, ri, copies, site.dist != 0));
+                }
+            }
+            if contributions.is_empty() {
+                continue;
+            }
+            // Pass 2: scale by primer budgets and apply.
+            let rev_factor: Vec<f64> = rev_demand
+                .iter()
+                .zip(&rev_left)
+                .map(|(&d, &left)| if d > left { left / d } else { 1.0 })
+                .collect();
+            let fwd_factor: Vec<f64> = fwd_demand
+                .iter()
+                .zip(&fwd_left)
+                .map(|(&d, &left)| if d > left { left / d } else { 1.0 })
+                .collect();
+            additions.clear();
+            added_now.clear();
+            for &(si, fi, ri, copies, mispriming) in &contributions {
+                let actual = copies * fwd_factor[fi as usize].min(rev_factor[ri as usize]);
+                if actual <= 0.0 {
+                    continue;
+                }
+                fwd_used[fi as usize] += actual;
+                fwd_left[fi as usize] -= actual;
+                rev_used[ri as usize] += actual;
+                rev_left[ri as usize] -= actual;
+                if !mispriming {
+                    // Faithful copy of an existing species.
+                    additions.push((si, actual, None));
+                    added_now.push(si);
+                    continue;
+                }
+                let pi = match product_memo.get(&(si, fi)) {
+                    Some(&pi) => pi,
+                    None => {
+                        let primer = &forwards[fi as usize].1.seq;
+                        let template = &seqs[si as usize];
+                        let mut ns = primer.clone();
+                        if primer.len() < template.len() {
+                            ns.extend_from_slice(&template.as_slice()[primer.len()..]);
+                        }
+                        let pi = match order.binary_search_by(|&j| seqs[j as usize].cmp(&ns)) {
+                            Ok(pos) => order[pos],
+                            Err(pos) => {
+                                let idx = seqs.len() as u32;
+                                seqs.push(ns);
+                                ab.push(0.0);
+                                tags.push(None);
+                                present.push(false);
+                                changed.push(false);
+                                bind.push(None);
+                                order.insert(pos, idx);
+                                idx
+                            }
+                        };
+                        product_memo.insert((si, fi), pi);
+                        pi
+                    }
+                };
+                let tag = tags[si as usize].map(|mut t| {
+                    t.prefix_overwritten = true;
+                    t
+                });
+                if !present[pi as usize] && !added_now.contains(&pi) {
+                    misprime_species += 1;
+                }
+                additions.push((pi, actual, tag));
+                added_now.push(pi);
+            }
+            for &(idx, actual, tag) in &additions {
+                let i = idx as usize;
+                if present[i] {
+                    // Merge keeps the existing tag, like `Pool::add`.
+                    ab[i] += actual;
+                } else {
+                    present[i] = true;
+                    ab[i] = actual;
+                    tags[i] = tag;
+                }
+                changed[i] = true;
+            }
+            for left in fwd_left.iter_mut().chain(rev_left.iter_mut()) {
+                *left = left.max(0.0);
+            }
+        }
+
+        // Copy-on-write output: the input pool plus the sparse delta of
+        // amplified species and new products.
+        let mut pool = input.clone();
+        for i in 0..seqs.len() {
+            if changed[i] && present[i] {
+                pool.set_species(seqs[i].clone(), ab[i], tags[i]);
+            }
+        }
+
+        // Un-flatten per-channel consumption.
+        let mut fwd_consumed: Vec<Vec<f64>> = self
+            .channels
+            .iter()
+            .map(|ch| Vec::with_capacity(ch.forward_primers.len()))
+            .collect();
+        for ((ci, _), used) in forwards.iter().zip(&fwd_used) {
+            fwd_consumed[*ci].push(*used);
+        }
+        MultiplexOutcome {
+            pool,
+            fwd_consumed,
+            rev_consumed: rev_used,
+            misprime_species,
+        }
+    }
+
+    /// Reference engine: the original dense per-cycle scan with no caches
+    /// and no prefilter. Kept as the oracle for the golden-equivalence
+    /// suite and as the microbench baseline — [`MultiplexPcrReaction::run`]
+    /// must produce bit-identical pools, budgets and misprime counts.
+    pub fn run_reference(&self, input: &Pool) -> MultiplexOutcome {
         let anneal = &self.protocol.anneal;
         // Flatten forwards, remembering each primer's channel.
         let forwards: Vec<(usize, &PcrPrimer)> = self

@@ -3,6 +3,17 @@
 use crate::molecule::StrandTag;
 use dna_seq::DnaSeq;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide epoch counter. Epoch 0 is reserved for empty pools; every
+/// mutation stamps the pool with a fresh, never-reused value, so two pools
+/// sharing an epoch are guaranteed content-identical (clones share the
+/// epoch until one of them is mutated).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One distinct sequence in a pool, with its copy count.
 ///
@@ -34,9 +45,19 @@ pub struct Species {
 /// assert_eq!(pool.distinct(), 1);
 /// assert_eq!(pool.total_copies(), 150.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Pool {
     species: BTreeMap<DnaSeq, Species>,
+    /// Content-version stamp (see [`Pool::epoch`]). Not part of equality —
+    /// two pools built along different mutation histories still compare
+    /// equal if they hold the same species.
+    epoch: u64,
+}
+
+impl PartialEq for Pool {
+    fn eq(&self, other: &Pool) -> bool {
+        self.species == other.species
+    }
 }
 
 impl Pool {
@@ -53,6 +74,30 @@ impl Pool {
             .entry(seq)
             .and_modify(|s| s.abundance += abundance)
             .or_insert(Species { abundance, tag });
+        self.epoch = fresh_epoch();
+    }
+
+    /// Content-version stamp for cache invalidation. Epoch 0 means "empty,
+    /// never mutated"; every mutating call (`add`, `mix_in`, `retire_where`,
+    /// `extend`) stamps a fresh process-unique value, and constructors
+    /// (`scaled`, `filtered`, `mixed_with`) return pools with fresh stamps.
+    /// Clones keep the source's epoch until they are themselves mutated, so
+    /// `a.epoch() == b.epoch()` implies `a == b` — safe to key derived data
+    /// (cumulative weight tables, annealing candidate sets) on the epoch
+    /// alone. The stamp is transient: it is not part of `PartialEq` and is
+    /// never persisted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overwrites (or inserts) a species with an exact abundance and tag —
+    /// the delta-application primitive for the PCR fast path, which
+    /// computes final abundances out-of-pool and writes each changed
+    /// species back once.
+    pub(crate) fn set_species(&mut self, seq: DnaSeq, abundance: f64, tag: Option<StrandTag>) {
+        debug_assert!(abundance >= 0.0, "abundance must be non-negative");
+        self.species.insert(seq, Species { abundance, tag });
+        self.epoch = fresh_epoch();
     }
 
     /// Number of distinct sequences.
@@ -102,6 +147,7 @@ impl Pool {
         for s in out.species.values_mut() {
             s.abundance *= factor;
         }
+        out.epoch = fresh_epoch();
         out
     }
 
@@ -134,6 +180,7 @@ impl Pool {
         for (seq, s) in other.iter() {
             self.add(seq.clone(), s.abundance * other_scale, s.tag);
         }
+        self.epoch = fresh_epoch();
     }
 
     /// Removes species below `min_abundance` (wash/cleanup steps).
@@ -145,6 +192,7 @@ impl Pool {
                 .filter(|(_, s)| s.abundance >= min_abundance)
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+            epoch: fresh_epoch(),
         }
     }
 
@@ -159,6 +207,7 @@ impl Pool {
         let before = self.species.len();
         self.species
             .retain(|_, s| !s.tag.as_ref().is_some_and(&mut pred));
+        self.epoch = fresh_epoch();
         before - self.species.len()
     }
 
@@ -255,6 +304,30 @@ mod tests {
         assert_eq!(by_unit[&531], 30.0);
         assert_eq!(by_unit[&144], 5.0);
         assert_eq!(by_unit.len(), 2);
+    }
+
+    #[test]
+    fn epoch_tracks_content_changes() {
+        let empty = Pool::new();
+        assert_eq!(empty.epoch(), 0);
+        let mut pool = Pool::new();
+        pool.add(seq("AAAA"), 10.0, None);
+        let e1 = pool.epoch();
+        assert_ne!(e1, 0);
+        // Clones share the epoch (content-identical) until mutated.
+        let mut clone = pool.clone();
+        assert_eq!(clone.epoch(), e1);
+        clone.add(seq("CCCC"), 1.0, None);
+        assert_ne!(clone.epoch(), e1);
+        assert_eq!(pool.epoch(), e1);
+        // Equality ignores the epoch.
+        let mut rebuilt = Pool::new();
+        rebuilt.add(seq("AAAA"), 10.0, None);
+        assert_ne!(rebuilt.epoch(), pool.epoch());
+        assert_eq!(rebuilt, pool);
+        // Derived pools get fresh stamps.
+        assert_ne!(pool.scaled(1.0).epoch(), pool.epoch());
+        assert_ne!(pool.filtered(0.0).epoch(), pool.epoch());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 
 use crate::molecule::StrandTag;
 use crate::pool::Pool;
+use crate::stats;
 use dna_seq::rng::DetRng;
 use dna_seq::{Base, DnaSeq};
+use std::cell::RefCell;
 
 /// One sequencer read.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +85,35 @@ impl IdsChannel {
     }
 }
 
+/// Reusable sampling state for [`Sequencer::sequence_into`]: the
+/// cumulative-weight table over a pool's species, keyed by the pool's
+/// [`Pool::epoch`] so it is rebuilt only when the pool's content actually
+/// changed. Repeated draws from an unchanged pool (coalesced rounds, cached
+/// tubes) skip the `O(species)` weight pass entirely.
+#[derive(Debug, Clone, Default)]
+pub struct SequencerScratch {
+    /// Epoch of the pool `cum`/`total` were built from.
+    epoch: Option<u64>,
+    /// Cumulative abundance per species, in pool iteration order.
+    cum: Vec<f64>,
+    /// Total abundance (last entry of `cum`).
+    total: f64,
+}
+
+impl SequencerScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> SequencerScratch {
+        SequencerScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocating [`Sequencer::sequence`]
+    /// convenience wrapper, so even legacy call sites reuse the weight
+    /// table across draws on an unchanged pool.
+    static THREAD_SCRATCH: RefCell<SequencerScratch> = RefCell::new(SequencerScratch::new());
+}
+
 /// A sequencer: samples reads ∝ abundance and applies the channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sequencer {
@@ -100,34 +131,74 @@ impl Sequencer {
     /// probability proportional to abundance ("the sequencing cost is always
     /// proportional to the size of the sequencing output", §7.3).
     ///
+    /// Convenience wrapper over [`Sequencer::sequence_into`] that allocates
+    /// the read vector (sampling state is still reused via a thread-local
+    /// scratch).
+    ///
     /// # Panics
     ///
     /// Panics if the pool is empty but reads were requested.
     pub fn sequence(&self, pool: &Pool, num_reads: usize, rng: &mut DetRng) -> Vec<Read> {
+        let mut reads = Vec::with_capacity(num_reads);
+        THREAD_SCRATCH
+            .with(|s| self.sequence_into(pool, num_reads, rng, &mut s.borrow_mut(), &mut reads));
+        reads
+    }
+
+    /// Streaming form of [`Sequencer::sequence`]: appends `num_reads` reads
+    /// to `out`, reusing `scratch`'s cumulative-weight table when the pool
+    /// is unchanged since the previous call (epoch match). Draw-for-draw
+    /// identical to `sequence` — same RNG consumption, same reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty but reads were requested.
+    pub fn sequence_into(
+        &self,
+        pool: &Pool,
+        num_reads: usize,
+        rng: &mut DetRng,
+        scratch: &mut SequencerScratch,
+        out: &mut Vec<Read>,
+    ) {
         if num_reads == 0 {
-            return Vec::new();
+            return;
         }
         assert!(!pool.is_empty(), "cannot sequence an empty pool");
-        // Cumulative weights for O(log n) sampling.
+        // Entry refs must be re-collected per call (they borrow the pool),
+        // but the cumulative weights — the O(n) float pass — are reusable:
+        // an equal epoch guarantees identical content, hence an identical
+        // table.
         let entries: Vec<(&DnaSeq, &crate::pool::Species)> = pool.iter().collect();
-        let mut cum = Vec::with_capacity(entries.len());
-        let mut total = 0.0;
-        for (_, s) in &entries {
-            total += s.abundance;
-            cum.push(total);
+        if scratch.epoch == Some(pool.epoch()) {
+            stats::record_scratch_reuse(1);
+        } else {
+            scratch.cum.clear();
+            scratch.cum.reserve(entries.len());
+            let mut total = 0.0;
+            for (_, s) in &entries {
+                total += s.abundance;
+                scratch.cum.push(total);
+            }
+            scratch.total = total;
+            scratch.epoch = Some(pool.epoch());
         }
-        assert!(total > 0.0, "pool has zero total abundance");
-        let mut reads = Vec::with_capacity(num_reads);
+        assert!(scratch.total > 0.0, "pool has zero total abundance");
+        out.reserve(num_reads);
         for _ in 0..num_reads {
-            let x = rng.next_f64() * total;
-            let i = cum.partition_point(|&c| c < x).min(entries.len() - 1);
+            let x = rng.next_f64() * scratch.total;
+            let i = scratch
+                .cum
+                .partition_point(|&c| c < x)
+                .min(entries.len() - 1);
             let (seq, species) = entries[i];
-            reads.push(Read {
+            out.push(Read {
                 seq: self.channel.corrupt(seq, rng),
                 truth: species.tag,
             });
         }
-        reads
+        stats::record_reads_materialized(num_reads as u64);
+        stats::flush_to_global();
     }
 }
 
@@ -271,6 +342,41 @@ mod tests {
         let a = seq.sequence(&pool_two_species(), 100, &mut DetRng::seed_from_u64(7));
         let b = seq.sequence(&pool_two_species(), 100, &mut DetRng::seed_from_u64(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequence_into_matches_sequence_and_reuses_scratch() {
+        let seq = Sequencer::new(IdsChannel::illumina());
+        let pool = pool_two_species();
+        let baseline = seq.sequence(&pool, 200, &mut DetRng::seed_from_u64(9));
+        // Two batches from one RNG through one scratch == one big batch.
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut scratch = SequencerScratch::new();
+        let mut out = Vec::new();
+        let before = crate::stats::thread_totals();
+        seq.sequence_into(&pool, 120, &mut rng, &mut scratch, &mut out);
+        seq.sequence_into(&pool, 80, &mut rng, &mut scratch, &mut out);
+        assert_eq!(out, baseline);
+        let d = crate::stats::thread_totals().delta_since(&before);
+        assert_eq!(d.reads_materialized, 200);
+        assert_eq!(d.scratch_reuses, 1, "second batch must reuse the table");
+        // Mutating the pool invalidates the scratch.
+        let mut changed = pool.clone();
+        changed.add(
+            "ACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap(),
+            50.0,
+            None,
+        );
+        let direct = seq.sequence(&changed, 50, &mut DetRng::seed_from_u64(10));
+        let mut via = Vec::new();
+        seq.sequence_into(
+            &changed,
+            50,
+            &mut DetRng::seed_from_u64(10),
+            &mut scratch,
+            &mut via,
+        );
+        assert_eq!(via, direct);
     }
 
     #[test]
